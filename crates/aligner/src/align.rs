@@ -1,0 +1,425 @@
+//! Seed-and-extend alignment of reads onto contigs.
+
+use crate::seed_index::SeedIndex;
+use dbg::{ContigId, ContigSet};
+use dht::{FxHashMap, SoftwareCache};
+use kmers::Kmer;
+use pgas::Ctx;
+use seqio::alphabet::revcomp;
+use seqio::{Read, ReadId};
+
+/// Parameters of the aligner.
+#[derive(Debug, Clone, Copy)]
+pub struct AlignParams {
+    /// Seed (k-mer) length used for the index and the lookups.
+    pub seed_len: usize,
+    /// Distance between consecutive seed positions sampled from each read.
+    pub stride: usize,
+    /// Maximum number of candidate placements verified per read.
+    pub max_candidates: usize,
+    /// Minimum number of aligned bases for an alignment to be reported.
+    pub min_aligned_len: usize,
+    /// Minimum fraction of matching bases within the aligned region.
+    pub min_identity: f64,
+    /// Capacity of the per-rank software seed cache (entries).
+    pub cache_capacity: usize,
+}
+
+impl Default for AlignParams {
+    fn default() -> Self {
+        AlignParams {
+            seed_len: 21,
+            stride: 7,
+            max_candidates: 4,
+            min_aligned_len: 30,
+            min_identity: 0.9,
+            cache_capacity: 1 << 16,
+        }
+    }
+}
+
+/// One read-to-contig alignment.
+///
+/// `contig_offset` is the contig coordinate at which position 0 of the
+/// *oriented* read (the read itself if `forward`, its reverse complement
+/// otherwise) would lie; it may be negative or beyond the contig end when the
+/// read hangs over a contig boundary — exactly the situation splint detection
+/// and gap closing are interested in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Alignment {
+    pub read_id: ReadId,
+    pub contig: ContigId,
+    pub forward: bool,
+    pub contig_offset: i64,
+    /// Number of read bases inside the contig boundaries.
+    pub aligned_len: usize,
+    /// Number of matching bases within the aligned region.
+    pub matches: usize,
+}
+
+impl Alignment {
+    /// Identity within the aligned region.
+    pub fn identity(&self) -> f64 {
+        if self.aligned_len == 0 {
+            0.0
+        } else {
+            self.matches as f64 / self.aligned_len as f64
+        }
+    }
+
+    /// True if the oriented read extends past the left end (coordinate 0) of
+    /// the contig.
+    pub fn overhangs_left(&self) -> bool {
+        self.contig_offset < 0
+    }
+
+    /// True if the oriented read extends past the right end of a contig of the
+    /// given length.
+    pub fn overhangs_right(&self, contig_len: usize, read_len: usize) -> bool {
+        self.contig_offset + read_len as i64 > contig_len as i64
+    }
+}
+
+/// The alignments produced by one rank for the reads it processed.
+#[derive(Debug, Clone, Default)]
+pub struct AlignmentSet {
+    pub alignments: Vec<Alignment>,
+}
+
+impl AlignmentSet {
+    /// Groups the alignments by read id.
+    pub fn by_read(&self) -> FxHashMap<ReadId, Vec<&Alignment>> {
+        let mut map: FxHashMap<ReadId, Vec<&Alignment>> = FxHashMap::default();
+        for a in &self.alignments {
+            map.entry(a.read_id).or_default().push(a);
+        }
+        map
+    }
+
+    /// The best (most matches) alignment of each read.
+    pub fn best_per_read(&self) -> FxHashMap<ReadId, Alignment> {
+        let mut map: FxHashMap<ReadId, Alignment> = FxHashMap::default();
+        for a in &self.alignments {
+            map.entry(a.read_id)
+                .and_modify(|cur| {
+                    if a.matches > cur.matches {
+                        *cur = *a;
+                    }
+                })
+                .or_insert(*a);
+        }
+        map
+    }
+}
+
+/// Aligns the reads `(read_id, read)` of this rank against the contigs using
+/// the shared seed index. Not collective by itself (pure lookups), but all
+/// ranks typically call it in the same phase. Returns this rank's alignments.
+pub fn align_reads(
+    ctx: &Ctx,
+    reads: impl IntoIterator<Item = (ReadId, Read)>,
+    contigs: &ContigSet,
+    index: &SeedIndex,
+    params: &AlignParams,
+) -> AlignmentSet {
+    let mut cache: SoftwareCache<Kmer, Vec<crate::seed_index::SeedHit>> =
+        SoftwareCache::new(params.cache_capacity);
+    let mut out = AlignmentSet::default();
+    for (read_id, read) in reads {
+        align_one(ctx, read_id, &read, contigs, index, params, &mut cache, &mut out);
+    }
+    out
+}
+
+/// Candidate placement of a read on a contig.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Candidate {
+    contig: ContigId,
+    forward: bool,
+    contig_offset: i64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn align_one(
+    ctx: &Ctx,
+    read_id: ReadId,
+    read: &Read,
+    contigs: &ContigSet,
+    index: &SeedIndex,
+    params: &AlignParams,
+    cache: &mut SoftwareCache<Kmer, Vec<crate::seed_index::SeedHit>>,
+    out: &mut AlignmentSet,
+) {
+    let seq = &read.seq;
+    let slen = index.seed_len;
+    if seq.len() < slen {
+        return;
+    }
+    // ---- Seed lookup and candidate voting -----------------------------------
+    let mut votes: FxHashMap<Candidate, usize> = FxHashMap::default();
+    let mut offset = 0usize;
+    while offset + slen <= seq.len() {
+        if let Some(seed) = Kmer::from_bytes(&seq[offset..offset + slen]) {
+            let (canon, read_rc) = seed.canonical();
+            if let Some(hits) = cache.get(ctx, &index.map, &canon) {
+                for hit in hits {
+                    // forward placement: the read (as given) matches the contig
+                    // strand iff the seed orientations agree.
+                    let forward = hit.forward == !read_rc;
+                    let contig_offset = if forward {
+                        hit.pos as i64 - offset as i64
+                    } else {
+                        // The reverse-complemented read aligns forward; in the
+                        // oriented (rc) read the seed starts at
+                        // len - slen - offset.
+                        hit.pos as i64 - (seq.len() - slen - offset) as i64
+                    };
+                    let cand = Candidate {
+                        contig: hit.contig,
+                        forward,
+                        contig_offset,
+                    };
+                    *votes.entry(cand).or_insert(0) += 1;
+                }
+            }
+        }
+        offset += params.stride.max(1);
+    }
+    if votes.is_empty() {
+        return;
+    }
+    // ---- Verification of the top candidates ----------------------------------
+    let mut candidates: Vec<(Candidate, usize)> = votes.into_iter().collect();
+    candidates.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| {
+        (a.0.contig, a.0.contig_offset, a.0.forward).cmp(&(b.0.contig, b.0.contig_offset, b.0.forward))
+    }));
+    let oriented_fwd = seq.clone();
+    let oriented_rev = revcomp(seq);
+    let mut reported_contigs: Vec<ContigId> = Vec::new();
+    for (cand, _votes) in candidates.into_iter().take(params.max_candidates) {
+        // Report at most one placement per contig per read: the best-voted one.
+        if reported_contigs.contains(&cand.contig) {
+            continue;
+        }
+        let contig = match contigs.get(cand.contig) {
+            Some(c) => c,
+            None => continue,
+        };
+        let oriented: &[u8] = if cand.forward { &oriented_fwd } else { &oriented_rev };
+        let (aligned_len, matches) = verify(oriented, &contig.seq, cand.contig_offset);
+        if aligned_len >= params.min_aligned_len
+            && matches as f64 >= params.min_identity * aligned_len as f64
+        {
+            reported_contigs.push(cand.contig);
+            out.alignments.push(Alignment {
+                read_id,
+                contig: cand.contig,
+                forward: cand.forward,
+                contig_offset: cand.contig_offset,
+                aligned_len,
+                matches,
+            });
+        }
+    }
+}
+
+/// Counts aligned/matching bases of `oriented_read` placed at `offset` on the
+/// contig (ungapped).
+fn verify(oriented_read: &[u8], contig: &[u8], offset: i64) -> (usize, usize) {
+    let read_len = oriented_read.len() as i64;
+    let contig_len = contig.len() as i64;
+    let start = offset.max(0);
+    let end = (offset + read_len).min(contig_len);
+    if end <= start {
+        return (0, 0);
+    }
+    let mut matches = 0usize;
+    for pos in start..end {
+        let rpos = (pos - offset) as usize;
+        if contig[pos as usize] == oriented_read[rpos] {
+            matches += 1;
+        }
+    }
+    ((end - start) as usize, matches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed_index::build_seed_index;
+    use pgas::Team;
+
+    const GENOME: &str = "ACGGTCAGGTTCAAGGACTTACGGACCATGGCATTACGGATACCAGGATCCAGATCACCAGTTTGACCGATTACAGGACCGATACCGATTAGGACCAGT";
+
+    fn contigs_of(seqs: &[&str]) -> ContigSet {
+        ContigSet::from_sequences(
+            21,
+            seqs.iter().map(|s| (s.as_bytes().to_vec(), 10.0)).collect(),
+        )
+    }
+
+    fn params() -> AlignParams {
+        AlignParams {
+            seed_len: 15,
+            stride: 4,
+            min_aligned_len: 20,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn perfect_read_aligns_at_correct_position() {
+        let contigs = contigs_of(&[GENOME]);
+        let team = Team::single_node(2);
+        team.run(|ctx| {
+            let index = build_seed_index(ctx, &contigs, 15);
+            ctx.barrier();
+            let read = Read::with_uniform_quality("r0", &GENOME.as_bytes()[30..80], 35);
+            let set = align_reads(ctx, vec![(0u64, read)], &contigs, &index, &params());
+            assert_eq!(set.alignments.len(), 1);
+            let a = &set.alignments[0];
+            assert_eq!(a.contig, 0);
+            assert!(a.forward);
+            assert_eq!(a.contig_offset, 30);
+            assert_eq!(a.aligned_len, 50);
+            assert_eq!(a.matches, 50);
+            assert!((a.identity() - 1.0).abs() < 1e-12);
+        });
+    }
+
+    #[test]
+    fn reverse_complement_read_aligns_reverse() {
+        let contigs = contigs_of(&[GENOME]);
+        let team = Team::single_node(1);
+        team.run(|ctx| {
+            let index = build_seed_index(ctx, &contigs, 15);
+            let rc = revcomp(&GENOME.as_bytes()[20..70]);
+            let read = Read::with_uniform_quality("r0", &rc, 35);
+            let set = align_reads(ctx, vec![(0u64, read)], &contigs, &index, &params());
+            assert_eq!(set.alignments.len(), 1);
+            let a = &set.alignments[0];
+            assert!(!a.forward);
+            assert_eq!(a.contig_offset, 20);
+            assert_eq!(a.aligned_len, 50);
+            assert_eq!(a.matches, 50);
+        });
+    }
+
+    #[test]
+    fn read_with_errors_still_aligns_with_lower_identity() {
+        let contigs = contigs_of(&[GENOME]);
+        let team = Team::single_node(1);
+        team.run(|ctx| {
+            let index = build_seed_index(ctx, &contigs, 15);
+            let mut bases = GENOME.as_bytes()[10..90].to_vec();
+            bases[40] = if bases[40] == b'A' { b'C' } else { b'A' };
+            bases[60] = if bases[60] == b'G' { b'T' } else { b'G' };
+            let read = Read::with_uniform_quality("r0", &bases, 35);
+            let set = align_reads(ctx, vec![(0u64, read)], &contigs, &index, &params());
+            assert_eq!(set.alignments.len(), 1);
+            let a = &set.alignments[0];
+            assert_eq!(a.aligned_len, 80);
+            assert_eq!(a.matches, 78);
+            assert_eq!(a.contig_offset, 10);
+        });
+    }
+
+    #[test]
+    fn read_spanning_two_contigs_reports_both() {
+        // Split the genome into two contigs; a read straddling the junction
+        // must produce partial alignments to both (the splint situation).
+        let left = &GENOME[..50];
+        let right = &GENOME[50..];
+        let contigs = contigs_of(&[left, right]);
+        let team = Team::single_node(1);
+        team.run(|ctx| {
+            let index = build_seed_index(ctx, &contigs, 15);
+            let read = Read::with_uniform_quality("r0", &GENOME.as_bytes()[26..76], 35);
+            let set = align_reads(ctx, vec![(0u64, read)], &contigs, &index, &params());
+            assert_eq!(set.alignments.len(), 2, "got {:?}", set.alignments);
+            let contigs_hit: Vec<ContigId> = set.alignments.iter().map(|a| a.contig).collect();
+            assert!(contigs_hit.contains(&0));
+            assert!(contigs_hit.contains(&1));
+            for a in &set.alignments {
+                assert!(a.aligned_len >= 20);
+                assert_eq!(a.matches, a.aligned_len, "no errors were injected");
+            }
+        });
+    }
+
+    #[test]
+    fn unrelated_read_does_not_align() {
+        let contigs = contigs_of(&[GENOME]);
+        let team = Team::single_node(1);
+        team.run(|ctx| {
+            let index = build_seed_index(ctx, &contigs, 15);
+            let read =
+                Read::with_uniform_quality("r0", b"TTTTTTTTTTGGGGGGGGGGCCCCCCCCCCAAAAAAAAAA", 35);
+            let set = align_reads(ctx, vec![(0u64, read)], &contigs, &index, &params());
+            assert!(set.alignments.is_empty());
+        });
+    }
+
+    #[test]
+    fn cache_reuse_reduces_misses_for_similar_reads() {
+        let contigs = contigs_of(&[GENOME]);
+        let team = Team::single_node(1);
+        team.run(|ctx| {
+            let index = build_seed_index(ctx, &contigs, 15);
+            ctx.stats().reset();
+            // Many reads from the same region: their seeds overlap heavily.
+            let reads: Vec<(ReadId, Read)> = (0..20)
+                .map(|i| {
+                    (
+                        i as ReadId,
+                        Read::with_uniform_quality(
+                            format!("r{i}"),
+                            &GENOME.as_bytes()[20..70],
+                            35,
+                        ),
+                    )
+                })
+                .collect();
+            let set = align_reads(ctx, reads, &contigs, &index, &params());
+            assert_eq!(set.alignments.len(), 20);
+            let stats = ctx.stats().snapshot();
+            assert!(
+                stats.cache_hits > stats.cache_misses,
+                "expected cache reuse: {stats:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn best_per_read_and_by_read_helpers() {
+        let a0 = Alignment {
+            read_id: 1,
+            contig: 0,
+            forward: true,
+            contig_offset: 0,
+            aligned_len: 50,
+            matches: 48,
+        };
+        let a1 = Alignment {
+            read_id: 1,
+            contig: 2,
+            forward: false,
+            contig_offset: 5,
+            aligned_len: 30,
+            matches: 30,
+        };
+        let set = AlignmentSet {
+            alignments: vec![a0, a1],
+        };
+        assert_eq!(set.by_read()[&1].len(), 2);
+        assert_eq!(set.best_per_read()[&1], a0);
+        assert!(a1.overhangs_left() == false);
+        assert!(Alignment {
+            contig_offset: -3,
+            ..a0
+        }
+        .overhangs_left());
+        assert!(a0.overhangs_right(40, 50));
+        assert!(!a0.overhangs_right(100, 50));
+    }
+}

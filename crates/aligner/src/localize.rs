@@ -1,0 +1,200 @@
+//! Read localisation (§II-I).
+//!
+//! After the first iteration's alignments are known, read pairs are reassigned
+//! to ranks so that all reads aligning to the same contig live on the same
+//! rank (`rank = contig mod P`). Reads mapped to the same contig are similar,
+//! so the next alignment round's seed lookups hit the per-rank software cache
+//! instead of generating off-node traffic, and the next k-mer-analysis round's
+//! incoming k-mer batches are clustered (better local cache reuse). Pairs with
+//! no alignment keep a deterministic hash-based home rank.
+
+use crate::align::Alignment;
+use dht::fx_hash_one;
+use pgas::Ctx;
+use seqio::ReadId;
+
+/// Which rank owns which read pairs. `per_rank[r]` lists pair indices assigned
+/// to rank `r`; the distribution is identical on every rank after
+/// [`localize_pairs`] (it is broadcast).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReadDistribution {
+    pub per_rank: Vec<Vec<u64>>,
+}
+
+impl ReadDistribution {
+    /// The initial block distribution of `num_pairs` pairs over `ranks` ranks
+    /// (what the pipeline uses before any alignment exists).
+    pub fn block(num_pairs: usize, ranks: usize) -> Self {
+        let mut per_rank = vec![Vec::new(); ranks];
+        for r in 0..ranks {
+            let range = pgas::team::block_range_for(r, ranks, num_pairs);
+            per_rank[r] = range.map(|p| p as u64).collect();
+        }
+        ReadDistribution { per_rank }
+    }
+
+    /// Total number of pairs across all ranks.
+    pub fn total_pairs(&self) -> usize {
+        self.per_rank.iter().map(|v| v.len()).sum()
+    }
+
+    /// The pairs owned by a rank.
+    pub fn pairs_of(&self, rank: usize) -> &[u64] {
+        &self.per_rank[rank]
+    }
+
+    /// Read ids (2 per pair) owned by a rank.
+    pub fn read_ids_of(&self, rank: usize) -> Vec<ReadId> {
+        self.per_rank[rank]
+            .iter()
+            .flat_map(|&p| [2 * p, 2 * p + 1])
+            .collect()
+    }
+
+    /// Load-balance ratio of the distribution (1.0 = perfectly even).
+    pub fn balance(&self) -> f64 {
+        let sizes: Vec<f64> = self.per_rank.iter().map(|v| v.len() as f64).collect();
+        pgas::stats::load_balance_ratio(&sizes)
+    }
+}
+
+/// Collectively computes the localised distribution: each pair goes to rank
+/// `(contig of its best alignment) mod P`. `local_alignments` are the
+/// alignments this rank produced for the pairs it currently owns.
+pub fn localize_pairs(
+    ctx: &Ctx,
+    num_pairs: usize,
+    local_alignments: &[Alignment],
+) -> ReadDistribution {
+    let ranks = ctx.ranks();
+    // For every locally known pair, pick the contig of the best alignment of
+    // either mate (deterministic: highest matches, ties to lower contig id).
+    let mut best: std::collections::HashMap<u64, (usize, u64)> = std::collections::HashMap::new();
+    for a in local_alignments {
+        let pair = a.read_id / 2;
+        let entry = best.entry(pair).or_insert((0, u64::MAX));
+        let key = (a.matches, u64::MAX - a.contig);
+        let cur = (entry.0, u64::MAX - entry.1);
+        if key > cur {
+            *entry = (a.matches, a.contig);
+        }
+    }
+    let assignments: Vec<(u64, u64)> = best
+        .into_iter()
+        .map(|(pair, (_m, contig))| (pair, contig))
+        .collect();
+
+    // Gather all assignments on rank 0 and build the full distribution.
+    let mut outgoing: Vec<Vec<(u64, u64)>> = vec![Vec::new(); ranks];
+    outgoing[0] = assignments;
+    let gathered = ctx.exchange(outgoing);
+    let dist = if ctx.rank() == 0 {
+        let mut target = vec![u64::MAX; num_pairs];
+        for (pair, contig) in gathered {
+            if (pair as usize) < num_pairs {
+                target[pair as usize] = contig;
+            }
+        }
+        let mut per_rank = vec![Vec::new(); ranks];
+        for (pair, contig) in target.iter().enumerate() {
+            let rank = if *contig == u64::MAX {
+                // Unaligned pair: deterministic hash home.
+                (fx_hash_one(&(pair as u64)) % ranks as u64) as usize
+            } else {
+                (*contig % ranks as u64) as usize
+            };
+            per_rank[rank].push(pair as u64);
+        }
+        ReadDistribution { per_rank }
+    } else {
+        ReadDistribution::default()
+    };
+    ctx.broadcast(|| dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgas::Team;
+
+    #[test]
+    fn block_distribution_covers_all_pairs() {
+        let dist = ReadDistribution::block(10, 3);
+        assert_eq!(dist.total_pairs(), 10);
+        assert_eq!(dist.per_rank.len(), 3);
+        assert_eq!(dist.pairs_of(0), &[0, 1, 2, 3]);
+        assert_eq!(dist.read_ids_of(1), vec![8, 9, 10, 11, 12, 13]);
+        assert!(dist.balance() > 0.7);
+    }
+
+    #[test]
+    fn pairs_with_same_contig_land_on_same_rank() {
+        let team = Team::single_node(4);
+        let num_pairs = 40usize;
+        let dists = team.run(|ctx| {
+            // This rank aligned its block of pairs; pair p maps to contig p % 5.
+            let range = ctx.block_range(num_pairs);
+            let alignments: Vec<Alignment> = range
+                .map(|p| Alignment {
+                    read_id: 2 * p as u64,
+                    contig: (p % 5) as u64,
+                    forward: true,
+                    contig_offset: 0,
+                    aligned_len: 100,
+                    matches: 100,
+                })
+                .collect();
+            localize_pairs(ctx, num_pairs, &alignments)
+        });
+        for d in &dists[1..] {
+            assert_eq!(d, &dists[0], "distribution must be identical on all ranks");
+        }
+        let dist = &dists[0];
+        assert_eq!(dist.total_pairs(), num_pairs);
+        // All pairs of contig c sit on rank c % 4 together.
+        for c in 0..5u64 {
+            let expected_rank = (c % 4) as usize;
+            for p in 0..num_pairs as u64 {
+                if p % 5 == c {
+                    assert!(
+                        dist.per_rank[expected_rank].contains(&p),
+                        "pair {p} (contig {c}) not on rank {expected_rank}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unaligned_pairs_are_spread_deterministically() {
+        let team = Team::single_node(3);
+        let dists = team.run(|ctx| localize_pairs(ctx, 30, &[]));
+        assert_eq!(dists[0], dists[1]);
+        assert_eq!(dists[0].total_pairs(), 30);
+        // Hash distribution should not put everything on one rank.
+        assert!(dists[0].per_rank.iter().all(|v| !v.is_empty()));
+    }
+
+    #[test]
+    fn mate_alignment_decides_when_first_read_unaligned() {
+        let team = Team::single_node(2);
+        let dists = team.run(|ctx| {
+            let alignments = if ctx.rank() == 0 {
+                vec![Alignment {
+                    read_id: 1, // second mate of pair 0
+                    contig: 7,
+                    forward: false,
+                    contig_offset: 3,
+                    aligned_len: 80,
+                    matches: 80,
+                }]
+            } else {
+                Vec::new()
+            };
+            localize_pairs(ctx, 2, &alignments)
+        });
+        let dist = &dists[0];
+        // Pair 0 follows contig 7 -> rank 7 % 2 = 1.
+        assert!(dist.per_rank[1].contains(&0));
+    }
+}

@@ -1,0 +1,152 @@
+//! The distributed seed index over a contig set.
+
+use dbg::{ContigId, ContigSet};
+use dht::{bulk_merge, DistMap};
+use kmers::{kmer_positions, Kmer};
+use pgas::Ctx;
+use std::sync::Arc;
+
+/// One occurrence of a seed k-mer in a contig.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedHit {
+    /// The contig containing the seed.
+    pub contig: ContigId,
+    /// Position of the seed's first base in the contig.
+    pub pos: u32,
+    /// True if the canonical seed k-mer appears in the contig in forward
+    /// orientation at `pos`; false if the contig holds its reverse complement.
+    pub forward: bool,
+}
+
+/// The distributed seed index: canonical seed k-mer → occurrences.
+/// Seeds occurring more than [`SeedIndex::MAX_HITS_PER_SEED`] times are
+/// truncated (they are repetitive and carry no placement information), the
+/// same defence merAligner uses against high-frequency seeds.
+pub struct SeedIndex {
+    pub map: Arc<DistMap<Kmer, Vec<SeedHit>>>,
+    pub seed_len: usize,
+}
+
+impl SeedIndex {
+    /// Hits beyond this per seed are dropped.
+    pub const MAX_HITS_PER_SEED: usize = 32;
+}
+
+/// Collectively builds the seed index for a contig set.
+///
+/// Every rank indexes a block of the contigs; the hit lists are merged on the
+/// owner ranks with aggregated messages (global update-only phase).
+pub fn build_seed_index(ctx: &Ctx, contigs: &ContigSet, seed_len: usize) -> SeedIndex {
+    assert!(seed_len >= 3 && seed_len % 2 == 1, "seed length must be odd and >= 3");
+    let map: Arc<DistMap<Kmer, Vec<SeedHit>>> = DistMap::shared(ctx);
+    let my_range = ctx.block_range(contigs.len());
+    let items = contigs.contigs[my_range].iter().flat_map(|c| {
+        kmer_positions(&c.seq, seed_len)
+            .into_iter()
+            .map(move |(pos, km)| {
+                let (canon, was_rc) = km.canonical();
+                (
+                    canon,
+                    vec![SeedHit {
+                        contig: c.id,
+                        pos: pos as u32,
+                        forward: !was_rc,
+                    }],
+                )
+            })
+    });
+    bulk_merge(ctx, &map, items, 4096, |a, mut b| {
+        if a.len() < SeedIndex::MAX_HITS_PER_SEED {
+            a.append(&mut b);
+            a.truncate(SeedIndex::MAX_HITS_PER_SEED);
+        }
+    });
+    SeedIndex {
+        map,
+        seed_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgas::Team;
+
+    fn contig_set(seqs: &[&str], k: usize) -> ContigSet {
+        ContigSet::from_sequences(
+            k,
+            seqs.iter().map(|s| (s.as_bytes().to_vec(), 10.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn every_seed_of_every_contig_is_indexed() {
+        let contigs = contig_set(
+            &[
+                "ACGGTCAGGTTCAAGGACTTACGGACCATG",
+                "TTGACCGATTACAGGACCGATACCGATTAG",
+            ],
+            15,
+        );
+        let team = Team::single_node(3);
+        let totals = team.run(|ctx| {
+            let index = build_seed_index(ctx, &contigs, 15);
+            ctx.barrier();
+            let mut hits = 0usize;
+            index.map.for_each_local(ctx, |_, v| hits += v.len());
+            ctx.allreduce_sum_u64(hits as u64)
+        });
+        // Each 30-base contig contributes 16 seed positions.
+        assert_eq!(totals[0], 32);
+    }
+
+    #[test]
+    fn seed_lookup_finds_contig_and_position() {
+        let seq = "ACGGTCAGGTTCAAGGACTTACGGACCATG";
+        let contigs = contig_set(&[seq], 15);
+        let team = Team::single_node(2);
+        team.run(|ctx| {
+            let index = build_seed_index(ctx, &contigs, 15);
+            ctx.barrier();
+            // Look up the seed at position 5 of the contig (in storage
+            // orientation the contig may be reverse-complemented).
+            let stored = &contigs.contigs[0].seq;
+            let seed = Kmer::from_bytes(&stored[5..20]).unwrap();
+            let (canon, was_rc) = seed.canonical();
+            let hits = index.map.get_cloned(ctx, &canon).expect("seed present");
+            assert_eq!(hits.len(), 1);
+            assert_eq!(hits[0].contig, 0);
+            assert_eq!(hits[0].pos, 5);
+            assert_eq!(hits[0].forward, !was_rc);
+        });
+    }
+
+    #[test]
+    fn repetitive_seeds_are_capped() {
+        // A single contig consisting of a tandem repeat: the same seed occurs
+        // many times and must be truncated at the cap.
+        let unit = "ACGGTCAGGTTCAAGGACT";
+        let repeat: String = unit.repeat(40);
+        let contigs = contig_set(&[&repeat], 15);
+        let team = Team::single_node(2);
+        let max_hits = team.run(|ctx| {
+            let index = build_seed_index(ctx, &contigs, 15);
+            ctx.barrier();
+            let mut max = 0usize;
+            index.map.for_each_local(ctx, |_, v| max = max.max(v.len()));
+            ctx.allreduce_max_u64(max as u64)
+        });
+        assert!(max_hits[0] as usize <= SeedIndex::MAX_HITS_PER_SEED);
+        assert!(max_hits[0] >= 2, "repeat seeds should still be present");
+    }
+
+    #[test]
+    #[should_panic]
+    fn even_seed_length_rejected() {
+        let contigs = contig_set(&["ACGGTCAGGTTCAAGGACT"], 15);
+        let team = Team::single_node(1);
+        team.run(|ctx| {
+            let _ = build_seed_index(ctx, &contigs, 16);
+        });
+    }
+}

@@ -1,0 +1,25 @@
+//! metaQUAST-substitute assembly evaluation.
+//!
+//! The paper evaluates every assembly with metaQUAST 4.3 against the known
+//! reference genomes of the MG64 community: contiguity (assembled bases in
+//! sequences above length thresholds), coverage (genome fraction), correctness
+//! (misassembly count), per-genome NGA50 (Figure 6) and the number of
+//! ribosomal RNA structures recovered. Because our reference genomes are the
+//! simulator's own output, exact k-mer anchoring of scaffolds onto references
+//! is possible and the same metric definitions can be computed directly:
+//!
+//! * assembly sequences are anchored to references with unique reference
+//!   k-mers and the anchors are chained into collinear **aligned blocks**;
+//! * a breakpoint between adjacent blocks of one scaffold (different genome,
+//!   strand flip, or a large positional jump) counts as a **misassembly**;
+//! * **genome fraction** is the covered share of each reference;
+//! * **NGA50** is the block length at which the sorted aligned blocks of a
+//!   genome cover half of that genome;
+//! * **rRNA recovery** counts planted rRNA regions covered by aligned blocks
+//!   (and, optionally, assembly sequences flagged by the profile HMM).
+
+pub mod eval;
+pub mod report;
+
+pub use eval::{evaluate, EvalParams};
+pub use report::{AssemblyReport, GenomeReport};

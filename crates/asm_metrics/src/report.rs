@@ -1,0 +1,152 @@
+//! Report types produced by the evaluator.
+
+/// Per-reference-genome evaluation results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenomeReport {
+    /// Reference genome name.
+    pub name: String,
+    /// Reference genome length in bases.
+    pub genome_len: usize,
+    /// Reference bases covered by aligned blocks.
+    pub covered: usize,
+    /// `covered / genome_len`.
+    pub genome_fraction: f64,
+    /// NGA50: aligned-block length at which blocks (sorted descending) cover
+    /// half the reference; 0 if coverage never reaches 50%.
+    pub nga50: usize,
+    /// Longest aligned block on this genome.
+    pub largest_block: usize,
+    /// Planted rRNA regions of this genome that were recovered.
+    pub rrna_recovered: usize,
+    /// Planted rRNA regions of this genome.
+    pub rrna_total: usize,
+}
+
+/// Whole-assembly evaluation results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssemblyReport {
+    /// Number of sequences in the assembly.
+    pub num_seqs: usize,
+    /// Total assembled bases.
+    pub total_len: usize,
+    /// Length of the longest assembly sequence.
+    pub largest: usize,
+    /// N50 of the assembly sequences.
+    pub n50: usize,
+    /// For each configured threshold, the total bases contained in assembly
+    /// sequences at least that long (the "Length ≥ X" columns of Table I).
+    pub length_at_thresholds: Vec<(usize, usize)>,
+    /// Overall genome fraction (reference bases covered / total reference bases).
+    pub genome_fraction: f64,
+    /// Total misassembly events.
+    pub misassemblies: usize,
+    /// Planted rRNA regions recovered across all genomes.
+    pub rrna_recovered: usize,
+    /// Planted rRNA regions across all genomes.
+    pub rrna_total: usize,
+    /// Per-genome details (Figure 6 uses the `nga50` column).
+    pub per_genome: Vec<GenomeReport>,
+}
+
+impl AssemblyReport {
+    /// Bases in sequences at least `threshold` long, if that threshold was
+    /// configured.
+    pub fn length_at(&self, threshold: usize) -> Option<usize> {
+        self.length_at_thresholds
+            .iter()
+            .find(|(t, _)| *t == threshold)
+            .map(|(_, v)| *v)
+    }
+
+    /// Mean NGA50 across genomes with a non-zero NGA50.
+    pub fn mean_nga50(&self) -> f64 {
+        let vals: Vec<f64> = self
+            .per_genome
+            .iter()
+            .filter(|g| g.nga50 > 0)
+            .map(|g| g.nga50 as f64)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+
+    /// A compact single-line summary used by harness output.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "seqs={} total={} n50={} genfrac={:.1}% msa={} rRNA={}/{}",
+            self.num_seqs,
+            self.total_len,
+            self.n50,
+            100.0 * self.genome_fraction,
+            self.misassemblies,
+            self.rrna_recovered,
+            self.rrna_total
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> AssemblyReport {
+        AssemblyReport {
+            num_seqs: 2,
+            total_len: 1000,
+            largest: 700,
+            n50: 700,
+            length_at_thresholds: vec![(500, 700), (1000, 0)],
+            genome_fraction: 0.9,
+            misassemblies: 1,
+            rrna_recovered: 2,
+            rrna_total: 3,
+            per_genome: vec![
+                GenomeReport {
+                    name: "a".into(),
+                    genome_len: 500,
+                    covered: 450,
+                    genome_fraction: 0.9,
+                    nga50: 400,
+                    largest_block: 400,
+                    rrna_recovered: 1,
+                    rrna_total: 1,
+                },
+                GenomeReport {
+                    name: "b".into(),
+                    genome_len: 500,
+                    covered: 450,
+                    genome_fraction: 0.9,
+                    nga50: 0,
+                    largest_block: 100,
+                    rrna_recovered: 1,
+                    rrna_total: 2,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn length_at_lookup() {
+        let r = report();
+        assert_eq!(r.length_at(500), Some(700));
+        assert_eq!(r.length_at(1000), Some(0));
+        assert_eq!(r.length_at(123), None);
+    }
+
+    #[test]
+    fn mean_nga50_ignores_zeroes() {
+        let r = report();
+        assert!((r.mean_nga50() - 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_line_mentions_key_numbers() {
+        let line = report().summary_line();
+        assert!(line.contains("msa=1"));
+        assert!(line.contains("rRNA=2/3"));
+        assert!(line.contains("90.0%"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Criterion micro-benchmarks of the distributed substrates: the four
+//! hash-table phases, k-mer analysis, graph traversal, alignment and the
+//! Bloom/heavy-hitter structures. `cargo bench -p mhm_bench` runs them all.
+
+use aligner::{align_reads, build_seed_index, AlignParams};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dbg::{build_graph, kmer_analysis, traverse_contigs, KmerAnalysisParams, ThresholdPolicy, TraversalParams};
+use dht::{bulk_merge, DistBloom, DistMap, SpaceSaving};
+use mgsim::{CommunityParams, ReadSimParams};
+use pgas::Team;
+use seqio::Read;
+use std::sync::Arc;
+
+fn dataset() -> (Vec<Read>, dbg::ContigSet) {
+    let (refs, _) = mgsim::generate_community(&CommunityParams {
+        num_taxa: 3,
+        genome_len_range: (5_000, 6_000),
+        seed: 99,
+        ..Default::default()
+    });
+    let lib = mgsim::simulate_reads(
+        &refs,
+        &ReadSimParams {
+            read_len: 100,
+            seed: 100,
+            ..Default::default()
+        }
+        .with_target_coverage(&refs, 12.0),
+    );
+    let contigs = dbg::ContigSet::from_sequences(
+        31,
+        refs.genomes.iter().map(|g| (g.seq.clone(), 10.0)).collect(),
+    );
+    (lib.reads, contigs)
+}
+
+fn bench_dht_phases(c: &mut Criterion) {
+    let team = Team::single_node(4);
+    c.bench_function("dht/update_only_bulk_merge_100k", |b| {
+        b.iter(|| {
+            team.run(|ctx| {
+                let map: Arc<DistMap<u64, u64>> = DistMap::shared(ctx);
+                bulk_merge(ctx, &map, (0..25_000u64).map(|k| (k % 5_000, 1)), 2048, |a, v| {
+                    *a += v
+                });
+            })
+        })
+    });
+    c.bench_function("dht/global_read_write_20k", |b| {
+        b.iter(|| {
+            team.run(|ctx| {
+                let map: Arc<DistMap<u64, u64>> = DistMap::shared(ctx);
+                for i in 0..5_000u64 {
+                    map.update(ctx, &(i % 1000), |v| match v {
+                        Some(v) => *v += 1,
+                        None => {}
+                    });
+                    map.upsert(ctx, i % 1000, || 0, |v| *v += 1);
+                }
+            })
+        })
+    });
+    c.bench_function("dht/bloom_insert_40k", |b| {
+        b.iter(|| {
+            team.run(|ctx| {
+                let bloom = ctx.share(|| DistBloom::new(ctx.ranks(), 40_000, 0.01));
+                for i in 0..10_000u64 {
+                    bloom.insert_and_check(ctx, &(i ^ (ctx.rank() as u64) << 32));
+                }
+            })
+        })
+    });
+    c.bench_function("dht/space_saving_100k", |b| {
+        b.iter(|| {
+            let mut ss = SpaceSaving::new(64);
+            for i in 0..100_000u64 {
+                ss.offer(i % 1_000, 1);
+            }
+            ss.heavy_hitters(50)
+        })
+    });
+}
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let (reads, contigs) = dataset();
+    let team = Team::single_node(4);
+    c.bench_function("dbg/kmer_analysis_k21", |b| {
+        b.iter(|| {
+            team.run(|ctx| {
+                let range = ctx.block_range(reads.len());
+                let params = KmerAnalysisParams {
+                    k: 21,
+                    use_bloom: false,
+                    ..Default::default()
+                };
+                kmer_analysis(ctx, &reads[range], &params).counts.len()
+            })
+        })
+    });
+    c.bench_function("dbg/traversal_k21", |b| {
+        b.iter_batched(
+            || {
+                team.run(|ctx| {
+                    let range = ctx.block_range(reads.len());
+                    let params = KmerAnalysisParams {
+                        k: 21,
+                        use_bloom: false,
+                        ..Default::default()
+                    };
+                    kmer_analysis(ctx, &reads[range], &params)
+                })
+                .pop()
+                .unwrap()
+            },
+            |analysis| {
+                team.run(|ctx| {
+                    let graph = build_graph(ctx, &analysis.counts, ThresholdPolicy::metahipmer_default());
+                    traverse_contigs(ctx, &graph, 21, &TraversalParams::default()).len()
+                })
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("aligner/align_2k_reads", |b| {
+        b.iter(|| {
+            team.run(|ctx| {
+                let index = build_seed_index(ctx, &contigs, 15);
+                ctx.barrier();
+                let range = ctx.block_range(reads.len().min(2000));
+                let my = range.map(|i| (i as u64, reads[i].clone()));
+                align_reads(
+                    ctx,
+                    my,
+                    &contigs,
+                    &index,
+                    &AlignParams {
+                        seed_len: 15,
+                        ..Default::default()
+                    },
+                )
+                .alignments
+                .len()
+            })
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_dht_phases, bench_pipeline_stages
+}
+criterion_main!(benches);

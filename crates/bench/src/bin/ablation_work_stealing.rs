@@ -1,0 +1,72 @@
+//! Ablation (§II-G design choice): dynamic work stealing for local assembly.
+//!
+//! The paper reports that dynamic block dealing improves the local-assembly
+//! load balance from ~0.33 to ~0.55 at scale. This harness measures the
+//! balance of the shared-counter block dealer against a static block
+//! partition on a synthetic workload with heavily skewed per-item costs.
+
+use mhm_bench::{fmt, print_table};
+use pgas::stats::load_balance_ratio;
+use pgas::{DynamicBlocks, Team};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Simulated per-contig walk cost: a few contigs are 100x more expensive.
+fn cost(i: usize) -> u64 {
+    if i % 97 == 0 {
+        200
+    } else {
+        2
+    }
+}
+
+fn busy(units: u64, sink: &AtomicU64) {
+    let mut acc = 0u64;
+    for i in 0..units * 2_000 {
+        acc = acc.wrapping_add(i).rotate_left(3);
+    }
+    sink.fetch_add(acc, Ordering::Relaxed);
+}
+
+fn main() {
+    let items = 2_000usize;
+    let ranks = std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(4);
+    let sink = Arc::new(AtomicU64::new(0));
+    let mut rows = Vec::new();
+    for (name, dynamic) in [("static blocks", false), ("dynamic work stealing", true)] {
+        let team = Team::single_node(ranks);
+        let sink2 = Arc::clone(&sink);
+        let start = std::time::Instant::now();
+        let work = team.run(|ctx| {
+            let mut my_cost = 0u64;
+            if dynamic {
+                let blocks = ctx.share(|| DynamicBlocks::new(items, 8));
+                blocks.drive(ctx, |i| {
+                    busy(cost(i), &sink2);
+                    my_cost += cost(i);
+                });
+            } else {
+                for i in ctx.block_range(items) {
+                    busy(cost(i), &sink2);
+                    my_cost += cost(i);
+                }
+            }
+            ctx.barrier();
+            my_cost as f64
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        let balance = load_balance_ratio(&work);
+        let steals = team.stats_total().steals;
+        rows.push(vec![
+            name.to_string(),
+            fmt(elapsed, 3),
+            fmt(balance, 2),
+            steals.to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation — local-assembly work distribution",
+        &["Strategy", "Wall-clock (s)", "Load balance (avg/max)", "Steals"],
+        &rows,
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 3: impact of the read-localisation optimisation on the k-mer
+//! analysis and alignment stages.
+//!
+//! Expected shape: with localisation enabled the alignment stage speeds up
+//! (most at small node counts — the paper reports 2.2× at 16 nodes) and the
+//! software-cache hit rate rises; k-mer analysis improves by a smaller factor.
+
+use baselines::MetaHipMerAssembler;
+use mhm_bench::{fmt, print_table, rank_sweep, run_assembler, scaled_eval_params};
+use mhm_core::AssemblyConfig;
+
+fn main() {
+    let ds = mgsim::mg64_sim(mgsim::Mg64Scale::Tiny, 20260614);
+    let eval = scaled_eval_params();
+    let mut rows = Vec::new();
+    for ranks in rank_sweep(8) {
+        let mut per_setting = Vec::new();
+        for localized in [false, true] {
+            let mut cfg = AssemblyConfig::default();
+            cfg.read_localization = localized;
+            let run = run_assembler(&MetaHipMerAssembler { config: cfg }, &ds, ranks, &eval);
+            let align = run.output.stage_seconds("alignment");
+            let kanal = run.output.stage_seconds("kmer_analysis");
+            let cache = run.output.stage_stats("alignment").cache_hit_rate();
+            per_setting.push((align, kanal, cache));
+        }
+        let (a_off, k_off, c_off) = per_setting[0];
+        let (a_on, k_on, c_on) = per_setting[1];
+        rows.push(vec![
+            ranks.to_string(),
+            fmt(a_off, 2),
+            fmt(a_on, 2),
+            fmt(a_off / a_on.max(1e-9), 2),
+            fmt(k_off, 2),
+            fmt(k_on, 2),
+            fmt(k_off / k_on.max(1e-9), 2),
+            fmt(100.0 * c_off, 1),
+            fmt(100.0 * c_on, 1),
+        ]);
+    }
+    print_table(
+        "Figure 3 — read localisation impact",
+        &[
+            "Ranks",
+            "Align (s) off",
+            "Align (s) on",
+            "Align speedup",
+            "K-mer (s) off",
+            "K-mer (s) on",
+            "K-mer speedup",
+            "Cache hit % off",
+            "Cache hit % on",
+        ],
+        &rows,
+    );
+}

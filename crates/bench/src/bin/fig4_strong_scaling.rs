@@ -1,0 +1,49 @@
+//! Figure 4: strong scaling of the whole pipeline on a Wetlands-substitute
+//! subset (fixed input, growing rank count).
+//!
+//! Expected shape: near-ideal scaling at small rank counts, gradually
+//! declining efficiency as local-assembly load imbalance and fixed costs grow
+//! (the paper reports 61% efficiency from 32 to 1024 nodes).
+
+use baselines::MetaHipMerAssembler;
+use mhm_bench::{efficiency, fmt, print_table, rank_sweep, run_assembler, scale, scaled_eval_params};
+use mhm_core::AssemblyConfig;
+
+fn main() {
+    let ds = mgsim::wetlands_sim(3 * scale(), 20260614);
+    println!(
+        "Wetlands-sim subset: {} genomes, {} read pairs",
+        ds.refs.len(),
+        ds.library.num_pairs()
+    );
+    let eval = scaled_eval_params();
+    let sweep = rank_sweep(16);
+    let mut times = Vec::new();
+    let mut rows = Vec::new();
+    for &ranks in &sweep {
+        let run = run_assembler(
+            &MetaHipMerAssembler {
+                config: AssemblyConfig::default(),
+            },
+            &ds,
+            ranks,
+            &eval,
+        );
+        times.push(run.seconds);
+        rows.push(vec![
+            ranks.to_string(),
+            fmt(run.seconds, 2),
+            String::new(), // efficiency filled below
+            fmt(100.0 * run.report.genome_fraction, 1),
+        ]);
+    }
+    let eff = efficiency(&sweep, &times);
+    for (row, e) in rows.iter_mut().zip(&eff) {
+        row[2] = fmt(100.0 * e, 1);
+    }
+    print_table(
+        "Figure 4 — strong scaling (3-lane Wetlands-sim)",
+        &["Ranks", "Time (s)", "Efficiency %", "Gen. frac. %"],
+        &rows,
+    );
+}

@@ -1,0 +1,62 @@
+//! Figure 5: fraction of the runtime spent in each pipeline stage as the
+//! concurrency grows (same runs as Figure 4, different report).
+//!
+//! Expected shape: alignment dominates at small concurrency (~50% in the
+//! paper); at higher concurrency the local-assembly share grows because of
+//! load imbalance, reducing overall scalability.
+
+use baselines::MetaHipMerAssembler;
+use mhm_bench::{fmt, print_table, rank_sweep, run_assembler, scale, scaled_eval_params};
+use mhm_core::AssemblyConfig;
+use pgas::stats::load_balance_ratio;
+
+const STAGES: &[&str] = &[
+    "kmer_analysis",
+    "kmer_merging",
+    "graph_traversal",
+    "bubble_pruning",
+    "alignment",
+    "local_assembly",
+    "read_localization",
+    "scaffolding",
+];
+
+fn main() {
+    let ds = mgsim::wetlands_sim(3 * scale(), 20260614);
+    let eval = scaled_eval_params();
+    let mut rows = Vec::new();
+    for ranks in rank_sweep(16) {
+        let run = run_assembler(
+            &MetaHipMerAssembler {
+                config: AssemblyConfig::default(),
+            },
+            &ds,
+            ranks,
+            &eval,
+        );
+        let total: f64 = STAGES.iter().map(|s| run.output.stage_seconds(s)).sum();
+        let balance = load_balance_ratio(
+            &run
+                .output
+                .local_assembly_work
+                .iter()
+                .map(|&w| w as f64)
+                .collect::<Vec<_>>(),
+        );
+        let mut row = vec![ranks.to_string()];
+        for stage in STAGES {
+            let frac = if total > 0.0 {
+                100.0 * run.output.stage_seconds(stage) / total
+            } else {
+                0.0
+            };
+            row.push(fmt(frac, 1));
+        }
+        row.push(fmt(balance, 2));
+        rows.push(row);
+    }
+    let mut header: Vec<&str> = vec!["Ranks"];
+    header.extend(STAGES.iter().copied());
+    header.push("local-assembly balance");
+    print_table("Figure 5 — runtime fraction per stage (%)", &header, &rows);
+}

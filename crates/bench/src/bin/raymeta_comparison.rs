@@ -1,0 +1,56 @@
+//! §IV-C Ray Meta comparison: MetaHipMer vs the Ray-Meta-like baseline on
+//! MG64-sim at two concurrencies.
+//!
+//! Expected shape: MetaHipMer is substantially faster at both concurrencies
+//! and scales better between them (the paper reports 71% vs 29% efficiency and
+//! a 16× runtime advantage at the larger concurrency).
+
+use baselines::{Assembler, MetaHipMerAssembler, RayMetaLike};
+use mhm_bench::{fmt, print_table, run_assembler, scaled_eval_params};
+use mhm_core::AssemblyConfig;
+
+fn main() {
+    let ds = mgsim::mg64_sim(mgsim::Mg64Scale::Tiny, 20260614);
+    let eval = scaled_eval_params();
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let small = 2usize.min(hw);
+    let large = 8usize.min(hw.max(2));
+    let mut rows = Vec::new();
+    let mut times = std::collections::HashMap::new();
+    for ranks in [small, large] {
+        for assembler in [
+            &MetaHipMerAssembler {
+                config: AssemblyConfig::default(),
+            } as &dyn Assembler,
+            &RayMetaLike {
+                config: AssemblyConfig::default(),
+            } as &dyn Assembler,
+        ] {
+            let run = run_assembler(assembler, &ds, ranks, &eval);
+            times.insert((assembler.name().to_string(), ranks), run.seconds);
+            rows.push(vec![
+                assembler.name().to_string(),
+                ranks.to_string(),
+                fmt(run.seconds, 2),
+                fmt(100.0 * run.report.genome_fraction, 1),
+            ]);
+        }
+    }
+    print_table(
+        "Ray Meta comparison (MG64-sim)",
+        &["Assembler", "Ranks", "Time (s)", "Gen. frac. %"],
+        &rows,
+    );
+    let eff = |name: &str| {
+        let t_small = times[&(name.to_string(), small)];
+        let t_large = times[&(name.to_string(), large)];
+        100.0 * (t_small * small as f64) / (t_large * large as f64)
+    };
+    let speedup = times[&("Ray Meta".to_string(), large)] / times[&("MetaHipMer".to_string(), large)];
+    println!(
+        "\nParallel efficiency {small}->{large} ranks: MetaHipMer {:.0}%, Ray Meta {:.0}%",
+        eff("MetaHipMer"),
+        eff("Ray Meta")
+    );
+    println!("MetaHipMer speedup over Ray Meta at {large} ranks: {speedup:.1}x");
+}

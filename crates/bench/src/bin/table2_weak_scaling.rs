@@ -1,0 +1,63 @@
+//! Table II: weak scaling with MGSim-generated communities of growing
+//! complexity (taxa and reads grow with the rank count).
+//!
+//! Expected shape: the assembly rate (kilobases of reads consumed per second
+//! per rank) drops slightly from the first to the second point and then stays
+//! roughly flat (the paper reports 0.16 → 0.12 kbases/s/node and ~75%
+//! efficiency from 128 to 1024 nodes).
+
+use baselines::MetaHipMerAssembler;
+use mhm_bench::{fmt, print_table, run_assembler, scale, scaled_eval_params};
+use mhm_core::AssemblyConfig;
+
+fn main() {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let eval = scaled_eval_params();
+    let mut rows = Vec::new();
+    let base_taxa = 5 * scale();
+    let mut first_rate = None;
+    for (i, ranks) in [1usize, 2, 4, 8].iter().copied().enumerate() {
+        if ranks > hw.max(2) {
+            break;
+        }
+        let taxa = base_taxa * (1 << i);
+        let ds = mgsim::weak_scaling_dataset(taxa, 20260614 + i as u64);
+        let run = run_assembler(
+            &MetaHipMerAssembler {
+                config: AssemblyConfig::default(),
+            },
+            &ds,
+            ranks,
+            &eval,
+        );
+        let kbases = ds.total_bases() as f64 / 1000.0;
+        let rate = kbases / run.seconds / ranks as f64;
+        let eff = match first_rate {
+            None => {
+                first_rate = Some(rate);
+                100.0
+            }
+            Some(r0) => 100.0 * rate / r0,
+        };
+        rows.push(vec![
+            ranks.to_string(),
+            (ds.library.num_reads()).to_string(),
+            taxa.to_string(),
+            fmt(rate, 2),
+            fmt(eff, 1),
+            fmt(100.0 * run.report.genome_fraction, 1),
+        ]);
+    }
+    print_table(
+        "Table II — weak scaling (MGSim series)",
+        &[
+            "Ranks",
+            "Reads",
+            "Genomic taxa",
+            "KBases/s/rank",
+            "Weak-scaling efficiency %",
+            "Gen. frac. %",
+        ],
+        &rows,
+    );
+}

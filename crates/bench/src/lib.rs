@@ -1,0 +1,145 @@
+//! Shared experiment-harness utilities.
+//!
+//! Every table and figure of the paper's evaluation section has a matching
+//! binary in `src/bin/` (see DESIGN.md §3 for the index); this library holds
+//! the pieces they share: dataset construction, timed assembly runs over a
+//! sweep of rank counts, and table formatting. Absolute numbers differ from
+//! the paper (laptop-scale simulated data instead of Cori + SRA datasets); the
+//! harnesses reproduce the *shape* of each result, and EXPERIMENTS.md records
+//! the comparison.
+
+use asm_metrics::{evaluate, AssemblyReport, EvalParams};
+use baselines::Assembler;
+use mgsim::SimDataset;
+use mhm_core::AssemblyOutput;
+use pgas::Team;
+use std::time::Instant;
+
+/// Scale factor for harness runs, read from `MHM_SCALE` (1 = default small).
+/// Larger values enlarge the simulated datasets proportionally.
+pub fn scale() -> usize {
+    std::env::var("MHM_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Rank counts to sweep for scaling experiments, bounded by the machine's
+/// available parallelism.
+pub fn rank_sweep(max: usize) -> Vec<usize> {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut out = Vec::new();
+    let mut r = 1;
+    while r <= max.min(hw.max(2)) {
+        out.push(r);
+        r *= 2;
+    }
+    out
+}
+
+/// One timed assembly run.
+pub struct RunResult {
+    pub assembler: String,
+    pub ranks: usize,
+    pub seconds: f64,
+    pub output: AssemblyOutput,
+    pub report: AssemblyReport,
+}
+
+/// Runs one assembler on one dataset with the given number of ranks and
+/// evaluates the result against the dataset's references.
+pub fn run_assembler(
+    assembler: &dyn Assembler,
+    dataset: &SimDataset,
+    ranks: usize,
+    eval: &EvalParams,
+) -> RunResult {
+    let team = Team::single_node(ranks);
+    let start = Instant::now();
+    let output = assembler.assemble(&team, &dataset.library, Some(&dataset.rrna_consensus));
+    let seconds = start.elapsed().as_secs_f64();
+    let report = evaluate(&output.sequences(), &dataset.refs, eval);
+    RunResult {
+        assembler: assembler.name().to_string(),
+        ranks,
+        seconds,
+        output,
+        report,
+    }
+}
+
+/// Evaluation parameters scaled to the simulated communities (thresholds are
+/// ~10³ smaller than the paper's 5 k/25 k/50 k because the genomes are ~10³
+/// smaller).
+pub fn scaled_eval_params() -> EvalParams {
+    EvalParams {
+        min_block: 200,
+        length_thresholds: vec![1_000, 2_500, 5_000],
+        ..Default::default()
+    }
+}
+
+/// Prints a Markdown-style table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", header.join(" | "));
+    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Formats a float with the given precision.
+pub fn fmt(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Parallel efficiency of a timing series relative to its first entry.
+pub fn efficiency(ranks: &[usize], seconds: &[f64]) -> Vec<f64> {
+    assert_eq!(ranks.len(), seconds.len());
+    if ranks.is_empty() {
+        return Vec::new();
+    }
+    let (r0, t0) = (ranks[0] as f64, seconds[0]);
+    ranks
+        .iter()
+        .zip(seconds)
+        .map(|(&r, &t)| (t0 * r0) / (t * r as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_relative_to_first_point() {
+        let e = efficiency(&[1, 2, 4], &[8.0, 4.0, 4.0]);
+        assert!((e[0] - 1.0).abs() < 1e-12);
+        assert!((e[1] - 1.0).abs() < 1e-12);
+        assert!((e[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_sweep_is_powers_of_two() {
+        let s = rank_sweep(8);
+        assert!(!s.is_empty());
+        assert_eq!(s[0], 1);
+        for w in s.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+    }
+
+    #[test]
+    fn scale_defaults_to_one() {
+        assert!(scale() >= 1);
+    }
+
+    #[test]
+    fn fmt_helper() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+    }
+}

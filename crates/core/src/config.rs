@@ -1,0 +1,176 @@
+//! Pipeline configuration.
+
+use aligner::AlignParams;
+use dbg::{BubbleParams, KmerAnalysisParams, PruningParams, ThresholdPolicy, TraversalParams};
+use scaffolding::ScaffoldParams;
+
+use crate::local_assembly::LocalAssemblyParams;
+
+/// Configuration of a MetaHipMer run.
+#[derive(Debug, Clone)]
+pub struct AssemblyConfig {
+    /// Smallest k of the iterative contig generation.
+    pub k_min: usize,
+    /// Largest k (inclusive; the iteration stops at the largest value of the
+    /// form `k_min + i*k_step` that does not exceed it).
+    pub k_max: usize,
+    /// Step s between successive k values.
+    pub k_step: usize,
+    /// Minimum k-mer count ε.
+    pub min_kmer_count: u32,
+    /// Use the Bloom-filter pre-pass during k-mer analysis.
+    pub use_bloom: bool,
+    /// Extension-threshold policy (dynamic for MetaHipMer, global for HipMer).
+    pub threshold: ThresholdPolicy,
+    /// Run bubble merging and hair removal.
+    pub bubble_merging: bool,
+    /// Run iterative graph pruning.
+    pub pruning: bool,
+    /// Run local assembly (mer-walking contig extension).
+    pub local_assembly: bool,
+    /// Apply the read-localisation optimisation between iterations.
+    pub read_localization: bool,
+    /// Run scaffolding after contig generation (otherwise contigs are emitted
+    /// as single-contig scaffolds).
+    pub scaffolding: bool,
+    /// Drop final contigs shorter than this before scaffolding.
+    pub min_contig_len: usize,
+    /// Alignment parameters (shared by the local-assembly and scaffolding
+    /// alignment rounds).
+    pub align: AlignParams,
+    /// Bubble-merging parameters.
+    pub bubble: BubbleParams,
+    /// Pruning parameters.
+    pub prune: PruningParams,
+    /// Local-assembly parameters.
+    pub local: LocalAssemblyParams,
+    /// Scaffolding parameters.
+    pub scaffold: ScaffoldParams,
+}
+
+impl Default for AssemblyConfig {
+    fn default() -> Self {
+        AssemblyConfig {
+            k_min: 21,
+            k_max: 43,
+            k_step: 22,
+            min_kmer_count: 2,
+            use_bloom: true,
+            threshold: ThresholdPolicy::metahipmer_default(),
+            bubble_merging: true,
+            pruning: true,
+            local_assembly: true,
+            read_localization: true,
+            scaffolding: true,
+            min_contig_len: 0,
+            align: AlignParams {
+                seed_len: 15,
+                stride: 5,
+                min_aligned_len: 30,
+                ..Default::default()
+            },
+            bubble: BubbleParams::default(),
+            prune: PruningParams::default(),
+            local: LocalAssemblyParams::default(),
+            scaffold: ScaffoldParams::default(),
+        }
+    }
+}
+
+impl AssemblyConfig {
+    /// The sequence of k values the pipeline will iterate over.
+    pub fn k_values(&self) -> Vec<usize> {
+        assert!(self.k_min >= 3 && self.k_min % 2 == 1, "k_min must be odd and >= 3");
+        assert!(self.k_step >= 2 && self.k_step % 2 == 0, "k_step must be even so k stays odd");
+        assert!(self.k_max >= self.k_min);
+        (self.k_min..=self.k_max).step_by(self.k_step).collect()
+    }
+
+    /// Parameters for k-mer analysis at a given k.
+    pub fn analysis_params(&self, k: usize) -> KmerAnalysisParams {
+        KmerAnalysisParams {
+            k,
+            min_count: self.min_kmer_count,
+            use_bloom: self.use_bloom,
+            ..Default::default()
+        }
+    }
+
+    /// Parameters for graph traversal.
+    pub fn traversal_params(&self) -> TraversalParams {
+        TraversalParams {
+            min_contig_len: self.min_contig_len,
+        }
+    }
+
+    /// A configuration suitable for the small simulated communities used in
+    /// tests and examples (fewer, smaller k values and permissive support
+    /// thresholds).
+    pub fn small_test() -> Self {
+        let mut cfg = AssemblyConfig {
+            k_min: 21,
+            k_max: 33,
+            k_step: 12,
+            use_bloom: false,
+            ..Default::default()
+        };
+        cfg.scaffold.links.min_splint_support = 2;
+        cfg.scaffold.links.min_span_support = 2;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_k_schedule() {
+        let cfg = AssemblyConfig::default();
+        assert_eq!(cfg.k_values(), vec![21, 43]);
+    }
+
+    #[test]
+    fn custom_k_schedule() {
+        let cfg = AssemblyConfig {
+            k_min: 21,
+            k_max: 55,
+            k_step: 10,
+            ..Default::default()
+        };
+        assert_eq!(cfg.k_values(), vec![21, 31, 41, 51]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn even_k_min_rejected() {
+        let cfg = AssemblyConfig {
+            k_min: 20,
+            ..Default::default()
+        };
+        let _ = cfg.k_values();
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_step_rejected() {
+        let cfg = AssemblyConfig {
+            k_step: 5,
+            ..Default::default()
+        };
+        let _ = cfg.k_values();
+    }
+
+    #[test]
+    fn analysis_params_inherit_config() {
+        let cfg = AssemblyConfig {
+            min_kmer_count: 3,
+            use_bloom: false,
+            ..Default::default()
+        };
+        let p = cfg.analysis_params(31);
+        assert_eq!(p.k, 31);
+        assert_eq!(p.min_count, 3);
+        assert!(!p.use_bloom);
+    }
+}

@@ -1,0 +1,124 @@
+//! Per-stage wall-clock and communication accounting.
+
+use pgas::{Ctx, StatsSnapshot};
+use std::time::Instant;
+
+/// Accumulates per-stage wall-clock seconds and communication statistics for
+/// one rank. The pipeline reduces these across ranks at the end (max for
+/// time — the slowest rank defines the stage — and sum for communication).
+#[derive(Debug, Clone, Default)]
+pub struct StageTimings {
+    stages: Vec<(String, f64, StatsSnapshot)>,
+}
+
+impl StageTimings {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f`, attributing its wall-clock and communication delta to `stage`
+    /// (accumulating if the stage was already recorded).
+    pub fn time<R>(&mut self, ctx: &Ctx, stage: &str, f: impl FnOnce() -> R) -> R {
+        let before_stats = ctx.stats().snapshot();
+        let start = Instant::now();
+        let out = f();
+        let secs = start.elapsed().as_secs_f64();
+        let delta = ctx.stats().snapshot().delta_from(&before_stats);
+        match self.stages.iter_mut().find(|(name, _, _)| name == stage) {
+            Some((_, t, s)) => {
+                *t += secs;
+                *s = s.add(&delta);
+            }
+            None => self.stages.push((stage.to_string(), secs, delta)),
+        }
+        out
+    }
+
+    /// Stage names in first-recorded order.
+    pub fn stage_names(&self) -> Vec<String> {
+        self.stages.iter().map(|(n, _, _)| n.clone()).collect()
+    }
+
+    /// Seconds recorded for a stage on this rank.
+    pub fn seconds_of(&self, stage: &str) -> f64 {
+        self.stages
+            .iter()
+            .find(|(n, _, _)| n == stage)
+            .map(|(_, t, _)| *t)
+            .unwrap_or(0.0)
+    }
+
+    /// Total seconds across all stages on this rank.
+    pub fn total_seconds(&self) -> f64 {
+        self.stages.iter().map(|(_, t, _)| *t).sum()
+    }
+
+    /// Collective: reduces the per-rank timings into `(stage, max seconds,
+    /// summed stats)` rows, identical on every rank. Stage sets must match
+    /// across ranks (they do: the pipeline is SPMD).
+    pub fn reduce(&self, ctx: &Ctx) -> Vec<(String, f64, StatsSnapshot)> {
+        let mut out = Vec::with_capacity(self.stages.len());
+        for (name, secs, stats) in &self.stages {
+            let max_secs = ctx.allreduce_max_f64(*secs);
+            let sum = StatsSnapshot {
+                msgs_sent: ctx.allreduce_sum_u64(stats.msgs_sent),
+                bytes_sent: ctx.allreduce_sum_u64(stats.bytes_sent),
+                remote_ops: ctx.allreduce_sum_u64(stats.remote_ops),
+                local_ops: ctx.allreduce_sum_u64(stats.local_ops),
+                atomic_ops: ctx.allreduce_sum_u64(stats.atomic_ops),
+                cache_hits: ctx.allreduce_sum_u64(stats.cache_hits),
+                cache_misses: ctx.allreduce_sum_u64(stats.cache_misses),
+                steals: ctx.allreduce_sum_u64(stats.steals),
+            };
+            out.push((name.clone(), max_secs, sum));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgas::Team;
+
+    #[test]
+    fn time_accumulates_per_stage() {
+        let team = Team::single_node(2);
+        let totals = team.run(|ctx| {
+            let mut t = StageTimings::new();
+            let x = t.time(ctx, "a", || 21 + 21);
+            assert_eq!(x, 42);
+            t.time(ctx, "a", || std::thread::sleep(std::time::Duration::from_millis(5)));
+            t.time(ctx, "b", || ());
+            assert!(t.seconds_of("a") > 0.0);
+            assert_eq!(t.stage_names(), vec!["a".to_string(), "b".to_string()]);
+            assert!(t.total_seconds() >= t.seconds_of("a"));
+            t.total_seconds()
+        });
+        assert!(totals.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn reduce_takes_max_time_and_sums_stats() {
+        let team = Team::single_node(2);
+        let reduced = team.run(|ctx| {
+            let mut t = StageTimings::new();
+            t.time(ctx, "phase", || {
+                if ctx.rank() == 1 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                // One remote-ish access per rank.
+                ctx.record_access((ctx.rank() + 1) % ctx.ranks());
+            });
+            t.reduce(ctx)
+        });
+        for r in &reduced {
+            assert_eq!(r.len(), 1);
+            let (name, secs, stats) = &r[0];
+            assert_eq!(name, "phase");
+            assert!(*secs >= 0.02, "max across ranks should include the sleep");
+            assert_eq!(stats.local_ops + stats.remote_ops, 2);
+        }
+    }
+}

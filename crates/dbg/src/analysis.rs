@@ -1,0 +1,349 @@
+//! Parallel k-mer analysis (§II-B).
+//!
+//! Every rank processes its slice of the reads, extracts canonical k-mers with
+//! their left/right extension observations, and routes them to owner ranks
+//! with aggregated messages. Owners count in their local shard of a
+//! distributed hash table. Two refinements from the paper are reproduced:
+//!
+//! * a **distributed Bloom filter pre-pass** admits a k-mer into the counting
+//!   table only once it has (probably) been seen at least twice, which keeps
+//!   the flood of singleton error k-mers out of memory;
+//! * a **streaming heavy-hitter sketch** identifies k-mers with enormous
+//!   counts (ubiquitous in metagenomes because of highly abundant organisms)
+//!   so callers can inspect/treat them specially; the counting itself remains
+//!   exact.
+
+use dht::{bulk_merge, DistBloom, DistMap, SpaceSaving};
+use kmers::{kmers_with_exts, Kmer, KmerCounts};
+use pgas::Ctx;
+use seqio::Read;
+use std::sync::Arc;
+
+/// The distributed k-mer → counts table produced by analysis.
+pub type KmerCountsMap = Arc<DistMap<Kmer, KmerCounts>>;
+
+/// Parameters of k-mer analysis.
+#[derive(Debug, Clone)]
+pub struct KmerAnalysisParams {
+    /// k-mer length (must be odd so no k-mer is its own reverse complement).
+    pub k: usize,
+    /// Minimum count ε for a k-mer to be kept (the paper uses ε ≈ 2–3).
+    pub min_count: u32,
+    /// Phred threshold above which an extension base counts as high quality.
+    pub hq_threshold: u8,
+    /// Whether to run the Bloom-filter pre-pass.
+    pub use_bloom: bool,
+    /// Capacity of the per-rank heavy-hitter sketch (0 disables it).
+    pub heavy_hitter_capacity: usize,
+    /// Aggregation batch size for the all-to-all exchanges.
+    pub batch: usize,
+}
+
+impl Default for KmerAnalysisParams {
+    fn default() -> Self {
+        KmerAnalysisParams {
+            k: 21,
+            min_count: 2,
+            hq_threshold: 20,
+            use_bloom: true,
+            heavy_hitter_capacity: 64,
+            batch: 4096,
+        }
+    }
+}
+
+/// The result of k-mer analysis.
+pub struct KmerAnalysis {
+    /// Distributed table of canonical k-mers that passed the ε filter.
+    pub counts: KmerCountsMap,
+    /// Heavy hitters detected by the streaming sketch, with estimated counts
+    /// (same list on every rank).
+    pub heavy_hitters: Vec<(Kmer, u64)>,
+}
+
+/// Runs k-mer analysis over this rank's slice of the reads. Collective: every
+/// rank must call with its own `reads` slice. Returns the shared distributed
+/// counts table (identical `Arc` on every rank).
+pub fn kmer_analysis(ctx: &Ctx, reads: &[Read], params: &KmerAnalysisParams) -> KmerAnalysis {
+    assert!(params.k >= 3, "k must be at least 3");
+    assert!(params.k % 2 == 1, "k must be odd so canonical k-mers are unambiguous");
+    assert!(params.min_count >= 1);
+
+    let counts: KmerCountsMap = DistMap::shared(ctx);
+
+    // --- Optional pass 1: Bloom admission + heavy hitters -------------------
+    // The admission set lives on the owner rank: a k-mer is admitted once the
+    // Bloom filter has seen it before, i.e. from its second occurrence on.
+    let admitted: Option<Arc<DistMap<Kmer, ()>>> = if params.use_bloom {
+        let expected_per_rank = estimate_kmers(reads, params.k) + 16;
+        let bloom = ctx.share(|| DistBloom::new(ctx.ranks(), expected_per_rank * 2, 0.01));
+        let admitted: Arc<DistMap<Kmer, ()>> = DistMap::shared(ctx);
+        let mut agg: pgas::Aggregator<Kmer> = pgas::Aggregator::new(ctx, params.batch);
+        for read in reads {
+            for obs in kmers_with_exts(&read.seq, &read.qual, params.k, params.hq_threshold) {
+                agg.push(counts.owner_of(&obs.kmer), obs.kmer);
+            }
+        }
+        let mine = agg.finish();
+        for kmer in mine {
+            if bloom.insert_and_check(ctx, &kmer) {
+                admitted.upsert(ctx, kmer, || (), |_| {});
+            }
+        }
+        ctx.barrier();
+        Some(admitted)
+    } else {
+        None
+    };
+
+    // --- Heavy-hitter sketch over the local stream ---------------------------
+    let heavy_hitters = if params.heavy_hitter_capacity > 0 {
+        let mut sketch: SpaceSaving<Kmer> = SpaceSaving::new(params.heavy_hitter_capacity);
+        for read in reads {
+            for obs in kmers_with_exts(&read.seq, &read.qual, params.k, params.hq_threshold) {
+                sketch.offer(obs.kmer, 1);
+            }
+        }
+        merge_heavy_hitters(ctx, sketch, params)
+    } else {
+        Vec::new()
+    };
+
+    // --- Pass 2: exact counting with extensions ------------------------------
+    let items = reads.iter().flat_map(|read| {
+        kmers_with_exts(&read.seq, &read.qual, params.k, params.hq_threshold)
+            .into_iter()
+            .map(|obs| {
+                let mut c = KmerCounts::default();
+                c.observe(obs.exts);
+                (obs.kmer, c)
+            })
+    });
+    bulk_merge(ctx, &counts, items, params.batch, |a, b| a.merge(&b));
+
+    // --- Filtering: Bloom admission and the ε depth cutoff -------------------
+    if let Some(admitted) = &admitted {
+        counts.retain_local(ctx, |k, _| {
+            // `contains` on a key this rank owns is a purely local check.
+            admitted.contains(ctx, k)
+        });
+    }
+    counts.retain_local(ctx, |_, v| v.count >= params.min_count);
+    ctx.barrier();
+
+    KmerAnalysis {
+        counts,
+        heavy_hitters,
+    }
+}
+
+/// Rough number of k-mers this rank will contribute (for Bloom sizing).
+fn estimate_kmers(reads: &[Read], k: usize) -> usize {
+    reads
+        .iter()
+        .map(|r| r.seq.len().saturating_sub(k - 1))
+        .sum()
+}
+
+/// Gathers per-rank sketches on rank 0, merges them and broadcasts the heavy
+/// hitters whose estimated count is at least `min_count × 64` (a scale-free
+/// proxy for "orders of magnitude more frequent than the admission cutoff").
+fn merge_heavy_hitters(
+    ctx: &Ctx,
+    sketch: SpaceSaving<Kmer>,
+    params: &KmerAnalysisParams,
+) -> Vec<(Kmer, u64)> {
+    // Ship every rank's tracked entries to rank 0.
+    let mut outgoing: Vec<Vec<(Kmer, u64)>> = vec![Vec::new(); ctx.ranks()];
+    outgoing[0] = sketch.heavy_hitters(0);
+    let received = ctx.exchange(outgoing);
+    let merged: Vec<(Kmer, u64)> = if ctx.rank() == 0 {
+        let mut combined: SpaceSaving<Kmer> = SpaceSaving::new(params.heavy_hitter_capacity.max(1));
+        for (k, c) in received {
+            combined.offer(k, c);
+        }
+        combined.heavy_hitters(params.min_count as u64 * 64)
+    } else {
+        Vec::new()
+    };
+    ctx.broadcast(|| merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgas::Team;
+    use seqio::Read;
+
+    fn reads_from(seqs: &[&str]) -> Vec<Read> {
+        seqs.iter()
+            .enumerate()
+            .map(|(i, s)| Read::with_uniform_quality(format!("r{i}"), s.as_bytes(), 35))
+            .collect()
+    }
+
+    /// Partition reads across ranks the way the pipeline does.
+    fn my_slice<'a>(ctx: &Ctx, reads: &'a [Read]) -> &'a [Read] {
+        let range = ctx.block_range(reads.len());
+        &reads[range]
+    }
+
+    #[test]
+    fn counts_match_naive_counting() {
+        // 3 identical reads: every k-mer appears 3 times.
+        let reads = reads_from(&["ACGTACGGTTCAGGCA"; 3]);
+        let team = Team::single_node(2);
+        let k = 7;
+        let out = team.run(|ctx| {
+            let mine = my_slice(ctx, &reads);
+            let params = KmerAnalysisParams {
+                k,
+                min_count: 2,
+                use_bloom: false,
+                ..Default::default()
+            };
+            let res = kmer_analysis(ctx, mine, &params);
+            ctx.barrier();
+            (res.counts.len(), {
+                let mut all = Vec::new();
+                res.counts.for_each_local(ctx, |_, v| all.push(v.count));
+                all
+            })
+        });
+        let expected_kmers = 16 - k + 1;
+        assert_eq!(out[0].0, expected_kmers);
+        let counts: Vec<u32> = out.iter().flat_map(|(_, c)| c.clone()).collect();
+        assert_eq!(counts.len(), expected_kmers);
+        assert!(counts.iter().all(|&c| c == 3));
+    }
+
+    #[test]
+    fn min_count_filters_singletons() {
+        // One read seen twice plus one singleton read: the singleton's unique
+        // k-mers must be filtered out by ε = 2.
+        let mut reads = reads_from(&["ACGTACGGTTCAGGCAT", "ACGTACGGTTCAGGCAT"]);
+        reads.extend(reads_from(&["GGGGGCCCCCAAAAATTTTT"]));
+        let team = Team::single_node(2);
+        let total = team.run(|ctx| {
+            let mine = my_slice(ctx, &reads);
+            let params = KmerAnalysisParams {
+                k: 9,
+                min_count: 2,
+                use_bloom: false,
+                ..Default::default()
+            };
+            let res = kmer_analysis(ctx, mine, &params);
+            ctx.barrier();
+            res.counts.len()
+        });
+        // The duplicated read contributes 17-9+1 = 9 distinct canonical k-mers.
+        // Two of the singleton read's windows happen to be canonical pairs of
+        // each other (GGGGGCCCC/GGGGCCCCC and AAAAATTTT/AAAATTTTT), so those
+        // two canonical k-mers reach count 2 within a single read and survive
+        // the ε filter as well.
+        assert_eq!(total[0], 9 + 2);
+    }
+
+    #[test]
+    fn bloom_prepass_gives_same_result_as_exact_for_repeated_kmers() {
+        let reads = reads_from(&["ACGTACGGTTCAGGCATTACG"; 4]);
+        let team = Team::single_node(3);
+        let (with_bloom, without_bloom) = {
+            let reads2 = reads.clone();
+            let a = team.run(|ctx| {
+                let params = KmerAnalysisParams {
+                    k: 11,
+                    min_count: 2,
+                    use_bloom: true,
+                    ..Default::default()
+                };
+                let res = kmer_analysis(ctx, my_slice(ctx, &reads2), &params);
+                ctx.barrier();
+                res.counts.len()
+            })[0];
+            let b = team.run(|ctx| {
+                let params = KmerAnalysisParams {
+                    k: 11,
+                    min_count: 2,
+                    use_bloom: false,
+                    ..Default::default()
+                };
+                let res = kmer_analysis(ctx, my_slice(ctx, &reads), &params);
+                ctx.barrier();
+                res.counts.len()
+            })[0];
+            (a, b)
+        };
+        assert_eq!(with_bloom, without_bloom);
+        assert_eq!(with_bloom, 21 - 11 + 1);
+    }
+
+    #[test]
+    fn extensions_recorded_for_interior_kmers() {
+        let reads = reads_from(&["AAACCCGGGTTTACG"; 2]);
+        let team = Team::single_node(1);
+        team.run(|ctx| {
+            let params = KmerAnalysisParams {
+                k: 5,
+                min_count: 2,
+                use_bloom: false,
+                ..Default::default()
+            };
+            let res = kmer_analysis(ctx, &reads, &params);
+            // Interior k-mer CCCGG; its reverse complement CCGGG also occurs in
+            // the read, so the canonical entry is observed twice per read.
+            let km: Kmer = "CCCGG".parse().unwrap();
+            let (canon, _) = km.canonical();
+            let entry = res.counts.get_cloned(ctx, &canon).expect("interior k-mer present");
+            assert_eq!(entry.count, 4);
+            assert!(entry.left.total() > 0);
+            assert!(entry.right.total() > 0);
+        });
+    }
+
+    #[test]
+    fn heavy_hitters_surface_dominant_kmer() {
+        // A single k-mer repeated a huge number of times (a homopolymer run)
+        // among diverse reads.
+        let mut seqs: Vec<String> = vec!["A".repeat(40); 50];
+        seqs.push("ACGGTCAGGTTCAAGGACT".to_string());
+        let reads: Vec<Read> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Read::with_uniform_quality(format!("r{i}"), s.as_bytes(), 35))
+            .collect();
+        let team = Team::single_node(2);
+        let hh = team.run(|ctx| {
+            let params = KmerAnalysisParams {
+                k: 15,
+                min_count: 2,
+                use_bloom: false,
+                heavy_hitter_capacity: 8,
+                ..Default::default()
+            };
+            let res = kmer_analysis(ctx, my_slice(ctx, &reads), &params);
+            ctx.barrier();
+            res.heavy_hitters
+        });
+        let poly_a: Kmer = "AAAAAAAAAAAAAAA".parse().unwrap();
+        for rank_hh in &hh {
+            assert!(
+                rank_hh.iter().any(|(k, _)| *k == poly_a),
+                "poly-A heavy hitter not reported: {rank_hh:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn even_k_rejected() {
+        let team = Team::single_node(1);
+        team.run(|ctx| {
+            let params = KmerAnalysisParams {
+                k: 10,
+                ..Default::default()
+            };
+            let _ = kmer_analysis(ctx, &[], &params);
+        });
+    }
+}

@@ -1,0 +1,295 @@
+//! Contig-end anchors and contig adjacency.
+//!
+//! Several stages (bubble merging, hair removal, iterative pruning) need to
+//! know how contigs connect to each other through the fork k-mers that
+//! terminated the traversal. For a contig's end we call the k-mer *just
+//! outside* the contig (reached through the end k-mer's extension) the end's
+//! **anchor**; two contigs that share an anchor are neighbours in the contig
+//! graph. The anchor index is a distributed hash table keyed by anchor k-mer,
+//! exactly the "bubble-contig graph" construction of §II-D.
+
+use crate::graph::{lookup_oriented, KmerGraph};
+use crate::types::{ContigId, ContigSet};
+use dht::{bulk_merge, DistMap};
+use kmers::{Ext, Kmer};
+use pgas::Ctx;
+use std::sync::Arc;
+
+/// Which end of a contig an anchor belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    Left,
+    Right,
+}
+
+/// The anchors of one contig (in the contig's stored orientation).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ContigEnds {
+    pub left_anchor: Option<Kmer>,
+    pub right_anchor: Option<Kmer>,
+}
+
+/// Anchor information and adjacency for a whole contig set. Identical on every
+/// rank after construction.
+#[derive(Debug, Clone, Default)]
+pub struct ContigAdjacency {
+    /// Indexed by contig id.
+    pub ends: Vec<ContigEnds>,
+    /// For every contig, the ids of contigs sharing at least one anchor k-mer.
+    pub neighbors: Vec<Vec<ContigId>>,
+}
+
+impl ContigAdjacency {
+    /// Mean depth of a contig's (alive) neighbours; 0 when it has none.
+    pub fn neighbor_mean_depth(
+        &self,
+        contigs: &ContigSet,
+        id: ContigId,
+        alive: &[bool],
+    ) -> f64 {
+        let ns = &self.neighbors[id as usize];
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &other in ns {
+            if alive[other as usize] {
+                sum += contigs.contigs[other as usize].depth;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Number of anchors a contig has (0, 1 or 2).
+    pub fn anchor_count(&self, id: ContigId) -> usize {
+        let e = &self.ends[id as usize];
+        usize::from(e.left_anchor.is_some()) + usize::from(e.right_anchor.is_some())
+    }
+}
+
+/// Computes the end anchors of one contig from the k-mer graph.
+fn contig_ends(ctx: &Ctx, graph: &KmerGraph, seq: &[u8], k: usize) -> ContigEnds {
+    if seq.len() < k {
+        return ContigEnds::default();
+    }
+    let first = Kmer::from_bytes(&seq[..k]);
+    let last = Kmer::from_bytes(&seq[seq.len() - k..]);
+    let left_anchor = first.and_then(|f| {
+        lookup_oriented(ctx, graph, &f).and_then(|v| match v.left {
+            Ext::Base(c) => Some(f.extended_left(c).canonical().0),
+            _ => None,
+        })
+    });
+    let right_anchor = last.and_then(|l| {
+        lookup_oriented(ctx, graph, &l).and_then(|v| match v.right {
+            Ext::Base(c) => Some(l.extended_right(c).canonical().0),
+            _ => None,
+        })
+    });
+    ContigEnds {
+        left_anchor,
+        right_anchor,
+    }
+}
+
+/// Collectively builds anchors and adjacency for a contig set.
+pub fn build_adjacency(ctx: &Ctx, contigs: &ContigSet, graph: &KmerGraph) -> ContigAdjacency {
+    let n = contigs.len();
+    let my_range = ctx.block_range(n);
+
+    // --- Anchors for this rank's block of contigs ----------------------------
+    let mut my_ends: Vec<(ContigId, ContigEnds)> = Vec::with_capacity(my_range.len());
+    for idx in my_range {
+        let c = &contigs.contigs[idx];
+        my_ends.push((c.id, contig_ends(ctx, graph, &c.seq, contigs.k)));
+    }
+
+    // --- Distributed anchor index: anchor k-mer -> [(contig, side)] ----------
+    let index: Arc<DistMap<Kmer, Vec<(ContigId, Side)>>> = DistMap::shared(ctx);
+    let items = my_ends.iter().flat_map(|(id, ends)| {
+        let mut v = Vec::new();
+        if let Some(a) = ends.left_anchor {
+            v.push((a, vec![(*id, Side::Left)]));
+        }
+        if let Some(a) = ends.right_anchor {
+            v.push((a, vec![(*id, Side::Right)]));
+        }
+        v
+    });
+    bulk_merge(ctx, &index, items, 1024, |a, mut b| a.append(&mut b));
+
+    // --- Neighbour pairs from locally owned anchor buckets -------------------
+    let mut my_pairs: Vec<(ContigId, ContigId)> = Vec::new();
+    index.for_each_local(ctx, |_, members| {
+        for i in 0..members.len() {
+            for j in i + 1..members.len() {
+                let (a, b) = (members[i].0, members[j].0);
+                if a != b {
+                    my_pairs.push((a, b));
+                }
+            }
+        }
+    });
+
+    // --- Gather ends and pairs on rank 0, broadcast the result ----------------
+    let mut ends_out: Vec<Vec<(ContigId, ContigEnds)>> = vec![Vec::new(); ctx.ranks()];
+    ends_out[0] = my_ends;
+    let all_ends = ctx.exchange(ends_out);
+    let mut pairs_out: Vec<Vec<(ContigId, ContigId)>> = vec![Vec::new(); ctx.ranks()];
+    pairs_out[0] = my_pairs;
+    let all_pairs = ctx.exchange(pairs_out);
+
+    let adjacency = if ctx.rank() == 0 {
+        let mut ends = vec![ContigEnds::default(); n];
+        for (id, e) in all_ends {
+            ends[id as usize] = e;
+        }
+        let mut neighbors: Vec<Vec<ContigId>> = vec![Vec::new(); n];
+        for (a, b) in all_pairs {
+            neighbors[a as usize].push(b);
+            neighbors[b as usize].push(a);
+        }
+        for ns in &mut neighbors {
+            ns.sort_unstable();
+            ns.dedup();
+        }
+        ContigAdjacency { ends, neighbors }
+    } else {
+        ContigAdjacency::default()
+    };
+    (*ctx.share(|| adjacency)).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{kmer_analysis, KmerAnalysisParams};
+    use crate::graph::{build_graph, ThresholdPolicy};
+    use crate::traversal::{traverse_contigs, TraversalParams};
+    use pgas::Team;
+    use seqio::Read;
+
+    /// Build a forked structure (two sequences sharing a middle segment) and
+    /// return (contigs, adjacency) for inspection.
+    fn forked_assembly(ranks: usize) -> (ContigSet, ContigAdjacency) {
+        let common = "GGCATTACGGATACCAGGATCCAG";
+        let a = format!("ACGGTCAGGTTCAAGGACT{common}TACCGGTTAACCGGTATTC");
+        let b = format!("TTTTGAGGCCACAAAATTT{common}CTCTCGAGAGAGGCGCGAT");
+        let reads: Vec<Read> = [&a, &b]
+            .iter()
+            .flat_map(|s| {
+                (0..3).map(move |i| Read::with_uniform_quality(format!("r{i}"), s.as_bytes(), 35))
+            })
+            .collect();
+        let team = Team::single_node(ranks);
+        let out = team.run(|ctx| {
+            let range = ctx.block_range(reads.len());
+            let params = KmerAnalysisParams {
+                k: 15,
+                min_count: 2,
+                use_bloom: false,
+                ..Default::default()
+            };
+            let res = kmer_analysis(ctx, &reads[range], &params);
+            let graph = build_graph(ctx, &res.counts, ThresholdPolicy::metahipmer_default());
+            let contigs = traverse_contigs(ctx, &graph, 15, &TraversalParams::default());
+            let adj = build_adjacency(ctx, &contigs, &graph);
+            (contigs, adj)
+        });
+        // All ranks agree.
+        for (c, a2) in &out[1..] {
+            assert_eq!(c, &out[0].0);
+            assert_eq!(a2.ends, out[0].1.ends);
+            assert_eq!(a2.neighbors, out[0].1.neighbors);
+        }
+        out[0].clone()
+    }
+
+    #[test]
+    fn fork_contigs_are_adjacent_through_their_anchors() {
+        let (contigs, adj) = forked_assembly(2);
+        assert_eq!(adj.ends.len(), contigs.len());
+        // The shared-middle contig must have at least two neighbours (the
+        // flanking contigs on one side at minimum).
+        let middle_id = contigs
+            .contigs
+            .iter()
+            .find(|c| {
+                let s = String::from_utf8(c.seq.clone()).unwrap();
+                let r = String::from_utf8(seqio::alphabet::revcomp(&c.seq)).unwrap();
+                s.contains("GGATACCAGGATCC") || r.contains("GGATACCAGGATCC")
+            })
+            .map(|c| c.id)
+            .expect("shared middle contig exists");
+        assert!(
+            adj.neighbors[middle_id as usize].len() >= 2,
+            "middle contig should neighbour the flanks: {:?}",
+            adj.neighbors
+        );
+        // Flank contigs neighbour the middle contig.
+        let some_flank = contigs
+            .contigs
+            .iter()
+            .find(|c| c.id != middle_id)
+            .unwrap()
+            .id;
+        assert!(
+            adj.neighbors[some_flank as usize].contains(&middle_id)
+                || adj.neighbors[middle_id as usize].contains(&some_flank)
+        );
+    }
+
+    #[test]
+    fn adjacency_identical_across_rank_counts() {
+        let (c1, a1) = forked_assembly(1);
+        let (c3, a3) = forked_assembly(3);
+        assert_eq!(c1, c3);
+        assert_eq!(a1.ends, a3.ends);
+        assert_eq!(a1.neighbors, a3.neighbors);
+    }
+
+    #[test]
+    fn isolated_contig_has_no_anchors() {
+        let seq = "ACGGTCAGGTTCAAGGACTTACGGACCATGGCATTACG";
+        let reads: Vec<Read> = (0..3)
+            .map(|i| Read::with_uniform_quality(format!("r{i}"), seq.as_bytes(), 35))
+            .collect();
+        let team = Team::single_node(2);
+        let out = team.run(|ctx| {
+            let range = ctx.block_range(reads.len());
+            let params = KmerAnalysisParams {
+                k: 15,
+                min_count: 2,
+                use_bloom: false,
+                ..Default::default()
+            };
+            let res = kmer_analysis(ctx, &reads[range], &params);
+            let graph = build_graph(ctx, &res.counts, ThresholdPolicy::metahipmer_default());
+            let contigs = traverse_contigs(ctx, &graph, 15, &TraversalParams::default());
+            build_adjacency(ctx, &contigs, &graph)
+        });
+        let adj = &out[0];
+        assert_eq!(adj.ends.len(), 1);
+        assert_eq!(adj.anchor_count(0), 0);
+        assert!(adj.neighbors[0].is_empty());
+    }
+
+    #[test]
+    fn neighbor_mean_depth_respects_alive_mask() {
+        let (contigs, adj) = forked_assembly(1);
+        if contigs.len() < 2 {
+            return;
+        }
+        let alive_all = vec![true; contigs.len()];
+        let alive_none = vec![false; contigs.len()];
+        for c in &contigs.contigs {
+            let with = adj.neighbor_mean_depth(&contigs, c.id, &alive_all);
+            let without = adj.neighbor_mean_depth(&contigs, c.id, &alive_none);
+            assert!(with >= 0.0);
+            assert_eq!(without, 0.0);
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! The distributed de Bruijn graph hash table (§II-C).
+//!
+//! Vertices are canonical k-mers; edges are implicit in the per-side extension
+//! codes, exactly as in the UPC implementation ("a two-letter code
+//! `[ACGT][ACGT]` that indicates the unique bases that immediately precede and
+//! follow the k-mer"). The difference between HipMer and MetaHipMer lives in
+//! [`ThresholdPolicy`]: HipMer applies one global limit on contradicting
+//! extensions, MetaHipMer scales the limit with the k-mer's depth so that both
+//! very-high-coverage and very-low-coverage organisms keep their unique
+//! extensions.
+
+use crate::analysis::KmerCountsMap;
+use dht::DistMap;
+use kmers::{Ext, Kmer};
+use pgas::Ctx;
+use std::sync::Arc;
+
+/// How many contradicting high-quality extension observations a k-mer may
+/// have while still being assigned a unique extension.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdPolicy {
+    /// HipMer: one global threshold for every k-mer, regardless of depth.
+    Global { thq: u32 },
+    /// MetaHipMer: `thq = max(t_base, error_rate × depth)` — §II-C.
+    Dynamic { t_base: u32, error_rate: f64 },
+}
+
+impl ThresholdPolicy {
+    /// The contradiction budget for a k-mer of the given depth.
+    pub fn max_contradictions(&self, depth: u32) -> u32 {
+        match *self {
+            ThresholdPolicy::Global { thq } => thq,
+            ThresholdPolicy::Dynamic { t_base, error_rate } => {
+                t_base.max((error_rate * depth as f64).floor() as u32)
+            }
+        }
+    }
+
+    /// The default MetaHipMer policy used by the pipeline.
+    pub fn metahipmer_default() -> Self {
+        ThresholdPolicy::Dynamic {
+            t_base: 2,
+            error_rate: 0.05,
+        }
+    }
+
+    /// The default HipMer (single-genome) policy used by the baseline.
+    pub fn hipmer_default() -> Self {
+        ThresholdPolicy::Global { thq: 2 }
+    }
+}
+
+/// A de Bruijn graph vertex: depth, reduced extensions, and the traversal
+/// claim flag (`used`) manipulated with atomic-style entry updates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KmerVertex {
+    pub count: u32,
+    pub left: Ext,
+    pub right: Ext,
+    /// Set by the traversal when the vertex has been claimed into a contig.
+    pub used: bool,
+}
+
+impl KmerVertex {
+    /// True if the vertex has a unique high-quality extension on both sides —
+    /// the "UU" k-mers that form contig interiors.
+    pub fn is_uu(&self) -> bool {
+        self.left.is_extendable() && self.right.is_extendable()
+    }
+}
+
+/// The distributed de Bruijn graph.
+pub type KmerGraph = Arc<DistMap<Kmer, KmerVertex>>;
+
+/// Builds the graph from the k-mer counts table by reducing each side's
+/// extension counts under the given threshold policy. Collective. The counts
+/// table is left untouched (it is reused by later stages, e.g. pruning needs
+/// fork k-mers and §II-H merges new k-mers into it).
+pub fn build_graph(ctx: &Ctx, counts: &KmerCountsMap, policy: ThresholdPolicy) -> KmerGraph {
+    let graph: KmerGraph = DistMap::shared(ctx);
+    let mut local: Vec<(Kmer, KmerVertex)> = Vec::new();
+    counts.for_each_local(ctx, |kmer, c| {
+        let budget = policy.max_contradictions(c.count);
+        local.push((
+            *kmer,
+            KmerVertex {
+                count: c.count,
+                left: c.left.reduce(budget),
+                right: c.right.reduce(budget),
+                used: false,
+            },
+        ));
+    });
+    // Keys keep the same owner in the new map (same hash, same rank count), so
+    // the insertion is purely local.
+    graph.apply_local_batch(ctx, local, |v| v, |slot, v| *slot = v);
+    ctx.barrier();
+    graph
+}
+
+/// Looks up a k-mer *in the orientation the caller is walking in*: the k-mer
+/// is canonicalised for the table lookup and, if the canonical form is the
+/// reverse complement, the left/right extensions are swapped and complemented
+/// so they are expressed in the caller's orientation.
+pub fn lookup_oriented(ctx: &Ctx, graph: &DistMap<Kmer, KmerVertex>, kmer: &Kmer) -> Option<OrientedVertex> {
+    let (canon, was_rc) = kmer.canonical();
+    let v = graph.get_cloned(ctx, &canon)?;
+    Some(orient(v, canon, was_rc))
+}
+
+/// A vertex expressed in walk orientation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrientedVertex {
+    /// The canonical key under which the vertex is stored (needed for claims).
+    pub canonical: Kmer,
+    pub count: u32,
+    pub left: Ext,
+    pub right: Ext,
+    pub used: bool,
+}
+
+fn flip_ext(e: Ext) -> Ext {
+    match e {
+        Ext::Base(c) => Ext::Base(3 - c),
+        other => other,
+    }
+}
+
+fn orient(v: KmerVertex, canonical: Kmer, was_rc: bool) -> OrientedVertex {
+    if was_rc {
+        OrientedVertex {
+            canonical,
+            count: v.count,
+            left: flip_ext(v.right),
+            right: flip_ext(v.left),
+            used: v.used,
+        }
+    } else {
+        OrientedVertex {
+            canonical,
+            count: v.count,
+            left: v.left,
+            right: v.right,
+            used: v.used,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{kmer_analysis, KmerAnalysisParams};
+    use pgas::Team;
+    use seqio::Read;
+
+    #[test]
+    fn threshold_policies() {
+        let global = ThresholdPolicy::Global { thq: 3 };
+        assert_eq!(global.max_contradictions(10), 3);
+        assert_eq!(global.max_contradictions(100_000), 3);
+        let dynamic = ThresholdPolicy::Dynamic {
+            t_base: 2,
+            error_rate: 0.01,
+        };
+        assert_eq!(dynamic.max_contradictions(10), 2);
+        assert_eq!(dynamic.max_contradictions(1000), 10);
+        assert_eq!(dynamic.max_contradictions(100_000), 1000);
+    }
+
+    #[test]
+    fn graph_from_clean_reads_is_all_uu_inside() {
+        // A single sequence covered 3x: interior k-mers have unique extensions.
+        let seq = "ACGGTCAGGTTCAAGGACTTACGGACCATG";
+        let reads: Vec<Read> = (0..3)
+            .map(|i| Read::with_uniform_quality(format!("r{i}"), seq.as_bytes(), 35))
+            .collect();
+        let team = Team::single_node(2);
+        let uu_counts = team.run(|ctx| {
+            let range = ctx.block_range(reads.len());
+            let params = KmerAnalysisParams {
+                k: 11,
+                min_count: 2,
+                use_bloom: false,
+                ..Default::default()
+            };
+            let res = kmer_analysis(ctx, &reads[range], &params);
+            let graph = build_graph(ctx, &res.counts, ThresholdPolicy::metahipmer_default());
+            let mut uu = 0usize;
+            let mut total = 0usize;
+            graph.for_each_local(ctx, |_, v| {
+                total += 1;
+                if v.is_uu() {
+                    uu += 1;
+                }
+            });
+            (ctx.allreduce_sum_u64(uu as u64), ctx.allreduce_sum_u64(total as u64))
+        });
+        let (uu, total) = uu_counts[0];
+        let expected_total = seq.len() as u64 - 11 + 1;
+        assert_eq!(total, expected_total);
+        // The two terminal k-mers have a missing extension on one side.
+        assert_eq!(uu, expected_total - 2);
+    }
+
+    #[test]
+    fn oriented_lookup_flips_extensions() {
+        let seq = "ACGGTCAGGTTCAAGGACT";
+        let reads: Vec<Read> = (0..2)
+            .map(|i| Read::with_uniform_quality(format!("r{i}"), seq.as_bytes(), 35))
+            .collect();
+        let team = Team::single_node(1);
+        team.run(|ctx| {
+            let params = KmerAnalysisParams {
+                k: 7,
+                min_count: 2,
+                use_bloom: false,
+                ..Default::default()
+            };
+            let res = kmer_analysis(ctx, &reads, &params);
+            let graph = build_graph(ctx, &res.counts, ThresholdPolicy::metahipmer_default());
+            // Interior k-mer at position 5: "CAGGTTC"; previous base T, next A.
+            let fwd: Kmer = "CAGGTTC".parse().unwrap();
+            let v = lookup_oriented(ctx, &graph, &fwd).expect("present");
+            assert_eq!(v.left, Ext::Base(3), "expected T on the left");
+            assert_eq!(v.right, Ext::Base(0), "expected A on the right");
+            // Looking the same position up in the reverse orientation swaps and
+            // complements: left becomes comp(A)=T, right becomes comp(T)=A.
+            let rc = fwd.revcomp();
+            let v_rc = lookup_oriented(ctx, &graph, &rc).expect("present");
+            assert_eq!(v_rc.left, Ext::Base(3));
+            assert_eq!(v_rc.right, Ext::Base(0));
+            assert_eq!(v.canonical, v_rc.canonical);
+        });
+    }
+
+    #[test]
+    fn dynamic_threshold_tolerates_errors_on_deep_kmers() {
+        // Simulate a deep k-mer: 200 clean copies plus 6 copies with an error
+        // in the following base. A global thq=2 forks it; the dynamic policy
+        // (5% of depth = 10) keeps the unique extension.
+        let clean = "ACGGTCAGGTTCAAGGACT";
+        let erroneous = "ACGGTCAGGTTCAAGGACG"; // last base differs
+        let mut reads: Vec<Read> = (0..200)
+            .map(|i| Read::with_uniform_quality(format!("c{i}"), clean.as_bytes(), 35))
+            .collect();
+        reads.extend(
+            (0..6).map(|i| Read::with_uniform_quality(format!("e{i}"), erroneous.as_bytes(), 35)),
+        );
+        let team = Team::single_node(1);
+        team.run(|ctx| {
+            let params = KmerAnalysisParams {
+                k: 11,
+                min_count: 2,
+                use_bloom: false,
+                ..Default::default()
+            };
+            let res = kmer_analysis(ctx, &reads, &params);
+            // The k-mer ending just before the final base: "TCAAGGAC" + ...
+            let target: Kmer = "GTTCAAGGACT"[0..11].parse().unwrap(); // GTTCAAGGACT
+            let (canon, _) = target.canonical();
+            assert!(res.counts.contains(ctx, &canon));
+
+            let global = build_graph(ctx, &res.counts, ThresholdPolicy::Global { thq: 2 });
+            let dynamic = build_graph(
+                ctx,
+                &res.counts,
+                ThresholdPolicy::Dynamic {
+                    t_base: 2,
+                    error_rate: 0.05,
+                },
+            );
+            // k-mer whose *right* extension is contested: the one ending at
+            // position len-2 ("CAAGGAC..."), i.e. the k-mer covering bases
+            // [7..18) = "GGTTCAAGGAC". Its right extension is T (200x) vs G (6x).
+            let contested: Kmer = "GGTTCAAGGAC".parse().unwrap();
+            let g = lookup_oriented(ctx, &global, &contested).unwrap();
+            let d = lookup_oriented(ctx, &dynamic, &contested).unwrap();
+            assert_eq!(g.right, Ext::Fork, "global threshold should fork");
+            assert_eq!(d.right, Ext::Base(3), "dynamic threshold should keep T");
+        });
+    }
+}

@@ -1,0 +1,42 @@
+//! Parallel k-mer analysis and the distributed de Bruijn graph.
+//!
+//! This crate implements stages 1–4 (and 8) of MetaHipMer's iterative contig
+//! generation (Figure 1 of the paper):
+//!
+//! 1. [`analysis`] — **k-mer analysis** with distributed histograms, a
+//!    distributed Bloom filter to keep singleton (mostly erroneous) k-mers out
+//!    of the tables, streaming heavy-hitter detection and high-quality
+//!    extension counting (§II-B);
+//! 2. [`graph`] — construction of the **distributed de Bruijn graph** hash
+//!    table, reducing extension counts to `[ACGT]/F/X` codes under either the
+//!    HipMer global threshold or the MetaHipMer depth-dependent threshold
+//!    `thq = max(t_base, e·d)` (§II-C);
+//! 3. [`traversal`] — the **parallel contig traversal** that claims vertices
+//!    with atomics and emits contigs (§II-C/D);
+//! 4. [`bubble`] — **bubble merging and hair removal** on the contig graph
+//!    (§II-D);
+//! 5. [`pruning`] — the **iterative graph pruning** of Algorithm 2 (§II-E);
+//! 6. [`merge`] — **k-mer set merging** across iterations: (k+s)-mers
+//!    extracted from the previous iteration's contigs are injected into the
+//!    next iteration's k-mer set as confident k-mers (§II-H).
+//!
+//! The shared [`types::Contig`] / [`types::ContigSet`] types produced here are
+//! consumed by the aligner, the scaffolder and the evaluation crates.
+
+pub mod analysis;
+pub mod bubble;
+pub mod contig_graph;
+pub mod graph;
+pub mod merge;
+pub mod pruning;
+pub mod traversal;
+pub mod types;
+
+pub use analysis::{kmer_analysis, KmerAnalysisParams, KmerCountsMap};
+pub use bubble::{merge_bubbles_and_remove_hair, BubbleParams, BubbleReport};
+pub use contig_graph::ContigAdjacency;
+pub use graph::{build_graph, KmerGraph, KmerVertex, ThresholdPolicy};
+pub use merge::inject_contig_kmers;
+pub use pruning::{prune_iteratively, PruningParams, PruningReport};
+pub use traversal::{traverse_contigs, TraversalParams};
+pub use types::{Contig, ContigId, ContigSet};

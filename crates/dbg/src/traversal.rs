@@ -1,0 +1,381 @@
+//! Parallel de Bruijn graph traversal: turning UU k-mer paths into contigs.
+//!
+//! Contigs are maximal paths of k-mers that have a unique high-quality
+//! extension on both sides (§II-C). The UPC implementation claims vertices
+//! with remote atomics and resolves conflicts speculatively (§II-D). Here the
+//! same distributed-hash-table structure is kept, but ownership of each path
+//! is decided *deterministically* so that the contig set is identical for any
+//! rank count (which both simplifies testing and removes the need for the
+//! paper's serial clean-up of aborted traversals):
+//!
+//! * **Phase 1 (paths)** — every rank scans the UU k-mers it owns and walks
+//!   rightwards from *path left-ends* (UU k-mers whose left neighbour is
+//!   absent, not UU, or disagrees). Each maximal path is discovered from both
+//!   of its ends (once per direction); the walker whose starting end has the
+//!   lexicographically smaller canonical k-mer emits the contig, the other
+//!   discards its walk. Vertices are marked `used` with atomic entry updates
+//!   as walks proceed — the same "claim" writes the paper performs — which
+//!   phase 2 uses to find cycles.
+//! * **Phase 2 (cycles)** — UU k-mers never touched by phase 1 lie on cycles.
+//!   Ranks walk the cycle from the seeds they own and the walk that started
+//!   from the cycle's minimal canonical k-mer emits the contig.
+
+use crate::graph::{lookup_oriented, KmerGraph, KmerVertex};
+use crate::types::ContigSet;
+use dht::DistMap;
+use kmers::{Ext, Kmer};
+use pgas::Ctx;
+
+/// Parameters of the traversal.
+#[derive(Debug, Clone, Copy)]
+pub struct TraversalParams {
+    /// Minimum contig length (in bases) to emit. Contigs shorter than this are
+    /// dropped immediately.
+    pub min_contig_len: usize,
+}
+
+impl Default for TraversalParams {
+    fn default() -> Self {
+        TraversalParams { min_contig_len: 0 }
+    }
+}
+
+/// Marks a vertex as used (idempotent; the atomic "claim" write of §II-D).
+fn mark_used(ctx: &Ctx, graph: &DistMap<Kmer, KmerVertex>, key: &Kmer) {
+    graph.update(ctx, key, |v| {
+        if let Some(v) = v {
+            v.used = true;
+        }
+    });
+}
+
+/// True if the vertex may be part of a contig: fork vertices (an `F` on either
+/// side) belong to multiple paths and are excluded; dead-end sides (`X`) are
+/// fine — they simply terminate the contig.
+fn eligible(left: Ext, right: Ext) -> bool {
+    left != Ext::Fork && right != Ext::Fork
+}
+
+/// True if `kmer` (in walk orientation) is an eligible vertex whose left
+/// neighbour does *not* continue the path — i.e. it is the left end of a
+/// maximal path.
+fn is_left_path_end(ctx: &Ctx, graph: &DistMap<Kmer, KmerVertex>, kmer: &Kmer) -> bool {
+    let v = match lookup_oriented(ctx, graph, kmer) {
+        Some(v) if eligible(v.left, v.right) => v,
+        _ => return false,
+    };
+    let Ext::Base(c) = v.left else { return true };
+    let left_kmer = kmer.extended_left(c);
+    match lookup_oriented(ctx, graph, &left_kmer) {
+        None => true,
+        Some(lv) => {
+            if !eligible(lv.left, lv.right) {
+                // The left neighbour is a fork: the path starts here.
+                true
+            } else {
+                // The left neighbour is on a path; ours only continues from it
+                // if its right extension points back at us.
+                match lv.right {
+                    Ext::Base(rc) => left_kmer.extended_right(rc) != *kmer,
+                    _ => true,
+                }
+            }
+        }
+    }
+}
+
+/// The outcome of a rightward walk.
+struct Walk {
+    bases: Vec<u8>,
+    depths: Vec<u32>,
+    /// Canonical form of the final k-mer of the walk.
+    last_canonical: Kmer,
+    /// Canonical k-mers visited, in walk order.
+    visited: Vec<Kmer>,
+}
+
+/// Walks right from `start`, appending bases while the next vertex is UU and
+/// agrees with the walk. Stops when the walk returns to `start` (cycle). Marks
+/// every visited vertex as used.
+fn walk_right(ctx: &Ctx, graph: &DistMap<Kmer, KmerVertex>, start: Kmer, limit: usize) -> Walk {
+    let mut bases = start.to_bytes();
+    let mut depths = Vec::new();
+    let mut visited = Vec::new();
+    let mut current = start;
+    let v0 = lookup_oriented(ctx, graph, &current).expect("start vertex exists");
+    depths.push(v0.count);
+    visited.push(v0.canonical);
+    mark_used(ctx, graph, &v0.canonical);
+    let mut right = v0.right;
+    let mut last_canonical = v0.canonical;
+    let mut steps = 0usize;
+    while let Ext::Base(c) = right {
+        steps += 1;
+        if steps > limit {
+            break;
+        }
+        let next = current.extended_right(c);
+        if next == start {
+            // Closed the cycle.
+            break;
+        }
+        let nv = match lookup_oriented(ctx, graph, &next) {
+            Some(nv) => nv,
+            None => break,
+        };
+        if !eligible(nv.left, nv.right) {
+            break;
+        }
+        // The next vertex must agree that its left neighbour is `current`.
+        match nv.left {
+            Ext::Base(lc) if next.extended_left(lc) == current => {}
+            _ => break,
+        }
+        mark_used(ctx, graph, &nv.canonical);
+        bases.push(seqio::alphabet::decode_base(c));
+        depths.push(nv.count);
+        visited.push(nv.canonical);
+        last_canonical = nv.canonical;
+        current = next;
+        right = nv.right;
+    }
+    Walk {
+        bases,
+        depths,
+        last_canonical,
+        visited,
+    }
+}
+
+/// Traverses the graph and returns the contig set (identical on every rank).
+/// Collective.
+pub fn traverse_contigs(
+    ctx: &Ctx,
+    graph: &KmerGraph,
+    k: usize,
+    params: &TraversalParams,
+) -> ContigSet {
+    // A safety bound on walk length: no contig contains more vertices than the
+    // graph holds.
+    let limit = graph.len() + 1;
+
+    let mut local: Vec<(Vec<u8>, f64)> = Vec::new();
+
+    // ---- Phase 1: maximal paths, walked from their left ends ----------------
+    let seeds: Vec<Kmer> = {
+        let mut s = Vec::new();
+        graph.for_each_local(ctx, |kmer, v| {
+            if eligible(v.left, v.right) {
+                s.push(*kmer);
+            }
+        });
+        s
+    };
+    for seed in &seeds {
+        // The seed is stored canonically; a path end may present itself in
+        // either orientation, so test both (at most one walk per seed).
+        for oriented in [*seed, seed.revcomp()] {
+            if is_left_path_end(ctx, graph, &oriented) {
+                let walk = walk_right(ctx, graph, oriented, limit);
+                // The path is discovered from both ends; the end with the
+                // smaller canonical k-mer is the designated emitter.
+                if *seed <= walk.last_canonical {
+                    push_contig(&mut local, walk.bases, &walk.depths, params);
+                }
+                break;
+            }
+        }
+    }
+    ctx.barrier();
+
+    // ---- Phase 2: cycles (eligible vertices untouched by any path walk) -----
+    let leftovers: Vec<Kmer> = {
+        let mut s = Vec::new();
+        graph.for_each_local(ctx, |kmer, v| {
+            if eligible(v.left, v.right) && !v.used {
+                s.push(*kmer);
+            }
+        });
+        s
+    };
+    // All ranks must finish collecting their cycle seeds before anyone starts
+    // marking vertices during cycle walks, otherwise a rank could miss the
+    // seed that is the cycle's designated (minimal) emitter.
+    ctx.barrier();
+    for seed in leftovers {
+        // The vertex may have been marked by another rank's cycle walk in the
+        // meantime, but walking it again is harmless: only the walk started at
+        // the cycle's minimal k-mer emits.
+        let walk = walk_right(ctx, graph, seed, limit);
+        let min = walk.visited.iter().min().copied().unwrap_or(seed);
+        if seed == min {
+            push_contig(&mut local, walk.bases, &walk.depths, params);
+        }
+    }
+    ctx.barrier();
+
+    // ---- Gather to a deterministic, shared contig set ------------------------
+    let mut outgoing: Vec<Vec<(Vec<u8>, f64)>> = vec![Vec::new(); ctx.ranks()];
+    outgoing[0] = local;
+    let gathered = ctx.exchange(outgoing);
+    let set = if ctx.rank() == 0 {
+        ContigSet::from_sequences(k, gathered)
+    } else {
+        ContigSet::new(k)
+    };
+    ctx.broadcast(|| set)
+}
+
+fn push_contig(
+    local: &mut Vec<(Vec<u8>, f64)>,
+    bases: Vec<u8>,
+    depths: &[u32],
+    params: &TraversalParams,
+) {
+    if bases.len() < params.min_contig_len {
+        return;
+    }
+    let depth = if depths.is_empty() {
+        0.0
+    } else {
+        depths.iter().map(|&d| d as f64).sum::<f64>() / depths.len() as f64
+    };
+    local.push((bases, depth));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{kmer_analysis, KmerAnalysisParams};
+    use crate::graph::{build_graph, ThresholdPolicy};
+    use pgas::Team;
+    use seqio::alphabet::revcomp;
+    use seqio::Read;
+
+    fn assemble(seqs: &[&str], k: usize, ranks: usize) -> ContigSet {
+        let reads: Vec<Read> = seqs
+            .iter()
+            .cycle()
+            .take(seqs.len() * 3) // 3x coverage so min_count=2 passes
+            .enumerate()
+            .map(|(i, s)| Read::with_uniform_quality(format!("r{i}"), s.as_bytes(), 35))
+            .collect();
+        let team = Team::single_node(ranks);
+        let sets = team.run(|ctx| {
+            let range = ctx.block_range(reads.len());
+            let params = KmerAnalysisParams {
+                k,
+                min_count: 2,
+                use_bloom: false,
+                ..Default::default()
+            };
+            let res = kmer_analysis(ctx, &reads[range], &params);
+            let graph = build_graph(ctx, &res.counts, ThresholdPolicy::metahipmer_default());
+            traverse_contigs(ctx, &graph, k, &TraversalParams::default())
+        });
+        for s in &sets[1..] {
+            assert_eq!(s, &sets[0], "contig set must be identical on every rank");
+        }
+        sets[0].clone()
+    }
+
+    #[test]
+    fn single_sequence_reassembles_exactly() {
+        let seq = "ACGGTCAGGTTCAAGGACTTACGGACCATGGCATTACGGATACCAGGATCCAGATCACCAGT";
+        let set = assemble(&[seq], 21, 2);
+        assert_eq!(set.len(), 1, "expected one contig, got {}", set.len());
+        let contig = &set.contigs[0];
+        let fwd = seq.as_bytes().to_vec();
+        let rc = revcomp(&fwd);
+        assert!(contig.seq == fwd || contig.seq == rc);
+        assert!((contig.depth - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn result_independent_of_rank_count() {
+        let seq = "ACGGTCAGGTTCAAGGACTTACGGACCATGGCATTACGGATACCAGGATCCAGATCACCAGT";
+        let one = assemble(&[seq], 15, 1);
+        let four = assemble(&[seq], 15, 4);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn two_separate_sequences_give_two_contigs() {
+        let a = "ACGGTCAGGTTCAAGGACTTACGGACCATGGCATTACG";
+        let b = "TTTTGGGGCCCCAAAATTTCTCTCTAGAGAGGCGCGAT";
+        let set = assemble(&[a, b], 15, 2);
+        assert_eq!(set.len(), 2);
+        let lens: Vec<usize> = set.contigs.iter().map(|c| c.len()).collect();
+        assert!(lens.contains(&a.len()));
+        assert!(lens.contains(&b.len()));
+    }
+
+    #[test]
+    fn fork_splits_contigs() {
+        // Two sequences share a common middle segment, creating fork vertices
+        // at both of its ends: the traversal must stop at the forks.
+        let common = "GGCATTACGGATACCAGGATCCAG";
+        let a = format!("ACGGTCAGGTTCAAGGACT{common}TACCGGTTAACCGGTATTC");
+        let b = format!("TTTTGAGGCCACAAAATTT{common}CTCTCGAGAGAGGCGCGAT");
+        let set = assemble(&[&a, &b], 15, 2);
+        // Expected pieces: 4 unique flanks + 1 shared middle, all shorter than
+        // the full sequences.
+        assert!(set.len() >= 4, "expected the fork to split contigs, got {}", set.len());
+        assert!(set.contigs.iter().all(|c| c.len() < a.len()));
+        // The shared middle must appear in exactly one contig.
+        let middles = set
+            .contigs
+            .iter()
+            .filter(|c| {
+                let s = String::from_utf8(c.seq.clone()).unwrap();
+                let r = String::from_utf8(revcomp(&c.seq)).unwrap();
+                s.contains("GGATACCAGGATCC") || r.contains("GGATACCAGGATCC")
+            })
+            .count();
+        assert_eq!(middles, 1);
+    }
+
+    #[test]
+    fn circular_sequence_is_recovered_as_single_contig() {
+        // A circular template: reads tile the doubled sequence so every
+        // junction-spanning k-mer is observed.
+        let circle = "ACGGTCAGGTTCAAGGACTTACGGACCATGGCATTACGGATACCA";
+        let doubled = format!("{circle}{circle}");
+        let window = 30;
+        let reads: Vec<&str> = (0..circle.len())
+            .map(|i| &doubled[i..i + window])
+            .collect();
+        let set = assemble(&reads, 15, 2);
+        assert_eq!(set.len(), 1, "cycle should yield one contig");
+        // A k-mer cycle of L vertices is emitted as a contig of L + k - 1 bases.
+        assert_eq!(set.contigs[0].len(), circle.len() + 15 - 1);
+    }
+
+    #[test]
+    fn min_contig_len_filters_short_output() {
+        let seq = "ACGGTCAGGTTCAAGGACTTACGG";
+        let reads: Vec<Read> = (0..3)
+            .map(|i| Read::with_uniform_quality(format!("r{i}"), seq.as_bytes(), 35))
+            .collect();
+        let team = Team::single_node(1);
+        let sets = team.run(|ctx| {
+            let params = KmerAnalysisParams {
+                k: 15,
+                min_count: 2,
+                use_bloom: false,
+                ..Default::default()
+            };
+            let res = kmer_analysis(ctx, &reads, &params);
+            let graph = build_graph(ctx, &res.counts, ThresholdPolicy::metahipmer_default());
+            traverse_contigs(
+                ctx,
+                &graph,
+                15,
+                &TraversalParams {
+                    min_contig_len: 1000,
+                },
+            )
+        });
+        assert!(sets[0].is_empty());
+    }
+}

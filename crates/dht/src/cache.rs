@@ -1,0 +1,156 @@
+//! Software caching for the global read-only hash-table phase (use case 3).
+//!
+//! During read-to-contig alignment the seed index is read-only, and reads
+//! mapped to the same contig region look up mostly the same seeds. merAligner
+//! therefore caches remote hash-table entries on the requesting rank; the
+//! cache never needs invalidation because the phase is read-only. The paper's
+//! read-localisation optimisation exists precisely to raise this cache's hit
+//! rate, so the hit/miss counters recorded here feed Figure 3.
+
+use crate::dist_map::DistMap;
+use crate::fxhash::FxHashMap;
+use pgas::Ctx;
+use std::hash::Hash;
+use std::sync::atomic::Ordering;
+
+/// A per-rank, bounded, read-through cache over a [`DistMap`].
+///
+/// Negative results (key absent) are cached too — repeated lookups of absent
+/// seeds are common when reads carry sequencing errors.
+pub struct SoftwareCache<K, V> {
+    entries: FxHashMap<K, Option<V>>,
+    capacity: usize,
+}
+
+impl<K, V> SoftwareCache<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Creates a cache bounded to `capacity` entries (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        SoftwareCache {
+            entries: FxHashMap::default(),
+            capacity,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up `key`, serving from the cache when possible and falling back
+    /// to the distributed map on a miss. Hit/miss counts are recorded in the
+    /// rank's statistics; only misses touch the distributed map (and therefore
+    /// only misses generate remote traffic).
+    pub fn get(&mut self, ctx: &Ctx, map: &DistMap<K, V>, key: &K) -> Option<V> {
+        if self.capacity > 0 {
+            if let Some(cached) = self.entries.get(key) {
+                ctx.stats().cache_hits.fetch_add(1, Ordering::Relaxed);
+                return cached.clone();
+            }
+        }
+        ctx.stats().cache_misses.fetch_add(1, Ordering::Relaxed);
+        let fetched = map.get_cloned(ctx, key);
+        if self.capacity > 0 {
+            if self.entries.len() >= self.capacity {
+                // Simple wholesale eviction: the access pattern is streaming
+                // (reads processed one after another), so an LRU would add
+                // bookkeeping for little benefit. HipMer's cache does the same.
+                self.entries.clear();
+            }
+            self.entries.insert(key.clone(), fetched.clone());
+        }
+        fetched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgas::Team;
+    use std::sync::Arc;
+
+    #[test]
+    fn repeated_lookups_hit_cache() {
+        let team = Team::single_node(2);
+        team.run(|ctx| {
+            let map: Arc<DistMap<u64, u64>> = DistMap::shared(ctx);
+            if ctx.rank() == 0 {
+                for i in 0..10u64 {
+                    map.insert(ctx, i, i * i);
+                }
+            }
+            ctx.barrier();
+            team_reset_guard(ctx);
+            let mut cache = SoftwareCache::new(1024);
+            for _round in 0..5 {
+                for i in 0..10u64 {
+                    assert_eq!(cache.get(ctx, &map, &i), Some(i * i));
+                }
+            }
+            let stats = ctx.stats().snapshot();
+            assert_eq!(stats.cache_misses, 10);
+            assert_eq!(stats.cache_hits, 40);
+        });
+    }
+
+    // Helper: clear only this rank's counters so assertions are per-rank.
+    fn team_reset_guard(ctx: &pgas::Ctx) {
+        ctx.stats().reset();
+        ctx.barrier();
+    }
+
+    #[test]
+    fn negative_results_cached() {
+        let team = Team::single_node(1);
+        team.run(|ctx| {
+            let map: Arc<DistMap<u64, u64>> = DistMap::shared(ctx);
+            let mut cache = SoftwareCache::new(16);
+            assert_eq!(cache.get(ctx, &map, &42), None);
+            assert_eq!(cache.get(ctx, &map, &42), None);
+            let stats = ctx.stats().snapshot();
+            assert_eq!(stats.cache_misses, 1);
+            assert_eq!(stats.cache_hits, 1);
+        });
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let team = Team::single_node(1);
+        team.run(|ctx| {
+            let map: Arc<DistMap<u64, u64>> = DistMap::shared(ctx);
+            map.insert(ctx, 1, 2);
+            ctx.stats().reset();
+            let mut cache = SoftwareCache::new(0);
+            for _ in 0..3 {
+                assert_eq!(cache.get(ctx, &map, &1), Some(2));
+            }
+            assert_eq!(ctx.stats().snapshot().cache_hits, 0);
+            assert_eq!(ctx.stats().snapshot().cache_misses, 3);
+            assert!(cache.is_empty());
+        });
+    }
+
+    #[test]
+    fn eviction_keeps_cache_bounded() {
+        let team = Team::single_node(1);
+        team.run(|ctx| {
+            let map: Arc<DistMap<u64, u64>> = DistMap::shared(ctx);
+            for i in 0..100u64 {
+                map.insert(ctx, i, i);
+            }
+            let mut cache = SoftwareCache::new(10);
+            for i in 0..100u64 {
+                cache.get(ctx, &map, &i);
+                assert!(cache.len() <= 10);
+            }
+        });
+    }
+}

@@ -1,0 +1,405 @@
+//! The core distributed hash table.
+//!
+//! Keys are assigned to an *owner rank* by hashing (deterministically, so all
+//! ranks agree), and each owner's shard is further split into sub-shards so
+//! that concurrent fine-grained accesses from different ranks rarely contend
+//! on the same lock — the moral equivalent of UPC's per-bucket locks /
+//! remote atomics. All accesses go through a [`pgas::Ctx`] so that on-node
+//! vs off-node traffic is accounted.
+
+use crate::fxhash::{fx_hash_one, FxHashMap};
+use parking_lot::Mutex;
+use pgas::{Aggregator, Ctx};
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// Number of sub-shards per owner rank; a power of two so the sub-shard index
+/// can be taken from independent hash bits.
+const SUB_SHARDS: usize = 16;
+
+struct Shard<K, V> {
+    subs: Vec<Mutex<FxHashMap<K, V>>>,
+}
+
+impl<K, V> Shard<K, V> {
+    fn new() -> Self {
+        Shard {
+            subs: (0..SUB_SHARDS).map(|_| Mutex::new(FxHashMap::default())).collect(),
+        }
+    }
+}
+
+/// A hash map partitioned across the ranks of a team.
+pub struct DistMap<K, V> {
+    shards: Vec<Shard<K, V>>,
+}
+
+impl<K, V> DistMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    /// Creates a map distributed over `ranks` owner shards. Typically invoked
+    /// collectively via `ctx.share(|| DistMap::new(ctx.ranks()))`.
+    pub fn new(ranks: usize) -> Self {
+        assert!(ranks > 0);
+        DistMap {
+            shards: (0..ranks).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    /// Collective convenience constructor: builds one shared map for the team.
+    pub fn shared(ctx: &Ctx) -> Arc<Self> {
+        ctx.share(|| DistMap::new(ctx.ranks()))
+    }
+
+    /// The owner rank of a key (deterministic across ranks).
+    #[inline]
+    pub fn owner_of(&self, key: &K) -> usize {
+        (fx_hash_one(key) % self.shards.len() as u64) as usize
+    }
+
+    #[inline]
+    fn slot(&self, key: &K) -> (usize, usize) {
+        let h = fx_hash_one(key);
+        let owner = (h % self.shards.len() as u64) as usize;
+        // Use the upper bits for the sub-shard so it is independent of the
+        // owner selection.
+        let sub = ((h >> 48) as usize) % SUB_SHARDS;
+        (owner, sub)
+    }
+
+    /// Inserts a value, returning the previous value if any. Fine-grained
+    /// global write (use case 2).
+    pub fn insert(&self, ctx: &Ctx, key: K, value: V) -> Option<V> {
+        let (owner, sub) = self.slot(&key);
+        ctx.record_access(owner);
+        self.shards[owner].subs[sub].lock().insert(key, value)
+    }
+
+    /// True if the key is present. Fine-grained global read.
+    pub fn contains(&self, ctx: &Ctx, key: &K) -> bool {
+        let (owner, sub) = self.slot(key);
+        ctx.record_access(owner);
+        self.shards[owner].subs[sub].lock().contains_key(key)
+    }
+
+    /// Clones the value for a key, if present. Fine-grained global read.
+    pub fn get_cloned(&self, ctx: &Ctx, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let (owner, sub) = self.slot(key);
+        ctx.record_access(owner);
+        self.shards[owner].subs[sub].lock().get(key).cloned()
+    }
+
+    /// Runs a closure with a mutable view of the entry (or `None` if absent)
+    /// while holding the entry's lock: the equivalent of UPC's
+    /// compare-and-swap / remote-atomic sequences on hash-table entries. The
+    /// closure's return value is passed through. Counts as one global atomic.
+    pub fn update<R>(&self, ctx: &Ctx, key: &K, f: impl FnOnce(Option<&mut V>) -> R) -> R {
+        let (owner, sub) = self.slot(key);
+        ctx.record_access(owner);
+        ctx.record_atomic();
+        let mut guard = self.shards[owner].subs[sub].lock();
+        f(guard.get_mut(key))
+    }
+
+    /// Inserts `default()` if the key is absent, then applies `merge` to the
+    /// stored value. Commutative upsert used by the update-only phases.
+    pub fn upsert(&self, ctx: &Ctx, key: K, default: impl FnOnce() -> V, merge: impl FnOnce(&mut V)) {
+        let (owner, sub) = self.slot(&key);
+        ctx.record_access(owner);
+        let mut guard = self.shards[owner].subs[sub].lock();
+        let entry = guard.entry(key).or_insert_with(default);
+        merge(entry);
+    }
+
+    /// Removes a key, returning its value. Uses the same locking discipline as
+    /// [`DistMap::update`].
+    pub fn remove(&self, ctx: &Ctx, key: &K) -> Option<V> {
+        let (owner, sub) = self.slot(key);
+        ctx.record_access(owner);
+        ctx.record_atomic();
+        self.shards[owner].subs[sub].lock().remove(key)
+    }
+
+    /// Total number of entries across all shards. Not a collective; intended
+    /// for use after a barrier.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|s| s.subs.iter())
+            .map(|m| m.lock().len())
+            .sum()
+    }
+
+    /// True if the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visits every entry owned by the calling rank (use case 4). Only sound
+    /// when other ranks are not mutating this rank's shard (the usual pattern:
+    /// barrier, then owner-local processing).
+    pub fn for_each_local(&self, ctx: &Ctx, mut f: impl FnMut(&K, &V)) {
+        for sub in &self.shards[ctx.rank()].subs {
+            for (k, v) in sub.lock().iter() {
+                f(k, v);
+            }
+        }
+    }
+
+    /// Mutable owner-local visit.
+    pub fn for_each_local_mut(&self, ctx: &Ctx, mut f: impl FnMut(&K, &mut V)) {
+        for sub in &self.shards[ctx.rank()].subs {
+            for (k, v) in sub.lock().iter_mut() {
+                f(k, v);
+            }
+        }
+    }
+
+    /// Removes and returns every entry owned by the calling rank.
+    pub fn drain_local(&self, ctx: &Ctx) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        for sub in &self.shards[ctx.rank()].subs {
+            out.extend(sub.lock().drain());
+        }
+        out
+    }
+
+    /// Keeps only the local entries satisfying the predicate; returns how many
+    /// were removed.
+    pub fn retain_local(&self, ctx: &Ctx, mut f: impl FnMut(&K, &mut V) -> bool) -> usize {
+        let mut removed = 0usize;
+        for sub in &self.shards[ctx.rank()].subs {
+            let mut guard = sub.lock();
+            let before = guard.len();
+            guard.retain(|k, v| f(k, v));
+            removed += before - guard.len();
+        }
+        removed
+    }
+
+    /// Clones every entry owned by the calling rank into a vector.
+    pub fn local_entries(&self, ctx: &Ctx) -> Vec<(K, V)>
+    where
+        V: Clone,
+    {
+        let mut out = Vec::new();
+        for sub in &self.shards[ctx.rank()].subs {
+            out.extend(sub.lock().iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out
+    }
+
+    /// Number of entries owned by the calling rank.
+    pub fn local_len(&self, ctx: &Ctx) -> usize {
+        self.shards[ctx.rank()].subs.iter().map(|m| m.lock().len()).sum()
+    }
+
+    /// Applies a batch of `(key, value)` items that are already known to be
+    /// owned by the calling rank, merging duplicates with `merge`. This is the
+    /// receive side of the update-only phase.
+    pub fn apply_local_batch(
+        &self,
+        ctx: &Ctx,
+        items: Vec<(K, V)>,
+        default: impl Fn(V) -> V,
+        merge: impl Fn(&mut V, V),
+    ) {
+        let shard = &self.shards[ctx.rank()];
+        for (key, value) in items {
+            let h = fx_hash_one(&key);
+            let sub = ((h >> 48) as usize) % SUB_SHARDS;
+            let mut guard = shard.subs[sub].lock();
+            match guard.get_mut(&key) {
+                Some(existing) => merge(existing, value),
+                None => {
+                    guard.insert(key, default(value));
+                }
+            }
+        }
+    }
+}
+
+/// The full update-only phase (use case 1 + 4): every rank streams `(K, V)`
+/// items into per-owner aggregation buffers; after the exchange each owner
+/// merges the received items into its local shard with `merge` (which must be
+/// commutative and associative for the result to be insertion-order
+/// independent, as the paper requires).
+///
+/// Collective: every rank must call it, even with an empty iterator.
+pub fn bulk_merge<K, V>(
+    ctx: &Ctx,
+    map: &DistMap<K, V>,
+    items: impl IntoIterator<Item = (K, V)>,
+    batch: usize,
+    merge: impl Fn(&mut V, V) + Copy,
+) where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    let mut agg: Aggregator<(K, V)> = Aggregator::new(ctx, batch);
+    for (k, v) in items {
+        let owner = map.owner_of(&k);
+        agg.push(owner, (k, v));
+    }
+    let received = agg.finish();
+    map.apply_local_batch(ctx, received, |v| v, merge);
+    ctx.barrier();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgas::Team;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let team = Team::single_node(4);
+        team.run(|ctx| {
+            let map: Arc<DistMap<u64, String>> = DistMap::shared(ctx);
+            // Each rank inserts its own keys.
+            for i in 0..100u64 {
+                if i as usize % ctx.ranks() == ctx.rank() {
+                    map.insert(ctx, i, format!("v{i}"));
+                }
+            }
+            ctx.barrier();
+            // Every rank can read every key.
+            for i in 0..100u64 {
+                assert_eq!(map.get_cloned(ctx, &i), Some(format!("v{i}")));
+                assert!(map.contains(ctx, &i));
+            }
+            assert!(!map.contains(ctx, &1000));
+            ctx.barrier();
+            if ctx.rank() == 0 {
+                assert_eq!(map.len(), 100);
+                assert_eq!(map.remove(ctx, &7), Some("v7".into()));
+                assert_eq!(map.remove(ctx, &7), None);
+            }
+            ctx.barrier();
+            assert!(!map.contains(ctx, &7));
+        });
+    }
+
+    #[test]
+    fn upsert_accumulates() {
+        let team = Team::single_node(4);
+        team.run(|ctx| {
+            let map: Arc<DistMap<u32, u32>> = DistMap::shared(ctx);
+            // All ranks increment all keys.
+            for key in 0..50u32 {
+                map.upsert(ctx, key, || 0, |v| *v += 1);
+            }
+            ctx.barrier();
+            for key in 0..50u32 {
+                assert_eq!(map.get_cloned(ctx, &key), Some(ctx.ranks() as u32));
+            }
+        });
+    }
+
+    #[test]
+    fn update_sees_and_mutates_entry() {
+        let team = Team::single_node(2);
+        team.run(|ctx| {
+            let map: Arc<DistMap<u32, u32>> = DistMap::shared(ctx);
+            if ctx.rank() == 0 {
+                map.insert(ctx, 5, 10);
+            }
+            ctx.barrier();
+            let doubled = map.update(ctx, &5, |v| {
+                if ctx.rank() == 1 {
+                    if let Some(v) = v {
+                        *v *= 2;
+                        return true;
+                    }
+                }
+                false
+            });
+            ctx.barrier();
+            if ctx.rank() == 1 {
+                assert!(doubled);
+                assert_eq!(map.get_cloned(ctx, &5), Some(20));
+            }
+            let absent = map.update(ctx, &999, |v| v.is_none());
+            assert!(absent);
+        });
+    }
+
+    #[test]
+    fn owner_assignment_agrees_across_ranks_and_spreads() {
+        let team = Team::single_node(5);
+        let owners = team.run(|ctx| {
+            let map: Arc<DistMap<u64, ()>> = DistMap::shared(ctx);
+            (0..1000u64).map(|k| map.owner_of(&k)).collect::<Vec<_>>()
+        });
+        for o in &owners[1..] {
+            assert_eq!(o, &owners[0]);
+        }
+        let mut counts = vec![0usize; 5];
+        for &o in &owners[0] {
+            counts[o] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 100), "skewed owners: {counts:?}");
+    }
+
+    #[test]
+    fn bulk_merge_counts_words() {
+        let team = Team::single_node(4);
+        team.run(|ctx| {
+            let map: Arc<DistMap<u64, u64>> = DistMap::shared(ctx);
+            // Every rank contributes the same keys; counts should sum.
+            let items = (0..200u64).map(|k| (k % 20, 1u64));
+            bulk_merge(ctx, &map, items, 16, |a, b| *a += b);
+            if ctx.rank() == 0 {
+                assert_eq!(map.len(), 20);
+            }
+            ctx.barrier();
+            for k in 0..20u64 {
+                // 200/20 = 10 per rank, times 4 ranks.
+                assert_eq!(map.get_cloned(ctx, &k), Some(40));
+            }
+        });
+    }
+
+    #[test]
+    fn local_iteration_covers_exactly_owned_keys() {
+        let team = Team::single_node(3);
+        let counts = team.run(|ctx| {
+            let map: Arc<DistMap<u64, u64>> = DistMap::shared(ctx);
+            bulk_merge(ctx, &map, (0..300u64).map(|k| (k, 1)), 32, |a, b| *a += b);
+            let mut local = 0usize;
+            map.for_each_local(ctx, |_, _| local += 1);
+            assert_eq!(local, map.local_len(ctx));
+            local
+        });
+        assert_eq!(counts.iter().sum::<usize>(), 300);
+    }
+
+    #[test]
+    fn retain_and_drain_local() {
+        let team = Team::single_node(3);
+        team.run(|ctx| {
+            let map: Arc<DistMap<u64, u64>> = DistMap::shared(ctx);
+            bulk_merge(ctx, &map, (0..90u64).map(|k| (k, k)), 8, |a, b| *a += b);
+            let removed = map.retain_local(ctx, |_, v| *v % 2 == 0);
+            ctx.barrier();
+            let total_removed = ctx.allreduce_sum_u64(removed as u64);
+            assert_eq!(total_removed, 45);
+            if ctx.rank() == 0 {
+                assert_eq!(map.len(), 45);
+            }
+            ctx.barrier();
+            let drained = map.drain_local(ctx);
+            let total_drained = ctx.allreduce_sum_u64(drained.len() as u64);
+            assert_eq!(total_drained, 45);
+            ctx.barrier();
+            if ctx.rank() == 0 {
+                assert!(map.is_empty());
+            }
+        });
+    }
+}

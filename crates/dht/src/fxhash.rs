@@ -1,0 +1,126 @@
+//! The Fx hash function (as used by rustc) and convenience aliases.
+//!
+//! The distributed hash tables hash every k-mer at least twice (once to pick
+//! the owner rank, once inside the owner's local table), so the default
+//! SipHash of `std` would be a measurable cost. FxHash is the standard fast
+//! replacement recommended by the Rust performance guide; implementing it
+//! here (it is ~20 lines) avoids pulling in an extra dependency.
+
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The FxHash hasher: a very fast multiply-xor-rotate hash. Not HashDoS
+/// resistant, which is fine for internal genomic keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// Hashes a single value with FxHash; used to derive owner ranks and Bloom
+/// filter probe positions deterministically across ranks.
+pub fn fx_hash_one<T: Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(fx_hash_one(&12345u64), fx_hash_one(&12345u64));
+        assert_eq!(fx_hash_one(&"hello"), fx_hash_one(&"hello"));
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(fx_hash_one(&1u64), fx_hash_one(&2u64));
+        assert_ne!(fx_hash_one(&"a"), fx_hash_one(&"b"));
+    }
+
+    #[test]
+    fn map_and_set_usable() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("x".into(), 1);
+        m.insert("y".into(), 2);
+        assert_eq!(m.get("x"), Some(&1));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+        assert!(!s.contains(&8));
+    }
+
+    #[test]
+    fn distributes_small_integers() {
+        // Owner selection uses hash % ranks; consecutive integers must not all
+        // collapse onto one owner.
+        let ranks = 8u64;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            seen.insert(fx_hash_one(&i) % ranks);
+        }
+        assert!(seen.len() >= 4, "hash should spread keys over owners");
+    }
+}

@@ -1,0 +1,124 @@
+//! Distributed counting histograms.
+//!
+//! The first stage of k-mer analysis is "count every k-mer across all reads".
+//! The UPC implementation routes each k-mer to its owner with aggregated
+//! all-to-all messages and counts in owner-local hash tables (use cases 1 and
+//! 4). [`DistHistogram`] packages that pattern for any hashable key; the
+//! k-mer-specific variant with extension tracking lives in the `dbg` crate and
+//! uses [`crate::DistMap`] directly.
+
+use crate::dist_map::{bulk_merge, DistMap};
+use pgas::Ctx;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// A distributed `key -> count` histogram.
+pub struct DistHistogram<K> {
+    map: DistMap<K, u64>,
+}
+
+impl<K> DistHistogram<K>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+{
+    /// Creates a histogram with one shard per rank.
+    pub fn new(ranks: usize) -> Self {
+        DistHistogram {
+            map: DistMap::new(ranks),
+        }
+    }
+
+    /// Collective constructor sharing one histogram across the team.
+    pub fn shared(ctx: &Ctx) -> Arc<Self> {
+        ctx.share(|| DistHistogram::new(ctx.ranks()))
+    }
+
+    /// Collective: every rank streams its keys; counts are merged on the owners.
+    pub fn count_all(&self, ctx: &Ctx, keys: impl IntoIterator<Item = K>, batch: usize) {
+        bulk_merge(ctx, &self.map, keys.into_iter().map(|k| (k, 1u64)), batch, |a, b| {
+            *a += b
+        });
+    }
+
+    /// The count of one key (fine-grained global read).
+    pub fn count_of(&self, ctx: &Ctx, key: &K) -> u64 {
+        self.map.get_cloned(ctx, key).unwrap_or(0)
+    }
+
+    /// Owner-local iteration over `(key, count)`.
+    pub fn for_each_local(&self, ctx: &Ctx, f: impl FnMut(&K, &u64)) {
+        self.map.for_each_local(ctx, f)
+    }
+
+    /// Number of distinct keys (global, call after a barrier).
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Collective: histogram of counts (i.e. how many keys occur exactly `c`
+    /// times, for c in 1..=max_bucket, with an overflow bucket at the end).
+    /// Returns the same vector on every rank.
+    pub fn count_spectrum(&self, ctx: &Ctx, max_bucket: usize) -> Vec<u64> {
+        let mut local = vec![0u64; max_bucket + 1];
+        self.map.for_each_local(ctx, |_, &c| {
+            // Buckets 0..max_bucket-1 hold counts 1..=max_bucket; the final
+            // bucket is the overflow bucket for anything larger.
+            let bucket = if (c as usize) > max_bucket {
+                max_bucket
+            } else {
+                c as usize - 1
+            };
+            local[bucket] += 1;
+        });
+        // Reduce each bucket across ranks.
+        local
+            .iter()
+            .map(|&v| ctx.allreduce_sum_u64(v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgas::Team;
+
+    #[test]
+    fn counts_accumulate_across_ranks() {
+        let team = Team::single_node(4);
+        team.run(|ctx| {
+            let hist: Arc<DistHistogram<u32>> = DistHistogram::shared(ctx);
+            // Each rank counts keys 0..10, each 3 times.
+            let keys = (0..30u32).map(|i| i % 10);
+            hist.count_all(ctx, keys, 8);
+            for k in 0..10u32 {
+                assert_eq!(hist.count_of(ctx, &k), 3 * ctx.ranks() as u64);
+            }
+            assert_eq!(hist.count_of(ctx, &99), 0);
+            ctx.barrier();
+            if ctx.rank() == 0 {
+                assert_eq!(hist.distinct(), 10);
+            }
+        });
+    }
+
+    #[test]
+    fn spectrum_buckets_counts() {
+        let team = Team::single_node(2);
+        let spectra = team.run(|ctx| {
+            let hist: Arc<DistHistogram<u32>> = DistHistogram::shared(ctx);
+            // Key 1 appears once per rank (total 2), key 2 twice per rank (total 4),
+            // key 3 five times per rank (total 10 -> overflow bucket at max 4).
+            let mut keys = vec![1u32];
+            keys.extend([2, 2]);
+            keys.extend([3; 5]);
+            hist.count_all(ctx, keys, 4);
+            hist.count_spectrum(ctx, 4)
+        });
+        for s in &spectra {
+            assert_eq!(s[1], 1, "one key with count 2");
+            assert_eq!(s[3], 1, "one key with count 4");
+            assert_eq!(s[4 - 1 + 1], 1, "overflow bucket holds the heavy key");
+        }
+    }
+}

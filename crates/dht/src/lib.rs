@@ -1,0 +1,32 @@
+//! Distributed hash tables and related distributed data structures.
+//!
+//! §II-A of the paper identifies four distributed hash-table *use cases* that
+//! cover the pipeline's computational patterns. This crate provides the data
+//! structures and the matching access disciplines:
+//!
+//! | Paper use case | API here |
+//! |---|---|
+//! | 1. Global update-only (commutative inserts, batched) | [`DistMap`] + [`bulk_merge`] (aggregated per-owner batches applied locally) |
+//! | 2. Global reads & writes (atomics instead of locks) | [`DistMap::update`], [`DistMap::try_claim`]-style entry mutation under fine-grained sharded locks, with atomic-op accounting |
+//! | 3. Global read-only with reuse | [`SoftwareCache`] layered over a `DistMap` |
+//! | 4. Local reads & writes after deterministic routing | [`bulk_merge`] / [`DistMap::for_each_local`] / [`DistMap::drain_local`] |
+//!
+//! plus the auxiliary distributed structures the pipeline needs: a partitioned
+//! Bloom filter ([`DistBloom`]), a distributed counting histogram
+//! ([`DistHistogram`]) and a streaming heavy-hitter sketch
+//! ([`SpaceSaving`]) used by k-mer analysis to survive the extremely skewed
+//! k-mer frequency distributions of metagenomes.
+
+pub mod bloom;
+pub mod cache;
+pub mod dist_map;
+pub mod fxhash;
+pub mod heavy;
+pub mod histogram;
+
+pub use bloom::DistBloom;
+pub use cache::SoftwareCache;
+pub use dist_map::{bulk_merge, DistMap};
+pub use fxhash::{fx_hash_one, FxHashMap, FxHashSet, FxHasher};
+pub use heavy::SpaceSaving;
+pub use histogram::DistHistogram;

@@ -1,0 +1,377 @@
+//! 2-bit packed k-mers with runtime-chosen k (k ≤ 127).
+//!
+//! Bases are packed little-endian: base `i` of the k-mer occupies bits
+//! `2*i .. 2*i+2` of the 256-bit integer formed by `words[0]` (least
+//! significant) through `words[3]`. All bits beyond `2*k` are kept at zero so
+//! that equality and hashing can operate directly on the words.
+
+use seqio::alphabet::{decode_base, encode_base};
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum supported k. Four 64-bit words hold 128 two-bit codes; we cap at
+/// 127 so that iterative assembly k-ranges such as 21..=99 always fit with
+/// headroom for the (k+s)-mer extraction step.
+pub const MAX_K: usize = 127;
+
+/// A DNA k-mer packed two bits per base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Kmer {
+    words: [u64; 4],
+    k: u16,
+}
+
+impl Kmer {
+    /// Creates the all-`A` k-mer of length `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `k > MAX_K`.
+    pub fn zero(k: usize) -> Self {
+        assert!(k > 0 && k <= MAX_K, "k must be in 1..={MAX_K}, got {k}");
+        Kmer {
+            words: [0; 4],
+            k: k as u16,
+        }
+    }
+
+    /// Builds a k-mer from ASCII bases. Returns `None` if the slice is empty,
+    /// longer than [`MAX_K`], or contains a non-ACGT base.
+    pub fn from_bytes(seq: &[u8]) -> Option<Self> {
+        if seq.is_empty() || seq.len() > MAX_K {
+            return None;
+        }
+        let mut km = Kmer::zero(seq.len());
+        for (i, &b) in seq.iter().enumerate() {
+            let code = encode_base(b)?;
+            km.set_code(i, code);
+        }
+        Some(km)
+    }
+
+    /// The k of this k-mer.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k as usize
+    }
+
+    /// Returns the 2-bit code of base `i` (0-based from the left/5' end).
+    #[inline]
+    pub fn code_at(&self, i: usize) -> u8 {
+        debug_assert!(i < self.k());
+        let bit = 2 * i;
+        ((self.words[bit / 64] >> (bit % 64)) & 0b11) as u8
+    }
+
+    /// Sets the 2-bit code of base `i`.
+    #[inline]
+    pub fn set_code(&mut self, i: usize, code: u8) {
+        debug_assert!(i < self.k());
+        debug_assert!(code < 4);
+        let bit = 2 * i;
+        let w = bit / 64;
+        let off = bit % 64;
+        self.words[w] = (self.words[w] & !(0b11 << off)) | ((code as u64) << off);
+    }
+
+    /// ASCII base at position `i`.
+    #[inline]
+    pub fn base_at(&self, i: usize) -> u8 {
+        decode_base(self.code_at(i))
+    }
+
+    /// First (leftmost / 5') base code.
+    #[inline]
+    pub fn first_code(&self) -> u8 {
+        self.code_at(0)
+    }
+
+    /// Last (rightmost / 3') base code.
+    #[inline]
+    pub fn last_code(&self) -> u8 {
+        self.code_at(self.k() - 1)
+    }
+
+    /// Shifts the whole 256-bit value right by two bits (dropping base 0).
+    fn shr2(&mut self) {
+        for i in 0..4 {
+            let carry = if i + 1 < 4 { self.words[i + 1] & 0b11 } else { 0 };
+            self.words[i] = (self.words[i] >> 2) | (carry << 62);
+        }
+    }
+
+    /// Shifts the whole 256-bit value left by two bits (making room at base 0).
+    fn shl2(&mut self) {
+        for i in (0..4).rev() {
+            let carry = if i > 0 { self.words[i - 1] >> 62 } else { 0 };
+            self.words[i] = (self.words[i] << 2) | carry;
+        }
+    }
+
+    /// Clears any bits at positions ≥ 2k, restoring the packing invariant.
+    fn mask_to_k(&mut self) {
+        let bits = 2 * self.k();
+        for w in 0..4 {
+            let lo = w * 64;
+            if bits <= lo {
+                self.words[w] = 0;
+            } else if bits < lo + 64 {
+                let keep = bits - lo;
+                self.words[w] &= (1u64 << keep) - 1;
+            }
+        }
+    }
+
+    /// Returns the k-mer obtained by dropping the first base and appending
+    /// `code` at the right — the "move one base along the read" operation used
+    /// by rolling extraction and graph walks.
+    #[inline]
+    pub fn extended_right(&self, code: u8) -> Kmer {
+        let mut out = *self;
+        out.shr2();
+        out.set_code(self.k() - 1, code);
+        out.mask_to_k();
+        out
+    }
+
+    /// Returns the k-mer obtained by dropping the last base and prepending
+    /// `code` at the left.
+    #[inline]
+    pub fn extended_left(&self, code: u8) -> Kmer {
+        let mut out = *self;
+        out.shl2();
+        out.mask_to_k();
+        out.set_code(0, code);
+        out
+    }
+
+    /// Reverse complement of this k-mer.
+    pub fn revcomp(&self) -> Kmer {
+        let k = self.k();
+        let mut out = Kmer::zero(k);
+        for i in 0..k {
+            out.set_code(k - 1 - i, 3 - self.code_at(i));
+        }
+        out
+    }
+
+    /// Lexicographic comparison by base sequence (A < C < G < T).
+    fn lex_cmp(&self, other: &Kmer) -> std::cmp::Ordering {
+        debug_assert_eq!(self.k, other.k);
+        for i in 0..self.k() {
+            match self.code_at(i).cmp(&other.code_at(i)) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// Returns the canonical form (the lexicographically smaller of the k-mer
+    /// and its reverse complement) and whether the reverse complement was
+    /// chosen.
+    pub fn canonical(&self) -> (Kmer, bool) {
+        let rc = self.revcomp();
+        if rc.lex_cmp(self) == std::cmp::Ordering::Less {
+            (rc, true)
+        } else {
+            (*self, false)
+        }
+    }
+
+    /// True if this k-mer is its own canonical representative.
+    pub fn is_canonical(&self) -> bool {
+        !self.canonical().1
+    }
+
+    /// True if the k-mer is a palindrome (equal to its reverse complement);
+    /// only possible for even k.
+    pub fn is_palindrome(&self) -> bool {
+        *self == self.revcomp()
+    }
+
+    /// Writes the ASCII representation into a new vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        (0..self.k()).map(|i| self.base_at(i)).collect()
+    }
+
+    /// The (k-1)-base suffix as a new (k-1)-mer; used to key contig-end joins.
+    pub fn suffix(&self) -> Kmer {
+        assert!(self.k() > 1);
+        let mut out = Kmer::zero(self.k() - 1);
+        for i in 1..self.k() {
+            out.set_code(i - 1, self.code_at(i));
+        }
+        out
+    }
+
+    /// The (k-1)-base prefix as a new (k-1)-mer.
+    pub fn prefix(&self) -> Kmer {
+        assert!(self.k() > 1);
+        let mut out = Kmer::zero(self.k() - 1);
+        for i in 0..self.k() - 1 {
+            out.set_code(i, self.code_at(i));
+        }
+        out
+    }
+
+    /// A stable 64-bit mixing hash of the packed representation, used by the
+    /// distributed hash tables to choose an owner rank independently of the
+    /// `std` hasher.
+    pub fn owner_hash(&self) -> u64 {
+        let mut h: u64 = 0x9E37_79B9_7F4A_7C15 ^ (self.k as u64);
+        for &w in &self.words {
+            h ^= w;
+            h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+            h ^= h >> 29;
+        }
+        h
+    }
+}
+
+impl PartialOrd for Kmer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Kmer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.k
+            .cmp(&other.k)
+            .then_with(|| self.lex_cmp(other))
+    }
+}
+
+impl fmt::Display for Kmer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.k() {
+            write!(f, "{}", self.base_at(i) as char)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Kmer {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Kmer::from_bytes(s.as_bytes()).ok_or_else(|| format!("invalid k-mer string: {s:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_bytes_and_display_roundtrip() {
+        for s in ["A", "ACGT", "GATTACA", "TTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTT"] {
+            let km: Kmer = s.parse().unwrap();
+            assert_eq!(km.to_string(), s);
+            assert_eq!(km.k(), s.len());
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_invalid() {
+        assert!(Kmer::from_bytes(b"").is_none());
+        assert!(Kmer::from_bytes(b"ACGN").is_none());
+        assert!(Kmer::from_bytes(&vec![b'A'; MAX_K + 1]).is_none());
+        assert!(Kmer::from_bytes(&vec![b'A'; MAX_K]).is_some());
+    }
+
+    #[test]
+    fn extended_right_slides_window() {
+        let km: Kmer = "ACGTA".parse().unwrap();
+        let next = km.extended_right(encode_base(b'G').unwrap());
+        assert_eq!(next.to_string(), "CGTAG");
+    }
+
+    #[test]
+    fn extended_left_slides_window() {
+        let km: Kmer = "ACGTA".parse().unwrap();
+        let prev = km.extended_left(encode_base(b'T').unwrap());
+        assert_eq!(prev.to_string(), "TACGT");
+    }
+
+    #[test]
+    fn extension_works_across_word_boundaries() {
+        // 80 bases spans words 0..2 (boundary at base 32 and 64).
+        let s: String = std::iter::repeat("ACGT").take(20).collect();
+        let km: Kmer = s.parse().unwrap();
+        let next = km.extended_right(encode_base(b'T').unwrap());
+        let expect: String = s[1..].to_string() + "T";
+        assert_eq!(next.to_string(), expect);
+        let prev = km.extended_left(encode_base(b'G').unwrap());
+        let expect_l: String = "G".to_string() + &s[..s.len() - 1];
+        assert_eq!(prev.to_string(), expect_l);
+    }
+
+    #[test]
+    fn revcomp_matches_string_revcomp() {
+        let s = "ACGTTGCAACGGTACCGGTTAACC";
+        let km: Kmer = s.parse().unwrap();
+        let rc = km.revcomp();
+        let expect = String::from_utf8(seqio::alphabet::revcomp(s.as_bytes())).unwrap();
+        assert_eq!(rc.to_string(), expect);
+        assert_eq!(rc.revcomp(), km);
+    }
+
+    #[test]
+    fn canonical_is_min_of_pair() {
+        let km: Kmer = "TTTT".parse().unwrap();
+        let (canon, was_rc) = km.canonical();
+        assert_eq!(canon.to_string(), "AAAA");
+        assert!(was_rc);
+        let km2: Kmer = "AAAA".parse().unwrap();
+        let (canon2, was_rc2) = km2.canonical();
+        assert_eq!(canon2, canon);
+        assert!(!was_rc2);
+        assert!(km2.is_canonical());
+        assert!(!km.is_canonical());
+    }
+
+    #[test]
+    fn palindromes_detected() {
+        let km: Kmer = "ACGT".parse().unwrap();
+        assert!(km.is_palindrome());
+        let km2: Kmer = "AAGT".parse().unwrap();
+        assert!(!km2.is_palindrome());
+    }
+
+    #[test]
+    fn prefix_suffix() {
+        let km: Kmer = "ACGTT".parse().unwrap();
+        assert_eq!(km.prefix().to_string(), "ACGT");
+        assert_eq!(km.suffix().to_string(), "CGTT");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a: Kmer = "AACT".parse().unwrap();
+        let b: Kmer = "AAGA".parse().unwrap();
+        assert!(a < b);
+        let c: Kmer = "AACT".parse().unwrap();
+        assert_eq!(a.cmp(&c), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn owner_hash_differs_for_different_kmers() {
+        let a: Kmer = "ACGTACGTACGTACGTACGTA".parse().unwrap();
+        let b: Kmer = "ACGTACGTACGTACGTACGTC".parse().unwrap();
+        assert_ne!(a.owner_hash(), b.owner_hash());
+        assert_eq!(a.owner_hash(), a.owner_hash());
+    }
+
+    #[test]
+    fn long_kmer_roundtrip_at_max_k() {
+        let s: String = (0..MAX_K)
+            .map(|i| ['A', 'C', 'G', 'T'][(i * 7 + 3) % 4])
+            .collect();
+        let km: Kmer = s.parse().unwrap();
+        assert_eq!(km.to_string(), s);
+        assert_eq!(km.revcomp().revcomp(), km);
+    }
+}

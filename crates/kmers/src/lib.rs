@@ -1,0 +1,24 @@
+//! Packed k-mer types and extraction for the MetaHipMer reproduction.
+//!
+//! A *k-mer* is a length-`k` substring of a read or contig. The de Bruijn
+//! graph used throughout the pipeline has k-mers as vertices, so this crate is
+//! the innermost data-structure layer of the whole assembler:
+//!
+//! * [`kmer::Kmer`] — a 2-bit-packed k-mer supporting k up to
+//!   [`kmer::MAX_K`] (127), with reverse complement, canonicalisation and O(1)
+//!   amortised rolling extension;
+//! * [`ext`] — extension codes and counters. Each k-mer observed in the reads
+//!   keeps counts of which base precedes and follows it; the counts are later
+//!   turned into the `[ACGT]`, `F`ork or e`X`tensionless codes that drive the
+//!   graph traversal (§II-C of the paper);
+//! * [`extract`] — iterators that slide a window over reads/contigs and emit
+//!   canonical k-mers together with their observed extensions and quality
+//!   categories.
+
+pub mod ext;
+pub mod extract;
+pub mod kmer;
+
+pub use ext::{Ext, ExtCounts, ExtPair, KmerCounts};
+pub use extract::{canonical_kmers, kmer_positions, kmers_with_exts, CanonicalKmerExt};
+pub use kmer::{Kmer, MAX_K};

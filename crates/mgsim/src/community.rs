@@ -1,0 +1,226 @@
+//! Community synthesis: many genomes with log-normal abundances, shared
+//! conserved regions and optional strain variants.
+
+use crate::genome::{mutate_sequence, plant_conserved_region, random_genome, random_sequence, GenomeParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal};
+use seqio::{ReferenceGenome, ReferenceSet};
+
+/// Parameters for synthesising a metagenome community.
+#[derive(Debug, Clone)]
+pub struct CommunityParams {
+    /// Number of distinct taxa (before strain variants).
+    pub num_taxa: usize,
+    /// Genome lengths are drawn uniformly from this inclusive range.
+    pub genome_len_range: (usize, usize),
+    /// σ of the log-normal abundance distribution (μ = 0). Larger values give
+    /// a more skewed community. The paper's MGSim draws relative abundances
+    /// from a log-normal.
+    pub abundance_sigma: f64,
+    /// Number of taxa that also get a strain variant: a second genome derived
+    /// from the first by SNPs at `strain_snp_rate`, with half the abundance.
+    pub strain_variants: usize,
+    /// Per-base SNP rate between a strain variant and its parent.
+    pub strain_snp_rate: f64,
+    /// Length of the conserved rRNA-like operon planted into every genome
+    /// (0 disables planting).
+    pub rrna_len: usize,
+    /// Per-base divergence of each genome's rRNA copy from the consensus.
+    pub rrna_divergence: f64,
+    /// Number of exact intra-genome repeat copies planted per genome.
+    pub repeats_per_genome: usize,
+    /// Length of each planted repeat.
+    pub repeat_len: usize,
+    /// If set, the abundance of the last taxon is forced to this tiny relative
+    /// value (the MG64 dataset contains one organism so rare that every
+    /// assembler recovers only ~4% of it — we reproduce that situation).
+    pub rare_taxon_abundance: Option<f64>,
+    /// RNG seed (the whole community is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for CommunityParams {
+    fn default() -> Self {
+        CommunityParams {
+            num_taxa: 8,
+            genome_len_range: (15_000, 30_000),
+            abundance_sigma: 1.0,
+            strain_variants: 0,
+            strain_snp_rate: 0.01,
+            rrna_len: 400,
+            rrna_divergence: 0.02,
+            repeats_per_genome: 2,
+            repeat_len: 250,
+            rare_taxon_abundance: None,
+            seed: 7,
+        }
+    }
+}
+
+/// Generates a reference community according to the parameters. Also returns
+/// the rRNA consensus sequence (empty when planting is disabled) so that the
+/// HMM crate can build its profile from the same consensus the simulator used.
+pub fn generate_community(params: &CommunityParams) -> (ReferenceSet, Vec<u8>) {
+    assert!(params.num_taxa > 0, "community needs at least one taxon");
+    assert!(
+        params.genome_len_range.0 > 0 && params.genome_len_range.0 <= params.genome_len_range.1,
+        "invalid genome length range"
+    );
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let lognormal =
+        LogNormal::new(0.0, params.abundance_sigma.max(1e-6)).expect("valid log-normal");
+    let consensus = if params.rrna_len > 0 {
+        random_sequence(&mut rng, params.rrna_len, 0.55)
+    } else {
+        Vec::new()
+    };
+
+    let mut set = ReferenceSet::new();
+    for taxon in 0..params.num_taxa {
+        let length = rng.gen_range(params.genome_len_range.0..=params.genome_len_range.1);
+        let gparams = GenomeParams {
+            length,
+            num_repeats: params.repeats_per_genome,
+            repeat_len: params.repeat_len,
+            gc_content: rng.gen_range(0.35..0.65),
+        };
+        let (mut seq, _features) = random_genome(&mut rng, &gparams);
+        let mut rrna_regions = Vec::new();
+        if !consensus.is_empty() {
+            let region =
+                plant_conserved_region(&mut rng, &mut seq, &consensus, params.rrna_divergence);
+            rrna_regions.push(region);
+        }
+        let mut abundance = lognormal.sample(&mut rng);
+        if taxon + 1 == params.num_taxa {
+            if let Some(rare) = params.rare_taxon_abundance {
+                abundance = rare;
+            }
+        }
+        let mut genome = ReferenceGenome::new(format!("taxon_{taxon:03}"), seq);
+        genome.abundance = abundance;
+        genome.rrna_regions = rrna_regions;
+        set.push(genome);
+    }
+
+    // Strain variants: SNP-mutated copies of the first `strain_variants` taxa.
+    let strains = params.strain_variants.min(params.num_taxa);
+    for parent_idx in 0..strains {
+        let parent = set.genomes[parent_idx].clone();
+        let seq = mutate_sequence(&mut rng, &parent.seq, params.strain_snp_rate);
+        let mut variant = ReferenceGenome::new(format!("{}_strainB", parent.name), seq);
+        variant.abundance = parent.abundance * 0.5;
+        variant.rrna_regions = parent.rrna_regions.clone();
+        set.push(variant);
+    }
+
+    (set, consensus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn community_has_requested_shape() {
+        let params = CommunityParams {
+            num_taxa: 12,
+            strain_variants: 3,
+            ..Default::default()
+        };
+        let (set, consensus) = generate_community(&params);
+        assert_eq!(set.len(), 15);
+        assert_eq!(consensus.len(), params.rrna_len);
+        for g in &set.genomes[..12] {
+            assert!(g.len() >= params.genome_len_range.0);
+            assert!(g.len() <= params.genome_len_range.1 + params.rrna_len);
+            assert_eq!(g.rrna_regions.len(), 1);
+            assert!(g.abundance > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let params = CommunityParams::default();
+        let (a, ca) = generate_community(&params);
+        let (b, cb) = generate_community(&params);
+        assert_eq!(a, b);
+        assert_eq!(ca, cb);
+        let different = CommunityParams {
+            seed: 8,
+            ..CommunityParams::default()
+        };
+        let (c, _) = generate_community(&different);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn strain_variants_are_similar_but_not_identical() {
+        let params = CommunityParams {
+            num_taxa: 4,
+            strain_variants: 1,
+            strain_snp_rate: 0.01,
+            ..Default::default()
+        };
+        let (set, _) = generate_community(&params);
+        let parent = &set.genomes[0];
+        let strain = set.genomes.last().unwrap();
+        assert!(strain.name.contains("strainB"));
+        assert_eq!(parent.len(), strain.len());
+        let diffs = parent
+            .seq
+            .iter()
+            .zip(&strain.seq)
+            .filter(|(a, b)| a != b)
+            .count();
+        let rate = diffs as f64 / parent.len() as f64;
+        assert!(rate > 0.002 && rate < 0.03, "strain divergence {rate}");
+        assert!((strain.abundance - parent.abundance * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rare_taxon_abundance_forced() {
+        let params = CommunityParams {
+            num_taxa: 6,
+            rare_taxon_abundance: Some(1e-4),
+            ..Default::default()
+        };
+        let (set, _) = generate_community(&params);
+        let rare = &set.genomes[5];
+        assert!((rare.abundance - 1e-4).abs() < 1e-15);
+        let p = set.normalized_abundances();
+        assert!(p[5] < 0.01);
+    }
+
+    #[test]
+    fn rrna_planting_can_be_disabled() {
+        let params = CommunityParams {
+            rrna_len: 0,
+            ..Default::default()
+        };
+        let (set, consensus) = generate_community(&params);
+        assert!(consensus.is_empty());
+        assert!(set.genomes.iter().all(|g| g.rrna_regions.is_empty()));
+    }
+
+    #[test]
+    fn conserved_region_is_shared_across_genomes() {
+        let params = CommunityParams {
+            num_taxa: 5,
+            rrna_divergence: 0.01,
+            ..Default::default()
+        };
+        let (set, consensus) = generate_community(&params);
+        for g in &set.genomes {
+            let (s, e) = g.rrna_regions[0];
+            let region = &g.seq[s..e];
+            let diffs = region.iter().zip(&consensus).filter(|(a, b)| a != b).count();
+            assert!(
+                (diffs as f64) < 0.05 * consensus.len() as f64,
+                "rRNA copy too divergent in {}",
+                g.name
+            );
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! WGSim-substitute paired-end read simulator.
+//!
+//! For every template: pick a genome proportionally to its abundance-weighted
+//! length, pick an insert size from a Gaussian, pick a uniformly random
+//! template position and strand, and emit the two end reads with independent
+//! per-base substitution errors. Base qualities are high for correct bases and
+//! low for error bases (plus a small fraction of low-quality correct bases),
+//! which is what drives the high-quality-extension logic of k-mer analysis.
+
+use crate::genome::substitute_base;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal, WeightedIndex};
+use seqio::alphabet::revcomp;
+use seqio::{Read, ReadLibrary, ReferenceSet};
+
+/// Parameters of the read simulation.
+#[derive(Debug, Clone)]
+pub struct ReadSimParams {
+    /// Read length in bases.
+    pub read_len: usize,
+    /// Mean insert size (outer distance between the pair's 5' ends).
+    pub insert_size: usize,
+    /// Standard deviation of the insert size.
+    pub insert_sd: usize,
+    /// Per-base substitution error probability.
+    pub error_rate: f64,
+    /// Number of read pairs to generate.
+    pub num_pairs: usize,
+    /// Phred quality assigned to bases believed correct.
+    pub qual_good: u8,
+    /// Phred quality assigned to error bases (and randomly degraded bases).
+    pub qual_bad: u8,
+    /// Fraction of correct bases that nevertheless receive a low quality score.
+    pub low_qual_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ReadSimParams {
+    fn default() -> Self {
+        ReadSimParams {
+            read_len: 100,
+            insert_size: 300,
+            insert_sd: 30,
+            error_rate: 0.005,
+            num_pairs: 10_000,
+            qual_good: 38,
+            qual_bad: 8,
+            low_qual_fraction: 0.01,
+            seed: 11,
+        }
+    }
+}
+
+impl ReadSimParams {
+    /// Chooses `num_pairs` so that the *average* genome in `refs` receives
+    /// approximately `target_coverage`-fold coverage (weighted by abundance).
+    pub fn with_target_coverage(mut self, refs: &ReferenceSet, target_coverage: f64) -> Self {
+        let total_ref_bases = refs.total_bases().max(1);
+        let bases_needed = target_coverage * total_ref_bases as f64;
+        self.num_pairs = (bases_needed / (2.0 * self.read_len as f64)).ceil() as usize;
+        self
+    }
+}
+
+/// Simulates a paired-end library from a reference community.
+///
+/// Genomes are sampled with probability proportional to `abundance × length`
+/// (a genome twice as long at the same abundance yields twice the reads, which
+/// is how shotgun sequencing behaves).
+pub fn simulate_reads(refs: &ReferenceSet, params: &ReadSimParams) -> ReadLibrary {
+    assert!(!refs.is_empty(), "cannot simulate reads from an empty community");
+    assert!(params.read_len >= 20, "read length unrealistically short");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let weights: Vec<f64> = refs
+        .genomes
+        .iter()
+        .map(|g| (g.abundance.max(0.0)) * g.len() as f64)
+        .collect();
+    let chooser = WeightedIndex::new(&weights).expect("at least one positive weight");
+    let insert_dist = Normal::new(params.insert_size as f64, params.insert_sd.max(1) as f64)
+        .expect("valid normal distribution");
+
+    let mut lib = ReadLibrary::new_paired(
+        format!("sim_x{}", params.num_pairs),
+        params.insert_size,
+        params.insert_sd,
+    );
+    let min_insert = 2 * params.read_len;
+    for pair_idx in 0..params.num_pairs {
+        // Rejection-sample a genome long enough for one insert.
+        let mut attempts = 0;
+        let (gi, insert, start) = loop {
+            let gi = chooser.sample(&mut rng);
+            let glen = refs.genomes[gi].len();
+            let insert = insert_dist.sample(&mut rng).round().max(min_insert as f64) as usize;
+            if glen > insert {
+                let start = rng.gen_range(0..glen - insert);
+                break (gi, insert, start);
+            }
+            attempts += 1;
+            assert!(
+                attempts < 1000,
+                "no genome is long enough for the configured insert size"
+            );
+        };
+        let genome = &refs.genomes[gi];
+        let template = &genome.seq[start..start + insert];
+        // Forward read from the left end; reverse read from the right end.
+        let fwd = &template[..params.read_len];
+        let rev = revcomp(&template[insert - params.read_len..]);
+        // Randomly swap which mate is /1 (strand of the template is random).
+        let flip = rng.gen::<bool>();
+        let (seq1, seq2) = if flip {
+            (rev.clone(), fwd.to_vec())
+        } else {
+            (fwd.to_vec(), rev.clone())
+        };
+        let (r1, r2) = (
+            apply_errors(&mut rng, &seq1, params),
+            apply_errors(&mut rng, &seq2, params),
+        );
+        let name1 = format!("p{pair_idx}:{}:{start}/1", genome.name);
+        let name2 = format!("p{pair_idx}:{}:{start}/2", genome.name);
+        lib.push_pair(
+            Read::new(name1, &r1.0, &r1.1),
+            Read::new(name2, &r2.0, &r2.1),
+        );
+    }
+    lib
+}
+
+/// Applies the error and quality model to a perfect read sequence, returning
+/// `(bases, quals)`.
+fn apply_errors(rng: &mut StdRng, seq: &[u8], params: &ReadSimParams) -> (Vec<u8>, Vec<u8>) {
+    let mut bases = Vec::with_capacity(seq.len());
+    let mut quals = Vec::with_capacity(seq.len());
+    for &b in seq {
+        if rng.gen::<f64>() < params.error_rate {
+            bases.push(substitute_base(rng, b));
+            quals.push(params.qual_bad);
+        } else {
+            bases.push(b);
+            if rng.gen::<f64>() < params.low_qual_fraction {
+                quals.push(params.qual_bad);
+            } else {
+                quals.push(params.qual_good);
+            }
+        }
+    }
+    (bases, quals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqio::ReferenceGenome;
+
+    fn tiny_refs() -> ReferenceSet {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut set = ReferenceSet::new();
+        let mut a = ReferenceGenome::new("a", crate::genome::random_sequence(&mut rng, 5000, 0.5));
+        a.abundance = 10.0;
+        let mut b = ReferenceGenome::new("b", crate::genome::random_sequence(&mut rng, 5000, 0.5));
+        b.abundance = 1.0;
+        set.push(a);
+        set.push(b);
+        set
+    }
+
+    #[test]
+    fn library_shape_matches_params() {
+        let refs = tiny_refs();
+        let params = ReadSimParams {
+            num_pairs: 500,
+            read_len: 80,
+            ..Default::default()
+        };
+        let lib = simulate_reads(&refs, &params);
+        assert_eq!(lib.num_pairs(), 500);
+        assert!(lib.reads.iter().all(|r| r.len() == 80));
+        assert_eq!(lib.insert_size, params.insert_size);
+    }
+
+    #[test]
+    fn abundance_controls_read_share() {
+        let refs = tiny_refs();
+        let params = ReadSimParams {
+            num_pairs: 2000,
+            error_rate: 0.0,
+            ..Default::default()
+        };
+        let lib = simulate_reads(&refs, &params);
+        let from_a = lib
+            .reads
+            .iter()
+            .filter(|r| r.name.contains(":a:"))
+            .count();
+        let frac_a = from_a as f64 / lib.num_reads() as f64;
+        assert!(frac_a > 0.8, "abundant genome should dominate, got {frac_a}");
+    }
+
+    #[test]
+    fn error_free_reads_match_reference_exactly() {
+        let refs = tiny_refs();
+        let params = ReadSimParams {
+            num_pairs: 200,
+            error_rate: 0.0,
+            low_qual_fraction: 0.0,
+            ..Default::default()
+        };
+        let lib = simulate_reads(&refs, &params);
+        // Every read (or its reverse complement) must occur in one of the
+        // reference genomes.
+        let hay: Vec<String> = refs
+            .genomes
+            .iter()
+            .map(|g| String::from_utf8(g.seq.clone()).unwrap())
+            .collect();
+        for read in &lib.reads {
+            let fwd = String::from_utf8(read.seq.clone()).unwrap();
+            let rev = String::from_utf8(revcomp(&read.seq)).unwrap();
+            let found = hay.iter().any(|h| h.contains(&fwd) || h.contains(&rev));
+            assert!(found, "read {} not found in any reference", read.name);
+        }
+    }
+
+    #[test]
+    fn error_rate_reflected_in_output() {
+        let refs = tiny_refs();
+        let params = ReadSimParams {
+            num_pairs: 1000,
+            error_rate: 0.02,
+            low_qual_fraction: 0.0,
+            ..Default::default()
+        };
+        let lib = simulate_reads(&refs, &params);
+        // Error bases get qual_bad, correct ones qual_good — count them.
+        let total: usize = lib.reads.iter().map(|r| r.len()).sum();
+        let bad: usize = lib
+            .reads
+            .iter()
+            .map(|r| r.qual.iter().filter(|&&q| q == params.qual_bad).count())
+            .sum();
+        let rate = bad as f64 / total as f64;
+        assert!((rate - 0.02).abs() < 0.01, "observed error-marked rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let refs = tiny_refs();
+        let params = ReadSimParams {
+            num_pairs: 100,
+            ..Default::default()
+        };
+        let a = simulate_reads(&refs, &params);
+        let b = simulate_reads(&refs, &params);
+        assert_eq!(a.reads, b.reads);
+    }
+
+    #[test]
+    fn with_target_coverage_sizes_library() {
+        let refs = tiny_refs();
+        let params = ReadSimParams::default().with_target_coverage(&refs, 20.0);
+        // 10_000 total reference bases * 20x / (2*100 bases per pair) = 1000 pairs.
+        assert_eq!(params.num_pairs, 1000);
+    }
+}

@@ -1,0 +1,205 @@
+//! All-to-all exchange and aggregated one-sided message buffers.
+//!
+//! The dominant communication pattern in MetaHipMer is "every rank produces
+//! items destined for owner ranks determined by a hash, buffers them, and
+//! ships them in large aggregated messages" (use case 1 of §II-A). The
+//! [`Aggregator`] reproduces that pattern: items are buffered per destination
+//! and flushed either when a buffer fills (modelling the asynchronous
+//! aggregated stores) or at the end of the phase; the receiving rank drains
+//! its inbox after a barrier.
+
+use crate::team::Ctx;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Shared mailboxes for a typed all-to-all exchange.
+pub struct AllToAll<T: Send> {
+    inboxes: Vec<Mutex<Vec<T>>>,
+}
+
+impl<T: Send> AllToAll<T> {
+    /// Creates mailboxes for `ranks` ranks.
+    pub fn new(ranks: usize) -> Self {
+        AllToAll {
+            inboxes: (0..ranks).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Deposits a batch of items into `dest`'s inbox, recording one aggregated
+    /// message in the caller's statistics.
+    pub fn send_batch(&self, ctx: &Ctx, dest: usize, mut items: Vec<T>) {
+        if items.is_empty() {
+            return;
+        }
+        ctx.record_message(dest, items.len() * std::mem::size_of::<T>());
+        self.inboxes[dest].lock().append(&mut items);
+    }
+
+    /// Drains and returns the calling rank's inbox. Call only after a barrier
+    /// that guarantees all senders have flushed.
+    pub fn take_inbox(&self, ctx: &Ctx) -> Vec<T> {
+        std::mem::take(&mut *self.inboxes[ctx.rank()].lock())
+    }
+}
+
+impl<'t> Ctx<'t> {
+    /// Collective all-to-all exchange: `outgoing[d]` is the batch destined for
+    /// rank `d`; the return value is everything other ranks destined for this
+    /// rank. Must be called by every rank.
+    pub fn exchange<T>(&self, outgoing: Vec<Vec<T>>) -> Vec<T>
+    where
+        T: Send + Sync + 'static,
+    {
+        assert_eq!(
+            outgoing.len(),
+            self.ranks(),
+            "exchange requires one outgoing batch per rank"
+        );
+        let a2a: Arc<AllToAll<T>> = self.share(|| AllToAll::new(self.ranks()));
+        for (dest, batch) in outgoing.into_iter().enumerate() {
+            a2a.send_batch(self, dest, batch);
+        }
+        self.barrier();
+        let mine = a2a.take_inbox(self);
+        self.barrier();
+        mine
+    }
+}
+
+/// A per-rank aggregating sender: the software analogue of UPC's dynamically
+/// aggregated fine-grained stores.
+///
+/// Construct collectively with [`Aggregator::new`], push items with
+/// [`Aggregator::push`] (buffers flush automatically when they reach the
+/// configured batch size), and terminate the phase with
+/// [`Aggregator::finish`], which flushes the remainder, synchronises, and
+/// returns everything destined for the calling rank.
+pub struct Aggregator<'c, 't, T: Send + Sync + 'static> {
+    ctx: &'c Ctx<'t>,
+    a2a: Arc<AllToAll<T>>,
+    bufs: Vec<Vec<T>>,
+    batch: usize,
+}
+
+impl<'c, 't, T: Send + Sync + 'static> Aggregator<'c, 't, T> {
+    /// Collectively creates an aggregator with the given per-destination batch
+    /// size (the number of items accumulated before a flush).
+    pub fn new(ctx: &'c Ctx<'t>, batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        let a2a = ctx.share(|| AllToAll::new(ctx.ranks()));
+        Aggregator {
+            ctx,
+            a2a,
+            bufs: (0..ctx.ranks()).map(|_| Vec::with_capacity(batch)).collect(),
+            batch,
+        }
+    }
+
+    /// Buffers one item for `dest`, flushing that destination's buffer if it
+    /// reached the batch size.
+    pub fn push(&mut self, dest: usize, item: T) {
+        self.bufs[dest].push(item);
+        if self.bufs[dest].len() >= self.batch {
+            let full = std::mem::replace(&mut self.bufs[dest], Vec::with_capacity(self.batch));
+            self.a2a.send_batch(self.ctx, dest, full);
+        }
+    }
+
+    /// Flushes every partially filled buffer without finishing the phase.
+    pub fn flush(&mut self) {
+        for dest in 0..self.bufs.len() {
+            if !self.bufs[dest].is_empty() {
+                let full = std::mem::take(&mut self.bufs[dest]);
+                self.a2a.send_batch(self.ctx, dest, full);
+            }
+        }
+    }
+
+    /// Flushes, synchronises all ranks, and returns the items destined for the
+    /// calling rank. Collective.
+    pub fn finish(mut self) -> Vec<T> {
+        self.flush();
+        self.ctx.barrier();
+        let mine = self.a2a.take_inbox(self.ctx);
+        self.ctx.barrier();
+        mine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::team::Team;
+    use crate::topology::Topology;
+
+    #[test]
+    fn exchange_routes_items_to_owners() {
+        let team = Team::single_node(4);
+        let received = team.run(|ctx| {
+            let n = ctx.ranks();
+            // Rank r sends value 100*r + d to destination d.
+            let outgoing: Vec<Vec<usize>> =
+                (0..n).map(|d| vec![100 * ctx.rank() + d]).collect();
+            let mut got = ctx.exchange(outgoing);
+            got.sort();
+            got
+        });
+        for (d, got) in received.iter().enumerate() {
+            let expect: Vec<usize> = (0..4).map(|r| 100 * r + d).collect();
+            assert_eq!(got, &expect);
+        }
+    }
+
+    #[test]
+    fn exchange_empty_batches_ok() {
+        let team = Team::single_node(3);
+        let received = team.run(|ctx| ctx.exchange::<u64>(vec![vec![]; ctx.ranks()]));
+        assert!(received.iter().all(|v| v.is_empty()));
+        assert_eq!(team.stats_total().msgs_sent, 0);
+    }
+
+    #[test]
+    fn aggregator_delivers_everything_once() {
+        let team = Team::single_node(4);
+        let per_rank_items = 100usize;
+        let received = team.run(|ctx| {
+            let n = ctx.ranks();
+            let mut agg: Aggregator<(usize, usize)> = Aggregator::new(ctx, 7);
+            for i in 0..per_rank_items {
+                let dest = i % n;
+                agg.push(dest, (ctx.rank(), i));
+            }
+            let mut got = agg.finish();
+            got.sort();
+            got
+        });
+        let total: usize = received.iter().map(|v| v.len()).sum();
+        assert_eq!(total, 4 * per_rank_items);
+        // Every item lands at the destination its index selects.
+        for (dest, items) in received.iter().enumerate() {
+            assert!(items.iter().all(|&(_, i)| i % 4 == dest));
+        }
+    }
+
+    #[test]
+    fn aggregation_reduces_message_count() {
+        let items = 1000usize;
+        let count_msgs = |batch: usize| {
+            let team = Team::new(Topology::new(4, 1));
+            team.run(|ctx| {
+                let mut agg: Aggregator<u64> = Aggregator::new(ctx, batch);
+                for i in 0..items {
+                    agg.push(i % ctx.ranks(), i as u64);
+                }
+                let _ = agg.finish();
+            });
+            team.stats_total().msgs_sent
+        };
+        let fine = count_msgs(1);
+        let coarse = count_msgs(128);
+        assert!(
+            coarse * 10 < fine,
+            "aggregated messaging should send far fewer messages: fine={fine} coarse={coarse}"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! A simulated PGAS (UPC-like) SPMD runtime.
+//!
+//! MetaHipMer is written in Unified Parallel C: `THREADS` ranks execute the
+//! same program, share a partitioned global address space, and communicate
+//! with one-sided puts/gets, remote atomics and collectives. This crate
+//! reproduces that execution model on a single machine:
+//!
+//! * a [`Topology`] groups P *ranks* into simulated *nodes* (so that on-node
+//!   vs off-node traffic can be distinguished, exactly the quantity the
+//!   paper's read-localisation optimisation targets);
+//! * a [`Team`] runs an SPMD closure on one OS thread per rank and provides
+//!   the collectives the pipeline needs: barrier, broadcast/share, all-reduce
+//!   and an aggregated all-to-all [`exchange::Aggregator`] that models UPC's
+//!   "aggregated, asynchronous one-sided messages";
+//! * per-rank [`stats::CommStats`] account for every simulated remote access,
+//!   message, atomic and software-cache hit so experiments can report
+//!   communication volumes alongside wall-clock times;
+//! * [`work::DynamicBlocks`] implements the single-global-atomic dynamic
+//!   work-stealing scheme of §II-G.
+//!
+//! The runtime intentionally exposes the same *use sites* as UPC code: all
+//! higher-level crates (distributed hash tables, k-mer analysis, alignment,
+//! scaffolding) are written against `Ctx` the way the paper's algorithms are
+//! written against UPC, so the parallel structure of the original is preserved
+//! even though ranks are threads rather than processes.
+
+pub mod exchange;
+pub mod stats;
+pub mod team;
+pub mod topology;
+pub mod work;
+
+pub use exchange::{AllToAll, Aggregator};
+pub use stats::{CommStats, StatsSnapshot};
+pub use team::{Ctx, Team};
+pub use topology::Topology;
+pub use work::DynamicBlocks;

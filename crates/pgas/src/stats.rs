@@ -1,0 +1,201 @@
+//! Per-rank communication and memory-system accounting.
+//!
+//! UPC runs on a real interconnect; our ranks are threads, so wall-clock alone
+//! would hide communication effects such as the read-localisation optimisation
+//! of §II-I (whose benefit is *fewer off-node seed lookups* and *better cache
+//! reuse*). Every simulated remote operation is therefore counted here, and the
+//! experiment harnesses report these counters next to the timings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic per-rank counters. Padded to a cache line to avoid false sharing
+/// between ranks that update their own counters concurrently.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CommStats {
+    /// Aggregated messages sent (one per flushed batch).
+    pub msgs_sent: AtomicU64,
+    /// Payload bytes across all sent messages.
+    pub bytes_sent: AtomicU64,
+    /// Fine-grained operations that targeted data owned by a rank on another
+    /// simulated node.
+    pub remote_ops: AtomicU64,
+    /// Fine-grained operations that stayed within the simulated node.
+    pub local_ops: AtomicU64,
+    /// Global atomic operations (compare-and-swap, fetch-add on shared state).
+    pub atomic_ops: AtomicU64,
+    /// Software-cache hits (read-only phase of the distributed hash tables).
+    pub cache_hits: AtomicU64,
+    /// Software-cache misses.
+    pub cache_misses: AtomicU64,
+    /// Work blocks obtained through the dynamic work-stealing counter beyond
+    /// the rank's initial block.
+    pub steals: AtomicU64,
+}
+
+impl CommStats {
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.msgs_sent.store(0, Ordering::Relaxed);
+        self.bytes_sent.store(0, Ordering::Relaxed);
+        self.remote_ops.store(0, Ordering::Relaxed);
+        self.local_ops.store(0, Ordering::Relaxed);
+        self.atomic_ops.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.steals.store(0, Ordering::Relaxed);
+    }
+
+    /// Takes a plain-value snapshot of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            remote_ops: self.remote_ops.load(Ordering::Relaxed),
+            local_ops: self.local_ops.load(Ordering::Relaxed),
+            atomic_ops: self.atomic_ops.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value copy of [`CommStats`], summable across ranks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub msgs_sent: u64,
+    pub bytes_sent: u64,
+    pub remote_ops: u64,
+    pub local_ops: u64,
+    pub atomic_ops: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub steals: u64,
+}
+
+impl StatsSnapshot {
+    /// Element-wise sum of two snapshots.
+    pub fn add(&self, other: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            msgs_sent: self.msgs_sent + other.msgs_sent,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            remote_ops: self.remote_ops + other.remote_ops,
+            local_ops: self.local_ops + other.local_ops,
+            atomic_ops: self.atomic_ops + other.atomic_ops,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+            steals: self.steals + other.steals,
+        }
+    }
+
+    /// Difference (`self - other`), saturating at zero; used to measure a
+    /// phase by snapshotting before and after.
+    pub fn delta_from(&self, before: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            msgs_sent: self.msgs_sent.saturating_sub(before.msgs_sent),
+            bytes_sent: self.bytes_sent.saturating_sub(before.bytes_sent),
+            remote_ops: self.remote_ops.saturating_sub(before.remote_ops),
+            local_ops: self.local_ops.saturating_sub(before.local_ops),
+            atomic_ops: self.atomic_ops.saturating_sub(before.atomic_ops),
+            cache_hits: self.cache_hits.saturating_sub(before.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(before.cache_misses),
+            steals: self.steals.saturating_sub(before.steals),
+        }
+    }
+
+    /// Fraction of fine-grained operations that crossed a node boundary.
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.remote_ops + self.local_ops;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_ops as f64 / total as f64
+        }
+    }
+
+    /// Software-cache hit rate in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Load-balance ratio: average work divided by maximum work across ranks, in
+/// `(0, 1]`; 1.0 means perfectly balanced. This is the quantity the paper
+/// quotes for the local-assembly stage ("improves load balance from about 0.33
+/// to 0.55").
+pub fn load_balance_ratio(per_rank_work: &[f64]) -> f64 {
+    if per_rank_work.is_empty() {
+        return 1.0;
+    }
+    let max = per_rank_work.iter().cloned().fold(f64::MIN, f64::max);
+    if max <= 0.0 {
+        return 1.0;
+    }
+    let avg = per_rank_work.iter().sum::<f64>() / per_rank_work.len() as f64;
+    avg / max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_reset() {
+        let s = CommStats::default();
+        s.msgs_sent.fetch_add(3, Ordering::Relaxed);
+        s.bytes_sent.fetch_add(100, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.msgs_sent, 3);
+        assert_eq!(snap.bytes_sent, 100);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn add_and_delta() {
+        let a = StatsSnapshot {
+            msgs_sent: 1,
+            bytes_sent: 10,
+            remote_ops: 2,
+            local_ops: 3,
+            atomic_ops: 4,
+            cache_hits: 5,
+            cache_misses: 6,
+            steals: 7,
+        };
+        let b = a.add(&a);
+        assert_eq!(b.msgs_sent, 2);
+        assert_eq!(b.steals, 14);
+        let d = b.delta_from(&a);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn ratios() {
+        let s = StatsSnapshot {
+            remote_ops: 30,
+            local_ops: 70,
+            cache_hits: 9,
+            cache_misses: 1,
+            ..Default::default()
+        };
+        assert!((s.remote_fraction() - 0.3).abs() < 1e-12);
+        assert!((s.cache_hit_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(StatsSnapshot::default().remote_fraction(), 0.0);
+        assert_eq!(StatsSnapshot::default().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn load_balance() {
+        assert!((load_balance_ratio(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((load_balance_ratio(&[4.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        assert_eq!(load_balance_ratio(&[]), 1.0);
+        assert_eq!(load_balance_ratio(&[0.0, 0.0]), 1.0);
+    }
+}

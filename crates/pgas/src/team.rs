@@ -1,0 +1,401 @@
+//! SPMD teams, rank contexts and collectives.
+//!
+//! A [`Team`] owns everything the ranks share: the topology, the barrier, the
+//! statistics and the scratch slots used by collectives. `Team::run` spawns
+//! one thread per rank and executes the same closure on each, mirroring UPC's
+//! SPMD execution of `main` across `THREADS` ranks. Inside the closure, the
+//! per-rank [`Ctx`] exposes the collectives and the accounting hooks.
+
+use crate::stats::{CommStats, StatsSnapshot};
+use crate::topology::Topology;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+/// Shared SPMD team state.
+pub struct Team {
+    topo: Topology,
+    barrier: Barrier,
+    stats: Vec<CommStats>,
+    /// Slot used by `share`/`broadcast` collectives (rank 0 publishes a value,
+    /// everyone clones it). Protected by the surrounding barrier protocol.
+    share_slot: Mutex<Option<Arc<dyn Any + Send + Sync>>>,
+    /// Per-rank contribution slots for u64 reductions.
+    reduce_u64: Vec<AtomicU64>,
+    /// Per-rank contribution slots for f64 reductions (bit-cast through u64).
+    reduce_f64: Vec<AtomicU64>,
+}
+
+impl Team {
+    /// Creates a team for the given topology.
+    pub fn new(topo: Topology) -> Arc<Team> {
+        let n = topo.ranks();
+        Arc::new(Team {
+            topo,
+            barrier: Barrier::new(n),
+            stats: (0..n).map(|_| CommStats::default()).collect(),
+            share_slot: Mutex::new(None),
+            reduce_u64: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            reduce_f64: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        })
+    }
+
+    /// Convenience: a team of `ranks` ranks on a single simulated node.
+    pub fn single_node(ranks: usize) -> Arc<Team> {
+        Team::new(Topology::single_node(ranks))
+    }
+
+    /// The team topology.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.topo.ranks()
+    }
+
+    /// Per-rank statistics (indexed by rank).
+    pub fn stats(&self, rank: usize) -> &CommStats {
+        &self.stats[rank]
+    }
+
+    /// Sum of all ranks' statistics.
+    pub fn stats_total(&self) -> StatsSnapshot {
+        self.stats
+            .iter()
+            .map(|s| s.snapshot())
+            .fold(StatsSnapshot::default(), |acc, s| acc.add(&s))
+    }
+
+    /// Per-rank snapshots.
+    pub fn stats_per_rank(&self) -> Vec<StatsSnapshot> {
+        self.stats.iter().map(|s| s.snapshot()).collect()
+    }
+
+    /// Resets all ranks' statistics.
+    pub fn reset_stats(&self) {
+        for s in &self.stats {
+            s.reset();
+        }
+    }
+
+    /// Runs `f` SPMD-style: one thread per rank, all executing the same
+    /// closure with their own [`Ctx`]. Returns the per-rank results in rank
+    /// order. Panics in any rank propagate.
+    pub fn run<R, F>(self: &Arc<Self>, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Ctx) -> R + Send + Sync,
+    {
+        let n = self.ranks();
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for rank in 0..n {
+                let team = Arc::clone(self);
+                handles.push(scope.spawn(move || {
+                    let ctx = Ctx { rank, team: &team };
+                    f(&ctx)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("SPMD rank panicked"))
+                .collect()
+        })
+    }
+}
+
+impl std::fmt::Debug for Team {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Team")
+            .field("topology", &self.topo)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-rank execution context handed to the SPMD closure.
+pub struct Ctx<'t> {
+    rank: usize,
+    team: &'t Arc<Team>,
+}
+
+impl<'t> Ctx<'t> {
+    /// This rank's index (UPC's `MYTHREAD`).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total ranks (UPC's `THREADS`).
+    #[inline]
+    pub fn ranks(&self) -> usize {
+        self.team.ranks()
+    }
+
+    /// The team this rank belongs to.
+    pub fn team(&self) -> &Arc<Team> {
+        self.team
+    }
+
+    /// The machine topology.
+    pub fn topology(&self) -> Topology {
+        self.team.topo
+    }
+
+    /// This rank's statistics counters.
+    pub fn stats(&self) -> &CommStats {
+        &self.team.stats[self.rank]
+    }
+
+    /// Records a fine-grained access to data owned by `owner_rank`, counting
+    /// it as on-node or off-node according to the topology.
+    #[inline]
+    pub fn record_access(&self, owner_rank: usize) {
+        if self.team.topo.same_node(self.rank, owner_rank) {
+            self.stats().local_ops.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats().remote_ops.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records an aggregated message of `bytes` payload to `dest`.
+    #[inline]
+    pub fn record_message(&self, dest: usize, bytes: usize) {
+        let s = self.stats();
+        s.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        s.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        // The message itself also counts as a (single) remote or local access.
+        self.record_access(dest);
+    }
+
+    /// Records a global atomic operation.
+    #[inline]
+    pub fn record_atomic(&self) {
+        self.stats().atomic_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Blocks until every rank has reached the barrier.
+    pub fn barrier(&self) {
+        self.team.barrier.wait();
+    }
+
+    /// Collective: rank 0 evaluates `make` once, every rank receives a clone
+    /// of the resulting `Arc`. Must be called by all ranks (it contains
+    /// barriers).
+    pub fn share<T, F>(&self, make: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        if self.rank == 0 {
+            let value: Arc<T> = Arc::new(make());
+            *self.team.share_slot.lock() = Some(value.clone() as Arc<dyn Any + Send + Sync>);
+        }
+        self.barrier();
+        let out = {
+            let slot = self.team.share_slot.lock();
+            let any = slot.as_ref().expect("share slot populated by rank 0");
+            Arc::clone(any)
+                .downcast::<T>()
+                .expect("share type mismatch across ranks")
+        };
+        self.barrier();
+        if self.rank == 0 {
+            *self.team.share_slot.lock() = None;
+        }
+        out
+    }
+
+    /// Collective broadcast of a cloneable value from rank 0.
+    pub fn broadcast<T, F>(&self, make: F) -> T
+    where
+        T: Clone + Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        (*self.share(make)).clone()
+    }
+
+    fn reduce_u64_with(&self, value: u64, combine: impl Fn(u64, u64) -> u64) -> u64 {
+        self.team.reduce_u64[self.rank].store(value, Ordering::SeqCst);
+        self.barrier();
+        let mut acc = self.team.reduce_u64[0].load(Ordering::SeqCst);
+        for r in 1..self.ranks() {
+            acc = combine(acc, self.team.reduce_u64[r].load(Ordering::SeqCst));
+        }
+        self.barrier();
+        acc
+    }
+
+    /// All-reduce sum over u64 contributions. Collective.
+    pub fn allreduce_sum_u64(&self, value: u64) -> u64 {
+        self.reduce_u64_with(value, |a, b| a + b)
+    }
+
+    /// All-reduce max over u64 contributions. Collective.
+    pub fn allreduce_max_u64(&self, value: u64) -> u64 {
+        self.reduce_u64_with(value, u64::max)
+    }
+
+    /// All-reduce min over u64 contributions. Collective.
+    pub fn allreduce_min_u64(&self, value: u64) -> u64 {
+        self.reduce_u64_with(value, u64::min)
+    }
+
+    /// All-reduce logical OR over boolean contributions. Collective.
+    /// This is the "was anything pruned this iteration" reduction of
+    /// Algorithm 2.
+    pub fn allreduce_any(&self, value: bool) -> bool {
+        self.reduce_u64_with(u64::from(value), u64::max) != 0
+    }
+
+    fn reduce_f64_with(&self, value: f64, combine: impl Fn(f64, f64) -> f64) -> f64 {
+        self.team.reduce_f64[self.rank].store(value.to_bits(), Ordering::SeqCst);
+        self.barrier();
+        let mut acc = f64::from_bits(self.team.reduce_f64[0].load(Ordering::SeqCst));
+        for r in 1..self.ranks() {
+            acc = combine(acc, f64::from_bits(self.team.reduce_f64[r].load(Ordering::SeqCst)));
+        }
+        self.barrier();
+        acc
+    }
+
+    /// All-reduce sum over f64 contributions. Collective.
+    pub fn allreduce_sum_f64(&self, value: f64) -> f64 {
+        self.reduce_f64_with(value, |a, b| a + b)
+    }
+
+    /// All-reduce max over f64 contributions. Collective.
+    pub fn allreduce_max_f64(&self, value: f64) -> f64 {
+        self.reduce_f64_with(value, f64::max)
+    }
+
+    /// Splits `0..total` into a contiguous chunk per rank (block
+    /// distribution); returns this rank's range. The remainder is spread over
+    /// the first ranks so chunk sizes differ by at most one.
+    pub fn block_range(&self, total: usize) -> std::ops::Range<usize> {
+        block_range_for(self.rank, self.ranks(), total)
+    }
+}
+
+/// The block-distribution helper behind [`Ctx::block_range`], exposed so that
+/// non-SPMD code (tests, planners) can compute the same split.
+pub fn block_range_for(rank: usize, ranks: usize, total: usize) -> std::ops::Range<usize> {
+    let base = total / ranks;
+    let rem = total % ranks;
+    let start = rank * base + rank.min(rem);
+    let len = base + usize::from(rank < rem);
+    start..(start + len).min(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spmd_run_returns_rank_ordered_results() {
+        let team = Team::single_node(4);
+        let out = team.run(|ctx| ctx.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn reductions() {
+        let team = Team::single_node(4);
+        let sums = team.run(|ctx| ctx.allreduce_sum_u64(ctx.rank() as u64 + 1));
+        assert!(sums.iter().all(|&s| s == 10));
+        let maxs = team.run(|ctx| ctx.allreduce_max_u64(ctx.rank() as u64));
+        assert!(maxs.iter().all(|&m| m == 3));
+        let mins = team.run(|ctx| ctx.allreduce_min_u64(ctx.rank() as u64 + 5));
+        assert!(mins.iter().all(|&m| m == 5));
+        let anys = team.run(|ctx| ctx.allreduce_any(ctx.rank() == 2));
+        assert!(anys.iter().all(|&b| b));
+        let nones = team.run(|ctx| ctx.allreduce_any(false));
+        assert!(nones.iter().all(|&b| !b));
+        let fsum = team.run(|ctx| ctx.allreduce_sum_f64(0.5 * (ctx.rank() as f64 + 1.0)));
+        assert!(fsum.iter().all(|&s| (s - 5.0).abs() < 1e-12));
+        let fmax = team.run(|ctx| ctx.allreduce_max_f64(-(ctx.rank() as f64)));
+        assert!(fmax.iter().all(|&m| (m - 0.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn consecutive_reductions_do_not_interfere() {
+        let team = Team::single_node(3);
+        let out = team.run(|ctx| {
+            let a = ctx.allreduce_sum_u64(1);
+            let b = ctx.allreduce_sum_u64(2);
+            let c = ctx.allreduce_max_u64(ctx.rank() as u64);
+            (a, b, c)
+        });
+        assert!(out.iter().all(|&(a, b, c)| a == 3 && b == 6 && c == 2));
+    }
+
+    #[test]
+    fn share_distributes_single_instance() {
+        let team = Team::single_node(4);
+        let ptrs = team.run(|ctx| {
+            let shared = ctx.share(|| vec![1u32, 2, 3]);
+            Arc::as_ptr(&shared) as usize
+        });
+        assert!(ptrs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn broadcast_clones_value() {
+        let team = Team::single_node(3);
+        let vals = team.run(|ctx| ctx.broadcast(|| String::from("hello")));
+        assert!(vals.iter().all(|v| v == "hello"));
+    }
+
+    #[test]
+    fn block_ranges_partition_exactly() {
+        for ranks in 1..7usize {
+            for total in [0usize, 1, 5, 16, 97] {
+                let mut covered = 0usize;
+                let mut prev_end = 0usize;
+                for r in 0..ranks {
+                    let range = block_range_for(r, ranks, total);
+                    assert!(range.start == prev_end);
+                    prev_end = range.end;
+                    covered += range.len();
+                }
+                assert_eq!(covered, total, "ranks={ranks} total={total}");
+                assert_eq!(prev_end, total);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_recording_distinguishes_nodes() {
+        let team = Team::new(Topology::new(4, 2));
+        team.run(|ctx| {
+            // Rank r touches data owned by every rank once.
+            for owner in 0..ctx.ranks() {
+                ctx.record_access(owner);
+            }
+            ctx.record_atomic();
+        });
+        let total = team.stats_total();
+        // Each of 4 ranks: 2 local (same node incl. self), 2 remote.
+        assert_eq!(total.local_ops, 8);
+        assert_eq!(total.remote_ops, 8);
+        assert_eq!(total.atomic_ops, 4);
+        team.reset_stats();
+        assert_eq!(team.stats_total(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn record_message_counts_bytes() {
+        let team = Team::single_node(2);
+        team.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.record_message(1, 256);
+            }
+        });
+        let t = team.stats_total();
+        assert_eq!(t.msgs_sent, 1);
+        assert_eq!(t.bytes_sent, 256);
+    }
+}

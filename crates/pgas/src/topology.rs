@@ -1,0 +1,99 @@
+//! Rank/node topology of a simulated distributed-memory machine.
+
+/// Describes how many SPMD ranks exist and how they are grouped into nodes.
+///
+/// The paper's experiments run 32 ranks per Cori node; communication between
+/// ranks on the same node is cheap (shared memory) while communication across
+/// nodes crosses the interconnect. We keep the same distinction so that the
+/// accounting layer can report off-node traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    ranks: usize,
+    ranks_per_node: usize,
+}
+
+impl Topology {
+    /// Creates a topology with `ranks` ranks grouped `ranks_per_node` to a node.
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    pub fn new(ranks: usize, ranks_per_node: usize) -> Self {
+        assert!(ranks > 0, "need at least one rank");
+        assert!(ranks_per_node > 0, "need at least one rank per node");
+        Topology {
+            ranks,
+            ranks_per_node,
+        }
+    }
+
+    /// A single-node topology (every rank is "local" to every other).
+    pub fn single_node(ranks: usize) -> Self {
+        Topology::new(ranks, ranks.max(1))
+    }
+
+    /// Total number of ranks.
+    #[inline]
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Ranks per simulated node.
+    #[inline]
+    pub fn ranks_per_node(&self) -> usize {
+        self.ranks_per_node
+    }
+
+    /// Number of simulated nodes (the last node may be partially filled).
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        (self.ranks + self.ranks_per_node - 1) / self.ranks_per_node
+    }
+
+    /// The node a rank belongs to.
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> usize {
+        debug_assert!(rank < self.ranks);
+        rank / self.ranks_per_node
+    }
+
+    /// True if two ranks share a node.
+    #[inline]
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_arithmetic() {
+        let t = Topology::new(10, 4);
+        assert_eq!(t.ranks(), 10);
+        assert_eq!(t.nodes(), 3);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(3), 0);
+        assert_eq!(t.node_of(4), 1);
+        assert_eq!(t.node_of(9), 2);
+        assert!(t.same_node(4, 7));
+        assert!(!t.same_node(3, 4));
+    }
+
+    #[test]
+    fn single_node_everything_local() {
+        let t = Topology::single_node(8);
+        assert_eq!(t.nodes(), 1);
+        for a in 0..8 {
+            for b in 0..8 {
+                assert!(t.same_node(a, b));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_rejected() {
+        let _ = Topology::new(0, 1);
+    }
+}

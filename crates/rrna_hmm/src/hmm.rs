@@ -1,0 +1,300 @@
+//! A small profile hidden Markov model with local Viterbi scoring.
+
+use seqio::alphabet::{encode_base, revcomp};
+
+/// Background base probability (uniform over ACGT).
+const BACKGROUND: f64 = 0.25;
+
+/// A profile HMM over a consensus of length L: match states M_1..M_L with
+/// position-specific emission probabilities, plus insert and delete states
+/// with shared transition probabilities (a light-weight Plan7 architecture).
+#[derive(Debug, Clone)]
+pub struct ProfileHmm {
+    /// Emission probabilities of each match state, indexed `[position][base]`.
+    match_emit: Vec<[f64; 4]>,
+    /// log(P) of staying on the match path (M→M).
+    log_mm: f64,
+    /// log(P) of opening an insertion or deletion (M→I, M→D).
+    log_open: f64,
+    /// log(P) of extending an insertion or deletion (I→I, D→D).
+    log_extend: f64,
+    /// log(P) of closing an insertion or deletion back to match.
+    log_close: f64,
+}
+
+impl ProfileHmm {
+    /// Builds a profile from a consensus sequence.
+    ///
+    /// `mismatch_prob` is the probability of observing a non-consensus base at
+    /// a match state (spread evenly over the three alternatives);
+    /// `indel_open`/`indel_extend` control the gap model.
+    pub fn from_consensus(consensus: &[u8], mismatch_prob: f64, indel_open: f64, indel_extend: f64) -> Self {
+        assert!(!consensus.is_empty(), "consensus must be non-empty");
+        assert!((0.0..0.75).contains(&mismatch_prob));
+        assert!((0.0..0.5).contains(&indel_open) && indel_open > 0.0);
+        assert!((0.0..1.0).contains(&indel_extend) && indel_extend > 0.0);
+        let match_emit = consensus
+            .iter()
+            .map(|&b| {
+                let mut probs = [mismatch_prob / 3.0; 4];
+                match encode_base(b) {
+                    Some(code) => probs[code as usize] = 1.0 - mismatch_prob,
+                    None => probs = [0.25; 4],
+                }
+                probs
+            })
+            .collect();
+        ProfileHmm {
+            match_emit,
+            log_mm: (1.0 - 2.0 * indel_open).ln(),
+            log_open: indel_open.ln(),
+            log_extend: indel_extend.ln(),
+            log_close: (1.0 - indel_extend).ln(),
+        }
+    }
+
+    /// Builds a profile from a consensus plus example sequences of the same
+    /// length: emission probabilities become the per-column base frequencies
+    /// (with a pseudocount), which is how a profile is normally trained from a
+    /// multiple alignment of family members.
+    pub fn from_examples(consensus: &[u8], examples: &[Vec<u8>], indel_open: f64, indel_extend: f64) -> Self {
+        let mut hmm = ProfileHmm::from_consensus(consensus, 0.05, indel_open, indel_extend);
+        let l = consensus.len();
+        let mut counts = vec![[1.0f64; 4]; l]; // +1 pseudocount
+        for (i, &b) in consensus.iter().enumerate() {
+            if let Some(code) = encode_base(b) {
+                counts[i][code as usize] += 2.0; // consensus weighted
+            }
+        }
+        for ex in examples {
+            for (i, &b) in ex.iter().enumerate().take(l) {
+                if let Some(code) = encode_base(b) {
+                    counts[i][code as usize] += 1.0;
+                }
+            }
+        }
+        for (i, c) in counts.iter().enumerate() {
+            let total: f64 = c.iter().sum();
+            for base in 0..4 {
+                hmm.match_emit[i][base] = c[base] / total;
+            }
+        }
+        hmm
+    }
+
+    /// Profile length (number of match states).
+    pub fn len(&self) -> usize {
+        self.match_emit.len()
+    }
+
+    /// True if the profile has no match states (never constructible via the
+    /// public constructors, which reject empty consensi).
+    pub fn is_empty(&self) -> bool {
+        self.match_emit.is_empty()
+    }
+
+    /// Best local-alignment Viterbi log-odds score (in nats) of the profile
+    /// against `seq` on the given strand only.
+    fn score_forward(&self, seq: &[u8]) -> f64 {
+        let l = self.len();
+        let n = seq.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let neg = f64::NEG_INFINITY;
+        // DP over profile positions (rows) and sequence positions (columns),
+        // local in the sequence (free start/end) and in the profile ends.
+        let mut m_prev = vec![0.0f64; n + 1]; // score of best path ending in M_0 (virtual begin) = 0 anywhere
+        let mut i_prev = vec![neg; n + 1];
+        let mut d_prev = vec![neg; n + 1];
+        let mut best = 0.0f64;
+        for row in 1..=l {
+            let mut m_cur = vec![neg; n + 1];
+            let mut i_cur = vec![neg; n + 1];
+            let mut d_cur = vec![neg; n + 1];
+            for col in 1..=n {
+                let base = match encode_base(seq[col - 1]) {
+                    Some(b) => b as usize,
+                    None => {
+                        continue;
+                    }
+                };
+                let emit = (self.match_emit[row - 1][base] / BACKGROUND).ln();
+                let from_m = m_prev[col - 1] + self.log_mm;
+                let from_i = i_prev[col - 1] + self.log_close;
+                let from_d = d_prev[col - 1] + self.log_close;
+                m_cur[col] = emit + from_m.max(from_i).max(from_d).max(0.0);
+                // Insert state of row `row`: consumes a sequence base, stays on the row.
+                let i_open = m_cur[col - 1].max(m_prev[col - 1]) + self.log_open;
+                let i_ext = i_cur[col - 1] + self.log_extend;
+                i_cur[col] = i_open.max(i_ext); // insertions emit at background odds = 0
+                // Delete state: consumes a profile row, not a sequence base.
+                let d_open = m_prev[col] + self.log_open;
+                let d_ext = d_prev[col] + self.log_extend;
+                d_cur[col] = d_open.max(d_ext);
+                if m_cur[col] > best {
+                    best = m_cur[col];
+                }
+            }
+            m_prev = m_cur;
+            i_prev = i_cur;
+            d_prev = d_cur;
+        }
+        best
+    }
+
+    /// Best local log-odds score over both strands, in nats.
+    pub fn score(&self, seq: &[u8]) -> f64 {
+        let fwd = self.score_forward(seq);
+        let rc = revcomp(seq);
+        let rev = self.score_forward(&rc);
+        fwd.max(rev)
+    }
+
+    /// Score normalised per profile position (nats per consensus base), which
+    /// makes thresholds independent of the profile length.
+    pub fn normalized_score(&self, seq: &[u8]) -> f64 {
+        self.score(seq) / self.len() as f64
+    }
+}
+
+/// A thresholded rRNA-region detector used by the scaffolder.
+#[derive(Debug, Clone)]
+pub struct RrnaDetector {
+    pub hmm: ProfileHmm,
+    /// Minimum normalised score (nats per profile position) to call a hit.
+    pub threshold: f64,
+    /// Sequences shorter than this are never called hits (too little signal).
+    pub min_len: usize,
+}
+
+impl RrnaDetector {
+    /// Builds a detector from a consensus with a default threshold that
+    /// separates genuine (≤ ~10% divergent) copies from unrelated sequence.
+    pub fn from_consensus(consensus: &[u8]) -> Self {
+        RrnaDetector {
+            hmm: ProfileHmm::from_consensus(consensus, 0.05, 0.02, 0.3),
+            threshold: 0.4,
+            min_len: consensus.len() / 4,
+        }
+    }
+
+    /// Normalised score of a sequence.
+    pub fn score(&self, seq: &[u8]) -> f64 {
+        self.hmm.normalized_score(seq)
+    }
+
+    /// True if the sequence contains an rRNA-like region.
+    pub fn is_hit(&self, seq: &[u8]) -> bool {
+        seq.len() >= self.min_len && self.score(seq) >= self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_seq(rng: &mut StdRng, len: usize) -> Vec<u8> {
+        (0..len).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect()
+    }
+
+    fn mutate(rng: &mut StdRng, seq: &[u8], rate: f64) -> Vec<u8> {
+        seq.iter()
+            .map(|&b| {
+                if rng.gen::<f64>() < rate {
+                    loop {
+                        let c = b"ACGT"[rng.gen_range(0..4)];
+                        if c != b {
+                            break c;
+                        }
+                    }
+                } else {
+                    b
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn consensus_scores_highest() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let consensus = random_seq(&mut rng, 200);
+        let hmm = ProfileHmm::from_consensus(&consensus, 0.05, 0.02, 0.3);
+        assert_eq!(hmm.len(), 200);
+        assert!(!hmm.is_empty());
+        let self_score = hmm.normalized_score(&consensus);
+        let random_score = hmm.normalized_score(&random_seq(&mut rng, 200));
+        assert!(self_score > 1.0, "self score {self_score}");
+        assert!(self_score > 3.0 * random_score.max(0.05));
+    }
+
+    #[test]
+    fn diverged_copy_still_detected_random_not() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let consensus = random_seq(&mut rng, 300);
+        let detector = RrnaDetector::from_consensus(&consensus);
+        let diverged = mutate(&mut rng, &consensus, 0.05);
+        assert!(detector.is_hit(&diverged));
+        let unrelated = random_seq(&mut rng, 300);
+        assert!(!detector.is_hit(&unrelated));
+    }
+
+    #[test]
+    fn embedded_copy_detected_inside_larger_contig() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let consensus = random_seq(&mut rng, 250);
+        let detector = RrnaDetector::from_consensus(&consensus);
+        let mut contig = random_seq(&mut rng, 400);
+        let copy = mutate(&mut rng, &consensus, 0.03);
+        contig.extend_from_slice(&copy);
+        contig.extend_from_slice(&random_seq(&mut rng, 400));
+        assert!(detector.is_hit(&contig), "embedded rRNA copy missed");
+    }
+
+    #[test]
+    fn reverse_complement_detected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let consensus = random_seq(&mut rng, 200);
+        let detector = RrnaDetector::from_consensus(&consensus);
+        let rc = revcomp(&consensus);
+        assert!(detector.is_hit(&rc));
+    }
+
+    #[test]
+    fn short_sequences_never_hit() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let consensus = random_seq(&mut rng, 200);
+        let detector = RrnaDetector::from_consensus(&consensus);
+        assert!(!detector.is_hit(&consensus[..20]));
+    }
+
+    #[test]
+    fn copy_with_deletion_still_scores_well() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let consensus = random_seq(&mut rng, 200);
+        let detector = RrnaDetector::from_consensus(&consensus);
+        // Delete a 10-base block from the middle.
+        let mut copy = consensus[..100].to_vec();
+        copy.extend_from_slice(&consensus[110..]);
+        assert!(detector.is_hit(&copy), "deletion-bearing copy missed");
+    }
+
+    #[test]
+    fn from_examples_learns_column_frequencies() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let consensus = random_seq(&mut rng, 150);
+        let examples: Vec<Vec<u8>> = (0..5).map(|_| mutate(&mut rng, &consensus, 0.05)).collect();
+        let hmm = ProfileHmm::from_examples(&consensus, &examples, 0.02, 0.3);
+        let member = mutate(&mut rng, &consensus, 0.05);
+        let unrelated = random_seq(&mut rng, 150);
+        assert!(hmm.normalized_score(&member) > hmm.normalized_score(&unrelated));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_consensus_rejected() {
+        let _ = ProfileHmm::from_consensus(b"", 0.05, 0.02, 0.3);
+    }
+}

@@ -1,0 +1,15 @@
+//! Profile HMM recognition of conserved ribosomal-RNA-like regions.
+//!
+//! MetaHipMer integrates HMMER to recognise contigs that belong to highly
+//! conserved ribosomal regions; such contigs get special treatment during
+//! scaffolding (§III-C) because reconstructing rRNA operons accurately matters
+//! for downstream phylogenetic analysis. HMMER itself is a large C code base;
+//! what the pipeline needs from it is a scoring oracle — "how well does this
+//! contig match the conserved profile?" — so this crate implements a genuine
+//! (if small) profile HMM: match/insert/delete states over a consensus, fitted
+//! from the consensus plus optional example sequences, scored against contigs
+//! with a local Viterbi log-odds algorithm on both strands.
+
+pub mod hmm;
+
+pub use hmm::{ProfileHmm, RrnaDetector};

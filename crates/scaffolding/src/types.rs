@@ -1,0 +1,134 @@
+//! Scaffold types.
+
+use dbg::ContigId;
+
+/// One contig placed in a scaffold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaffoldEntry {
+    pub contig: ContigId,
+    /// Orientation of the contig within the scaffold (true = as stored).
+    pub forward: bool,
+    /// Estimated gap (bases) to the next entry; negative values mean the
+    /// contigs are believed to overlap. `None` for the last entry.
+    pub gap_after: Option<i64>,
+    /// A short repeat contig that was suspended from the traversal at this
+    /// junction (§III-C); gap closing re-inserts it into the gap.
+    pub suspended_after: Option<ContigId>,
+}
+
+/// An ordered chain of contigs plus (after gap closing) its sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scaffold {
+    pub id: u64,
+    pub entries: Vec<ScaffoldEntry>,
+    /// The materialised sequence (empty until gap closing runs).
+    pub seq: Vec<u8>,
+}
+
+impl Scaffold {
+    /// Number of contigs in the scaffold.
+    pub fn num_contigs(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Length of the materialised sequence.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// True if no sequence has been materialised.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+}
+
+/// The final output of scaffolding.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScaffoldSet {
+    pub scaffolds: Vec<Scaffold>,
+}
+
+impl ScaffoldSet {
+    /// Number of scaffolds.
+    pub fn len(&self) -> usize {
+        self.scaffolds.len()
+    }
+
+    /// True if there are no scaffolds.
+    pub fn is_empty(&self) -> bool {
+        self.scaffolds.is_empty()
+    }
+
+    /// Total bases across all scaffold sequences.
+    pub fn total_bases(&self) -> usize {
+        self.scaffolds.iter().map(|s| s.len()).sum()
+    }
+
+    /// The scaffold sequences (the assembly handed to evaluation).
+    pub fn sequences(&self) -> Vec<Vec<u8>> {
+        self.scaffolds.iter().map(|s| s.seq.clone()).collect()
+    }
+
+    /// N50 of the scaffold sequences.
+    pub fn n50(&self) -> usize {
+        let mut lens: Vec<usize> = self.scaffolds.iter().map(|s| s.len()).collect();
+        lens.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = lens.iter().sum();
+        let mut acc = 0;
+        for l in lens {
+            acc += l;
+            if 2 * acc >= total {
+                return l;
+            }
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaffold_set_statistics() {
+        let set = ScaffoldSet {
+            scaffolds: vec![
+                Scaffold {
+                    id: 0,
+                    entries: vec![
+                        ScaffoldEntry {
+                            contig: 0,
+                            forward: true,
+                            gap_after: Some(10),
+                            suspended_after: None,
+                        },
+                        ScaffoldEntry {
+                            contig: 1,
+                            forward: false,
+                            gap_after: None,
+                            suspended_after: None,
+                        },
+                    ],
+                    seq: vec![b'A'; 300],
+                },
+                Scaffold {
+                    id: 1,
+                    entries: vec![ScaffoldEntry {
+                        contig: 2,
+                        forward: true,
+                        gap_after: None,
+                        suspended_after: None,
+                    }],
+                    seq: vec![b'C'; 100],
+                },
+            ],
+        };
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.total_bases(), 400);
+        assert_eq!(set.n50(), 300);
+        assert_eq!(set.scaffolds[0].num_contigs(), 2);
+        assert_eq!(set.sequences()[1].len(), 100);
+        assert!(!set.is_empty());
+        assert!(!set.scaffolds[0].is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Minimal FASTA parsing and writing.
+//!
+//! FASTA is used for reference genomes, contigs and final scaffolds. The
+//! parser accepts multi-line sequences, arbitrary description text after the
+//! first whitespace in the header, and blank lines.
+
+use std::fmt::Write as _;
+
+/// One FASTA record: a header (without `>`) and its sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Record identifier: header text up to the first whitespace.
+    pub id: String,
+    /// Full header text after the identifier (may be empty).
+    pub description: String,
+    /// Sequence bytes, upper-case normalised.
+    pub seq: Vec<u8>,
+}
+
+/// Parses FASTA text into records.
+///
+/// Returns an error describing the offending line if the input does not start
+/// with a header or contains a record with an empty sequence.
+pub fn parse_fasta(text: &str) -> Result<Vec<FastaRecord>, String> {
+    let mut records: Vec<FastaRecord> = Vec::new();
+    let mut current: Option<FastaRecord> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            if let Some(rec) = current.take() {
+                if rec.seq.is_empty() {
+                    return Err(format!("record '{}' has an empty sequence", rec.id));
+                }
+                records.push(rec);
+            }
+            let mut parts = header.splitn(2, char::is_whitespace);
+            let id = parts.next().unwrap_or("").to_string();
+            let description = parts.next().unwrap_or("").trim().to_string();
+            if id.is_empty() {
+                return Err(format!("empty FASTA header at line {}", lineno + 1));
+            }
+            current = Some(FastaRecord {
+                id,
+                description,
+                seq: Vec::new(),
+            });
+        } else {
+            match current.as_mut() {
+                Some(rec) => rec
+                    .seq
+                    .extend(crate::alphabet::normalize(line.as_bytes())),
+                None => {
+                    return Err(format!(
+                        "sequence data before any FASTA header at line {}",
+                        lineno + 1
+                    ))
+                }
+            }
+        }
+    }
+    if let Some(rec) = current {
+        if rec.seq.is_empty() {
+            return Err(format!("record '{}' has an empty sequence", rec.id));
+        }
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// Writes records as FASTA text with the given line width (0 = single line).
+pub fn write_fasta(records: &[FastaRecord], line_width: usize) -> String {
+    let mut out = String::new();
+    for rec in records {
+        if rec.description.is_empty() {
+            let _ = writeln!(out, ">{}", rec.id);
+        } else {
+            let _ = writeln!(out, ">{} {}", rec.id, rec.description);
+        }
+        if line_width == 0 {
+            let _ = writeln!(out, "{}", String::from_utf8_lossy(&rec.seq));
+        } else {
+            for chunk in rec.seq.chunks(line_width) {
+                let _ = writeln!(out, "{}", String::from_utf8_lossy(chunk));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let recs = parse_fasta(">a desc text\nACGT\nacg\n>b\nTTTT\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "a");
+        assert_eq!(recs[0].description, "desc text");
+        assert_eq!(recs[0].seq, b"ACGTACG".to_vec());
+        assert_eq!(recs[1].id, "b");
+        assert_eq!(recs[1].description, "");
+    }
+
+    #[test]
+    fn parse_rejects_headerless_sequence() {
+        assert!(parse_fasta("ACGT\n").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_empty_record() {
+        assert!(parse_fasta(">a\n>b\nACGT\n").is_err());
+        assert!(parse_fasta(">a\nACGT\n>b\n").is_err());
+    }
+
+    #[test]
+    fn parse_skips_blank_lines() {
+        let recs = parse_fasta("\n>a\n\nAC\nGT\n\n").unwrap();
+        assert_eq!(recs[0].seq, b"ACGT".to_vec());
+    }
+
+    #[test]
+    fn roundtrip_with_wrapping() {
+        let recs = vec![
+            FastaRecord {
+                id: "x".into(),
+                description: "hello".into(),
+                seq: b"ACGTACGTACGT".to_vec(),
+            },
+            FastaRecord {
+                id: "y".into(),
+                description: "".into(),
+                seq: b"TT".to_vec(),
+            },
+        ];
+        for width in [0, 3, 5, 100] {
+            let text = write_fasta(&recs, width);
+            let back = parse_fasta(&text).unwrap();
+            assert_eq!(back, recs, "width {width}");
+        }
+    }
+}

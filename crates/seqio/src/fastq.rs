@@ -1,0 +1,182 @@
+//! Minimal FASTQ parsing and writing (Sanger / Phred+33 encoding).
+//!
+//! FASTQ is the input format for sequencing reads. Each record is four lines:
+//! `@name`, sequence, `+`, quality string. Qualities are stored internally as
+//! raw Phred scores (already offset-corrected).
+
+use crate::read::{Read, ReadLibrary};
+use std::fmt::Write as _;
+
+/// ASCII offset of the Sanger/Illumina-1.8 quality encoding.
+pub const PHRED_OFFSET: u8 = 33;
+
+/// One parsed FASTQ record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastqRecord {
+    pub name: String,
+    pub seq: Vec<u8>,
+    /// Raw Phred scores (offset already removed).
+    pub qual: Vec<u8>,
+}
+
+impl From<FastqRecord> for Read {
+    fn from(r: FastqRecord) -> Self {
+        Read::new(r.name, &r.seq, &r.qual)
+    }
+}
+
+/// Parses FASTQ text into records. Errors mention the 1-based record index.
+pub fn parse_fastq(text: &str) -> Result<Vec<FastqRecord>, String> {
+    let mut lines = text.lines().filter(|l| !l.is_empty());
+    let mut records = Vec::new();
+    let mut idx = 0usize;
+    loop {
+        let header = match lines.next() {
+            Some(h) => h,
+            None => break,
+        };
+        idx += 1;
+        let name = header
+            .strip_prefix('@')
+            .ok_or_else(|| format!("record {idx}: header does not start with '@'"))?
+            .to_string();
+        let seq = lines
+            .next()
+            .ok_or_else(|| format!("record {idx}: missing sequence line"))?;
+        let plus = lines
+            .next()
+            .ok_or_else(|| format!("record {idx}: missing '+' line"))?;
+        if !plus.starts_with('+') {
+            return Err(format!("record {idx}: separator line does not start with '+'"));
+        }
+        let qual = lines
+            .next()
+            .ok_or_else(|| format!("record {idx}: missing quality line"))?;
+        if qual.len() != seq.len() {
+            return Err(format!(
+                "record {idx}: quality length {} != sequence length {}",
+                qual.len(),
+                seq.len()
+            ));
+        }
+        let qual: Vec<u8> = qual
+            .bytes()
+            .map(|b| {
+                if b < PHRED_OFFSET {
+                    Err(format!("record {idx}: quality character below '!'"))
+                } else {
+                    Ok(b - PHRED_OFFSET)
+                }
+            })
+            .collect::<Result<_, _>>()?;
+        records.push(FastqRecord {
+            name,
+            seq: crate::alphabet::normalize(seq.as_bytes()),
+            qual,
+        });
+    }
+    Ok(records)
+}
+
+/// Writes records as FASTQ text.
+pub fn write_fastq(records: &[FastqRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        let _ = writeln!(out, "@{}", rec.name);
+        let _ = writeln!(out, "{}", String::from_utf8_lossy(&rec.seq));
+        let _ = writeln!(out, "+");
+        let qual: String = rec
+            .qual
+            .iter()
+            .map(|&q| (q.min(93) + PHRED_OFFSET) as char)
+            .collect();
+        let _ = writeln!(out, "{}", qual);
+    }
+    out
+}
+
+/// Serialises a whole read library as interleaved FASTQ.
+pub fn library_to_fastq(lib: &ReadLibrary) -> String {
+    let recs: Vec<FastqRecord> = lib
+        .reads
+        .iter()
+        .map(|r| FastqRecord {
+            name: r.name.clone(),
+            seq: r.seq.clone(),
+            qual: r.qual.clone(),
+        })
+        .collect();
+    write_fastq(&recs)
+}
+
+/// Parses interleaved FASTQ text into a paired read library with the given
+/// insert-size model.
+pub fn library_from_fastq(
+    name: &str,
+    text: &str,
+    insert_size: usize,
+    insert_sd: usize,
+) -> Result<ReadLibrary, String> {
+    let recs = parse_fastq(text)?;
+    if recs.len() % 2 != 0 {
+        return Err(format!(
+            "interleaved FASTQ must hold an even number of records, got {}",
+            recs.len()
+        ));
+    }
+    let mut lib = ReadLibrary::new_paired(name, insert_size, insert_sd);
+    let mut it = recs.into_iter();
+    while let (Some(a), Some(b)) = (it.next(), it.next()) {
+        lib.push_pair(a.into(), b.into());
+    }
+    Ok(lib)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "@r1/1\nACGT\n+\nIIII\n@r1/2\nTTGG\n+\n!!II\n";
+
+    #[test]
+    fn parse_simple() {
+        let recs = parse_fastq(SAMPLE).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].name, "r1/1");
+        assert_eq!(recs[0].seq, b"ACGT".to_vec());
+        assert_eq!(recs[0].qual, vec![40, 40, 40, 40]);
+        assert_eq!(recs[1].qual, vec![0, 0, 40, 40]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_fastq("r1\nACGT\n+\nIIII\n").is_err());
+        assert!(parse_fastq("@r1\nACGT\nplus\nIIII\n").is_err());
+        assert!(parse_fastq("@r1\nACGT\n+\nIII\n").is_err());
+        assert!(parse_fastq("@r1\nACGT\n+\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let recs = parse_fastq(SAMPLE).unwrap();
+        let text = write_fastq(&recs);
+        let back = parse_fastq(&text).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn library_roundtrip() {
+        let lib = library_from_fastq("lib", SAMPLE, 250, 25).unwrap();
+        assert_eq!(lib.num_pairs(), 1);
+        assert_eq!(lib.insert_size, 250);
+        let text = library_to_fastq(&lib);
+        let lib2 = library_from_fastq("lib", &text, 250, 25).unwrap();
+        assert_eq!(lib2.reads, lib.reads);
+    }
+
+    #[test]
+    fn odd_record_count_rejected_for_pairs() {
+        let text = "@only\nACGT\n+\nIIII\n";
+        assert!(library_from_fastq("l", text, 1, 1).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! Sequence I/O and core sequence types for the MetaHipMer reproduction.
+//!
+//! This crate provides the low-level building blocks that every other crate in
+//! the workspace consumes:
+//!
+//! * [`alphabet`] — the DNA alphabet (A/C/G/T/N), 2-bit encoding helpers,
+//!   complements and reverse complements;
+//! * [`read`] — sequencing [`read::Read`]s, read pairs and
+//!   [`read::ReadLibrary`]s with insert-size metadata;
+//! * [`fasta`] / [`fastq`] — parsing and writing of the standard text formats;
+//! * [`reference`] — named reference genomes used by the simulator and the
+//!   quality-evaluation crate;
+//! * [`qc`] — light-weight quality trimming (the BBtools pre-processing step of
+//!   the paper is outside the evaluated pipeline; this is only used by tests
+//!   and examples that want slightly dirty data).
+//!
+//! Sequences are stored as ASCII bytes (`Vec<u8>` of `ACGTN`), which keeps the
+//! formats trivially round-trippable and lets the k-mer layer do its own 2-bit
+//! packing.
+
+pub mod alphabet;
+pub mod fasta;
+pub mod fastq;
+pub mod qc;
+pub mod read;
+pub mod reference;
+
+pub use alphabet::{complement, decode_base, encode_base, is_valid_base, revcomp, revcomp_in_place};
+pub use fasta::{parse_fasta, write_fasta, FastaRecord};
+pub use fastq::{parse_fastq, write_fastq, FastqRecord};
+pub use read::{PairOrientation, Read, ReadId, ReadLibrary, ReadPair};
+pub use reference::{ReferenceGenome, ReferenceSet};

@@ -1,0 +1,141 @@
+//! Light-weight read quality control.
+//!
+//! The paper pre-processes its datasets with BBtools (adapter trimming and
+//! contaminant removal) *before* the evaluated pipeline. Our simulated reads
+//! carry no adapters, so the pipeline does not need this step; the functions
+//! here exist so that tests and examples can exercise dirty inputs and so the
+//! pipeline can optionally drop hopeless reads.
+
+use crate::read::{Read, ReadLibrary};
+
+/// Parameters for quality trimming.
+#[derive(Debug, Clone, Copy)]
+pub struct QcParams {
+    /// Trim bases from the 3' end while their quality is below this threshold.
+    pub min_qual: u8,
+    /// Discard reads shorter than this after trimming.
+    pub min_len: usize,
+    /// Discard reads whose fraction of `N` bases exceeds this.
+    pub max_n_fraction: f64,
+}
+
+impl Default for QcParams {
+    fn default() -> Self {
+        QcParams {
+            min_qual: 2,
+            min_len: 32,
+            max_n_fraction: 0.1,
+        }
+    }
+}
+
+/// Trims low-quality bases from the 3' end of a read. Returns the trimmed
+/// length (the read is modified in place).
+pub fn trim_read_3prime(read: &mut Read, min_qual: u8) -> usize {
+    let mut keep = read.qual.len();
+    while keep > 0 && read.qual[keep - 1] < min_qual {
+        keep -= 1;
+    }
+    read.seq.truncate(keep);
+    read.qual.truncate(keep);
+    keep
+}
+
+/// Returns `true` if the read passes the QC filters (after trimming).
+pub fn read_passes(read: &Read, params: &QcParams) -> bool {
+    if read.len() < params.min_len {
+        return false;
+    }
+    crate::alphabet::ambiguous_fraction(&read.seq) <= params.max_n_fraction
+}
+
+/// Summary of a QC pass over a library.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QcReport {
+    pub pairs_in: usize,
+    pub pairs_kept: usize,
+    pub bases_trimmed: usize,
+}
+
+/// Applies 3' quality trimming and pair-level filtering to a paired library.
+/// A pair is kept only if *both* mates pass, mirroring how assemblers consume
+/// paired data. Returns the filtered library and a report.
+pub fn qc_paired_library(lib: &ReadLibrary, params: &QcParams) -> (ReadLibrary, QcReport) {
+    assert!(lib.paired, "qc_paired_library requires a paired library");
+    let mut out = ReadLibrary::new_paired(lib.name.clone(), lib.insert_size, lib.insert_sd);
+    out.orientation = lib.orientation;
+    let mut report = QcReport {
+        pairs_in: lib.num_pairs(),
+        ..Default::default()
+    };
+    for (r1, r2) in lib.pairs() {
+        let mut a = r1.clone();
+        let mut b = r2.clone();
+        let before = a.len() + b.len();
+        trim_read_3prime(&mut a, params.min_qual);
+        trim_read_3prime(&mut b, params.min_qual);
+        report.bases_trimmed += before - (a.len() + b.len());
+        if read_passes(&a, params) && read_passes(&b, params) {
+            out.push_pair(a, b);
+            report.pairs_kept += 1;
+        }
+    }
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trimming_removes_low_quality_tail() {
+        let mut r = Read::new("r", b"ACGTACGT", &[30, 30, 30, 30, 30, 1, 1, 0]);
+        let kept = trim_read_3prime(&mut r, 2);
+        assert_eq!(kept, 5);
+        assert_eq!(r.seq, b"ACGTA".to_vec());
+    }
+
+    #[test]
+    fn trimming_keeps_high_quality_read() {
+        let mut r = Read::with_uniform_quality("r", b"ACGTACGT", 30);
+        assert_eq!(trim_read_3prime(&mut r, 2), 8);
+    }
+
+    #[test]
+    fn filters_short_and_ambiguous() {
+        let params = QcParams {
+            min_qual: 2,
+            min_len: 4,
+            max_n_fraction: 0.25,
+        };
+        assert!(read_passes(&Read::with_uniform_quality("a", b"ACGT", 30), &params));
+        assert!(!read_passes(&Read::with_uniform_quality("b", b"ACG", 30), &params));
+        assert!(!read_passes(
+            &Read::with_uniform_quality("c", b"ANNN", 30),
+            &params
+        ));
+    }
+
+    #[test]
+    fn paired_qc_drops_pairs_with_one_bad_mate() {
+        let mut lib = ReadLibrary::new_paired("lib", 200, 20);
+        lib.push_pair(
+            Read::with_uniform_quality("good/1", b"ACGTACGTACGT", 30),
+            Read::with_uniform_quality("good/2", b"ACGTACGTACGT", 30),
+        );
+        lib.push_pair(
+            Read::with_uniform_quality("bad/1", b"ACGTACGTACGT", 30),
+            Read::with_uniform_quality("bad/2", b"AC", 30),
+        );
+        let params = QcParams {
+            min_qual: 2,
+            min_len: 4,
+            max_n_fraction: 0.1,
+        };
+        let (out, report) = qc_paired_library(&lib, &params);
+        assert_eq!(report.pairs_in, 2);
+        assert_eq!(report.pairs_kept, 1);
+        assert_eq!(out.num_pairs(), 1);
+        assert_eq!(out.reads[0].name, "good/1");
+    }
+}

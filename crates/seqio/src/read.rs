@@ -1,0 +1,347 @@
+//! Sequencing reads, read pairs and read libraries.
+//!
+//! MetaHipMer's input is a set of *paired-end* short-read libraries: each DNA
+//! template fragment of a known approximate length (the *insert size*) is
+//! sequenced from both ends, producing two reads whose relative placement
+//! carries long-range information used by scaffolding (span links) and local
+//! assembly (projecting unaligned mates into gaps).
+
+use crate::alphabet;
+
+/// Identifier of a read inside a [`ReadLibrary`]. The pairing convention is
+/// positional: reads `2*i` and `2*i + 1` are mates of pair `i`.
+pub type ReadId = u64;
+
+/// Relative orientation of the two reads of a pair on the template.
+/// Illumina paired-end libraries are forward–reverse (the second read is the
+/// reverse complement of template sequence downstream of the first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairOrientation {
+    /// Forward–reverse (standard paired-end).
+    ForwardReverse,
+    /// Reverse–forward (mate-pair style libraries).
+    ReverseForward,
+}
+
+/// A single sequencing read: a name, the base calls and per-base Phred quality
+/// scores (raw, not ASCII-offset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Read {
+    /// Read name (as it would appear in a FASTQ header, without the leading `@`).
+    pub name: String,
+    /// Base calls (`ACGTN`, upper-case ASCII).
+    pub seq: Vec<u8>,
+    /// Phred quality scores, one per base (value, not ASCII character).
+    pub qual: Vec<u8>,
+}
+
+impl Read {
+    /// Creates a read, normalising the sequence to upper-case `ACGTN`.
+    pub fn new(name: impl Into<String>, seq: &[u8], qual: &[u8]) -> Self {
+        assert_eq!(
+            seq.len(),
+            qual.len(),
+            "sequence and quality must have equal length"
+        );
+        Read {
+            name: name.into(),
+            seq: alphabet::normalize(seq),
+            qual: qual.to_vec(),
+        }
+    }
+
+    /// Creates a read with a flat quality score for every base.
+    pub fn with_uniform_quality(name: impl Into<String>, seq: &[u8], q: u8) -> Self {
+        let qual = vec![q; seq.len()];
+        Read::new(name, seq, &qual)
+    }
+
+    /// Read length in bases.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// True if the read holds no bases.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Mean Phred quality of the read (0 for empty reads).
+    pub fn mean_quality(&self) -> f64 {
+        if self.qual.is_empty() {
+            return 0.0;
+        }
+        self.qual.iter().map(|&q| q as f64).sum::<f64>() / self.qual.len() as f64
+    }
+
+    /// Returns the reverse complement of this read (qualities reversed).
+    pub fn reverse_complement(&self) -> Read {
+        Read {
+            name: self.name.clone(),
+            seq: alphabet::revcomp(&self.seq),
+            qual: self.qual.iter().rev().copied().collect(),
+        }
+    }
+}
+
+/// A pair of mated reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadPair {
+    pub r1: Read,
+    pub r2: Read,
+}
+
+/// A read library: a flat vector of reads with positional pairing plus the
+/// library metadata (insert size distribution, orientation) that scaffolding
+/// and local assembly need.
+///
+/// Reads `2*i` and `2*i + 1` are the two ends of template `i`. Unpaired
+/// libraries are represented by setting `paired = false`, in which case every
+/// read stands alone.
+#[derive(Debug, Clone)]
+pub struct ReadLibrary {
+    /// Library name (used in reports).
+    pub name: String,
+    /// All reads, pair-interleaved when `paired`.
+    pub reads: Vec<Read>,
+    /// Whether reads are pair-interleaved.
+    pub paired: bool,
+    /// Mean insert size (outer distance between pair ends) in bases.
+    pub insert_size: usize,
+    /// Standard deviation of the insert size.
+    pub insert_sd: usize,
+    /// Pair orientation.
+    pub orientation: PairOrientation,
+}
+
+impl ReadLibrary {
+    /// Creates an empty paired-end library with the given insert-size model.
+    pub fn new_paired(name: impl Into<String>, insert_size: usize, insert_sd: usize) -> Self {
+        ReadLibrary {
+            name: name.into(),
+            reads: Vec::new(),
+            paired: true,
+            insert_size,
+            insert_sd,
+            orientation: PairOrientation::ForwardReverse,
+        }
+    }
+
+    /// Creates an empty unpaired library.
+    pub fn new_unpaired(name: impl Into<String>) -> Self {
+        ReadLibrary {
+            name: name.into(),
+            reads: Vec::new(),
+            paired: false,
+            insert_size: 0,
+            insert_sd: 0,
+            orientation: PairOrientation::ForwardReverse,
+        }
+    }
+
+    /// Appends a read pair. Panics if the library is unpaired.
+    pub fn push_pair(&mut self, r1: Read, r2: Read) {
+        assert!(self.paired, "cannot push a pair into an unpaired library");
+        self.reads.push(r1);
+        self.reads.push(r2);
+    }
+
+    /// Appends a single read. Panics if the library is paired (pairs must stay
+    /// interleaved).
+    pub fn push_read(&mut self, r: Read) {
+        assert!(!self.paired, "paired libraries must use push_pair");
+        self.reads.push(r);
+    }
+
+    /// Number of reads in the library.
+    pub fn num_reads(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Number of pairs (0 for unpaired libraries).
+    pub fn num_pairs(&self) -> usize {
+        if self.paired {
+            self.reads.len() / 2
+        } else {
+            0
+        }
+    }
+
+    /// Total number of bases across all reads.
+    pub fn total_bases(&self) -> usize {
+        self.reads.iter().map(|r| r.len()).sum()
+    }
+
+    /// Returns the mate's read id for a given read id, or `None` for unpaired
+    /// libraries.
+    pub fn mate_of(&self, id: ReadId) -> Option<ReadId> {
+        if !self.paired {
+            return None;
+        }
+        Some(id ^ 1)
+    }
+
+    /// Returns the read with the given id.
+    pub fn read(&self, id: ReadId) -> &Read {
+        &self.reads[id as usize]
+    }
+
+    /// Iterates over `(ReadId, &Read)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ReadId, &Read)> {
+        self.reads.iter().enumerate().map(|(i, r)| (i as ReadId, r))
+    }
+
+    /// Iterates over read pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (&Read, &Read)> {
+        self.reads.chunks_exact(2).map(|c| (&c[0], &c[1]))
+    }
+
+    /// Splits the read ids of this library into `parts` contiguous, nearly
+    /// equal chunks that never split a pair. Used to assign reads to SPMD
+    /// ranks.
+    pub fn partition_ids(&self, parts: usize) -> Vec<std::ops::Range<ReadId>> {
+        assert!(parts > 0);
+        let unit = if self.paired { 2 } else { 1 };
+        let units = self.reads.len() / unit;
+        let mut out = Vec::with_capacity(parts);
+        let mut start = 0usize;
+        for p in 0..parts {
+            let count = units / parts + usize::from(p < units % parts);
+            let end = start + count * unit;
+            out.push(start as ReadId..end as ReadId);
+            start = end;
+        }
+        // Any trailing dangling read (odd count in "paired" library) goes to the
+        // last chunk so no read is lost.
+        if start < self.reads.len() {
+            if let Some(last) = out.last_mut() {
+                *last = last.start..self.reads.len() as ReadId;
+            }
+        }
+        out
+    }
+
+    /// Reorders reads according to `order` (a permutation of pair indices for
+    /// paired libraries, or read indices otherwise). This is the primitive used
+    /// by read localisation (§II-I of the paper).
+    pub fn reorder_pairs(&mut self, order: &[usize]) {
+        if self.paired {
+            assert_eq!(order.len(), self.num_pairs());
+            let mut new_reads = Vec::with_capacity(self.reads.len());
+            for &pi in order {
+                new_reads.push(self.reads[2 * pi].clone());
+                new_reads.push(self.reads[2 * pi + 1].clone());
+            }
+            self.reads = new_reads;
+        } else {
+            assert_eq!(order.len(), self.reads.len());
+            let mut new_reads = Vec::with_capacity(self.reads.len());
+            for &ri in order {
+                new_reads.push(self.reads[ri].clone());
+            }
+            self.reads = new_reads;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_read(name: &str, seq: &[u8]) -> Read {
+        Read::with_uniform_quality(name, seq, 35)
+    }
+
+    #[test]
+    fn read_construction_normalises() {
+        let r = Read::new("r1", b"acgtx", &[30; 5]);
+        assert_eq!(r.seq, b"ACGTN".to_vec());
+        assert_eq!(r.len(), 5);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn read_rejects_mismatched_quality() {
+        let _ = Read::new("r1", b"ACGT", &[30; 3]);
+    }
+
+    #[test]
+    fn mean_quality() {
+        let r = Read::new("r1", b"ACGT", &[10, 20, 30, 40]);
+        assert!((r.mean_quality() - 25.0).abs() < 1e-12);
+        let empty = Read::new("e", b"", &[]);
+        assert_eq!(empty.mean_quality(), 0.0);
+    }
+
+    #[test]
+    fn reverse_complement_reverses_quals() {
+        let r = Read::new("r1", b"AACG", &[1, 2, 3, 4]);
+        let rc = r.reverse_complement();
+        assert_eq!(rc.seq, b"CGTT".to_vec());
+        assert_eq!(rc.qual, vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn library_pairing_conventions() {
+        let mut lib = ReadLibrary::new_paired("lib", 300, 30);
+        lib.push_pair(mk_read("a/1", b"ACGT"), mk_read("a/2", b"TTTT"));
+        lib.push_pair(mk_read("b/1", b"GGGG"), mk_read("b/2", b"CCCC"));
+        assert_eq!(lib.num_reads(), 4);
+        assert_eq!(lib.num_pairs(), 2);
+        assert_eq!(lib.mate_of(0), Some(1));
+        assert_eq!(lib.mate_of(1), Some(0));
+        assert_eq!(lib.mate_of(2), Some(3));
+        assert_eq!(lib.total_bases(), 16);
+        assert_eq!(lib.pairs().count(), 2);
+    }
+
+    #[test]
+    fn unpaired_library_has_no_mates() {
+        let mut lib = ReadLibrary::new_unpaired("u");
+        lib.push_read(mk_read("a", b"ACGT"));
+        assert_eq!(lib.mate_of(0), None);
+        assert_eq!(lib.num_pairs(), 0);
+    }
+
+    #[test]
+    fn partition_never_splits_pairs() {
+        let mut lib = ReadLibrary::new_paired("lib", 300, 30);
+        for i in 0..7 {
+            lib.push_pair(
+                mk_read(&format!("{i}/1"), b"ACGT"),
+                mk_read(&format!("{i}/2"), b"ACGT"),
+            );
+        }
+        for parts in 1..6 {
+            let ranges = lib.partition_ids(parts);
+            assert_eq!(ranges.len(), parts);
+            let mut total = 0;
+            for r in &ranges {
+                assert_eq!((r.end - r.start) % 2, 0, "pair split across ranks");
+                total += r.end - r.start;
+            }
+            assert_eq!(total as usize, lib.num_reads());
+            // Ranges must be contiguous and ordered.
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_pairs_keeps_mates_adjacent() {
+        let mut lib = ReadLibrary::new_paired("lib", 300, 30);
+        for i in 0..3 {
+            lib.push_pair(
+                mk_read(&format!("{i}/1"), b"AAAA"),
+                mk_read(&format!("{i}/2"), b"CCCC"),
+            );
+        }
+        lib.reorder_pairs(&[2, 0, 1]);
+        assert_eq!(lib.reads[0].name, "2/1");
+        assert_eq!(lib.reads[1].name, "2/2");
+        assert_eq!(lib.reads[2].name, "0/1");
+        assert_eq!(lib.reads[5].name, "1/2");
+    }
+}

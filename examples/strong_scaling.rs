@@ -1,0 +1,48 @@
+//! Strong-scaling demo: assemble the same input with 1, 2, 4, ... SPMD ranks
+//! and report the speedup, parallel efficiency and per-stage breakdown — a
+//! laptop-scale rendition of Figures 4 and 5.
+//!
+//! Run with `cargo run --release --example strong_scaling`.
+
+use mhm_core::{AssemblyConfig, MetaHipMer};
+use pgas::Team;
+use std::time::Instant;
+
+fn main() {
+    let dataset = mgsim::wetlands_sim(2, 11);
+    println!(
+        "Wetlands-sim subset: {} genomes, {} read pairs",
+        dataset.refs.len(),
+        dataset.library.num_pairs()
+    );
+    let max_ranks = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    let assembler = MetaHipMer::new(AssemblyConfig::default());
+    let mut baseline = None;
+    let mut ranks = 1usize;
+    while ranks <= max_ranks {
+        let team = Team::single_node(ranks);
+        let start = Instant::now();
+        let out = assembler.assemble(&team, &dataset.library, Some(&dataset.rrna_consensus));
+        let secs = start.elapsed().as_secs_f64();
+        let efficiency = match baseline {
+            None => {
+                baseline = Some(secs);
+                100.0
+            }
+            Some(t1) => 100.0 * t1 / (secs * ranks as f64),
+        };
+        println!(
+            "ranks={ranks:<2} time={secs:>6.2}s efficiency={efficiency:>5.1}%  scaffolds={} N50={}",
+            out.scaffolds.len(),
+            out.scaffolds.n50()
+        );
+        let total: f64 = out.stages.iter().map(|(_, s, _)| *s).sum();
+        for (stage, secs, _) in &out.stages {
+            println!("    {stage:<18} {:>5.1}%", 100.0 * secs / total.max(1e-9));
+        }
+        ranks *= 2;
+    }
+}
