@@ -126,7 +126,9 @@ pub fn align_reads(
         SoftwareCache::new(params.cache_capacity);
     let mut out = AlignmentSet::default();
     for (read_id, read) in reads {
-        align_one(ctx, read_id, &read, contigs, index, params, &mut cache, &mut out);
+        align_one(
+            ctx, read_id, &read, contigs, index, params, &mut cache, &mut out,
+        );
     }
     out
 }
@@ -165,7 +167,7 @@ fn align_one(
                 for hit in hits {
                     // forward placement: the read (as given) matches the contig
                     // strand iff the seed orientations agree.
-                    let forward = hit.forward == !read_rc;
+                    let forward = hit.forward != read_rc;
                     let contig_offset = if forward {
                         hit.pos as i64 - offset as i64
                     } else {
@@ -190,9 +192,15 @@ fn align_one(
     }
     // ---- Verification of the top candidates ----------------------------------
     let mut candidates: Vec<(Candidate, usize)> = votes.into_iter().collect();
-    candidates.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| {
-        (a.0.contig, a.0.contig_offset, a.0.forward).cmp(&(b.0.contig, b.0.contig_offset, b.0.forward))
-    }));
+    candidates.sort_by(|a, b| {
+        b.1.cmp(&a.1).then_with(|| {
+            (a.0.contig, a.0.contig_offset, a.0.forward).cmp(&(
+                b.0.contig,
+                b.0.contig_offset,
+                b.0.forward,
+            ))
+        })
+    });
     let oriented_fwd = seq.clone();
     let oriented_rev = revcomp(seq);
     let mut reported_contigs: Vec<ContigId> = Vec::new();
@@ -205,7 +213,11 @@ fn align_one(
             Some(c) => c,
             None => continue,
         };
-        let oriented: &[u8] = if cand.forward { &oriented_fwd } else { &oriented_rev };
+        let oriented: &[u8] = if cand.forward {
+            &oriented_fwd
+        } else {
+            &oriented_rev
+        };
         let (aligned_len, matches) = verify(oriented, &contig.seq, cand.contig_offset);
         if aligned_len >= params.min_aligned_len
             && matches as f64 >= params.min_identity * aligned_len as f64
@@ -372,11 +384,7 @@ mod tests {
                 .map(|i| {
                     (
                         i as ReadId,
-                        Read::with_uniform_quality(
-                            format!("r{i}"),
-                            &GENOME.as_bytes()[20..70],
-                            35,
-                        ),
+                        Read::with_uniform_quality(format!("r{i}"), &GENOME.as_bytes()[20..70], 35),
                     )
                 })
                 .collect();
@@ -413,7 +421,7 @@ mod tests {
         };
         assert_eq!(set.by_read()[&1].len(), 2);
         assert_eq!(set.best_per_read()[&1], a0);
-        assert!(a1.overhangs_left() == false);
+        assert!(!a1.overhangs_left());
         assert!(Alignment {
             contig_offset: -3,
             ..a0

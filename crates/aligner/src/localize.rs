@@ -26,9 +26,9 @@ impl ReadDistribution {
     /// (what the pipeline uses before any alignment exists).
     pub fn block(num_pairs: usize, ranks: usize) -> Self {
         let mut per_rank = vec![Vec::new(); ranks];
-        for r in 0..ranks {
+        for (r, pairs) in per_rank.iter_mut().enumerate() {
             let range = pgas::team::block_range_for(r, ranks, num_pairs);
-            per_rank[r] = range.map(|p| p as u64).collect();
+            *pairs = range.map(|p| p as u64).collect();
         }
         ReadDistribution { per_rank }
     }

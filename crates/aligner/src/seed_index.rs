@@ -37,7 +37,10 @@ impl SeedIndex {
 /// Every rank indexes a block of the contigs; the hit lists are merged on the
 /// owner ranks with aggregated messages (global update-only phase).
 pub fn build_seed_index(ctx: &Ctx, contigs: &ContigSet, seed_len: usize) -> SeedIndex {
-    assert!(seed_len >= 3 && seed_len % 2 == 1, "seed length must be odd and >= 3");
+    assert!(
+        seed_len >= 3 && seed_len % 2 == 1,
+        "seed length must be odd and >= 3"
+    );
     let map: Arc<DistMap<Kmer, Vec<SeedHit>>> = DistMap::shared(ctx);
     let my_range = ctx.block_range(contigs.len());
     let items = contigs.contigs[my_range].iter().flat_map(|c| {
@@ -61,10 +64,7 @@ pub fn build_seed_index(ctx: &Ctx, contigs: &ContigSet, seed_len: usize) -> Seed
             a.truncate(SeedIndex::MAX_HITS_PER_SEED);
         }
     });
-    SeedIndex {
-        map,
-        seed_len,
-    }
+    SeedIndex { map, seed_len }
 }
 
 #[cfg(test)]

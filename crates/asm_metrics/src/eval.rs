@@ -54,115 +54,158 @@ impl Block {
     }
 }
 
-/// Location of a unique reference k-mer.
+/// One occurrence of an anchor k-mer in one reference genome. `dup` marks
+/// k-mers repeated *within* that genome (intra-genome repeats), which cannot
+/// place a sequence and are skipped at query time. A k-mer occurring in
+/// several genomes keeps one anchor per genome: metaQUAST evaluates the
+/// assembly against every reference independently, so regions shared between
+/// strains (or the conserved rRNA operon planted in every genome) must anchor
+/// to each genome that carries them.
 #[derive(Debug, Clone, Copy)]
-enum RefHit {
-    Unique { genome: usize, pos: usize, forward: bool },
-    Ambiguous,
+struct Anchor {
+    genome: usize,
+    pos: usize,
+    forward: bool,
+    dup: bool,
 }
 
-/// Builds the unique-anchor index over the references (canonical k-mer →
-/// location; k-mers occurring more than once anywhere are marked ambiguous and
-/// never used as anchors).
-fn build_anchor_index(refs: &ReferenceSet, k: usize) -> HashMap<Kmer, RefHit> {
-    let mut index: HashMap<Kmer, RefHit> = HashMap::new();
+/// Builds the per-genome anchor index over the references (canonical k-mer →
+/// one location per genome; intra-genome duplicates are marked unusable).
+fn build_anchor_index(refs: &ReferenceSet, k: usize) -> HashMap<Kmer, Vec<Anchor>> {
+    let mut index: HashMap<Kmer, Vec<Anchor>> = HashMap::new();
     for (gi, genome) in refs.genomes.iter().enumerate() {
         for (pos, km) in kmer_positions(&genome.seq, k) {
             let (canon, was_rc) = km.canonical();
-            index
-                .entry(canon)
-                .and_modify(|e| *e = RefHit::Ambiguous)
-                .or_insert(RefHit::Unique {
+            let anchors = index.entry(canon).or_default();
+            match anchors.iter_mut().find(|a| a.genome == gi) {
+                Some(existing) => existing.dup = true,
+                None => anchors.push(Anchor {
                     genome: gi,
                     pos,
                     forward: !was_rc,
-                });
+                    dup: false,
+                }),
+            }
         }
     }
     index
 }
 
-/// Chains the anchors of one assembly sequence into collinear blocks.
+/// Chains the anchors of one assembly sequence into collinear blocks, one
+/// independent chain per reference genome (so a strain-merged consensus
+/// produces a full-length block on *each* strain instead of fragmenting at
+/// every allele switch).
 fn blocks_of_sequence(
     seq: &[u8],
-    index: &HashMap<Kmer, RefHit>,
+    index: &HashMap<Kmer, Vec<Anchor>>,
     params: &EvalParams,
 ) -> Vec<Block> {
     let k = params.anchor_k;
     let mut blocks: Vec<Block> = Vec::new();
-    let mut current: Option<Block> = None;
+    let mut open: HashMap<usize, Block> = HashMap::new();
     for (apos, km) in kmer_positions(seq, k) {
         let (canon, asm_rc) = km.canonical();
-        let hit = match index.get(&canon) {
-            Some(RefHit::Unique { genome, pos, forward }) => Some((*genome, *pos, *forward)),
-            _ => None,
+        let Some(anchors) = index.get(&canon) else {
+            // Unknown k-mer: it does not break any chain, the chains simply
+            // skip it (mirrors how aligners treat mismatches).
+            continue;
         };
-        match hit {
-            None => {
-                // Ambiguous or unknown k-mer: it does not break a block, the
-                // chain simply skips it (mirrors how aligners treat repeats).
-                continue;
-            }
-            Some((genome, rpos, ref_forward)) => {
-                // Orientation of the assembly relative to the reference at this anchor.
-                let forward = ref_forward == !asm_rc;
-                let extends = current.as_ref().map(|b| {
-                    b.genome == genome
-                        && b.forward == forward
-                        && if forward {
-                            rpos + k >= b.ref_end
-                                && rpos + k - b.ref_end <= params.max_gap_inconsistency
-                                && rpos >= b.ref_start
-                        } else {
-                            b.ref_start >= rpos
-                                && b.ref_start - rpos <= params.max_gap_inconsistency
-                        }
-                });
-                match (current.as_mut(), extends) {
-                    (Some(b), Some(true)) => {
-                        b.asm_end = apos + k;
-                        if forward {
-                            b.ref_end = b.ref_end.max(rpos + k);
-                        } else {
-                            b.ref_start = b.ref_start.min(rpos);
-                        }
+        for anchor in anchors.iter().filter(|a| !a.dup) {
+            let rpos = anchor.pos;
+            // Orientation of the assembly relative to the reference here.
+            let forward = anchor.forward != asm_rc;
+            let extends = open.get(&anchor.genome).map(|b| {
+                if b.forward != forward {
+                    return false;
+                }
+                // Collinear in reference space…
+                let ref_ok = if forward {
+                    rpos + k >= b.ref_end
+                        && rpos + k - b.ref_end <= params.max_gap_inconsistency
+                        && rpos >= b.ref_start
+                } else {
+                    b.ref_start >= rpos && b.ref_start - rpos <= params.max_gap_inconsistency
+                };
+                // …and advancing consistently with the assembly coordinate
+                // (prevents one chain from silently spanning an unrelated
+                // insert between two same-genome pieces).
+                let asm_jump = (apos + k) as i64 - b.asm_end as i64;
+                let ref_jump = if forward {
+                    (rpos + k) as i64 - b.ref_end as i64
+                } else {
+                    b.ref_start as i64 - rpos as i64
+                };
+                ref_ok
+                    && (asm_jump - ref_jump).unsigned_abs() as usize <= params.max_gap_inconsistency
+            });
+            match extends {
+                Some(true) => {
+                    let b = open.get_mut(&anchor.genome).expect("chain is open");
+                    b.asm_end = apos + k;
+                    if forward {
+                        b.ref_end = b.ref_end.max(rpos + k);
+                    } else {
+                        b.ref_start = b.ref_start.min(rpos);
                     }
-                    _ => {
-                        if let Some(b) = current.take() {
-                            if b.ref_len() >= params.min_block {
-                                blocks.push(b);
-                            }
+                }
+                _ => {
+                    let fresh = Block {
+                        genome: anchor.genome,
+                        ref_start: rpos,
+                        ref_end: rpos + k,
+                        asm_start: apos,
+                        asm_end: apos + k,
+                        forward,
+                    };
+                    if let Some(b) = open.insert(anchor.genome, fresh) {
+                        if b.ref_len() >= params.min_block {
+                            blocks.push(b);
                         }
-                        current = Some(Block {
-                            genome,
-                            ref_start: rpos,
-                            ref_end: rpos + k,
-                            asm_start: apos,
-                            asm_end: apos + k,
-                            forward,
-                        });
                     }
                 }
             }
         }
     }
-    if let Some(b) = current.take() {
+    for (_, b) in open {
         if b.ref_len() >= params.min_block {
             blocks.push(b);
         }
     }
+    // Genome breaks ties (strain-twin blocks share identical spans), keeping
+    // the downstream tiling — and the misassembly count — deterministic
+    // despite the HashMap flush above.
+    blocks.sort_unstable_by_key(|b| (b.asm_start, b.asm_end, b.genome));
     blocks
 }
 
-/// Counts misassembly junctions between the consecutive blocks of one
-/// assembly sequence.
+/// Selects a non-redundant tiling of one sequence's blocks (largest blocks
+/// first, discarding blocks mostly covered by an already-chosen one in
+/// assembly coordinates) and counts the misassembly junctions between the
+/// adjacent tiles. The tiling step keeps the per-genome chains of a
+/// strain-collapsed consensus — which all describe the *same* assembly span —
+/// from being miscounted as breakpoints.
 fn misassemblies_in(blocks: &[Block], params: &EvalParams) -> usize {
-    let mut count = 0usize;
-    for pair in blocks.windows(2) {
-        let (a, b) = (&pair[0], &pair[1]);
+    let mut by_len: Vec<&Block> = blocks.iter().collect();
+    by_len.sort_unstable_by_key(|b| (std::cmp::Reverse(b.ref_len()), b.asm_start, b.genome));
+    let mut tiling: Vec<&Block> = Vec::new();
+    for b in by_len {
+        let redundant = tiling.iter().any(|t| {
+            let overlap = t
+                .asm_end
+                .min(b.asm_end)
+                .saturating_sub(t.asm_start.max(b.asm_start));
+            let shorter = (t.asm_end - t.asm_start).min(b.asm_end - b.asm_start);
+            2 * overlap > shorter
+        });
+        if !redundant {
+            tiling.push(b);
+        }
+    }
+    tiling.sort_unstable_by_key(|b| (b.asm_start, b.asm_end));
+
+    let consistent = |a: &Block, b: &Block| -> bool {
         if a.genome != b.genome || a.forward != b.forward {
-            count += 1;
-            continue;
+            return false;
         }
         let asm_jump = b.asm_start as i64 - a.asm_end as i64;
         let ref_jump = if a.forward {
@@ -170,9 +213,41 @@ fn misassemblies_in(blocks: &[Block], params: &EvalParams) -> usize {
         } else {
             a.ref_start as i64 - b.ref_end as i64
         };
-        if (asm_jump - ref_jump).unsigned_abs() as usize > params.max_gap_inconsistency {
-            count += 1;
+        (asm_jump - ref_jump).unsigned_abs() as usize <= params.max_gap_inconsistency
+    };
+    // A stand-in for one tile: a block of another genome covering (almost) the
+    // same assembly span. Strain twins produce such pairs for every tile, and
+    // the arbitrary tiling choice between them must not manufacture
+    // cross-genome junctions metaQUAST (which aligns against each reference
+    // independently) would never report.
+    let alternates = |tile: &Block| -> Vec<&Block> {
+        blocks
+            .iter()
+            .filter(|c| {
+                let overlap = c
+                    .asm_end
+                    .min(tile.asm_end)
+                    .saturating_sub(c.asm_start.max(tile.asm_start));
+                let span = tile.asm_end - tile.asm_start;
+                c.genome != tile.genome && 5 * overlap >= 4 * span
+            })
+            .collect()
+    };
+
+    let mut count = 0usize;
+    for pair in tiling.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        if consistent(a, b) {
+            continue;
         }
+        // Junction explainable by a single genome through an alternate of
+        // either side? Then it is not a breakpoint.
+        if alternates(a).iter().any(|alt| consistent(alt, b))
+            || alternates(b).iter().any(|alt| consistent(a, alt))
+        {
+            continue;
+        }
+        count += 1;
     }
     count
 }
@@ -212,6 +287,38 @@ fn nga(blocks_lens: &mut [usize], genome_len: usize, fraction: f64) -> usize {
         }
     }
     0
+}
+
+/// One anchored block of a sequence, for [`debug_blocks`]:
+/// `(genome, forward, asm_start, asm_end, ref_start, ref_end)`.
+pub type BlockView = (usize, bool, usize, usize, usize, usize);
+
+/// Debug view of the anchored blocks of each assembly sequence.
+#[doc(hidden)]
+pub fn debug_blocks(
+    assembly: &[Vec<u8>],
+    refs: &ReferenceSet,
+    params: &EvalParams,
+) -> Vec<Vec<BlockView>> {
+    let index = build_anchor_index(refs, params.anchor_k);
+    assembly
+        .iter()
+        .map(|seq| {
+            blocks_of_sequence(seq, &index, params)
+                .into_iter()
+                .map(|b| {
+                    (
+                        b.genome,
+                        b.forward,
+                        b.asm_start,
+                        b.asm_end,
+                        b.ref_start,
+                        b.ref_end,
+                    )
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Evaluates an assembly (a set of scaffold/contig sequences) against the
@@ -276,14 +383,16 @@ pub fn evaluate(assembly: &[Vec<u8>], refs: &ReferenceSet, params: &EvalParams) 
         let largest_block = lens.first().copied().unwrap_or(0);
         let mut rrna_rec = 0usize;
         for &(rs, re) in &genome.rrna_regions {
-            let overlap: usize = gblocks
-                .iter()
-                .map(|b| {
-                    let s = b.ref_start.max(rs);
-                    let e = b.ref_end.min(re);
-                    e.saturating_sub(s)
-                })
-                .sum();
+            // Union, not sum: with per-genome anchoring several contigs can
+            // produce overlapping blocks on the same region, and summing
+            // would credit the same bases twice.
+            let overlap = covered_bases(
+                gblocks
+                    .iter()
+                    .map(|b| (b.ref_start.max(rs), b.ref_end.min(re)))
+                    .filter(|(s, e)| e > s)
+                    .collect(),
+            );
             if (overlap as f64) >= params.rrna_cover_fraction * (re - rs) as f64 {
                 rrna_rec += 1;
             }
@@ -295,7 +404,7 @@ pub fn evaluate(assembly: &[Vec<u8>], refs: &ReferenceSet, params: &EvalParams) 
             name: genome.name.clone(),
             genome_len: genome.len(),
             covered,
-            genome_fraction: if genome.len() == 0 {
+            genome_fraction: if genome.is_empty() {
                 0.0
             } else {
                 covered as f64 / genome.len() as f64

@@ -4,7 +4,10 @@
 
 use aligner::{align_reads, build_seed_index, AlignParams};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use dbg::{build_graph, kmer_analysis, traverse_contigs, KmerAnalysisParams, ThresholdPolicy, TraversalParams};
+use dbg::{
+    build_graph, kmer_analysis, traverse_contigs, KmerAnalysisParams, ThresholdPolicy,
+    TraversalParams,
+};
 use dht::{bulk_merge, DistBloom, DistMap, SpaceSaving};
 use mgsim::{CommunityParams, ReadSimParams};
 use pgas::Team;
@@ -40,9 +43,13 @@ fn bench_dht_phases(c: &mut Criterion) {
         b.iter(|| {
             team.run(|ctx| {
                 let map: Arc<DistMap<u64, u64>> = DistMap::shared(ctx);
-                bulk_merge(ctx, &map, (0..25_000u64).map(|k| (k % 5_000, 1)), 2048, |a, v| {
-                    *a += v
-                });
+                bulk_merge(
+                    ctx,
+                    &map,
+                    (0..25_000u64).map(|k| (k % 5_000, 1)),
+                    2048,
+                    |a, v| *a += v,
+                );
             })
         })
     });
@@ -51,9 +58,10 @@ fn bench_dht_phases(c: &mut Criterion) {
             team.run(|ctx| {
                 let map: Arc<DistMap<u64, u64>> = DistMap::shared(ctx);
                 for i in 0..5_000u64 {
-                    map.update(ctx, &(i % 1000), |v| match v {
-                        Some(v) => *v += 1,
-                        None => {}
+                    map.update(ctx, &(i % 1000), |v| {
+                        if let Some(v) = v {
+                            *v += 1
+                        }
                     });
                     map.upsert(ctx, i % 1000, || 0, |v| *v += 1);
                 }
@@ -114,7 +122,8 @@ fn bench_pipeline_stages(c: &mut Criterion) {
             },
             |analysis| {
                 team.run(|ctx| {
-                    let graph = build_graph(ctx, &analysis.counts, ThresholdPolicy::metahipmer_default());
+                    let graph =
+                        build_graph(ctx, &analysis.counts, ThresholdPolicy::metahipmer_default());
                     traverse_contigs(ctx, &graph, 21, &TraversalParams::default()).len()
                 })
             },

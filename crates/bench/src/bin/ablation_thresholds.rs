@@ -14,16 +14,25 @@ use mhm_core::AssemblyConfig;
 fn main() {
     let ds = mgsim::two_species_skewed(20260614);
     let eval = scaled_eval_params();
-    let ranks = 4usize.min(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2));
+    let ranks = 4usize.min(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2),
+    );
     let policies: Vec<(&str, ThresholdPolicy)> = vec![
-        ("dynamic max(2, 0.05 d)", ThresholdPolicy::metahipmer_default()),
+        (
+            "dynamic max(2, 0.05 d)",
+            ThresholdPolicy::metahipmer_default(),
+        ),
         ("global thq=2", ThresholdPolicy::Global { thq: 2 }),
         ("global thq=16", ThresholdPolicy::Global { thq: 16 }),
     ];
     let mut rows = Vec::new();
     for (name, policy) in policies {
-        let mut cfg = AssemblyConfig::default();
-        cfg.threshold = policy;
+        let cfg = AssemblyConfig {
+            threshold: policy,
+            ..Default::default()
+        };
         let run = run_assembler(&MetaHipMerAssembler { config: cfg }, &ds, ranks, &eval);
         let abundant = &run.report.per_genome[0];
         let rare = &run.report.per_genome[1];

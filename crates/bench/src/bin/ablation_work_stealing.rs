@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 /// Simulated per-contig walk cost: a few contigs are 100x more expensive.
 fn cost(i: usize) -> u64 {
-    if i % 97 == 0 {
+    if i.is_multiple_of(97) {
         200
     } else {
         2
@@ -30,7 +30,9 @@ fn busy(units: u64, sink: &AtomicU64) {
 
 fn main() {
     let items = 2_000usize;
-    let ranks = std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(4);
+    let ranks = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
     let sink = Arc::new(AtomicU64::new(0));
     let mut rows = Vec::new();
     for (name, dynamic) in [("static blocks", false), ("dynamic work stealing", true)] {
@@ -66,7 +68,12 @@ fn main() {
     }
     print_table(
         "Ablation — local-assembly work distribution",
-        &["Strategy", "Wall-clock (s)", "Load balance (avg/max)", "Steals"],
+        &[
+            "Strategy",
+            "Wall-clock (s)",
+            "Load balance (avg/max)",
+            "Steals",
+        ],
         &rows,
     );
 }

@@ -16,8 +16,10 @@ fn main() {
     for ranks in rank_sweep(8) {
         let mut per_setting = Vec::new();
         for localized in [false, true] {
-            let mut cfg = AssemblyConfig::default();
-            cfg.read_localization = localized;
+            let cfg = AssemblyConfig {
+                read_localization: localized,
+                ..Default::default()
+            };
             let run = run_assembler(&MetaHipMerAssembler { config: cfg }, &ds, ranks, &eval);
             let align = run.output.stage_seconds("alignment");
             let kanal = run.output.stage_seconds("kmer_analysis");

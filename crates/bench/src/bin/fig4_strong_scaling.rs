@@ -6,7 +6,9 @@
 //! (the paper reports 61% efficiency from 32 to 1024 nodes).
 
 use baselines::MetaHipMerAssembler;
-use mhm_bench::{efficiency, fmt, print_table, rank_sweep, run_assembler, scale, scaled_eval_params};
+use mhm_bench::{
+    efficiency, fmt, print_table, rank_sweep, run_assembler, scale, scaled_eval_params,
+};
 use mhm_core::AssemblyConfig;
 
 fn main() {

@@ -36,8 +36,7 @@ fn main() {
         );
         let total: f64 = STAGES.iter().map(|s| run.output.stage_seconds(s)).sum();
         let balance = load_balance_ratio(
-            &run
-                .output
+            &run.output
                 .local_assembly_work
                 .iter()
                 .map(|&w| w as f64)

@@ -19,7 +19,9 @@ fn main() {
         20260614,
     );
     let eval = scaled_eval_params();
-    let ranks = std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(4);
+    let ranks = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
     let mhm = run_assembler(
         &MetaHipMerAssembler {
             config: AssemblyConfig::default(),

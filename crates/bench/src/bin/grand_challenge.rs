@@ -14,10 +14,8 @@ use pgas::Team;
 
 /// Fraction of reads with at least one alignment to the assembly.
 fn fraction_mapping_back(ds: &mgsim::SimDataset, assembly: &[Vec<u8>], ranks: usize) -> f64 {
-    let contigs = ContigSet::from_sequences(
-        31,
-        assembly.iter().map(|s| (s.clone(), 1.0)).collect(),
-    );
+    let contigs =
+        ContigSet::from_sequences(31, assembly.iter().map(|s| (s.clone(), 1.0)).collect());
     let team = Team::single_node(ranks);
     let mapped: u64 = team
         .run(|ctx| {
@@ -48,7 +46,9 @@ fn fraction_mapping_back(ds: &mgsim::SimDataset, assembly: &[Vec<u8>], ranks: us
 
 fn main() {
     let eval = scaled_eval_params();
-    let ranks = std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(4);
+    let ranks = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
     let subset = mgsim::wetlands_sim(3 * scale(), 20260614);
     let full = mgsim::wetlands_sim(21 * scale(), 20260614);
     let mut rows = Vec::new();

@@ -12,7 +12,9 @@ use mhm_core::AssemblyConfig;
 fn main() {
     let ds = mgsim::mg64_sim(mgsim::Mg64Scale::Tiny, 20260614);
     let eval = scaled_eval_params();
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let small = 2usize.min(hw);
     let large = 8usize.min(hw.max(2));
     let mut rows = Vec::new();
@@ -46,7 +48,8 @@ fn main() {
         let t_large = times[&(name.to_string(), large)];
         100.0 * (t_small * small as f64) / (t_large * large as f64)
     };
-    let speedup = times[&("Ray Meta".to_string(), large)] / times[&("MetaHipMer".to_string(), large)];
+    let speedup =
+        times[&("Ray Meta".to_string(), large)] / times[&("MetaHipMer".to_string(), large)];
     println!(
         "\nParallel efficiency {small}->{large} ranks: MetaHipMer {:.0}%, Ray Meta {:.0}%",
         eff("MetaHipMer"),

@@ -27,7 +27,9 @@ fn main() {
         ds.total_bases() / 1_000_000
     );
     let eval = scaled_eval_params();
-    let ranks = std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(4);
+    let ranks = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
     let mut rows = Vec::new();
     for assembler in table1_assemblers(AssemblyConfig::default()) {
         let run = run_assembler(assembler.as_ref(), &ds, ranks, &eval);

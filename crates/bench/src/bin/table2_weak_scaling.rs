@@ -11,7 +11,9 @@ use mhm_bench::{fmt, print_table, run_assembler, scale, scaled_eval_params};
 use mhm_core::AssemblyConfig;
 
 fn main() {
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let eval = scaled_eval_params();
     let mut rows = Vec::new();
     let base_taxa = 5 * scale();

@@ -80,8 +80,14 @@ impl Default for AssemblyConfig {
 impl AssemblyConfig {
     /// The sequence of k values the pipeline will iterate over.
     pub fn k_values(&self) -> Vec<usize> {
-        assert!(self.k_min >= 3 && self.k_min % 2 == 1, "k_min must be odd and >= 3");
-        assert!(self.k_step >= 2 && self.k_step % 2 == 0, "k_step must be even so k stays odd");
+        assert!(
+            self.k_min >= 3 && self.k_min % 2 == 1,
+            "k_min must be odd and >= 3"
+        );
+        assert!(
+            self.k_step >= 2 && self.k_step.is_multiple_of(2),
+            "k_step must be even so k stays odd"
+        );
         assert!(self.k_max >= self.k_min);
         (self.k_min..=self.k_max).step_by(self.k_step).collect()
     }
@@ -116,6 +122,11 @@ impl AssemblyConfig {
         };
         cfg.scaffold.links.min_splint_support = 2;
         cfg.scaffold.links.min_span_support = 2;
+        // The test communities plant strain variants at ~1% divergence; SNPs
+        // closer than k create bubble branches longer than 2k, and leaving
+        // them unmerged feeds the scaffolder two parallel contigs for the
+        // same locus. Trade strain splitting for contiguity at this scale.
+        cfg.bubble.merge_long_bubbles = true;
         cfg
     }
 }

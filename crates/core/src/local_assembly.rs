@@ -120,13 +120,7 @@ pub fn extend_contigs_locally(
     // with the usual aggregated update-only phase.
     let ranks = ctx.ranks();
     let pool_table: Arc<DistMap<u64, Vec<Vec<u8>>>> = DistMap::shared(ctx);
-    bulk_merge(
-        ctx,
-        &pool_table,
-        pools.into_iter(),
-        1024,
-        |a, mut b| a.append(&mut b),
-    );
+    bulk_merge(ctx, &pool_table, pools, 1024, |a, mut b| a.append(&mut b));
 
     // ---- Walk contigs with dynamic work stealing ----------------------------
     // Once a contig's reads are extracted to local storage the walk itself
@@ -155,7 +149,10 @@ pub fn extend_contigs_locally(
     let set = if ctx.rank() == 0 {
         ContigSet::from_sequences(
             contigs.k,
-            gathered.into_iter().map(|(_, seq, depth)| (seq, depth)).collect(),
+            gathered
+                .into_iter()
+                .map(|(_, seq, depth)| (seq, depth))
+                .collect(),
         )
     } else {
         ContigSet::new(contigs.k)
@@ -328,7 +325,11 @@ mod tests {
         let added = walk_extension(contig_end, &pool, &LocalAssemblyParams::default());
         // It may extend through the shared region (up to ~20 bases) but must
         // stop around the divergence point rather than picking a side forever.
-        assert!(added.len() <= 30, "walk crossed a fork: {} bases", added.len());
+        assert!(
+            added.len() <= 30,
+            "walk crossed a fork: {} bases",
+            added.len()
+        );
         // Whatever was added matches the shared prefix.
         let truth = &g[120..120 + added.len().min(20)];
         assert_eq!(&added[..added.len().min(20)], truth);
@@ -345,8 +346,8 @@ mod tests {
         let mut lib = ReadLibrary::new_paired("lib", 200, 20);
         let mut alignments = AlignmentSet::default();
         let read_len = 60usize;
-        let mut pair = 0u64;
-        for i in (0..g.len() - 200).step_by(9) {
+        for (pair, i) in (0..g.len() - 200).step_by(9).enumerate() {
+            let pair = pair as u64;
             let r1 = &g[i..i + read_len];
             let r2 = revcomp(&g[i + 200 - read_len..i + 200]);
             lib.push_pair(
@@ -355,8 +356,7 @@ mod tests {
             );
             // Hand-build alignments of any read that lies fully inside the
             // contig region (150..450), in contig coordinates.
-            for (mate, start, fwd_on_genome) in
-                [(0u64, i, true), (1u64, i + 200 - read_len, false)]
+            for (mate, start, fwd_on_genome) in [(0u64, i, true), (1u64, i + 200 - read_len, false)]
             {
                 if start >= 150 && start + read_len <= 450 {
                     let contig_off = (start - 150) as i64;
@@ -375,7 +375,6 @@ mod tests {
                     });
                 }
             }
-            pair += 1;
         }
         let team = Team::single_node(2);
         let lib2 = lib.clone();

@@ -156,13 +156,12 @@ impl MetaHipMer {
             let alignments = timings.time(ctx, "alignment", || {
                 let index = build_seed_index(ctx, &cleaned, cfg.align.seed_len);
                 ctx.barrier();
-                let reads = my_read_ids
-                    .iter()
-                    .map(|&id| (id, library.read(id).clone()));
+                let reads = my_read_ids.iter().map(|&id| (id, library.read(id).clone()));
                 align_reads(ctx, reads, &cleaned, &index, &cfg.align)
             });
 
             // --- 6. local assembly (mer-walking) -------------------------------
+            let is_last = iter + 1 == k_values.len();
             let extended = if cfg.local_assembly {
                 let (set, work) = timings.time(ctx, "local_assembly", || {
                     extend_contigs_locally(ctx, &cleaned, &alignments, library, &cfg.local)
@@ -174,7 +173,6 @@ impl MetaHipMer {
             };
 
             // --- 7. read localisation for the next iteration -------------------
-            let is_last = iter + 1 == k_values.len();
             if cfg.read_localization && !is_last {
                 distribution = timings.time(ctx, "read_localization", || {
                     localize_pairs(ctx, num_pairs, &alignments.alignments)
@@ -203,7 +201,15 @@ impl MetaHipMer {
                 } else {
                     last_alignments.clone()
                 };
-                scaffold(ctx, &final_contigs, &alignments, library, rrna, &cfg.scaffold).0
+                scaffold(
+                    ctx,
+                    &final_contigs,
+                    &alignments,
+                    library,
+                    rrna,
+                    &cfg.scaffold,
+                )
+                .0
             })
         } else {
             // Emit each contig as its own scaffold.
@@ -385,7 +391,10 @@ mod tests {
             multi_n50 as f64 >= 0.9 * single_n50 as f64,
             "multi-k N50 {multi_n50} much worse than single-k N50 {single_n50}"
         );
-        assert!(out_multi.scaffolds.total_bases() as f64 >= 0.9 * out_single.scaffolds.total_bases() as f64);
+        assert!(
+            out_multi.scaffolds.total_bases() as f64
+                >= 0.9 * out_single.scaffolds.total_bases() as f64
+        );
     }
 
     #[test]
@@ -394,6 +403,9 @@ mod tests {
         assert_eq!(mhm.config.k_values().len(), 1);
         assert!(!mhm.config.bubble_merging);
         assert!(!mhm.config.pruning);
-        assert!(matches!(mhm.config.threshold, ThresholdPolicy::Global { .. }));
+        assert!(matches!(
+            mhm.config.threshold,
+            ThresholdPolicy::Global { .. }
+        ));
     }
 }

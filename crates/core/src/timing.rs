@@ -89,7 +89,9 @@ mod tests {
             let mut t = StageTimings::new();
             let x = t.time(ctx, "a", || 21 + 21);
             assert_eq!(x, 42);
-            t.time(ctx, "a", || std::thread::sleep(std::time::Duration::from_millis(5)));
+            t.time(ctx, "a", || {
+                std::thread::sleep(std::time::Duration::from_millis(5))
+            });
             t.time(ctx, "b", || ());
             assert!(t.seconds_of("a") > 0.0);
             assert_eq!(t.stage_names(), vec!["a".to_string(), "b".to_string()]);

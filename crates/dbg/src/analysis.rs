@@ -66,7 +66,10 @@ pub struct KmerAnalysis {
 /// counts table (identical `Arc` on every rank).
 pub fn kmer_analysis(ctx: &Ctx, reads: &[Read], params: &KmerAnalysisParams) -> KmerAnalysis {
     assert!(params.k >= 3, "k must be at least 3");
-    assert!(params.k % 2 == 1, "k must be odd so canonical k-mers are unambiguous");
+    assert!(
+        params.k % 2 == 1,
+        "k must be odd so canonical k-mers are unambiguous"
+    );
     assert!(params.min_count >= 1);
 
     let counts: KmerCountsMap = DistMap::shared(ctx);
@@ -294,7 +297,10 @@ mod tests {
             // the read, so the canonical entry is observed twice per read.
             let km: Kmer = "CCCGG".parse().unwrap();
             let (canon, _) = km.canonical();
-            let entry = res.counts.get_cloned(ctx, &canon).expect("interior k-mer present");
+            let entry = res
+                .counts
+                .get_cloned(ctx, &canon)
+                .expect("interior k-mer present");
             assert_eq!(entry.count, 4);
             assert!(entry.left.total() > 0);
             assert!(entry.right.total() > 0);

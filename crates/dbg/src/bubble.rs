@@ -126,8 +126,8 @@ fn decide(
             if long && !params.merge_long_bubbles {
                 continue;
             }
-            let len_diff = (loser_c.len() as f64 - winner_len as f64).abs()
-                / winner_len.max(1) as f64;
+            let len_diff =
+                (loser_c.len() as f64 - winner_len as f64).abs() / winner_len.max(1) as f64;
             if len_diff <= params.len_tolerance {
                 removed.insert(loser);
                 *extra_depth.entry(winner).or_default() += loser_c.depth;
@@ -238,12 +238,8 @@ mod tests {
         let main = format!("{LEFT}GGCATTACGGATACCAGGATCCAG{RIGHT}");
         // The hair shares the first 20 bases then diverges for a short tail.
         let hair = format!("{}TTTTTTAAAAAT", &main[..20]);
-        let (before, after, report) = run_pass(
-            &[(&main, 6), (&hair, 2)],
-            15,
-            2,
-            BubbleParams::default(),
-        );
+        let (before, after, report) =
+            run_pass(&[(&main, 6), (&hair, 2)], 15, 2, BubbleParams::default());
         assert!(report.hair_removed >= 1, "no hair removed: {report:?}");
         assert!(after.total_bases() < before.total_bases());
         // The hair tail must be gone.

@@ -41,12 +41,7 @@ pub struct ContigAdjacency {
 
 impl ContigAdjacency {
     /// Mean depth of a contig's (alive) neighbours; 0 when it has none.
-    pub fn neighbor_mean_depth(
-        &self,
-        contigs: &ContigSet,
-        id: ContigId,
-        alive: &[bool],
-    ) -> f64 {
+    pub fn neighbor_mean_depth(&self, contigs: &ContigSet, id: ContigId, alive: &[bool]) -> f64 {
         let ns = &self.neighbors[id as usize];
         let mut sum = 0.0;
         let mut n = 0usize;

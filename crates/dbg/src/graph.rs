@@ -102,7 +102,11 @@ pub fn build_graph(ctx: &Ctx, counts: &KmerCountsMap, policy: ThresholdPolicy) -
 /// is canonicalised for the table lookup and, if the canonical form is the
 /// reverse complement, the left/right extensions are swapped and complemented
 /// so they are expressed in the caller's orientation.
-pub fn lookup_oriented(ctx: &Ctx, graph: &DistMap<Kmer, KmerVertex>, kmer: &Kmer) -> Option<OrientedVertex> {
+pub fn lookup_oriented(
+    ctx: &Ctx,
+    graph: &DistMap<Kmer, KmerVertex>,
+    kmer: &Kmer,
+) -> Option<OrientedVertex> {
     let (canon, was_rc) = kmer.canonical();
     let v = graph.get_cloned(ctx, &canon)?;
     Some(orient(v, canon, was_rc))
@@ -193,7 +197,10 @@ mod tests {
                     uu += 1;
                 }
             });
-            (ctx.allreduce_sum_u64(uu as u64), ctx.allreduce_sum_u64(total as u64))
+            (
+                ctx.allreduce_sum_u64(uu as u64),
+                ctx.allreduce_sum_u64(total as u64),
+            )
         });
         let (uu, total) = uu_counts[0];
         let expected_total = seq.len() as u64 - 11 + 1;

@@ -86,7 +86,11 @@ pub fn prune_iteratively(
         let mut outgoing: Vec<Vec<ContigId>> = vec![Vec::new(); ctx.ranks()];
         outgoing[0] = my_removals;
         let gathered = ctx.exchange(outgoing);
-        let all_removals: Vec<ContigId> = if ctx.rank() == 0 { gathered } else { Vec::new() };
+        let all_removals: Vec<ContigId> = if ctx.rank() == 0 {
+            gathered
+        } else {
+            Vec::new()
+        };
         let all_removals = ctx.broadcast(|| all_removals);
         for id in &all_removals {
             if alive[*id as usize] {
@@ -219,6 +223,9 @@ mod tests {
             let r = String::from_utf8(seqio::alphabet::revcomp(&c.seq)).unwrap();
             s.contains("CCGATTACAGGACCGATACC") || r.contains("CCGATTACAGGACCGATACC")
         });
-        assert!(lonely_present, "isolated low-coverage contig must not be pruned");
+        assert!(
+            lonely_present,
+            "isolated low-coverage contig must not be pruned"
+        );
     }
 }

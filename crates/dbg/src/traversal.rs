@@ -27,17 +27,11 @@ use kmers::{Ext, Kmer};
 use pgas::Ctx;
 
 /// Parameters of the traversal.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct TraversalParams {
     /// Minimum contig length (in bases) to emit. Contigs shorter than this are
     /// dropped immediately.
     pub min_contig_len: usize,
-}
-
-impl Default for TraversalParams {
-    fn default() -> Self {
-        TraversalParams { min_contig_len: 0 }
-    }
 }
 
 /// Marks a vertex as used (idempotent; the atomic "claim" write of §II-D).
@@ -320,7 +314,11 @@ mod tests {
         let set = assemble(&[&a, &b], 15, 2);
         // Expected pieces: 4 unique flanks + 1 shared middle, all shorter than
         // the full sequences.
-        assert!(set.len() >= 4, "expected the fork to split contigs, got {}", set.len());
+        assert!(
+            set.len() >= 4,
+            "expected the fork to split contigs, got {}",
+            set.len()
+        );
         assert!(set.contigs.iter().all(|c| c.len() < a.len()));
         // The shared middle must appear in exactly one contig.
         let middles = set
@@ -342,9 +340,7 @@ mod tests {
         let circle = "ACGGTCAGGTTCAAGGACTTACGGACCATGGCATTACGGATACCA";
         let doubled = format!("{circle}{circle}");
         let window = 30;
-        let reads: Vec<&str> = (0..circle.len())
-            .map(|i| &doubled[i..i + window])
-            .collect();
+        let reads: Vec<&str> = (0..circle.len()).map(|i| &doubled[i..i + window]).collect();
         let set = assemble(&reads, 15, 2);
         assert_eq!(set.len(), 1, "cycle should yield one contig");
         // A k-mer cycle of L vertices is emitted as a contig of L + k - 1 bases.

@@ -177,7 +177,11 @@ mod tests {
         assert_eq!(ContigSet::new(31).n50(), 0);
         let even = ContigSet::from_sequences(
             31,
-            vec![(vec![b'A'; 60], 1.0), (vec![b'C'; 50], 1.0), (vec![b'G'; 40], 1.0)],
+            vec![
+                (vec![b'A'; 60], 1.0),
+                (vec![b'C'; 50], 1.0),
+                (vec![b'G'; 40], 1.0),
+            ],
         );
         // total 150, cumulative 60 -> 110 >= 75 at the second contig (50).
         assert_eq!(even.n50(), 50);
@@ -205,10 +209,7 @@ mod tests {
 
     #[test]
     fn stats_helpers() {
-        let set = ContigSet::from_sequences(
-            21,
-            vec![(vec![b'A'; 30], 2.0), (vec![b'C'; 20], 8.0)],
-        );
+        let set = ContigSet::from_sequences(21, vec![(vec![b'A'; 30], 2.0), (vec![b'C'; 20], 8.0)]);
         assert_eq!(set.total_bases(), 50);
         assert!((set.max_depth() - 8.0).abs() < 1e-12);
         assert!(set.get(0).is_some());

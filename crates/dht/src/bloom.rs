@@ -30,9 +30,12 @@ impl DistBloom {
         let n = expected_items_per_shard.max(16) as f64;
         let fp = fp_rate.clamp(1e-6, 0.5);
         // Standard Bloom sizing: m = -n ln p / (ln 2)^2 ; k = m/n ln 2.
-        let m = (-(n * fp.ln()) / (std::f64::consts::LN_2 * std::f64::consts::LN_2)).ceil() as usize;
+        let m =
+            (-(n * fp.ln()) / (std::f64::consts::LN_2 * std::f64::consts::LN_2)).ceil() as usize;
         let bits_per_shard = m.next_power_of_two().max(64);
-        let hashes = ((bits_per_shard as f64 / n) * std::f64::consts::LN_2).round().max(1.0) as usize;
+        let hashes = ((bits_per_shard as f64 / n) * std::f64::consts::LN_2)
+            .round()
+            .max(1.0) as usize;
         let words = bits_per_shard / 64;
         DistBloom {
             shards: (0..ranks)
@@ -54,7 +57,8 @@ impl DistBloom {
         let h1 = h & 0xFFFF_FFFF;
         let h2 = (h >> 32) | 1; // odd so it is coprime with the power-of-two size
         let mask = (self.bits_per_shard - 1) as u64;
-        (0..self.hashes).map(move |i| ((h1.wrapping_add(h2.wrapping_mul(i as u64))) & mask) as usize)
+        (0..self.hashes)
+            .map(move |i| ((h1.wrapping_add(h2.wrapping_mul(i as u64))) & mask) as usize)
     }
 
     /// Inserts a key and returns whether it was (probably) present before —
@@ -161,8 +165,10 @@ mod tests {
                 }
                 ctx.barrier();
                 // Everything must now be visible to every rank.
-                let missing = (0..40_000u64).filter(|i| !bloom.maybe_contains(ctx, i)).count();
-                missing
+
+                (0..40_000u64)
+                    .filter(|i| !bloom.maybe_contains(ctx, i))
+                    .count()
             })
         };
         assert!(bloom_handle.iter().all(|&m| m == 0));

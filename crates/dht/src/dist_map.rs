@@ -24,7 +24,9 @@ struct Shard<K, V> {
 impl<K, V> Shard<K, V> {
     fn new() -> Self {
         Shard {
-            subs: (0..SUB_SHARDS).map(|_| Mutex::new(FxHashMap::default())).collect(),
+            subs: (0..SUB_SHARDS)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
         }
     }
 }
@@ -108,7 +110,13 @@ where
 
     /// Inserts `default()` if the key is absent, then applies `merge` to the
     /// stored value. Commutative upsert used by the update-only phases.
-    pub fn upsert(&self, ctx: &Ctx, key: K, default: impl FnOnce() -> V, merge: impl FnOnce(&mut V)) {
+    pub fn upsert(
+        &self,
+        ctx: &Ctx,
+        key: K,
+        default: impl FnOnce() -> V,
+        merge: impl FnOnce(&mut V),
+    ) {
         let (owner, sub) = self.slot(&key);
         ctx.record_access(owner);
         let mut guard = self.shards[owner].subs[sub].lock();
@@ -196,7 +204,11 @@ where
 
     /// Number of entries owned by the calling rank.
     pub fn local_len(&self, ctx: &Ctx) -> usize {
-        self.shards[ctx.rank()].subs.iter().map(|m| m.lock().len()).sum()
+        self.shards[ctx.rank()]
+            .subs
+            .iter()
+            .map(|m| m.lock().len())
+            .sum()
     }
 
     /// Applies a batch of `(key, value)` items that are already known to be

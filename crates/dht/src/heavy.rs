@@ -82,9 +82,8 @@ impl<K: Hash + Eq + Clone> SpaceSaving<K> {
         self.total += other.total;
         // Re-trim to capacity by dropping the smallest counters.
         if self.counters.len() > self.capacity {
-            let mut entries: Vec<(K, (u64, u64))> =
-                self.counters.drain().collect();
-            entries.sort_by(|a, b| b.1 .0.cmp(&a.1 .0));
+            let mut entries: Vec<(K, (u64, u64))> = self.counters.drain().collect();
+            entries.sort_by_key(|e| std::cmp::Reverse(e.1 .0));
             entries.truncate(self.capacity);
             self.counters = entries.into_iter().collect();
         }
@@ -99,7 +98,7 @@ impl<K: Hash + Eq + Clone> SpaceSaving<K> {
             .filter(|(_, &(c, e))| c.saturating_sub(e) >= threshold)
             .map(|(k, &(c, _))| (k.clone(), c))
             .collect();
-        out.sort_by(|a, b| b.1.cmp(&a.1));
+        out.sort_by_key(|e| std::cmp::Reverse(e.1));
         out
     }
 
@@ -137,7 +136,10 @@ mod tests {
             ss.offer(10_000 + i, 1);
         }
         let hh = ss.heavy_hitters(5_000);
-        assert!(hh.iter().any(|(k, _)| *k == u64::MAX), "missed the heavy hitter");
+        assert!(
+            hh.iter().any(|(k, _)| *k == u64::MAX),
+            "missed the heavy hitter"
+        );
         assert!(ss.estimate(&u64::MAX) >= 10_000);
         assert_eq!(ss.tracked(), 16);
     }

@@ -35,9 +35,13 @@ where
 
     /// Collective: every rank streams its keys; counts are merged on the owners.
     pub fn count_all(&self, ctx: &Ctx, keys: impl IntoIterator<Item = K>, batch: usize) {
-        bulk_merge(ctx, &self.map, keys.into_iter().map(|k| (k, 1u64)), batch, |a, b| {
-            *a += b
-        });
+        bulk_merge(
+            ctx,
+            &self.map,
+            keys.into_iter().map(|k| (k, 1u64)),
+            batch,
+            |a, b| *a += b,
+        );
     }
 
     /// The count of one key (fine-grained global read).
@@ -71,10 +75,7 @@ where
             local[bucket] += 1;
         });
         // Reduce each bucket across ranks.
-        local
-            .iter()
-            .map(|&v| ctx.allreduce_sum_u64(v))
-            .collect()
+        local.iter().map(|&v| ctx.allreduce_sum_u64(v)).collect()
     }
 }
 

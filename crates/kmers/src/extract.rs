@@ -20,12 +20,9 @@ pub fn kmer_positions(seq: &[u8], k: usize) -> Vec<(usize, Kmer)> {
     let mut i = 0usize;
     while i + k <= seq.len() {
         // Find the next window free of ambiguous bases.
-        match first_invalid(&seq[i..i + k]) {
-            Some(bad) => {
-                i += bad + 1;
-                continue;
-            }
-            None => {}
+        if let Some(bad) = first_invalid(&seq[i..i + k]) {
+            i += bad + 1;
+            continue;
         }
         let mut km = Kmer::from_bytes(&seq[i..i + k]).expect("validated window");
         out.push((i, km));
@@ -190,7 +187,10 @@ mod tests {
             o.exts.left.map(|(_, hq)| !hq).unwrap_or(false)
                 || o.exts.right.map(|(_, hq)| !hq).unwrap_or(false)
         });
-        assert!(any_low, "position-0/4 bases have low quality and should appear");
+        assert!(
+            any_low,
+            "position-0/4 bases have low quality and should appear"
+        );
     }
 
     #[test]

@@ -94,7 +94,11 @@ impl Kmer {
     /// Shifts the whole 256-bit value right by two bits (dropping base 0).
     fn shr2(&mut self) {
         for i in 0..4 {
-            let carry = if i + 1 < 4 { self.words[i + 1] & 0b11 } else { 0 };
+            let carry = if i + 1 < 4 {
+                self.words[i + 1] & 0b11
+            } else {
+                0
+            };
             self.words[i] = (self.words[i] >> 2) | (carry << 62);
         }
     }
@@ -238,9 +242,7 @@ impl PartialOrd for Kmer {
 
 impl Ord for Kmer {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.k
-            .cmp(&other.k)
-            .then_with(|| self.lex_cmp(other))
+        self.k.cmp(&other.k).then_with(|| self.lex_cmp(other))
     }
 }
 
@@ -267,7 +269,12 @@ mod tests {
 
     #[test]
     fn from_bytes_and_display_roundtrip() {
-        for s in ["A", "ACGT", "GATTACA", "TTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTT"] {
+        for s in [
+            "A",
+            "ACGT",
+            "GATTACA",
+            "TTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTT",
+        ] {
             let km: Kmer = s.parse().unwrap();
             assert_eq!(km.to_string(), s);
             assert_eq!(km.k(), s.len());
@@ -278,8 +285,8 @@ mod tests {
     fn from_bytes_rejects_invalid() {
         assert!(Kmer::from_bytes(b"").is_none());
         assert!(Kmer::from_bytes(b"ACGN").is_none());
-        assert!(Kmer::from_bytes(&vec![b'A'; MAX_K + 1]).is_none());
-        assert!(Kmer::from_bytes(&vec![b'A'; MAX_K]).is_some());
+        assert!(Kmer::from_bytes(&[b'A'; MAX_K + 1]).is_none());
+        assert!(Kmer::from_bytes(&[b'A'; MAX_K]).is_some());
     }
 
     #[test]
@@ -299,7 +306,7 @@ mod tests {
     #[test]
     fn extension_works_across_word_boundaries() {
         // 80 bases spans words 0..2 (boundary at base 32 and 64).
-        let s: String = std::iter::repeat("ACGT").take(20).collect();
+        let s: String = std::iter::repeat_n("ACGT", 20).collect();
         let km: Kmer = s.parse().unwrap();
         let next = km.extended_right(encode_base(b'T').unwrap());
         let expect: String = s[1..].to_string() + "T";

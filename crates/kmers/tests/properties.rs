@@ -1,0 +1,108 @@
+//! Property-style tests of the packed k-mer layer: randomised inputs checked
+//! against algebraic invariants the de Bruijn graph construction depends on.
+
+use kmers::Kmer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seqio::alphabet::revcomp;
+
+fn random_seq(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    (0..len).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect()
+}
+
+/// Odd k values spanning one-word and multi-word packings (MAX_K = 127).
+const K_VALUES: [usize; 6] = [5, 21, 31, 33, 63, 127];
+
+#[test]
+fn pack_unpack_roundtrip_is_identity() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for &k in &K_VALUES {
+        for _ in 0..200 {
+            let seq = random_seq(&mut rng, k);
+            let km = Kmer::from_bytes(&seq).expect("valid ACGT sequence packs");
+            assert_eq!(km.k(), k);
+            assert_eq!(km.to_bytes(), seq, "k={k} roundtrip mismatch");
+            // Per-position accessors agree with the unpacked bytes.
+            for (i, &b) in seq.iter().enumerate() {
+                assert_eq!(km.base_at(i), b);
+            }
+        }
+    }
+}
+
+#[test]
+fn non_acgt_bases_do_not_pack() {
+    assert!(Kmer::from_bytes(b"ACGNT").is_none());
+    assert!(Kmer::from_bytes(b"ACG-T").is_none());
+    assert!(Kmer::from_bytes(b"").is_none());
+}
+
+#[test]
+fn canonical_form_is_invariant_under_reverse_complement() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for &k in &K_VALUES {
+        for _ in 0..200 {
+            let seq = random_seq(&mut rng, k);
+            let fwd = Kmer::from_bytes(&seq).unwrap();
+            let rc = Kmer::from_bytes(&revcomp(&seq)).unwrap();
+            assert_eq!(rc, fwd.revcomp(), "revcomp packing disagrees at k={k}");
+            let (canon_f, flipped_f) = fwd.canonical();
+            let (canon_r, flipped_r) = rc.canonical();
+            // The defining property: a k-mer and its reverse complement share
+            // one canonical representative.
+            assert_eq!(canon_f, canon_r, "canonical not rc-invariant at k={k}");
+            assert!(canon_f.is_canonical());
+            // Exactly one of the two orientations is flipped, except for
+            // palindromes where both views already coincide.
+            if fwd.is_palindrome() {
+                assert_eq!(fwd, rc);
+            } else {
+                assert_ne!(flipped_f, flipped_r);
+            }
+        }
+    }
+}
+
+#[test]
+fn revcomp_is_an_involution() {
+    let mut rng = StdRng::seed_from_u64(0xFACADE);
+    for &k in &K_VALUES {
+        for _ in 0..100 {
+            let seq = random_seq(&mut rng, k);
+            let km = Kmer::from_bytes(&seq).unwrap();
+            assert_eq!(km.revcomp().revcomp(), km, "revcomp∘revcomp ≠ id at k={k}");
+        }
+    }
+}
+
+#[test]
+fn rolling_extension_matches_from_bytes() {
+    // Sliding a window by extending right must produce the same packed k-mer
+    // as packing the window from scratch (the extractor relies on this).
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    for &k in &[21usize, 33, 63] {
+        let seq = random_seq(&mut rng, k + 100);
+        let mut rolling = Kmer::from_bytes(&seq[..k]).unwrap();
+        for start in 1..=seq.len() - k {
+            let incoming = seq[start + k - 1];
+            let code = seqio::alphabet::encode_base(incoming).unwrap();
+            rolling = rolling.extended_right(code);
+            let direct = Kmer::from_bytes(&seq[start..start + k]).unwrap();
+            assert_eq!(rolling, direct, "rolling drifted at window {start}, k={k}");
+        }
+    }
+}
+
+#[test]
+fn owner_hash_is_orientation_independent_on_canonical_form() {
+    // The distributed tables key on canonical k-mers; the owner hash of the
+    // canonical form must therefore be identical no matter which orientation
+    // the k-mer was observed in.
+    let mut rng = StdRng::seed_from_u64(0xABBA);
+    for _ in 0..500 {
+        let seq = random_seq(&mut rng, 31);
+        let a = Kmer::from_bytes(&seq).unwrap().canonical().0;
+        let b = Kmer::from_bytes(&revcomp(&seq)).unwrap().canonical().0;
+        assert_eq!(a.owner_hash(), b.owner_hash());
+    }
+}

@@ -1,7 +1,9 @@
 //! Community synthesis: many genomes with log-normal abundances, shared
 //! conserved regions and optional strain variants.
 
-use crate::genome::{mutate_sequence, plant_conserved_region, random_genome, random_sequence, GenomeParams};
+use crate::genome::{
+    mutate_sequence, plant_conserved_region, random_genome, random_sequence, GenomeParams,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, LogNormal};
@@ -215,7 +217,11 @@ mod tests {
         for g in &set.genomes {
             let (s, e) = g.rrna_regions[0];
             let region = &g.seq[s..e];
-            let diffs = region.iter().zip(&consensus).filter(|(a, b)| a != b).count();
+            let diffs = region
+                .iter()
+                .zip(&consensus)
+                .filter(|(a, b)| a != b)
+                .count();
             assert!(
                 (diffs as f64) < 0.05 * consensus.len() as f64,
                 "rRNA copy too divergent in {}",

@@ -66,8 +66,7 @@ pub fn random_genome(rng: &mut StdRng, params: &GenomeParams) -> (Vec<u8>, Genom
     if params.num_repeats >= 2 && params.repeat_len > 0 && params.length > 4 * params.repeat_len {
         // Pick a template segment and copy it to (num_repeats - 1) other spots.
         let template_start = rng.gen_range(0..params.length - params.repeat_len);
-        let template: Vec<u8> =
-            seq[template_start..template_start + params.repeat_len].to_vec();
+        let template: Vec<u8> = seq[template_start..template_start + params.repeat_len].to_vec();
         features
             .repeat_copies
             .push((template_start, template_start + params.repeat_len));
@@ -203,7 +202,11 @@ mod tests {
         let (start, end) = plant_conserved_region(&mut r, &mut genome, &consensus, 0.02);
         assert_eq!(end - start, 400);
         let planted = &genome[start..end];
-        let diffs = planted.iter().zip(&consensus).filter(|(a, b)| a != b).count();
+        let diffs = planted
+            .iter()
+            .zip(&consensus)
+            .filter(|(a, b)| a != b)
+            .count();
         assert!(diffs < 30, "planted copy diverged too much: {diffs}");
         assert_eq!(genome.len(), 5000);
     }

@@ -65,7 +65,11 @@ pub fn mg64_sim(scale: Mg64Scale, seed: u64) -> SimDataset {
     // Strain variants bring the genome count to 64 for the non-tiny scales
     // (60 taxa + 4 strains), mirroring the mixture of distinct organisms and
     // close relatives in the real MG64 community.
-    let strains = if matches!(scale, Mg64Scale::Tiny) { 2 } else { 4 };
+    let strains = if matches!(scale, Mg64Scale::Tiny) {
+        2
+    } else {
+        4
+    };
     let cparams = CommunityParams {
         num_taxa,
         genome_len_range: len_range,

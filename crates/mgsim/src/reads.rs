@@ -70,7 +70,10 @@ impl ReadSimParams {
 /// (a genome twice as long at the same abundance yields twice the reads, which
 /// is how shotgun sequencing behaves).
 pub fn simulate_reads(refs: &ReferenceSet, params: &ReadSimParams) -> ReadLibrary {
-    assert!(!refs.is_empty(), "cannot simulate reads from an empty community");
+    assert!(
+        !refs.is_empty(),
+        "cannot simulate reads from an empty community"
+    );
     assert!(params.read_len >= 20, "read length unrealistically short");
     let mut rng = StdRng::seed_from_u64(params.seed);
     let weights: Vec<f64> = refs
@@ -192,13 +195,12 @@ mod tests {
             ..Default::default()
         };
         let lib = simulate_reads(&refs, &params);
-        let from_a = lib
-            .reads
-            .iter()
-            .filter(|r| r.name.contains(":a:"))
-            .count();
+        let from_a = lib.reads.iter().filter(|r| r.name.contains(":a:")).count();
         let frac_a = from_a as f64 / lib.num_reads() as f64;
-        assert!(frac_a > 0.8, "abundant genome should dominate, got {frac_a}");
+        assert!(
+            frac_a > 0.8,
+            "abundant genome should dominate, got {frac_a}"
+        );
     }
 
     #[test]
@@ -244,7 +246,10 @@ mod tests {
             .map(|r| r.qual.iter().filter(|&&q| q == params.qual_bad).count())
             .sum();
         let rate = bad as f64 / total as f64;
-        assert!((rate - 0.02).abs() < 0.01, "observed error-marked rate {rate}");
+        assert!(
+            (rate - 0.02).abs() < 0.01,
+            "observed error-marked rate {rate}"
+        );
     }
 
     #[test]

@@ -90,7 +90,9 @@ impl<'c, 't, T: Send + Sync + 'static> Aggregator<'c, 't, T> {
         Aggregator {
             ctx,
             a2a,
-            bufs: (0..ctx.ranks()).map(|_| Vec::with_capacity(batch)).collect(),
+            bufs: (0..ctx.ranks())
+                .map(|_| Vec::with_capacity(batch))
+                .collect(),
             batch,
         }
     }
@@ -138,8 +140,7 @@ mod tests {
         let received = team.run(|ctx| {
             let n = ctx.ranks();
             // Rank r sends value 100*r + d to destination d.
-            let outgoing: Vec<Vec<usize>> =
-                (0..n).map(|d| vec![100 * ctx.rank() + d]).collect();
+            let outgoing: Vec<Vec<usize>> = (0..n).map(|d| vec![100 * ctx.rank() + d]).collect();
             let mut got = ctx.exchange(outgoing);
             got.sort();
             got

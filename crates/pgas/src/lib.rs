@@ -30,7 +30,7 @@ pub mod team;
 pub mod topology;
 pub mod work;
 
-pub use exchange::{AllToAll, Aggregator};
+pub use exchange::{Aggregator, AllToAll};
 pub use stats::{CommStats, StatsSnapshot};
 pub use team::{Ctx, Team};
 pub use topology::Topology;

@@ -256,7 +256,10 @@ impl<'t> Ctx<'t> {
         self.barrier();
         let mut acc = f64::from_bits(self.team.reduce_f64[0].load(Ordering::SeqCst));
         for r in 1..self.ranks() {
-            acc = combine(acc, f64::from_bits(self.team.reduce_f64[r].load(Ordering::SeqCst)));
+            acc = combine(
+                acc,
+                f64::from_bits(self.team.reduce_f64[r].load(Ordering::SeqCst)),
+            );
         }
         self.barrier();
         acc

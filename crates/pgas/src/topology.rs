@@ -46,7 +46,7 @@ impl Topology {
     /// Number of simulated nodes (the last node may be partially filled).
     #[inline]
     pub fn nodes(&self) -> usize {
-        (self.ranks + self.ranks_per_node - 1) / self.ranks_per_node
+        self.ranks.div_ceil(self.ranks_per_node)
     }
 
     /// The node a rank belongs to.

@@ -129,7 +129,11 @@ mod tests {
         let total_done: usize = processed.iter().sum();
         assert_eq!(total_done, total);
         // The fast ranks must have done the lion's share.
-        assert!(processed[0] < total / 2, "slow rank did {} items", processed[0]);
+        assert!(
+            processed[0] < total / 2,
+            "slow rank did {} items",
+            processed[0]
+        );
         assert!(team.stats_total().steals > 0);
     }
 }

@@ -1,0 +1,83 @@
+//! Property-style tests of `DynamicBlocks`: for arbitrary pool sizes, block
+//! sizes and team widths, every index is claimed exactly once and nothing is
+//! claimed twice — the invariant the local-assembly stage depends on for
+//! correctness (the paper's single-global-atomic work stealing, §II-G).
+
+use pgas::{DynamicBlocks, Team};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn all_blocks_claimed_exactly_once_across_randomised_configurations() {
+    let mut rng = StdRng::seed_from_u64(20260728);
+    for trial in 0..12 {
+        let ranks = rng.gen_range(1..=8usize);
+        let total = rng.gen_range(0..3000usize);
+        let block = rng.gen_range(1..=64usize);
+        let claims: Arc<Vec<AtomicU32>> = Arc::new((0..total).map(|_| AtomicU32::new(0)).collect());
+        let team = Team::single_node(ranks);
+        let claims2 = Arc::clone(&claims);
+        let processed = team.run(move |ctx| {
+            let blocks = ctx.share(|| DynamicBlocks::new(total, block));
+            assert_eq!(blocks.total(), total);
+            blocks.drive(ctx, |i| {
+                claims2[i].fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        // Exactly-once, checked two independent ways: per-index claim counts
+        // and the sum of per-rank processed counts.
+        assert_eq!(
+            processed.iter().sum::<usize>(),
+            total,
+            "trial {trial}: ranks={ranks} total={total} block={block}"
+        );
+        for (i, c) in claims.iter().enumerate() {
+            assert_eq!(
+                c.load(Ordering::Relaxed),
+                1,
+                "trial {trial}: index {i} claimed {} times (ranks={ranks} block={block})",
+                c.load(Ordering::Relaxed)
+            );
+        }
+    }
+}
+
+#[test]
+fn uneven_tail_block_is_not_overrun() {
+    // total not divisible by block: the final partial block must stop at
+    // `total` and later grabs must return None on every rank.
+    let team = Team::single_node(3);
+    let ranges = team.run(|ctx| {
+        let blocks = ctx.share(|| DynamicBlocks::new(100, 32));
+        let mut got = Vec::new();
+        let mut first = true;
+        while let Some(r) = blocks.next_block(ctx, first) {
+            first = false;
+            assert!(r.end <= 100, "block {r:?} exceeds the pool");
+            got.push(r);
+        }
+        got
+    });
+    let mut all: Vec<usize> = ranges.into_iter().flatten().flatten().collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..100).collect::<Vec<_>>());
+}
+
+#[test]
+fn steals_are_recorded_for_non_first_grabs() {
+    let team = Team::single_node(4);
+    team.reset_stats();
+    team.run(|ctx| {
+        let blocks = ctx.share(|| DynamicBlocks::new(256, 4));
+        blocks.drive(ctx, |_| {});
+    });
+    let snap = team.stats_total();
+    // 64 grabs total, at most one "own" first grab per rank.
+    assert!(
+        snap.steals >= 64 - 4,
+        "expected most grabs to count as steals, got {}",
+        snap.steals
+    );
+}

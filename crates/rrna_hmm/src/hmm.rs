@@ -28,7 +28,12 @@ impl ProfileHmm {
     /// `mismatch_prob` is the probability of observing a non-consensus base at
     /// a match state (spread evenly over the three alternatives);
     /// `indel_open`/`indel_extend` control the gap model.
-    pub fn from_consensus(consensus: &[u8], mismatch_prob: f64, indel_open: f64, indel_extend: f64) -> Self {
+    pub fn from_consensus(
+        consensus: &[u8],
+        mismatch_prob: f64,
+        indel_open: f64,
+        indel_extend: f64,
+    ) -> Self {
         assert!(!consensus.is_empty(), "consensus must be non-empty");
         assert!((0.0..0.75).contains(&mismatch_prob));
         assert!((0.0..0.5).contains(&indel_open) && indel_open > 0.0);
@@ -57,7 +62,12 @@ impl ProfileHmm {
     /// length: emission probabilities become the per-column base frequencies
     /// (with a pseudocount), which is how a profile is normally trained from a
     /// multiple alignment of family members.
-    pub fn from_examples(consensus: &[u8], examples: &[Vec<u8>], indel_open: f64, indel_extend: f64) -> Self {
+    pub fn from_examples(
+        consensus: &[u8],
+        examples: &[Vec<u8>],
+        indel_open: f64,
+        indel_extend: f64,
+    ) -> Self {
         let mut hmm = ProfileHmm::from_consensus(consensus, 0.05, indel_open, indel_extend);
         let l = consensus.len();
         let mut counts = vec![[1.0f64; 4]; l]; // +1 pseudocount
@@ -75,8 +85,8 @@ impl ProfileHmm {
         }
         for (i, c) in counts.iter().enumerate() {
             let total: f64 = c.iter().sum();
-            for base in 0..4 {
-                hmm.match_emit[i][base] = c[base] / total;
+            for (base, count) in c.iter().enumerate() {
+                hmm.match_emit[i][base] = count / total;
             }
         }
         hmm
@@ -128,7 +138,7 @@ impl ProfileHmm {
                 let i_open = m_cur[col - 1].max(m_prev[col - 1]) + self.log_open;
                 let i_ext = i_cur[col - 1] + self.log_extend;
                 i_cur[col] = i_open.max(i_ext); // insertions emit at background odds = 0
-                // Delete state: consumes a profile row, not a sequence base.
+                                                // Delete state: consumes a profile row, not a sequence base.
                 let d_open = m_prev[col] + self.log_open;
                 let d_ext = d_prev[col] + self.log_extend;
                 d_cur[col] = d_open.max(d_ext);

@@ -35,15 +35,21 @@ pub struct GapClosingParams {
     pub min_n_fill: usize,
     /// Unclosed gaps are padded with at most this many `N`s.
     pub max_n_fill: usize,
+    /// Anchor k-mer length of the inexact (mismatch-tolerant) overlap merge.
+    pub merge_k: usize,
+    /// Minimum base identity of an inexact overlap for the merge to apply.
+    pub min_merge_identity: f64,
 }
 
 impl Default for GapClosingParams {
     fn default() -> Self {
         GapClosingParams {
             min_overlap: 15,
-            max_overlap: 300,
+            max_overlap: 700,
             min_n_fill: 1,
             max_n_fill: 500,
+            merge_k: 16,
+            min_merge_identity: 0.85,
         }
     }
 }
@@ -61,9 +67,89 @@ pub struct GapClosingReport {
 /// searched between `min` and `max` bases.
 fn best_overlap(a: &[u8], b: &[u8], min: usize, max: usize) -> Option<usize> {
     let max = max.min(a.len()).min(b.len());
-    (min..=max)
-        .rev()
-        .find(|&o| a[a.len() - o..] == b[..o])
+    (min..=max).rev().find(|&o| a[a.len() - o..] == b[..o])
+}
+
+/// Mismatch-tolerant overlap join: anchors the prefix of `piece` onto the tail
+/// of `seq` with exact k-mer hits, verifies each candidate diagonal base by
+/// base, and returns `(seq_keep, piece_start)` — join as
+/// `seq[..seq_keep] + piece[piece_start..]`.
+///
+/// Adjacent contigs routinely overlap *inexactly*: local assembly extends
+/// contigs into their neighbours' territory, and strain-collapsed or
+/// error-containing copies differ by substitutions, so the exact
+/// [`best_overlap`] check fails and the duplicate material would otherwise be
+/// concatenated twice into the scaffold. The per-diagonal score also trims a
+/// low-quality extension tail of `seq` when the true junction lies before its
+/// end (walk extensions can wander at forks).
+fn fuzzy_overlap_join(
+    seq: &[u8],
+    piece: &[u8],
+    params: &GapClosingParams,
+) -> Option<(usize, usize)> {
+    let k = params.merge_k;
+    // The anchor k-mer must fit inside the searched window.
+    let window = params.max_overlap.max(k);
+    if seq.len() < k || piece.len() < k {
+        return None;
+    }
+    // Index the k-mers of piece's prefix window by content (first occurrence).
+    let piece_window = &piece[..window.min(piece.len())];
+    let mut piece_kmers: std::collections::HashMap<&[u8], usize> = std::collections::HashMap::new();
+    for p in 0..=piece_window.len().saturating_sub(k) {
+        piece_kmers.entry(&piece_window[p..p + k]).or_insert(p);
+    }
+    // Scan seq's tail window and vote on alignment diagonals: a hit of seq
+    // position q against piece position p implies piece[0] sits at seq
+    // coordinate q - p.
+    let tail_start = seq.len().saturating_sub(window);
+    let mut diagonals: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+    for q in tail_start..=seq.len().saturating_sub(k) {
+        if let Some(&p) = piece_kmers.get(&seq[q..q + k]) {
+            if q >= p {
+                *diagonals.entry(q - p).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut ranked: Vec<(usize, u32)> = diagonals.into_iter().collect();
+    ranked.sort_unstable_by_key(|&(d, votes)| (std::cmp::Reverse(votes), d));
+
+    let mut best: Option<(usize, usize, usize)> = None; // (matches, seq_keep, piece_start)
+    for &(s, _) in ranked.iter().take(4) {
+        // piece[j] pairs with seq[s + j]; walk the diagonal accumulating a
+        // local-alignment-style prefix score and remember its maximum, which
+        // marks the junction (everything past it on `seq` is divergent tail).
+        let overlap = (seq.len() - s).min(piece.len());
+        if overlap < params.min_overlap {
+            continue;
+        }
+        let mut score = 0i64;
+        let mut matches = 0usize;
+        let (mut best_score, mut best_j, mut best_matches) = (0i64, 0usize, 0usize);
+        for j in 0..overlap {
+            if piece[j] == seq[s + j] {
+                score += 1;
+                matches += 1;
+            } else {
+                score -= 3;
+            }
+            if score > best_score {
+                best_score = score;
+                best_j = j + 1;
+                best_matches = matches;
+            }
+        }
+        if best_j < params.min_overlap {
+            continue;
+        }
+        if (best_matches as f64) < params.min_merge_identity * best_j as f64 {
+            continue;
+        }
+        if best.map(|(m, _, _)| best_matches > m).unwrap_or(true) {
+            best = Some((best_matches, s + best_j, best_j));
+        }
+    }
+    best.map(|(_, seq_keep, piece_start)| (seq_keep, piece_start))
 }
 
 /// Materialises one scaffold's sequence, closing its gaps.
@@ -110,24 +196,31 @@ fn close_scaffold(
             match best_overlap(&seq, &piece, params.min_overlap, params.max_overlap) {
                 Some(o) => seq.extend_from_slice(&piece[o..]),
                 None => {
-                    seq.extend(std::iter::repeat(b'N').take(params.min_n_fill));
+                    seq.extend(std::iter::repeat_n(b'N', params.min_n_fill));
                     seq.extend_from_slice(&piece);
                 }
             }
             report.closed_by_suspended += 1;
             continue;
         }
+        // Method 2: overlap merging. Attempted for every gap — the gap
+        // estimate is span-noise-limited, while an anchored sequence overlap
+        // is direct evidence, so finding one overrides a positive estimate.
         let gap = prev.gap_after.unwrap_or(0);
-        if gap <= 0 {
-            if let Some(o) = best_overlap(&seq, &piece, params.min_overlap, params.max_overlap) {
-                seq.extend_from_slice(&piece[o..]);
-                report.closed_by_overlap += 1;
-                continue;
-            }
+        if let Some(o) = best_overlap(&seq, &piece, params.min_overlap, params.max_overlap) {
+            seq.extend_from_slice(&piece[o..]);
+            report.closed_by_overlap += 1;
+            continue;
+        }
+        if let Some((seq_keep, piece_start)) = fuzzy_overlap_join(&seq, &piece, params) {
+            seq.truncate(seq_keep);
+            seq.extend_from_slice(&piece[piece_start..]);
+            report.closed_by_overlap += 1;
+            continue;
         }
         // Method 3: N padding sized by the gap estimate.
         let n = (gap.max(params.min_n_fill as i64) as usize).min(params.max_n_fill);
-        seq.extend(std::iter::repeat(b'N').take(n));
+        seq.extend(std::iter::repeat_n(b'N', n));
         seq.extend_from_slice(&piece);
         report.filled_with_n += 1;
     }
@@ -216,7 +309,13 @@ mod tests {
         let team = Team::single_node(2);
         let out = team.run(|ctx| {
             let links = LinkSet::default();
-            close_gaps(ctx, &contigs, gapped.clone(), &links, &GapClosingParams::default())
+            close_gaps(
+                ctx,
+                &contigs,
+                gapped.clone(),
+                &links,
+                &GapClosingParams::default(),
+            )
         });
         let (set, report) = &out[0];
         assert_eq!(report.gaps_total, 1);
@@ -233,7 +332,7 @@ mod tests {
         let mut a = vec![b'A'; 70];
         a.extend_from_slice(&shared);
         let mut b = shared.clone();
-        b.extend_from_slice(&vec![b'C'; 70]);
+        b.extend_from_slice(&[b'C'; 70]);
         let contigs = contigs_from(&[&a, &b]);
         // Contig storage canonicalises orientation; find which stored contig
         // matches `a` and in which orientation so the entries are correct.
@@ -262,7 +361,13 @@ mod tests {
         let team = Team::single_node(1);
         let out = team.run(|ctx| {
             let links = LinkSet::default();
-            close_gaps(ctx, &contigs, gapped.clone(), &links, &GapClosingParams::default())
+            close_gaps(
+                ctx,
+                &contigs,
+                gapped.clone(),
+                &links,
+                &GapClosingParams::default(),
+            )
         });
         let (set, report) = &out[0];
         assert_eq!(report.closed_by_overlap, 1);
@@ -318,7 +423,13 @@ mod tests {
         let team = Team::single_node(1);
         let out = team.run(|ctx| {
             let links = LinkSet::default();
-            close_gaps(ctx, &contigs, gapped.clone(), &links, &GapClosingParams::default())
+            close_gaps(
+                ctx,
+                &contigs,
+                gapped.clone(),
+                &links,
+                &GapClosingParams::default(),
+            )
         });
         let (set, report) = &out[0];
         assert_eq!(report.closed_by_suspended, 1);
@@ -348,7 +459,13 @@ mod tests {
             let gapped2 = gapped.clone();
             let out = team.run(|ctx| {
                 let links = LinkSet::default();
-                close_gaps(ctx, &contigs, gapped2.clone(), &links, &GapClosingParams::default())
+                close_gaps(
+                    ctx,
+                    &contigs,
+                    gapped2.clone(),
+                    &links,
+                    &GapClosingParams::default(),
+                )
             });
             results.push(out[0].clone());
         }

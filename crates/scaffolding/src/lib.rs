@@ -37,21 +37,11 @@ use rrna_hmm::RrnaDetector;
 use seqio::ReadLibrary;
 
 /// End-to-end scaffolding parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ScaffoldParams {
     pub links: links::LinkParams,
     pub traversal: ScaffoldTraversalParams,
     pub gap_closing: GapClosingParams,
-}
-
-impl Default for ScaffoldParams {
-    fn default() -> Self {
-        ScaffoldParams {
-            links: links::LinkParams::default(),
-            traversal: ScaffoldTraversalParams::default(),
-            gap_closing: GapClosingParams::default(),
-        }
-    }
 }
 
 /// Runs the full scaffolding stage. Collective. `alignments` are the calling

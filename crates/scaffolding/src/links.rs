@@ -208,8 +208,7 @@ pub fn build_links(
 ) -> LinkSet {
     let insert = library.insert_size.max(1);
     let read_len_of = |id: seqio::ReadId| library.read(id).len();
-    let contig_len_of =
-        |id: ContigId| contigs.get(id).map(|c| c.len()).unwrap_or(0);
+    let contig_len_of = |id: ContigId| contigs.get(id).map(|c| c.len()).unwrap_or(0);
 
     let mut local: Vec<(LinkKey, LinkData)> = Vec::new();
     let by_read = alignments.by_read();
@@ -233,6 +232,21 @@ pub fn build_links(
                 }
                 if first.read_start > second.read_start {
                     std::mem::swap(&mut first, &mut second);
+                }
+                // A genuine splint crosses the junction, so its two alignments
+                // cover mostly disjoint parts of the read. When two contigs
+                // carry long near-identical stretches (local-assembly
+                // extensions into a neighbour, strain copies), every read
+                // inside the shared region aligns to both over the *same*
+                // read interval — evidence about one locus, not a junction.
+                let overlap = first
+                    .read_end
+                    .min(second.read_end)
+                    .saturating_sub(second.read_start);
+                let shorter =
+                    (first.read_end - first.read_start).min(second.read_end - second.read_start);
+                if 2 * overlap > shorter {
+                    continue;
                 }
                 // The read exits `first` toward its exit end and enters
                 // `second` from its enter end.
@@ -281,10 +295,8 @@ pub fn build_links(
             // For a forward–reverse library the template extends from each
             // mate's 5' end toward the contig end the mate points at (its exit
             // end); distance from the 5' aligned base to that end:
-            let d1 = o1.exit_dist + (o1.read_end - o1.read_start) as i64
-                + o1.read_start as i64;
-            let d2 = o2.exit_dist + (o2.read_end - o2.read_start) as i64
-                + o2.read_start as i64;
+            let d1 = o1.exit_dist + (o1.read_end - o1.read_start) as i64 + o1.read_start as i64;
+            let d2 = o2.exit_dist + (o2.read_end - o2.read_start) as i64 + o2.read_start as i64;
             let max_d = (params.max_end_distance_factor * insert as f64) as i64;
             if d1 > max_d || d2 > max_d {
                 continue;
@@ -389,11 +401,7 @@ mod tests {
         ContigSet::from_sequences(21, seqs)
     }
 
-    fn align_all(
-        ctx: &pgas::Ctx,
-        lib: &ReadLibrary,
-        contigs: &ContigSet,
-    ) -> AlignmentSet {
+    fn align_all(ctx: &pgas::Ctx, lib: &ReadLibrary, contigs: &ContigSet) -> AlignmentSet {
         let index = build_seed_index(ctx, contigs, 15);
         ctx.barrier();
         let range = ctx.block_range(lib.num_pairs());

@@ -184,12 +184,9 @@ fn walk(
         contig: seed,
         end: seed_exit,
     };
-    loop {
-        let next = match pick_next(current, contigs, links, visited, rrna_hits, params) {
-            Some(n) => n,
-            None => break,
-        };
-        let (entered, data, suspended) = next;
+    while let Some((entered, data, suspended)) =
+        pick_next(current, contigs, links, visited, rrna_hits, params)
+    {
         if let Some(s) = suspended {
             visited.insert(s);
         }
@@ -389,9 +386,7 @@ mod tests {
     #[test]
     fn connected_components_identify_chains() {
         let team = Team::single_node(3);
-        let labels = team.run(|ctx| {
-            connected_components(ctx, 6, &[(0, 1), (1, 2), (4, 5)])
-        });
+        let labels = team.run(|ctx| connected_components(ctx, 6, &[(0, 1), (1, 2), (4, 5)]));
         for l in &labels[1..] {
             assert_eq!(l, &labels[0]);
         }

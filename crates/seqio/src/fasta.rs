@@ -49,9 +49,7 @@ pub fn parse_fasta(text: &str) -> Result<Vec<FastaRecord>, String> {
             });
         } else {
             match current.as_mut() {
-                Some(rec) => rec
-                    .seq
-                    .extend(crate::alphabet::normalize(line.as_bytes())),
+                Some(rec) => rec.seq.extend(crate::alphabet::normalize(line.as_bytes())),
                 None => {
                     return Err(format!(
                         "sequence data before any FASTA header at line {}",

@@ -30,11 +30,7 @@ pub fn parse_fastq(text: &str) -> Result<Vec<FastqRecord>, String> {
     let mut lines = text.lines().filter(|l| !l.is_empty());
     let mut records = Vec::new();
     let mut idx = 0usize;
-    loop {
-        let header = match lines.next() {
-            Some(h) => h,
-            None => break,
-        };
+    while let Some(header) = lines.next() {
         idx += 1;
         let name = header
             .strip_prefix('@')
@@ -47,7 +43,9 @@ pub fn parse_fastq(text: &str) -> Result<Vec<FastqRecord>, String> {
             .next()
             .ok_or_else(|| format!("record {idx}: missing '+' line"))?;
         if !plus.starts_with('+') {
-            return Err(format!("record {idx}: separator line does not start with '+'"));
+            return Err(format!(
+                "record {idx}: separator line does not start with '+'"
+            ));
         }
         let qual = lines
             .next()

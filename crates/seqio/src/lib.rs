@@ -25,7 +25,9 @@ pub mod qc;
 pub mod read;
 pub mod reference;
 
-pub use alphabet::{complement, decode_base, encode_base, is_valid_base, revcomp, revcomp_in_place};
+pub use alphabet::{
+    complement, decode_base, encode_base, is_valid_base, revcomp, revcomp_in_place,
+};
 pub use fasta::{parse_fasta, write_fasta, FastaRecord};
 pub use fastq::{parse_fastq, write_fastq, FastqRecord};
 pub use read::{PairOrientation, Read, ReadId, ReadLibrary, ReadPair};

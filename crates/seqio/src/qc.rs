@@ -108,8 +108,14 @@ mod tests {
             min_len: 4,
             max_n_fraction: 0.25,
         };
-        assert!(read_passes(&Read::with_uniform_quality("a", b"ACGT", 30), &params));
-        assert!(!read_passes(&Read::with_uniform_quality("b", b"ACG", 30), &params));
+        assert!(read_passes(
+            &Read::with_uniform_quality("a", b"ACGT", 30),
+            &params
+        ));
+        assert!(!read_passes(
+            &Read::with_uniform_quality("b", b"ACG", 30),
+            &params
+        ));
         assert!(!read_passes(
             &Read::with_uniform_quality("c", b"ANNN", 30),
             &params

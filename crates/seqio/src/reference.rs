@@ -93,7 +93,7 @@ impl ReferenceSet {
             .iter()
             .zip(&self.genomes)
             .map(|(p, g)| {
-                if g.len() == 0 {
+                if g.is_empty() {
                     0.0
                 } else {
                     total_sequenced_bases as f64 * p / g.len() as f64

@@ -1,0 +1,328 @@
+//! Minimal stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors the
+//! API subset its callers use: `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! and the `Rng` methods `gen`, `gen_range`, `gen_bool`, `fill`. The generator
+//! is xoshiro256++ seeded through SplitMix64 — deterministic for a given seed,
+//! which is all the simulator and the determinism tests require. The streams
+//! are NOT bit-compatible with the real `rand` crate; nothing in this
+//! workspace asserts on absolute random values, only on seeded repeatability.
+
+pub mod rngs {
+    /// Deterministic xoshiro256++ generator, the workspace's `StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_u64_seed(seed: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into the 256-bit state,
+            // as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let mut s = [next(), next(), next(), next()];
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+
+        #[inline]
+        pub(crate) fn next_raw(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl crate::RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.next_raw()
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng::from_u64_seed(seed)
+        }
+    }
+
+    /// Alias: the real crate's `SmallRng` is a distinct generator; here both
+    /// names resolve to the same xoshiro256++ core.
+    pub type SmallRng = StdRng;
+}
+
+/// The raw generator interface: everything else is derived from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface; only the `seed_from_u64` entry point is provided.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible by [`Rng::gen`] (the real crate's `Standard` distribution).
+pub trait Standard: Sized {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u8 {
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for usize {
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in [0, 1) with 53 bits of precision.
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Scalar types usable as `gen_range` bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Unbiased integer sampling from [0, span) via Lemire-style rejection on the
+/// top bits; span == 0 encodes the full u64 range.
+#[inline]
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    // Rejection zone keeps the modulo unbiased.
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u64;
+                low.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty inclusive range");
+                // span == 0 means the whole u64 domain (low=MIN, high=MAX).
+                let span = (high as i128 - low as i128 + 1) as u64;
+                low.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let unit = <$t as Standard>::from_rng(rng);
+                low + unit * (high - low)
+            }
+
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty inclusive range");
+                let unit = <$t as Standard>::from_rng(rng);
+                low + unit * (high - low)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// The user-facing generator interface, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        self.gen::<f64>() < p
+    }
+
+    #[inline]
+    fn fill(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(5u64..=5);
+            assert_eq!(w, 5);
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "uniform mean drifted: {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "gen_bool rate drifted: {rate}");
+    }
+
+    #[test]
+    fn small_int_ranges_are_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[rng.gen_range(0..4usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 600, "bucket skew: {counts:?}");
+        }
+    }
+}

@@ -45,7 +45,7 @@ fn main() {
         // Per-genome coverage of the five least-abundant genomes: this is
         // where the metagenome-specific algorithms earn their keep.
         let mut per = report.per_genome.clone();
-        per.sort_by(|a, b| a.covered.cmp(&b.covered));
+        per.sort_by_key(|a| a.covered);
         for g in per.iter().take(5) {
             println!(
                 "    {:<14} {:>6} bp  covered {:>5.1}%  NGA50 {}",

@@ -31,7 +31,10 @@ fn assembly_identical_for_one_two_and_four_ranks() {
         let mut seqs = out.sequences();
         seqs.sort();
         if let Some(prev) = &previous {
-            assert_eq!(prev, &seqs, "assembly changed between rank counts (ranks={ranks})");
+            assert_eq!(
+                prev, &seqs,
+                "assembly changed between rank counts (ranks={ranks})"
+            );
         }
         previous = Some(seqs);
     }

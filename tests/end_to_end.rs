@@ -58,7 +58,11 @@ fn metahipmer_assembles_a_small_community_accurately() {
         report.misassemblies
     );
     // Contiguity: scaffolds should be much longer than reads.
-    assert!(out.scaffolds.n50() > 1_000, "N50 {} too small", out.scaffolds.n50());
+    assert!(
+        out.scaffolds.n50() > 1_000,
+        "N50 {} too small",
+        out.scaffolds.n50()
+    );
     // rRNA regions are planted in every genome; most should be recovered.
     assert!(
         report.rrna_recovered * 2 >= report.rrna_total,
@@ -74,7 +78,12 @@ fn pipeline_stage_accounting_is_complete() {
     let team = Team::single_node(2);
     let out =
         MetaHipMer::new(AssemblyConfig::small_test()).assemble(&team, &library, Some(&consensus));
-    for stage in ["kmer_analysis", "graph_traversal", "alignment", "scaffolding"] {
+    for stage in [
+        "kmer_analysis",
+        "graph_traversal",
+        "alignment",
+        "scaffolding",
+    ] {
         assert!(
             out.stage_seconds(stage) > 0.0,
             "stage {stage} has no recorded time"
