@@ -1,8 +1,25 @@
 //! Seed-and-extend alignment of reads onto contigs.
+//!
+//! Seed lookups against the distributed seed index come in two flavours,
+//! selected by [`AlignParams::lookup_batch`]:
+//!
+//! * **aggregated** (`lookup_batch > 1`, the default): the seeds of a whole
+//!   block of reads are gathered, cache hits are served locally, and every
+//!   miss of the block travels to its owner rank in one aggregated
+//!   request–response round trip ([`dht::CachedView`]) — the paper's batched
+//!   lookups (use case 3 of §II-A). This path is **collective**: every rank
+//!   must call [`align_reads`] in the same phase, even with no reads.
+//! * **fine-grained** (`lookup_batch <= 1`): one synchronous index probe per
+//!   seed through the software cache, the unaggregated baseline the
+//!   `ablation_batched_lookup` harness measures against.
+//!
+//! Both paths feed identical seed results into identical voting and
+//! verification code, so the alignments — and the assembly built from them —
+//! are byte-identical.
 
-use crate::seed_index::SeedIndex;
+use crate::seed_index::{SeedHit, SeedIndex};
 use dbg::{ContigId, ContigSet};
-use dht::{FxHashMap, SoftwareCache};
+use dht::{CachedView, FxHashMap, SoftwareCache};
 use kmers::Kmer;
 use pgas::Ctx;
 use seqio::alphabet::revcomp;
@@ -23,6 +40,11 @@ pub struct AlignParams {
     pub min_identity: f64,
     /// Capacity of the per-rank software seed cache (entries).
     pub cache_capacity: usize,
+    /// Aggregated-lookup batch size: roughly how many seed lookups are
+    /// resolved per request–response round trip (and at most how many travel
+    /// in one message to an owner). `1` disables aggregation and probes the
+    /// index one seed at a time.
+    pub lookup_batch: usize,
 }
 
 impl Default for AlignParams {
@@ -34,6 +56,7 @@ impl Default for AlignParams {
             min_aligned_len: 30,
             min_identity: 0.9,
             cache_capacity: 1 << 16,
+            lookup_batch: 4096,
         }
     }
 }
@@ -113,8 +136,13 @@ impl AlignmentSet {
 }
 
 /// Aligns the reads `(read_id, read)` of this rank against the contigs using
-/// the shared seed index. Not collective by itself (pure lookups), but all
-/// ranks typically call it in the same phase. Returns this rank's alignments.
+/// the shared seed index. Returns this rank's alignments.
+///
+/// With the default aggregated lookups (`lookup_batch > 1`) this is a
+/// **collective**: every rank must call it in the same phase (an empty read
+/// set is fine) because the seed misses of each read block are fetched
+/// through a collective request–response exchange. With `lookup_batch <= 1`
+/// it degenerates to the fine-grained, communication-per-seed baseline.
 pub fn align_reads(
     ctx: &Ctx,
     reads: impl IntoIterator<Item = (ReadId, Read)>,
@@ -122,13 +150,93 @@ pub fn align_reads(
     index: &SeedIndex,
     params: &AlignParams,
 ) -> AlignmentSet {
-    let mut cache: SoftwareCache<Kmer, Vec<crate::seed_index::SeedHit>> =
-        SoftwareCache::new(params.cache_capacity);
+    if params.lookup_batch > 1 {
+        align_reads_batched(ctx, reads, contigs, index, params)
+    } else {
+        align_reads_fine_grained(ctx, reads, contigs, index, params)
+    }
+}
+
+/// The unaggregated baseline: one synchronous index probe per seed, through
+/// the per-rank software cache.
+fn align_reads_fine_grained(
+    ctx: &Ctx,
+    reads: impl IntoIterator<Item = (ReadId, Read)>,
+    contigs: &ContigSet,
+    index: &SeedIndex,
+    params: &AlignParams,
+) -> AlignmentSet {
+    let mut cache: SoftwareCache<Kmer, Vec<SeedHit>> = SoftwareCache::new(params.cache_capacity);
     let mut out = AlignmentSet::default();
     for (read_id, read) in reads {
-        align_one(
-            ctx, read_id, &read, contigs, index, params, &mut cache, &mut out,
+        let seeds = collect_seeds(&read.seq, index.seed_len, params.stride);
+        let hits: Vec<Option<Vec<SeedHit>>> = seeds
+            .iter()
+            .map(|s| cache.get(ctx, &index.map, &s.canon))
+            .collect();
+        vote_and_verify(
+            read_id,
+            &read,
+            contigs,
+            params,
+            index.seed_len,
+            &seeds,
+            &hits,
+            &mut out,
         );
+    }
+    out
+}
+
+/// The aggregated path: reads are processed in blocks whose seeds are
+/// resolved together — cache hits locally, all misses of the block in one
+/// request–response round trip. Collective; ranks with fewer reads keep
+/// participating in the remaining rounds with empty batches.
+fn align_reads_batched(
+    ctx: &Ctx,
+    reads: impl IntoIterator<Item = (ReadId, Read)>,
+    contigs: &ContigSet,
+    index: &SeedIndex,
+    params: &AlignParams,
+) -> AlignmentSet {
+    let mut reads = reads.into_iter();
+    let mut view: CachedView<Kmer, Vec<SeedHit>> =
+        CachedView::new(&index.map, params.cache_capacity, params.lookup_batch);
+    let mut out = AlignmentSet::default();
+    loop {
+        // Pull one block of reads from the stream: enough to fill roughly one
+        // batch of seed lookups. Only the current block is held in memory.
+        let mut block: Vec<(ReadId, Read)> = Vec::new();
+        let mut seeds: Vec<Seed> = Vec::new();
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        while seeds.len() < params.lookup_batch {
+            let Some((read_id, read)) = reads.next() else {
+                break;
+            };
+            let lo = seeds.len();
+            collect_seeds_into(&read.seq, index.seed_len, params.stride, &mut seeds);
+            spans.push((lo, seeds.len()));
+            block.push((read_id, read));
+        }
+        // Everyone must agree to stop; a rank that is done keeps serving the
+        // collective with empty batches until the slowest rank finishes.
+        if !ctx.allreduce_any(!block.is_empty()) {
+            break;
+        }
+        let keys: Vec<Kmer> = seeds.iter().map(|s| s.canon).collect();
+        let resolved = view.get_many(ctx, &keys);
+        for ((read_id, read), &(lo, hi)) in block.iter().zip(&spans) {
+            vote_and_verify(
+                *read_id,
+                read,
+                contigs,
+                params,
+                index.seed_len,
+                &seeds[lo..hi],
+                &resolved[lo..hi],
+                &mut out,
+            );
+        }
     }
     out
 }
@@ -141,51 +249,79 @@ struct Candidate {
     contig_offset: i64,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn align_one(
-    ctx: &Ctx,
-    read_id: ReadId,
-    read: &Read,
-    contigs: &ContigSet,
-    index: &SeedIndex,
-    params: &AlignParams,
-    cache: &mut SoftwareCache<Kmer, Vec<crate::seed_index::SeedHit>>,
-    out: &mut AlignmentSet,
-) {
-    let seq = &read.seq;
-    let slen = index.seed_len;
+/// One sampled seed of a read: its canonical k-mer, whether canonicalisation
+/// reverse-complemented it, and its offset in the read.
+#[derive(Debug, Clone, Copy)]
+struct Seed {
+    canon: Kmer,
+    read_rc: bool,
+    offset: usize,
+}
+
+/// Samples the seeds of a read at the configured stride (identical for the
+/// fine-grained and the aggregated lookup paths).
+fn collect_seeds(seq: &[u8], slen: usize, stride: usize) -> Vec<Seed> {
+    let mut seeds = Vec::new();
+    collect_seeds_into(seq, slen, stride, &mut seeds);
+    seeds
+}
+
+fn collect_seeds_into(seq: &[u8], slen: usize, stride: usize, seeds: &mut Vec<Seed>) {
     if seq.len() < slen {
         return;
     }
-    // ---- Seed lookup and candidate voting -----------------------------------
-    let mut votes: FxHashMap<Candidate, usize> = FxHashMap::default();
     let mut offset = 0usize;
     while offset + slen <= seq.len() {
         if let Some(seed) = Kmer::from_bytes(&seq[offset..offset + slen]) {
             let (canon, read_rc) = seed.canonical();
-            if let Some(hits) = cache.get(ctx, &index.map, &canon) {
-                for hit in hits {
-                    // forward placement: the read (as given) matches the contig
-                    // strand iff the seed orientations agree.
-                    let forward = hit.forward != read_rc;
-                    let contig_offset = if forward {
-                        hit.pos as i64 - offset as i64
-                    } else {
-                        // The reverse-complemented read aligns forward; in the
-                        // oriented (rc) read the seed starts at
-                        // len - slen - offset.
-                        hit.pos as i64 - (seq.len() - slen - offset) as i64
-                    };
-                    let cand = Candidate {
-                        contig: hit.contig,
-                        forward,
-                        contig_offset,
-                    };
-                    *votes.entry(cand).or_insert(0) += 1;
-                }
-            }
+            seeds.push(Seed {
+                canon,
+                read_rc,
+                offset,
+            });
         }
-        offset += params.stride.max(1);
+        offset += stride.max(1);
+    }
+}
+
+/// Turns one read's resolved seed hits into candidate votes and verified
+/// alignments. `hits[i]` is the index answer for `seeds[i]`; `slen` is the
+/// seed length the seeds were sampled with (the index's, not the params').
+#[allow(clippy::too_many_arguments)]
+fn vote_and_verify(
+    read_id: ReadId,
+    read: &Read,
+    contigs: &ContigSet,
+    params: &AlignParams,
+    slen: usize,
+    seeds: &[Seed],
+    hits: &[Option<Vec<SeedHit>>],
+    out: &mut AlignmentSet,
+) {
+    let seq = &read.seq;
+    // ---- Candidate voting ---------------------------------------------------
+    let mut votes: FxHashMap<Candidate, usize> = FxHashMap::default();
+    for (seed, hit_list) in seeds.iter().zip(hits) {
+        let Some(hit_list) = hit_list else { continue };
+        for hit in hit_list {
+            // forward placement: the read (as given) matches the contig
+            // strand iff the seed orientations agree.
+            let forward = hit.forward != seed.read_rc;
+            let contig_offset = if forward {
+                hit.pos as i64 - seed.offset as i64
+            } else {
+                // The reverse-complemented read aligns forward; in the
+                // oriented (rc) read the seed starts at
+                // len - slen - offset.
+                hit.pos as i64 - (seq.len() - slen - seed.offset) as i64
+            };
+            let cand = Candidate {
+                contig: hit.contig,
+                forward,
+                contig_offset,
+            };
+            *votes.entry(cand).or_insert(0) += 1;
+        }
     }
     if votes.is_empty() {
         return;
@@ -395,6 +531,67 @@ mod tests {
                 stats.cache_hits > stats.cache_misses,
                 "expected cache reuse: {stats:?}"
             );
+        });
+    }
+
+    #[test]
+    fn batched_lookups_match_fine_grained_and_cut_traffic() {
+        let contigs = contigs_of(&[GENOME]);
+        let team = Team::single_node(2);
+        team.run(|ctx| {
+            let index = build_seed_index(ctx, &contigs, 15);
+            ctx.barrier();
+            let reads: Vec<(ReadId, Read)> = (0..30)
+                .map(|i| {
+                    let lo = (i * 2) % 40;
+                    (
+                        i as ReadId,
+                        Read::with_uniform_quality(
+                            format!("r{i}"),
+                            &GENOME.as_bytes()[lo..lo + 50],
+                            35,
+                        ),
+                    )
+                })
+                .collect();
+            ctx.barrier();
+            ctx.stats().reset();
+            let fine = align_reads(
+                ctx,
+                reads.clone(),
+                &contigs,
+                &index,
+                &AlignParams {
+                    lookup_batch: 1,
+                    ..params()
+                },
+            );
+            let fine_stats = ctx.stats().snapshot();
+            ctx.barrier();
+            ctx.stats().reset();
+            let batched = align_reads(
+                ctx,
+                reads,
+                &contigs,
+                &index,
+                &AlignParams {
+                    lookup_batch: 4096,
+                    ..params()
+                },
+            );
+            let batched_stats = ctx.stats().snapshot();
+            assert_eq!(
+                fine.alignments, batched.alignments,
+                "aggregation must not change the alignments"
+            );
+            // The fine path pays one global access per seed; the batched path
+            // pays a handful of aggregated messages.
+            assert!(
+                batched_stats.msgs_sent + batched_stats.fine_grained_ops()
+                    < fine_stats.fine_grained_ops(),
+                "batched traffic not lower: fine={fine_stats:?} batched={batched_stats:?}"
+            );
+            assert!(batched_stats.rpc_round_trips >= 1);
         });
     }
 

@@ -8,7 +8,10 @@
 //! * [`seed_index`] — a distributed hash table mapping canonical seed k-mers
 //!   of the contigs to their positions (the "seed index"); construction is an
 //!   update-only aggregated phase, lookups are a read-only phase served
-//!   through a per-rank [`dht::SoftwareCache`];
+//!   through a per-rank [`dht::CachedView`]: cache hits are answered locally
+//!   and all misses of a read block travel to their owner ranks in one
+//!   aggregated request–response round trip (the paper's batched lookups;
+//!   a fine-grained per-seed mode remains as the ablation baseline);
 //! * [`align`] — seed lookup, candidate voting by diagonal, and ungapped
 //!   extension/verification producing [`align::Alignment`] records (our
 //!   simulated reads contain substitutions but no indels, so ungapped

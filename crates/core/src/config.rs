@@ -109,6 +109,22 @@ impl AssemblyConfig {
         }
     }
 
+    /// Sets the aggregated-lookup batch size on every stage that reads the
+    /// distributed tables remotely: alignment seed lookups, contig-graph
+    /// anchor lookups during bubble merging and pruning, and local-assembly
+    /// pool fetches. `1` disables lookup aggregation everywhere (the
+    /// fine-grained, communication-per-key baseline of the
+    /// `ablation_batched_lookup` harness); the result of an assembly is
+    /// byte-identical either way.
+    pub fn with_lookup_batch(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "lookup batch must be positive");
+        self.align.lookup_batch = batch;
+        self.bubble.lookup_batch = batch;
+        self.prune.lookup_batch = batch;
+        self.local.lookup_batch = batch;
+        self
+    }
+
     /// A configuration suitable for the small simulated communities used in
     /// tests and examples (fewer, smaller k values and permissive support
     /// thresholds).
@@ -170,6 +186,17 @@ mod tests {
             ..Default::default()
         };
         let _ = cfg.k_values();
+    }
+
+    #[test]
+    fn with_lookup_batch_threads_the_size_through_every_stage() {
+        let cfg = AssemblyConfig::default().with_lookup_batch(64);
+        assert_eq!(cfg.align.lookup_batch, 64);
+        assert_eq!(cfg.bubble.lookup_batch, 64);
+        assert_eq!(cfg.prune.lookup_batch, 64);
+        assert_eq!(cfg.local.lookup_batch, 64);
+        let fine = AssemblyConfig::default().with_lookup_batch(1);
+        assert_eq!(fine.align.lookup_batch, 1);
     }
 
     #[test]

@@ -45,6 +45,10 @@ pub struct LocalAssemblyParams {
     pub end_window: usize,
     /// Work-stealing block size (contigs per grab).
     pub block_size: usize,
+    /// Aggregated-lookup batch size for pool-table fetches: `> 1` fetches a
+    /// grabbed block's pools in one aggregated message pair per owner instead
+    /// of one fine-grained read per contig; `1` keeps the per-contig reads.
+    pub lookup_batch: usize,
 }
 
 impl Default for LocalAssemblyParams {
@@ -59,6 +63,7 @@ impl Default for LocalAssemblyParams {
             max_extension: 400,
             end_window: 150,
             block_size: 16,
+            lookup_batch: 4096,
         }
     }
 }
@@ -125,17 +130,29 @@ pub fn extend_contigs_locally(
     // ---- Walk contigs with dynamic work stealing ----------------------------
     // Once a contig's reads are extracted to local storage the walk itself
     // needs no communication; blocks of contigs are grabbed through the shared
-    // atomic counter so ranks with cheap walks steal from slower ones.
+    // atomic counter so ranks with cheap walks steal from slower ones. A
+    // grabbed block's read pools are fetched with one *one-sided* aggregated
+    // batch per block (the steal loop cannot reach a collective in lockstep,
+    // so the two-sided `get_many` is not usable here) instead of one
+    // fine-grained pool read per contig.
     let blocks = ctx.share(|| DynamicBlocks::new(contigs.len(), params.block_size));
     let mut extended_local: Vec<(u64, Vec<u8>, f64)> = Vec::new();
     let mut processed = 0usize;
     let mut first = true;
     while let Some(range) = blocks.next_block(ctx, first) {
         first = false;
-        for idx in range {
+        let ids: Vec<u64> = range.clone().map(|idx| contigs.contigs[idx].id).collect();
+        let pools: Vec<Option<Vec<Vec<u8>>>> = if params.lookup_batch > 1 {
+            pool_table.get_many_onesided(ctx, &ids)
+        } else {
+            ids.iter()
+                .map(|id| pool_table.get_cloned(ctx, id))
+                .collect()
+        };
+        for (idx, pool) in range.zip(pools) {
             let contig = &contigs.contigs[idx];
             processed += 1;
-            let pool = pool_table.get_cloned(ctx, &contig.id).unwrap_or_default();
+            let pool = pool.unwrap_or_default();
             let new_seq = extend_one(contig, &pool, params);
             extended_local.push((contig.id, new_seq, contig.depth));
         }

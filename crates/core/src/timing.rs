@@ -70,6 +70,9 @@ impl StageTimings {
                 cache_hits: ctx.allreduce_sum_u64(stats.cache_hits),
                 cache_misses: ctx.allreduce_sum_u64(stats.cache_misses),
                 steals: ctx.allreduce_sum_u64(stats.steals),
+                rpc_round_trips: ctx.allreduce_sum_u64(stats.rpc_round_trips),
+                rpc_resp_bytes: ctx.allreduce_sum_u64(stats.rpc_resp_bytes),
+                cache_evictions: ctx.allreduce_sum_u64(stats.cache_evictions),
             };
             out.push((name.clone(), max_secs, sum));
         }

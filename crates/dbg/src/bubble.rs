@@ -32,6 +32,9 @@ pub struct BubbleParams {
     pub len_tolerance: f64,
     /// Remove dead-end dangling contigs ("hair") shorter than `2k`.
     pub remove_hair: bool,
+    /// Aggregation batch size for the anchor lookups behind the contig graph
+    /// (`1` falls back to fine-grained per-contig reads).
+    pub lookup_batch: usize,
 }
 
 impl Default for BubbleParams {
@@ -40,6 +43,7 @@ impl Default for BubbleParams {
             merge_long_bubbles: false,
             len_tolerance: 0.05,
             remove_hair: true,
+            lookup_batch: 4096,
         }
     }
 }
@@ -59,7 +63,7 @@ pub fn merge_bubbles_and_remove_hair(
     graph: &KmerGraph,
     params: &BubbleParams,
 ) -> (ContigSet, BubbleReport) {
-    let adjacency = build_adjacency(ctx, contigs, graph);
+    let adjacency = build_adjacency(ctx, contigs, graph, params.lookup_batch);
     let (removed, extra_depth, report) = decide(contigs, &adjacency, params);
 
     // Apply the (identical) decisions: rebuild the contig set without the

@@ -8,7 +8,7 @@
 //! graph. The anchor index is a distributed hash table keyed by anchor k-mer,
 //! exactly the "bubble-contig graph" construction of §II-D.
 
-use crate::graph::{lookup_oriented, KmerGraph};
+use crate::graph::{lookup_oriented, lookup_oriented_many, KmerGraph, OrientedVertex};
 use crate::types::{ContigId, ContigSet};
 use dht::{bulk_merge, DistMap};
 use kmers::{Ext, Kmer};
@@ -65,42 +65,121 @@ impl ContigAdjacency {
     }
 }
 
-/// Computes the end anchors of one contig from the k-mer graph.
+/// Computes the end anchors of one contig from the k-mer graph with
+/// fine-grained lookups (the unaggregated baseline; the batched path in
+/// [`build_adjacency`] must produce exactly the same anchors).
 fn contig_ends(ctx: &Ctx, graph: &KmerGraph, seq: &[u8], k: usize) -> ContigEnds {
     if seq.len() < k {
         return ContigEnds::default();
     }
     let first = Kmer::from_bytes(&seq[..k]);
     let last = Kmer::from_bytes(&seq[seq.len() - k..]);
-    let left_anchor = first.and_then(|f| {
-        lookup_oriented(ctx, graph, &f).and_then(|v| match v.left {
-            Ext::Base(c) => Some(f.extended_left(c).canonical().0),
-            _ => None,
-        })
-    });
-    let right_anchor = last.and_then(|l| {
-        lookup_oriented(ctx, graph, &l).and_then(|v| match v.right {
-            Ext::Base(c) => Some(l.extended_right(c).canonical().0),
-            _ => None,
-        })
-    });
+    let left_anchor =
+        first.and_then(|f| lookup_oriented(ctx, graph, &f).and_then(|v| left_anchor_of(&f, &v)));
+    let right_anchor =
+        last.and_then(|l| lookup_oriented(ctx, graph, &l).and_then(|v| right_anchor_of(&l, &v)));
     ContigEnds {
         left_anchor,
         right_anchor,
     }
 }
 
+fn left_anchor_of(first: &Kmer, v: &OrientedVertex) -> Option<Kmer> {
+    match v.left {
+        Ext::Base(c) => Some(first.extended_left(c).canonical().0),
+        _ => None,
+    }
+}
+
+fn right_anchor_of(last: &Kmer, v: &OrientedVertex) -> Option<Kmer> {
+    match v.right {
+        Ext::Base(c) => Some(last.extended_right(c).canonical().0),
+        _ => None,
+    }
+}
+
+/// A contig's slots in the batched anchor lookup: its id plus, for each end
+/// that has a query, the index of that query and the end k-mer itself.
+type EndQuerySlots = (ContigId, Option<(usize, Kmer)>, Option<(usize, Kmer)>);
+
+/// Batched anchor computation: the end k-mers of the rank's whole contig
+/// block are resolved in one aggregated round trip instead of two
+/// fine-grained graph reads per contig.
+fn batched_ends(
+    ctx: &Ctx,
+    graph: &KmerGraph,
+    contigs: &ContigSet,
+    my_range: std::ops::Range<usize>,
+    lookup_batch: usize,
+) -> Vec<(ContigId, ContigEnds)> {
+    let k = contigs.k;
+    // queries[2 * i] is contig i's first k-mer, queries[2 * i + 1] its last
+    // (when present) — `positions` maps each contig to its query slots.
+    let mut queries: Vec<Kmer> = Vec::with_capacity(2 * my_range.len());
+    let mut positions: Vec<EndQuerySlots> = Vec::with_capacity(my_range.len());
+    for idx in my_range {
+        let c = &contigs.contigs[idx];
+        if c.seq.len() < k {
+            positions.push((c.id, None, None));
+            continue;
+        }
+        let first = Kmer::from_bytes(&c.seq[..k]).map(|f| {
+            queries.push(f);
+            (queries.len() - 1, f)
+        });
+        let last = Kmer::from_bytes(&c.seq[c.seq.len() - k..]).map(|l| {
+            queries.push(l);
+            (queries.len() - 1, l)
+        });
+        positions.push((c.id, first, last));
+    }
+    let vertices = lookup_oriented_many(ctx, graph, &queries, lookup_batch);
+    positions
+        .into_iter()
+        .map(|(id, first, last)| {
+            let left_anchor = first
+                .and_then(|(slot, f)| vertices[slot].as_ref().and_then(|v| left_anchor_of(&f, v)));
+            let right_anchor = last
+                .and_then(|(slot, l)| vertices[slot].as_ref().and_then(|v| right_anchor_of(&l, v)));
+            (
+                id,
+                ContigEnds {
+                    left_anchor,
+                    right_anchor,
+                },
+            )
+        })
+        .collect()
+}
+
 /// Collectively builds anchors and adjacency for a contig set.
-pub fn build_adjacency(ctx: &Ctx, contigs: &ContigSet, graph: &KmerGraph) -> ContigAdjacency {
+///
+/// `lookup_batch` controls how the anchor k-mers are read from the graph: a
+/// value greater than one resolves the rank's whole block in a single
+/// aggregated request–response round trip of messages of (at most) that many
+/// lookups; `1` (or `0`) falls back to per-contig fine-grained reads, the
+/// unaggregated baseline the ablation harness measures against. Both paths
+/// produce identical adjacency.
+pub fn build_adjacency(
+    ctx: &Ctx,
+    contigs: &ContigSet,
+    graph: &KmerGraph,
+    lookup_batch: usize,
+) -> ContigAdjacency {
     let n = contigs.len();
     let my_range = ctx.block_range(n);
 
     // --- Anchors for this rank's block of contigs ----------------------------
-    let mut my_ends: Vec<(ContigId, ContigEnds)> = Vec::with_capacity(my_range.len());
-    for idx in my_range {
-        let c = &contigs.contigs[idx];
-        my_ends.push((c.id, contig_ends(ctx, graph, &c.seq, contigs.k)));
-    }
+    let my_ends: Vec<(ContigId, ContigEnds)> = if lookup_batch > 1 {
+        batched_ends(ctx, graph, contigs, my_range, lookup_batch)
+    } else {
+        my_range
+            .map(|idx| {
+                let c = &contigs.contigs[idx];
+                (c.id, contig_ends(ctx, graph, &c.seq, contigs.k))
+            })
+            .collect()
+    };
 
     // --- Distributed anchor index: anchor k-mer -> [(contig, side)] ----------
     let index: Arc<DistMap<Kmer, Vec<(ContigId, Side)>>> = DistMap::shared(ctx);
@@ -191,7 +270,7 @@ mod tests {
             let res = kmer_analysis(ctx, &reads[range], &params);
             let graph = build_graph(ctx, &res.counts, ThresholdPolicy::metahipmer_default());
             let contigs = traverse_contigs(ctx, &graph, 15, &TraversalParams::default());
-            let adj = build_adjacency(ctx, &contigs, &graph);
+            let adj = build_adjacency(ctx, &contigs, &graph, 4096);
             (contigs, adj)
         });
         // All ranks agree.
@@ -238,6 +317,38 @@ mod tests {
     }
 
     #[test]
+    fn batched_and_fine_grained_anchor_lookups_agree() {
+        let common = "GGCATTACGGATACCAGGATCCAG";
+        let a = format!("ACGGTCAGGTTCAAGGACT{common}TACCGGTTAACCGGTATTC");
+        let b = format!("TTTTGAGGCCACAAAATTT{common}CTCTCGAGAGAGGCGCGAT");
+        let reads: Vec<Read> = [&a, &b]
+            .iter()
+            .flat_map(|s| {
+                (0..3).map(move |i| Read::with_uniform_quality(format!("r{i}"), s.as_bytes(), 35))
+            })
+            .collect();
+        let team = Team::single_node(3);
+        team.run(|ctx| {
+            let range = ctx.block_range(reads.len());
+            let params = KmerAnalysisParams {
+                k: 15,
+                min_count: 2,
+                use_bloom: false,
+                ..Default::default()
+            };
+            let res = kmer_analysis(ctx, &reads[range], &params);
+            let graph = build_graph(ctx, &res.counts, ThresholdPolicy::metahipmer_default());
+            let contigs = traverse_contigs(ctx, &graph, 15, &TraversalParams::default());
+            let fine = build_adjacency(ctx, &contigs, &graph, 1);
+            for batch in [2usize, 3, 4096] {
+                let batched = build_adjacency(ctx, &contigs, &graph, batch);
+                assert_eq!(batched.ends, fine.ends, "batch={batch}");
+                assert_eq!(batched.neighbors, fine.neighbors, "batch={batch}");
+            }
+        });
+    }
+
+    #[test]
     fn adjacency_identical_across_rank_counts() {
         let (c1, a1) = forked_assembly(1);
         let (c3, a3) = forked_assembly(3);
@@ -264,7 +375,7 @@ mod tests {
             let res = kmer_analysis(ctx, &reads[range], &params);
             let graph = build_graph(ctx, &res.counts, ThresholdPolicy::metahipmer_default());
             let contigs = traverse_contigs(ctx, &graph, 15, &TraversalParams::default());
-            build_adjacency(ctx, &contigs, &graph)
+            build_adjacency(ctx, &contigs, &graph, 4096)
         });
         let adj = &out[0];
         assert_eq!(adj.ends.len(), 1);

@@ -112,6 +112,28 @@ pub fn lookup_oriented(
     Some(orient(v, canon, was_rc))
 }
 
+/// Batched, collective counterpart of [`lookup_oriented`]: canonicalises
+/// every queried k-mer, resolves all of them in a single aggregated
+/// request–response round trip ([`DistMap::get_many`]), and re-orients each
+/// result into its caller's walk orientation. Every rank must call this in
+/// the same phase (an empty `kmers` slice still participates); `batch` is the
+/// per-owner aggregation size of the underlying messages.
+pub fn lookup_oriented_many(
+    ctx: &Ctx,
+    graph: &DistMap<Kmer, KmerVertex>,
+    kmers: &[Kmer],
+    batch: usize,
+) -> Vec<Option<OrientedVertex>> {
+    let canon: Vec<(Kmer, bool)> = kmers.iter().map(|k| k.canonical()).collect();
+    let keys: Vec<Kmer> = canon.iter().map(|&(c, _)| c).collect();
+    let fetched = graph.get_many(ctx, &keys, batch);
+    fetched
+        .into_iter()
+        .zip(canon)
+        .map(|(v, (c, was_rc))| v.map(|v| orient(v, c, was_rc)))
+        .collect()
+}
+
 /// A vertex expressed in walk orientation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OrientedVertex {
@@ -237,6 +259,38 @@ mod tests {
             assert_eq!(v_rc.left, Ext::Base(3));
             assert_eq!(v_rc.right, Ext::Base(0));
             assert_eq!(v.canonical, v_rc.canonical);
+        });
+    }
+
+    #[test]
+    fn batched_oriented_lookup_matches_fine_grained() {
+        let seq = "ACGGTCAGGTTCAAGGACTTACGGACCATG";
+        let reads: Vec<Read> = (0..2)
+            .map(|i| Read::with_uniform_quality(format!("r{i}"), seq.as_bytes(), 35))
+            .collect();
+        let team = Team::single_node(3);
+        team.run(|ctx| {
+            let params = KmerAnalysisParams {
+                k: 9,
+                min_count: 2,
+                use_bloom: false,
+                ..Default::default()
+            };
+            let res = kmer_analysis(ctx, &reads, &params);
+            let graph = build_graph(ctx, &res.counts, ThresholdPolicy::metahipmer_default());
+            // Query every window in both orientations, plus an absent k-mer.
+            let mut queries: Vec<Kmer> = Vec::new();
+            for i in 0..=seq.len() - 9 {
+                let km = Kmer::from_bytes(&seq.as_bytes()[i..i + 9]).unwrap();
+                queries.push(km);
+                queries.push(km.revcomp());
+            }
+            queries.push("TTTTTTTTT".parse().unwrap());
+            let batched = lookup_oriented_many(ctx, &graph, &queries, 5);
+            for (q, b) in queries.iter().zip(&batched) {
+                assert_eq!(*b, lookup_oriented(ctx, &graph, q));
+            }
+            assert!(batched.last().unwrap().is_none());
         });
     }
 

@@ -24,6 +24,9 @@ pub struct PruningParams {
     /// Hard cap on the number of iterations (safety net; the geometric
     /// schedule normally terminates long before this).
     pub max_rounds: usize,
+    /// Aggregation batch size for the anchor lookups behind the contig graph
+    /// (`1` falls back to fine-grained per-contig reads).
+    pub lookup_batch: usize,
 }
 
 impl Default for PruningParams {
@@ -32,6 +35,7 @@ impl Default for PruningParams {
             alpha: 0.25,
             beta: 0.5,
             max_rounds: 200,
+            lookup_batch: 4096,
         }
     }
 }
@@ -54,7 +58,7 @@ pub fn prune_iteratively(
     params: &PruningParams,
 ) -> (ContigSet, PruningReport) {
     assert!(params.alpha > 0.0, "alpha must be positive");
-    let adjacency = build_adjacency(ctx, contigs, graph);
+    let adjacency = build_adjacency(ctx, contigs, graph, params.lookup_batch);
     let n = contigs.len();
     let mut alive = vec![true; n];
     let mut report = PruningReport::default();

@@ -5,11 +5,25 @@
 //! therefore caches remote hash-table entries on the requesting rank; the
 //! cache never needs invalidation because the phase is read-only. The paper's
 //! read-localisation optimisation exists precisely to raise this cache's hit
-//! rate, so the hit/miss counters recorded here feed Figure 3.
+//! rate, so the hit/miss/eviction counters recorded here feed Figure 3.
+//!
+//! Two layers live here:
+//!
+//! * [`SoftwareCache`] — the bounded per-rank store itself. The capacity is a
+//!   hard bound enforced by FIFO eviction (the access pattern is streaming —
+//!   reads processed one after another — so insertion order approximates
+//!   recency without per-access bookkeeping); evictions are counted in
+//!   `CommStats::cache_evictions`.
+//! * [`CachedView`] — a cache coupled to its backing [`DistMap`]: lookups are
+//!   served from the cache when possible and **all misses of a batch are
+//!   fetched in one aggregated request–response round trip** through
+//!   [`DistMap::get_many`], the merAligner pattern of buffering seed requests
+//!   per owner and receiving batched responses.
 
 use crate::dist_map::DistMap;
 use crate::fxhash::FxHashMap;
 use pgas::Ctx;
+use std::collections::VecDeque;
 use std::hash::Hash;
 use std::sync::atomic::Ordering;
 
@@ -19,6 +33,8 @@ use std::sync::atomic::Ordering;
 /// seeds are common when reads carry sequencing errors.
 pub struct SoftwareCache<K, V> {
     entries: FxHashMap<K, Option<V>>,
+    /// Insertion order, oldest first; drives FIFO eviction.
+    order: VecDeque<K>,
     capacity: usize,
 }
 
@@ -31,6 +47,7 @@ where
     pub fn new(capacity: usize) -> Self {
         SoftwareCache {
             entries: FxHashMap::default(),
+            order: VecDeque::new(),
             capacity,
         }
     }
@@ -45,29 +62,138 @@ where
         self.entries.is_empty()
     }
 
+    /// Non-recording probe: `Some(&cached)` if the key is cached (the inner
+    /// `Option` distinguishes a cached value from a cached absence), `None`
+    /// if the cache holds nothing for it.
+    pub fn peek(&self, key: &K) -> Option<&Option<V>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.entries.get(key)
+    }
+
+    /// Inserts a fetched result, evicting the oldest entries while the cache
+    /// is at capacity (evictions are recorded in the rank's statistics).
+    pub fn insert(&mut self, ctx: &Ctx, key: K, value: Option<V>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(slot) = self.entries.get_mut(&key) {
+            // Refresh in place; the key keeps its original queue position.
+            *slot = value;
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            match self.order.pop_front() {
+                Some(oldest) => {
+                    if self.entries.remove(&oldest).is_some() {
+                        ctx.stats().cache_evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                None => break,
+            }
+        }
+        self.order.push_back(key.clone());
+        self.entries.insert(key, value);
+    }
+
     /// Looks up `key`, serving from the cache when possible and falling back
     /// to the distributed map on a miss. Hit/miss counts are recorded in the
     /// rank's statistics; only misses touch the distributed map (and therefore
-    /// only misses generate remote traffic).
+    /// only misses generate remote traffic). This is the fine-grained path;
+    /// batched phases go through [`CachedView::get_many`].
     pub fn get(&mut self, ctx: &Ctx, map: &DistMap<K, V>, key: &K) -> Option<V> {
-        if self.capacity > 0 {
-            if let Some(cached) = self.entries.get(key) {
-                ctx.stats().cache_hits.fetch_add(1, Ordering::Relaxed);
-                return cached.clone();
-            }
+        if let Some(cached) = self.peek(key) {
+            ctx.stats().cache_hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
         }
         ctx.stats().cache_misses.fetch_add(1, Ordering::Relaxed);
         let fetched = map.get_cloned(ctx, key);
-        if self.capacity > 0 {
-            if self.entries.len() >= self.capacity {
-                // Simple wholesale eviction: the access pattern is streaming
-                // (reads processed one after another), so an LRU would add
-                // bookkeeping for little benefit. HipMer's cache does the same.
-                self.entries.clear();
-            }
-            self.entries.insert(key.clone(), fetched.clone());
-        }
+        self.insert(ctx, key.clone(), fetched.clone());
         fetched
+    }
+}
+
+/// A read-only view of a [`DistMap`] through a [`SoftwareCache`] that fills
+/// **all** cache misses of a batch in a single aggregated request–response
+/// round trip.
+pub struct CachedView<'m, K, V> {
+    map: &'m DistMap<K, V>,
+    cache: SoftwareCache<K, V>,
+    /// Per-owner request batch size handed to the RPC layer.
+    batch: usize,
+}
+
+impl<'m, K, V> CachedView<'m, K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Creates a view with a cache of `capacity` entries, batching requests
+    /// into aggregated messages of at most `batch` lookups per owner.
+    pub fn new(map: &'m DistMap<K, V>, capacity: usize, batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        CachedView {
+            map,
+            cache: SoftwareCache::new(capacity),
+            batch,
+        }
+    }
+
+    /// The underlying cache (for introspection).
+    pub fn cache(&self) -> &SoftwareCache<K, V> {
+        &self.cache
+    }
+
+    /// Fine-grained single lookup through the cache (not collective).
+    pub fn get(&mut self, ctx: &Ctx, key: &K) -> Option<V> {
+        self.cache.get(ctx, self.map, key)
+    }
+
+    /// Collective batched lookup: serves cache hits locally, fetches every
+    /// distinct miss of the batch in **one** aggregated round trip through
+    /// [`DistMap::get_many`], and returns the results in key order. Duplicate
+    /// keys within the batch cost one fetch (and count as hits beyond the
+    /// first occurrence, matching what the sequential fine-grained path would
+    /// record). Every rank must call this in the same phase; an empty `keys`
+    /// slice still participates in the collective.
+    pub fn get_many(&mut self, ctx: &Ctx, keys: &[K]) -> Vec<Option<V>> {
+        // Pass 1: classify each key as cached or to-be-fetched.
+        let mut misses: Vec<K> = Vec::new();
+        let mut miss_index: FxHashMap<K, usize> = FxHashMap::default();
+        // Ok(value) = served from cache; Err(i) = misses[i].
+        let mut resolved: Vec<Result<Option<V>, usize>> = Vec::with_capacity(keys.len());
+        let mut hits = 0u64;
+        for key in keys {
+            if let Some(cached) = self.cache.peek(key) {
+                hits += 1;
+                resolved.push(Ok(cached.clone()));
+            } else if let Some(&i) = miss_index.get(key) {
+                hits += 1; // duplicate of an in-flight fetch: no extra traffic
+                resolved.push(Err(i));
+            } else {
+                let i = misses.len();
+                miss_index.insert(key.clone(), i);
+                misses.push(key.clone());
+                resolved.push(Err(i));
+            }
+        }
+        ctx.stats().cache_hits.fetch_add(hits, Ordering::Relaxed);
+        ctx.stats()
+            .cache_misses
+            .fetch_add(misses.len() as u64, Ordering::Relaxed);
+        // One aggregated round trip for every miss (collective!).
+        let fetched = self.map.get_many(ctx, &misses, self.batch);
+        for (key, value) in misses.iter().zip(&fetched) {
+            self.cache.insert(ctx, key.clone(), value.clone());
+        }
+        resolved
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(i) => fetched[i].clone(),
+            })
+            .collect()
     }
 }
 
@@ -139,18 +265,95 @@ mod tests {
     }
 
     #[test]
-    fn eviction_keeps_cache_bounded() {
+    fn eviction_enforces_the_bound_fifo_and_is_counted() {
         let team = Team::single_node(1);
         team.run(|ctx| {
             let map: Arc<DistMap<u64, u64>> = DistMap::shared(ctx);
             for i in 0..100u64 {
                 map.insert(ctx, i, i);
             }
+            ctx.stats().reset();
             let mut cache = SoftwareCache::new(10);
             for i in 0..100u64 {
                 cache.get(ctx, &map, &i);
-                assert!(cache.len() <= 10);
+                assert!(cache.len() <= 10, "capacity bound violated at {i}");
             }
+            assert_eq!(cache.len(), 10);
+            // FIFO: the ten most recent keys survive, the oldest are gone.
+            for i in 90..100u64 {
+                assert!(cache.peek(&i).is_some(), "recent key {i} evicted");
+            }
+            for i in 0..10u64 {
+                assert!(cache.peek(&i).is_none(), "old key {i} not evicted");
+            }
+            let stats = ctx.stats().snapshot();
+            assert_eq!(stats.cache_evictions, 90);
+            assert_eq!(stats.cache_misses, 100);
+        });
+    }
+
+    #[test]
+    fn reinserting_a_cached_key_does_not_grow_the_queue() {
+        let team = Team::single_node(1);
+        team.run(|ctx| {
+            let mut cache: SoftwareCache<u64, u64> = SoftwareCache::new(4);
+            for round in 0..5u64 {
+                for k in 0..4u64 {
+                    cache.insert(ctx, k, Some(round));
+                }
+            }
+            assert_eq!(cache.len(), 4);
+            assert_eq!(ctx.stats().snapshot().cache_evictions, 0);
+            assert_eq!(cache.peek(&3), Some(&Some(4)));
+        });
+    }
+
+    #[test]
+    fn cached_view_batch_fills_all_misses_in_one_round_trip() {
+        let team = Team::single_node(4);
+        team.run(|ctx| {
+            let map: Arc<DistMap<u64, u64>> = DistMap::shared(ctx);
+            if ctx.rank() == 0 {
+                for i in 0..50u64 {
+                    map.insert(ctx, i, i + 1);
+                }
+            }
+            ctx.barrier();
+            team_reset_guard(ctx);
+            let mut view = CachedView::new(&map, 1024, 16);
+            // Batch with duplicates and absent keys.
+            let keys: Vec<u64> = (0..40u64).map(|i| i % 25).chain([200, 201]).collect();
+            let got = view.get_many(ctx, &keys);
+            for (k, v) in keys.iter().zip(&got) {
+                assert_eq!(*v, if *k < 50 { Some(*k + 1) } else { None });
+            }
+            let stats = ctx.stats().snapshot();
+            assert_eq!(stats.rpc_round_trips, 1, "expected one aggregated fill");
+            assert_eq!(stats.cache_misses, 27, "25 distinct present + 2 absent");
+            assert_eq!(stats.cache_hits, 15, "duplicates served without traffic");
+            // A second batch over the same keys is traffic-free except the
+            // (empty) collective round.
+            let again = view.get_many(ctx, &keys);
+            assert_eq!(again, got);
+            let stats2 = ctx.stats().snapshot();
+            assert_eq!(stats2.cache_misses, 27);
+            assert_eq!(stats2.cache_hits, 15 + keys.len() as u64);
+        });
+    }
+
+    #[test]
+    fn cached_view_fine_grained_fallback_matches_map() {
+        let team = Team::single_node(2);
+        team.run(|ctx| {
+            let map: Arc<DistMap<u64, u64>> = DistMap::shared(ctx);
+            if ctx.rank() == 0 {
+                map.insert(ctx, 7, 70);
+            }
+            ctx.barrier();
+            let mut view = CachedView::new(&map, 8, 4);
+            assert_eq!(view.get(ctx, &7), Some(70));
+            assert_eq!(view.get(ctx, &8), None);
+            assert_eq!(view.cache().len(), 2);
         });
     }
 }

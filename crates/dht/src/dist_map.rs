@@ -9,7 +9,7 @@
 
 use crate::fxhash::{fx_hash_one, FxHashMap};
 use parking_lot::Mutex;
-use pgas::{Aggregator, Ctx};
+use pgas::{Aggregator, Ctx, RpcAggregator};
 use std::hash::Hash;
 use std::sync::Arc;
 
@@ -94,6 +94,107 @@ where
         let (owner, sub) = self.slot(key);
         ctx.record_access(owner);
         self.shards[owner].subs[sub].lock().get(key).cloned()
+    }
+
+    /// Shard probe without any traffic accounting: the owner-side half of the
+    /// batched lookups (the serving rank reads its own shard).
+    fn probe(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let (owner, sub) = self.slot(key);
+        self.shards[owner].subs[sub].lock().get(key).cloned()
+    }
+
+    /// Collective batched read (use case 3 of §II-A): every key's lookup is
+    /// buffered per owner rank, shipped in aggregated messages of at most
+    /// `batch` requests, answered from the owner's shard, and the values
+    /// travel back in a second aggregated all-to-all. Returns the results in
+    /// key order (duplicates and absent keys are fine). Every rank must call
+    /// this in the same phase, even with an empty `keys` slice — it replaces a
+    /// loop of [`DistMap::get_cloned`] calls with one round trip.
+    pub fn get_many(&self, ctx: &Ctx, keys: &[K], batch: usize) -> Vec<Option<V>>
+    where
+        V: Clone,
+    {
+        let mut rpc: RpcAggregator<K, Option<V>> = RpcAggregator::new(ctx, batch);
+        for key in keys {
+            rpc.push(self.owner_of(key), key.clone());
+        }
+        rpc.finish(|key| self.probe(&key))
+    }
+
+    /// Collective batched membership test; the `contains` analogue of
+    /// [`DistMap::get_many`].
+    pub fn contains_many(&self, ctx: &Ctx, keys: &[K], batch: usize) -> Vec<bool> {
+        let mut rpc: RpcAggregator<K, bool> = RpcAggregator::new(ctx, batch);
+        for key in keys {
+            rpc.push(self.owner_of(key), key.clone());
+        }
+        rpc.finish(|key| {
+            let (owner, sub) = self.slot(&key);
+            self.shards[owner].subs[sub].lock().contains_key(&key)
+        })
+    }
+
+    /// Collective batched entry update: ships the keys to their owners in
+    /// aggregated messages, runs `f` under the owning sub-shard's lock (the
+    /// batched analogue of [`DistMap::update`]; one global atomic is recorded
+    /// per applied update, on the serving rank), and returns the closures'
+    /// results in key order. Every rank must call this in the same phase.
+    pub fn update_many<R>(
+        &self,
+        ctx: &Ctx,
+        keys: &[K],
+        batch: usize,
+        mut f: impl FnMut(&K, Option<&mut V>) -> R,
+    ) -> Vec<R>
+    where
+        R: Send + Sync + 'static,
+    {
+        let mut rpc: RpcAggregator<K, R> = RpcAggregator::new(ctx, batch);
+        for key in keys {
+            rpc.push(self.owner_of(key), key.clone());
+        }
+        rpc.finish(|key| {
+            ctx.record_atomic();
+            let (owner, sub) = self.slot(&key);
+            let mut guard = self.shards[owner].subs[sub].lock();
+            f(&key, guard.get_mut(&key))
+        })
+    }
+
+    /// One-sided aggregated batched read: like [`DistMap::get_many`] but
+    /// **not** collective — the calling rank groups the keys by owner,
+    /// records one aggregated request and one aggregated response per
+    /// contacted owner, and reads the shards directly (the simulation's
+    /// analogue of UPC's one-sided `upc_memget` over a remote bucket block,
+    /// which needs no CPU involvement from the owner). Use it inside
+    /// dynamically scheduled loops (work stealing) where ranks cannot reach a
+    /// collective in lockstep; prefer [`DistMap::get_many`] everywhere else.
+    pub fn get_many_onesided(&self, ctx: &Ctx, keys: &[K]) -> Vec<Option<V>>
+    where
+        V: Clone,
+    {
+        let mut per_owner = vec![0usize; self.shards.len()];
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            per_owner[self.owner_of(key)] += 1;
+            out.push(self.probe(key));
+        }
+        for (owner, &count) in per_owner.iter().enumerate() {
+            if count > 0 {
+                // Request leg: this rank sends the key batch to the owner.
+                ctx.record_message(owner, count * std::mem::size_of::<K>());
+                // Response leg: the values travel owner -> requester, so the
+                // message is attributed to the serving rank.
+                ctx.record_rpc_response_from(owner, count * std::mem::size_of::<Option<V>>());
+            }
+        }
+        if !keys.is_empty() {
+            ctx.record_rpc_round_trip();
+        }
+        out
     }
 
     /// Runs a closure with a mutable view of the entry (or `None` if absent)
@@ -374,6 +475,80 @@ mod tests {
                 // 200/20 = 10 per rank, times 4 ranks.
                 assert_eq!(map.get_cloned(ctx, &k), Some(40));
             }
+        });
+    }
+
+    #[test]
+    fn get_many_matches_per_key_reads_including_absent_and_duplicates() {
+        let team = Team::single_node(4);
+        team.run(|ctx| {
+            let map: Arc<DistMap<u64, u64>> = DistMap::shared(ctx);
+            bulk_merge(ctx, &map, (0..100u64).map(|k| (k, k * 3)), 16, |a, b| {
+                *a += b
+            });
+            // Present, absent and duplicate keys, different per rank.
+            let keys: Vec<u64> = (0..60u64)
+                .map(|i| (i * 7 + ctx.rank() as u64 * 13) % 150)
+                .collect();
+            let got = map.get_many(ctx, &keys, 8);
+            let expect: Vec<Option<u64>> = keys.iter().map(|k| map.get_cloned(ctx, k)).collect();
+            assert_eq!(got, expect);
+            let has = map.contains_many(ctx, &keys, 8);
+            assert_eq!(
+                has,
+                keys.iter().map(|k| *k < 100).collect::<Vec<_>>(),
+                "contains_many disagrees"
+            );
+        });
+    }
+
+    #[test]
+    fn update_many_applies_once_per_request_on_the_owner() {
+        let team = Team::single_node(3);
+        team.run(|ctx| {
+            let map: Arc<DistMap<u64, u64>> = DistMap::shared(ctx);
+            bulk_merge(ctx, &map, (0..30u64).map(|k| (k, 0)), 8, |a, b| *a += b);
+            // Every rank increments every key once, batched.
+            let keys: Vec<u64> = (0..30u64).collect();
+            let seen = map.update_many(ctx, &keys, 4, |_, v| match v {
+                Some(v) => {
+                    *v += 1;
+                    true
+                }
+                None => false,
+            });
+            assert!(seen.iter().all(|&b| b));
+            let absent = map.update_many(ctx, &[999u64], 4, |_, v| v.is_none());
+            assert_eq!(absent, vec![true]);
+            ctx.barrier();
+            for k in 0..30u64 {
+                assert_eq!(map.get_cloned(ctx, &k), Some(ctx.ranks() as u64));
+            }
+        });
+    }
+
+    #[test]
+    fn get_many_onesided_matches_per_key_reads_and_aggregates_messages() {
+        let team = Team::single_node(4);
+        team.run(|ctx| {
+            let map: Arc<DistMap<u64, u64>> = DistMap::shared(ctx);
+            bulk_merge(ctx, &map, (0..64u64).map(|k| (k, k + 1)), 16, |a, b| {
+                *a += b
+            });
+            ctx.barrier();
+            ctx.stats().reset();
+            let keys: Vec<u64> = (0..64u64).chain([500, 501]).collect();
+            let got = map.get_many_onesided(ctx, &keys);
+            let expect: Vec<Option<u64>> = keys
+                .iter()
+                .map(|k| if *k < 64 { Some(4 * (*k + 1)) } else { None })
+                .collect();
+            assert_eq!(got, expect);
+            let snap = ctx.stats().snapshot();
+            // At most a request + a response per contacted owner.
+            assert!(snap.msgs_sent <= 2 * ctx.ranks() as u64);
+            assert_eq!(snap.rpc_round_trips, 1);
+            assert!(snap.rpc_resp_bytes > 0);
         });
     }
 

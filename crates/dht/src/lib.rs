@@ -7,9 +7,18 @@
 //! | Paper use case | API here |
 //! |---|---|
 //! | 1. Global update-only (commutative inserts, batched) | [`DistMap`] + [`bulk_merge`] (aggregated per-owner batches applied locally) |
-//! | 2. Global reads & writes (atomics instead of locks) | [`DistMap::update`], [`DistMap::try_claim`]-style entry mutation under fine-grained sharded locks, with atomic-op accounting |
-//! | 3. Global read-only with reuse | [`SoftwareCache`] layered over a `DistMap` |
+//! | 2. Global reads & writes (atomics instead of locks) | [`DistMap::update`] / [`DistMap::update_many`]-style entry mutation under fine-grained sharded locks, with atomic-op accounting |
+//! | 3. Global read-only with reuse | [`CachedView`] ([`SoftwareCache`] + batched miss fill) and the bulk read APIs [`DistMap::get_many`] / [`DistMap::contains_many`] over the `pgas` request–response layer |
 //! | 4. Local reads & writes after deterministic routing | [`bulk_merge`] / [`DistMap::for_each_local`] / [`DistMap::drain_local`] |
+//!
+//! The read side mirrors the write side's aggregation: just as `bulk_merge`
+//! buffers inserts per owner and ships them in large messages, `get_many`
+//! buffers *lookup requests* per owner, the owners answer from their shards,
+//! and the responses return in a second aggregated all-to-all
+//! ([`pgas::RpcAggregator`]) — the UPC "aggregated gets" of the paper. For
+//! dynamically scheduled loops that cannot reach a collective in lockstep
+//! (work stealing), [`DistMap::get_many_onesided`] provides the one-sided
+//! aggregated variant.
 //!
 //! plus the auxiliary distributed structures the pipeline needs: a partitioned
 //! Bloom filter ([`DistBloom`]), a distributed counting histogram
@@ -25,7 +34,7 @@ pub mod heavy;
 pub mod histogram;
 
 pub use bloom::DistBloom;
-pub use cache::SoftwareCache;
+pub use cache::{CachedView, SoftwareCache};
 pub use dist_map::{bulk_merge, DistMap};
 pub use fxhash::{fx_hash_one, FxHashMap, FxHashSet, FxHasher};
 pub use heavy::SpaceSaving;

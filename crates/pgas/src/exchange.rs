@@ -1,4 +1,5 @@
-//! All-to-all exchange and aggregated one-sided message buffers.
+//! All-to-all exchange, aggregated one-sided message buffers, and the
+//! aggregated request–response (RPC) layer.
 //!
 //! The dominant communication pattern in MetaHipMer is "every rank produces
 //! items destined for owner ranks determined by a hash, buffers them, and
@@ -7,10 +8,34 @@
 //! and flushed either when a buffer fills (modelling the asynchronous
 //! aggregated stores) or at the end of the phase; the receiving rank drains
 //! its inbox after a barrier.
+//!
+//! The paper aggregates *lookups* the same way (use case 3): ranks buffer
+//! hash-table requests per owner, ship them in large messages, the owners
+//! answer from their local shards, and the responses travel back in a second
+//! aggregated all-to-all. [`RpcAggregator`] (and the [`Ctx::exchange_map`]
+//! convenience built on it) reproduces that request–response round trip; the
+//! request legs are accounted like any aggregated message, the response legs
+//! additionally feed `CommStats::rpc_resp_bytes`, and every completed round
+//! trip bumps `CommStats::rpc_round_trips`.
+//!
+//! # Mailbox reuse
+//!
+//! The mailbox arrays behind all of these collectives are kept in per-team
+//! [leased reusable slots](crate::team::Team::reusable_slot), so repeated
+//! phases do not pay for a fresh shared allocation plus a serialising `share`
+//! round each time; collectives of the same item type that are live at the
+//! same time lease *distinct* pooled instances, so they cannot alias. The
+//! invariant that makes reuse across phases sound: **between an inbox drain
+//! and any later phase's first deposit into the same mailbox there is always
+//! a barrier every rank participates in.** Concretely, the trailing barrier
+//! in [`Aggregator::finish`] and in [`Ctx::exchange`] is *not* redundant —
+//! without it a fast rank could start the next phase and deposit items into
+//! an inbox its owner has not yet drained, and the owner's late drain would
+//! swallow them. (`RpcAggregator::finish` needs no trailing barrier; see the
+//! reasoning where its drains happen.)
 
-use crate::team::Ctx;
+use crate::team::{Ctx, SlotLease};
 use parking_lot::Mutex;
-use std::sync::Arc;
 
 /// Shared mailboxes for a typed all-to-all exchange.
 pub struct AllToAll<T: Send> {
@@ -43,6 +68,13 @@ impl<T: Send> AllToAll<T> {
 }
 
 impl<'t> Ctx<'t> {
+    /// Leases the team's reusable mailbox array for item type `T` (see the
+    /// module docs for the reuse protocol).
+    fn mailboxes<T: Send + Sync + 'static>(&self) -> SlotLease<AllToAll<T>> {
+        let ranks = self.ranks();
+        self.team().reusable_slot(|| AllToAll::<T>::new(ranks))
+    }
+
     /// Collective all-to-all exchange: `outgoing[d]` is the batch destined for
     /// rank `d`; the return value is everything other ranks destined for this
     /// rank. Must be called by every rank.
@@ -55,38 +87,66 @@ impl<'t> Ctx<'t> {
             self.ranks(),
             "exchange requires one outgoing batch per rank"
         );
-        let a2a: Arc<AllToAll<T>> = self.share(|| AllToAll::new(self.ranks()));
+        let a2a: SlotLease<AllToAll<T>> = self.mailboxes();
         for (dest, batch) in outgoing.into_iter().enumerate() {
             a2a.send_batch(self, dest, batch);
         }
         self.barrier();
         let mine = a2a.take_inbox(self);
+        // Mailboxes are reused across phases: nobody may leave before every
+        // rank has drained, or the next phase's sends could be swallowed by
+        // this phase's drain.
         self.barrier();
         mine
+    }
+
+    /// Collective batched request–response exchange: routes every
+    /// `(owner, request)` to its owner rank in aggregated messages of at most
+    /// `batch` requests, applies `handler` on the owning rank, and returns the
+    /// responses in request order. Convenience wrapper over
+    /// [`RpcAggregator`]; must be called by every rank (an empty request list
+    /// is fine).
+    pub fn exchange_map<Req, Resp, F>(
+        &self,
+        requests: impl IntoIterator<Item = (usize, Req)>,
+        batch: usize,
+        handler: F,
+    ) -> Vec<Resp>
+    where
+        Req: Send + Sync + 'static,
+        Resp: Send + Sync + 'static,
+        F: FnMut(Req) -> Resp,
+    {
+        let mut rpc: RpcAggregator<Req, Resp> = RpcAggregator::new(self, batch);
+        for (dest, req) in requests {
+            rpc.push(dest, req);
+        }
+        rpc.finish(handler)
     }
 }
 
 /// A per-rank aggregating sender: the software analogue of UPC's dynamically
 /// aggregated fine-grained stores.
 ///
-/// Construct collectively with [`Aggregator::new`], push items with
-/// [`Aggregator::push`] (buffers flush automatically when they reach the
-/// configured batch size), and terminate the phase with
-/// [`Aggregator::finish`], which flushes the remainder, synchronises, and
-/// returns everything destined for the calling rank.
+/// Construct with [`Aggregator::new`] (cheap; the underlying mailboxes are a
+/// reused per-team slot), push items with [`Aggregator::push`] (buffers flush
+/// automatically when they reach the configured batch size), and terminate
+/// the phase with [`Aggregator::finish`], which flushes the remainder,
+/// synchronises, and returns everything destined for the calling rank. All
+/// ranks must construct and finish the aggregator in the same phase.
 pub struct Aggregator<'c, 't, T: Send + Sync + 'static> {
     ctx: &'c Ctx<'t>,
-    a2a: Arc<AllToAll<T>>,
+    a2a: SlotLease<AllToAll<T>>,
     bufs: Vec<Vec<T>>,
     batch: usize,
 }
 
 impl<'c, 't, T: Send + Sync + 'static> Aggregator<'c, 't, T> {
-    /// Collectively creates an aggregator with the given per-destination batch
-    /// size (the number of items accumulated before a flush).
+    /// Creates an aggregator with the given per-destination batch size (the
+    /// number of items accumulated before a flush).
     pub fn new(ctx: &'c Ctx<'t>, batch: usize) -> Self {
         assert!(batch > 0, "batch size must be positive");
-        let a2a = ctx.share(|| AllToAll::new(ctx.ranks()));
+        let a2a = ctx.mailboxes();
         Aggregator {
             ctx,
             a2a,
@@ -123,8 +183,151 @@ impl<'c, 't, T: Send + Sync + 'static> Aggregator<'c, 't, T> {
         self.flush();
         self.ctx.barrier();
         let mine = self.a2a.take_inbox(self.ctx);
+        // Required for mailbox reuse; see the module docs.
         self.ctx.barrier();
         mine
+    }
+}
+
+/// Envelope carrying one request to its owner rank.
+struct RpcRequest<Req> {
+    origin: u32,
+    seq: u32,
+    req: Req,
+}
+
+/// Envelope carrying one response back to its requesting rank.
+struct RpcReply<Resp> {
+    seq: u32,
+    resp: Resp,
+}
+
+/// The aggregated request–response primitive (use case 3 of §II-A): buffers
+/// typed requests per owner rank, flushes them as aggregated messages, applies
+/// an owner-side handler, and routes the responses back to the requesters in a
+/// second aggregated all-to-all.
+///
+/// ```text
+///   rank A ── [req,req,…] ──▶ owner ── handler ── [resp,resp,…] ──▶ rank A
+/// ```
+///
+/// [`RpcAggregator::finish`] is the (only) collective point: every rank must
+/// reach it, even with zero requests pushed. Responses come back in the exact
+/// order the requests were pushed, so callers can zip them against their
+/// request list. This is the software analogue of UPC code that batches
+/// `upc_mem{get,put}`-style hash-table probes into large messages and receives
+/// batched answers — the paper's aggregated-lookup optimisation that the
+/// merAligner software cache and the read-localisation experiment build on.
+pub struct RpcAggregator<'c, 't, Req, Resp>
+where
+    Req: Send + Sync + 'static,
+    Resp: Send + Sync + 'static,
+{
+    ctx: &'c Ctx<'t>,
+    requests: SlotLease<AllToAll<RpcRequest<Req>>>,
+    replies: SlotLease<AllToAll<RpcReply<Resp>>>,
+    bufs: Vec<Vec<RpcRequest<Req>>>,
+    batch: usize,
+    next_seq: u32,
+}
+
+impl<'c, 't, Req, Resp> RpcAggregator<'c, 't, Req, Resp>
+where
+    Req: Send + Sync + 'static,
+    Resp: Send + Sync + 'static,
+{
+    /// Creates an aggregator with the given per-destination request batch
+    /// size. Cheap and barrier-free; the mailboxes are reused team slots.
+    pub fn new(ctx: &'c Ctx<'t>, batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        RpcAggregator {
+            ctx,
+            requests: ctx.mailboxes(),
+            replies: ctx.mailboxes(),
+            bufs: (0..ctx.ranks()).map(|_| Vec::new()).collect(),
+            batch,
+            next_seq: 0,
+        }
+    }
+
+    /// Number of requests pushed so far (and therefore of responses
+    /// [`RpcAggregator::finish`] will return).
+    pub fn len(&self) -> usize {
+        self.next_seq as usize
+    }
+
+    /// True if no request has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.next_seq == 0
+    }
+
+    /// Buffers one request for the owner rank `dest`, flushing that
+    /// destination's buffer as an aggregated message when it reaches the
+    /// batch size.
+    pub fn push(&mut self, dest: usize, req: Req) {
+        let envelope = RpcRequest {
+            origin: self.ctx.rank() as u32,
+            seq: self.next_seq,
+            req,
+        };
+        self.next_seq = self
+            .next_seq
+            .checked_add(1)
+            .expect("more than u32::MAX requests in one RPC phase");
+        self.bufs[dest].push(envelope);
+        if self.bufs[dest].len() >= self.batch {
+            let full = std::mem::take(&mut self.bufs[dest]);
+            self.requests.send_batch(self.ctx, dest, full);
+        }
+    }
+
+    /// Completes the round trip: flushes the remaining request buffers,
+    /// synchronises, answers the requests this rank owns with `handler`,
+    /// ships the answers back in per-requester aggregated messages, and
+    /// returns this rank's responses **in request push order**. Collective.
+    pub fn finish(mut self, mut handler: impl FnMut(Req) -> Resp) -> Vec<Resp> {
+        let ctx = self.ctx;
+        for dest in 0..self.bufs.len() {
+            if !self.bufs[dest].is_empty() {
+                let full = std::mem::take(&mut self.bufs[dest]);
+                self.requests.send_batch(ctx, dest, full);
+            }
+        }
+        ctx.barrier();
+        // Owner side: answer every request received, grouped per requester so
+        // each requester gets one aggregated response message. This request
+        // drain is safe against the *next* phase's eagerly flushed pushes
+        // (push sends before any barrier of its own phase!) because a rank
+        // can only reach the next phase after passing this phase's second
+        // barrier below, which in turn requires every rank to have completed
+        // this drain.
+        let mine = self.requests.take_inbox(ctx);
+        let mut replies: Vec<Vec<RpcReply<Resp>>> = (0..ctx.ranks()).map(|_| Vec::new()).collect();
+        for RpcRequest { origin, seq, req } in mine {
+            replies[origin as usize].push(RpcReply {
+                seq,
+                resp: handler(req),
+            });
+        }
+        for (dest, batch) in replies.into_iter().enumerate() {
+            if !batch.is_empty() {
+                ctx.record_rpc_response_bytes(batch.len() * std::mem::size_of::<RpcReply<Resp>>());
+                self.replies.send_batch(ctx, dest, batch);
+            }
+        }
+        ctx.barrier();
+        let mut mine = self.replies.take_inbox(ctx);
+        mine.sort_unstable_by_key(|r| r.seq);
+        debug_assert_eq!(mine.len(), self.next_seq as usize, "lost RPC responses");
+        ctx.record_rpc_round_trip();
+        // No trailing barrier is needed after this reply drain. Replies —
+        // unlike requests — are only ever sent between a phase's first and
+        // second barriers, and no rank can reach the next phase's first
+        // barrier until *every* rank reaches it, i.e. until every rank has
+        // finished this phase entirely, including this drain. So next-phase
+        // replies cannot land in an inbox that still has this phase's drain
+        // pending.
+        mine.into_iter().map(|r| r.resp).collect()
     }
 }
 
@@ -160,6 +363,43 @@ mod tests {
     }
 
     #[test]
+    fn repeated_exchanges_reuse_the_mailboxes_without_leaking_items() {
+        let team = Team::single_node(3);
+        // The mailbox array must be the same allocation across consecutive
+        // phases, while two leases held at once must get distinct instances.
+        let slots = team.run(|ctx| {
+            let first = {
+                let lease = ctx.mailboxes::<u64>();
+                &*lease as *const AllToAll<u64> as usize
+            };
+            let second = {
+                let lease = ctx.mailboxes::<u64>();
+                &*lease as *const AllToAll<u64> as usize
+            };
+            assert_eq!(first, second, "sequential phases must reuse the slot");
+            let a = ctx.mailboxes::<u64>();
+            let b = ctx.mailboxes::<u64>();
+            assert_ne!(
+                &*a as *const AllToAll<u64>, &*b as *const AllToAll<u64>,
+                "concurrent same-typed leases must not alias"
+            );
+            first
+        });
+        assert!(slots.windows(2).all(|w| w[0] == w[1]));
+        // …and every phase must receive exactly its own items.
+        team.run(|ctx| {
+            for phase in 0..10u64 {
+                let outgoing: Vec<Vec<u64>> = (0..ctx.ranks())
+                    .map(|d| vec![phase * 1000 + ctx.rank() as u64 * 10 + d as u64])
+                    .collect();
+                let got = ctx.exchange(outgoing);
+                assert_eq!(got.len(), ctx.ranks(), "phase {phase} leaked items");
+                assert!(got.iter().all(|v| v / 1000 == phase));
+            }
+        });
+    }
+
+    #[test]
     fn aggregator_delivers_everything_once() {
         let team = Team::single_node(4);
         let per_rank_items = 100usize;
@@ -183,6 +423,38 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_same_typed_aggregators_do_not_alias() {
+        let team = Team::single_node(4);
+        let received = team.run(|ctx| {
+            let n = ctx.ranks();
+            // Two aggregators of the same item type, live at the same time,
+            // with batch sizes small enough that both auto-flush mid-phase.
+            let mut evens: Aggregator<u64> = Aggregator::new(ctx, 3);
+            let mut odds: Aggregator<u64> = Aggregator::new(ctx, 3);
+            for i in 0..40u64 {
+                evens.push((i as usize) % n, 2 * i);
+                odds.push((i as usize) % n, 2 * i + 1);
+            }
+            let got_odds = odds.finish();
+            let got_evens = evens.finish();
+            (got_evens, got_odds)
+        });
+        let mut total = 0usize;
+        for (evens, odds) in received {
+            assert!(
+                evens.iter().all(|v| v % 2 == 0),
+                "odd item leaked: {evens:?}"
+            );
+            assert!(
+                odds.iter().all(|v| v % 2 == 1),
+                "even item leaked: {odds:?}"
+            );
+            total += evens.len() + odds.len();
+        }
+        assert_eq!(total, 4 * 80);
+    }
+
+    #[test]
     fn aggregation_reduces_message_count() {
         let items = 1000usize;
         let count_msgs = |batch: usize| {
@@ -202,5 +474,92 @@ mod tests {
             coarse * 10 < fine,
             "aggregated messaging should send far fewer messages: fine={fine} coarse={coarse}"
         );
+    }
+
+    #[test]
+    fn rpc_round_trip_answers_in_push_order() {
+        let team = Team::single_node(4);
+        let outputs = team.run(|ctx| {
+            let n = ctx.ranks();
+            let mut rpc: RpcAggregator<u64, u64> = RpcAggregator::new(ctx, 3);
+            // Interleave destinations so responses arrive from many owners and
+            // include duplicate requests.
+            let reqs: Vec<(usize, u64)> = (0..50u64)
+                .map(|i| ((i as usize * 7 + ctx.rank()) % n, i % 10))
+                .collect();
+            for &(dest, req) in &reqs {
+                rpc.push(dest, req);
+            }
+            assert_eq!(rpc.len(), reqs.len());
+            // Owner answers with `1000 * owner_rank + req`.
+            let rank = ctx.rank() as u64;
+            let resps = rpc.finish(|req| 1000 * rank + req);
+            (reqs, resps)
+        });
+        for (reqs, resps) in outputs {
+            assert_eq!(reqs.len(), resps.len());
+            for ((dest, req), resp) in reqs.into_iter().zip(resps) {
+                assert_eq!(resp, 1000 * dest as u64 + req);
+            }
+        }
+    }
+
+    #[test]
+    fn rpc_with_no_requests_on_some_ranks_completes() {
+        let team = Team::single_node(3);
+        let outputs = team.run(|ctx| {
+            let reqs: Vec<(usize, u32)> = if ctx.rank() == 1 {
+                vec![(0, 5), (2, 6), (1, 7)]
+            } else {
+                Vec::new()
+            };
+            ctx.exchange_map(reqs, 8, |r: u32| r * 2)
+        });
+        assert!(outputs[0].is_empty());
+        assert_eq!(outputs[1], vec![10, 12, 14]);
+        assert!(outputs[2].is_empty());
+        // Every rank completed one round trip; the responses were accounted.
+        let total = team.stats_total();
+        assert_eq!(total.rpc_round_trips, 3);
+        assert!(total.rpc_resp_bytes > 0);
+    }
+
+    #[test]
+    fn rpc_aggregation_reduces_message_count() {
+        let requests = 600usize;
+        let count_msgs = |batch: usize| {
+            let team = Team::single_node(4);
+            team.run(|ctx| {
+                let mut rpc: RpcAggregator<u64, u64> = RpcAggregator::new(ctx, batch);
+                for i in 0..requests {
+                    rpc.push(i % ctx.ranks(), i as u64);
+                }
+                let resps = rpc.finish(|r| r + 1);
+                assert_eq!(resps.len(), requests);
+            });
+            team.stats_total().msgs_sent
+        };
+        let fine = count_msgs(1);
+        let coarse = count_msgs(256);
+        assert!(
+            coarse * 10 < fine,
+            "aggregated requests should send far fewer messages: fine={fine} coarse={coarse}"
+        );
+    }
+
+    #[test]
+    fn repeated_rpc_phases_do_not_leak_across_phases() {
+        let team = Team::single_node(4);
+        team.run(|ctx| {
+            for phase in 0..20u64 {
+                let n = ctx.ranks();
+                let reqs: Vec<(usize, u64)> = (0..(ctx.rank() * 3) as u64)
+                    .map(|i| ((i as usize) % n, phase * 100 + i))
+                    .collect();
+                let expect: Vec<u64> = reqs.iter().map(|&(_, r)| r + 7).collect();
+                let got = ctx.exchange_map(reqs, 2, |r: u64| r + 7);
+                assert_eq!(got, expect, "phase {phase} mixed responses");
+            }
+        });
     }
 }

@@ -12,6 +12,12 @@
 //!   the collectives the pipeline needs: barrier, broadcast/share, all-reduce
 //!   and an aggregated all-to-all [`exchange::Aggregator`] that models UPC's
 //!   "aggregated, asynchronous one-sided messages";
+//! * an aggregated request–response layer, [`exchange::RpcAggregator`] /
+//!   [`Ctx::exchange_map`], that buffers typed *lookup* requests per owner
+//!   rank, ships them in large messages, applies an owner-side handler and
+//!   routes the responses back in a second aggregated all-to-all — the
+//!   batched-gets side of the paper's communication optimisation (use case 3
+//!   of §II-A), with round trips and response bytes accounted;
 //! * per-rank [`stats::CommStats`] account for every simulated remote access,
 //!   message, atomic and software-cache hit so experiments can report
 //!   communication volumes alongside wall-clock times;
@@ -30,8 +36,8 @@ pub mod team;
 pub mod topology;
 pub mod work;
 
-pub use exchange::{Aggregator, AllToAll};
+pub use exchange::{Aggregator, AllToAll, RpcAggregator};
 pub use stats::{CommStats, StatsSnapshot};
-pub use team::{Ctx, Team};
+pub use team::{Ctx, SlotLease, Team};
 pub use topology::Topology;
 pub use work::DynamicBlocks;

@@ -31,6 +31,13 @@ pub struct CommStats {
     /// Work blocks obtained through the dynamic work-stealing counter beyond
     /// the rank's initial block.
     pub steals: AtomicU64,
+    /// Completed aggregated request–response round trips (batched lookups).
+    pub rpc_round_trips: AtomicU64,
+    /// Payload bytes of the response legs of aggregated request–response
+    /// exchanges (a subset of `bytes_sent`, recorded on the serving rank).
+    pub rpc_resp_bytes: AtomicU64,
+    /// Software-cache evictions (entries displaced by the capacity bound).
+    pub cache_evictions: AtomicU64,
 }
 
 impl CommStats {
@@ -44,6 +51,9 @@ impl CommStats {
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
         self.steals.store(0, Ordering::Relaxed);
+        self.rpc_round_trips.store(0, Ordering::Relaxed);
+        self.rpc_resp_bytes.store(0, Ordering::Relaxed);
+        self.cache_evictions.store(0, Ordering::Relaxed);
     }
 
     /// Takes a plain-value snapshot of the counters.
@@ -57,6 +67,9 @@ impl CommStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
+            rpc_round_trips: self.rpc_round_trips.load(Ordering::Relaxed),
+            rpc_resp_bytes: self.rpc_resp_bytes.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -72,6 +85,9 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub steals: u64,
+    pub rpc_round_trips: u64,
+    pub rpc_resp_bytes: u64,
+    pub cache_evictions: u64,
 }
 
 impl StatsSnapshot {
@@ -86,6 +102,9 @@ impl StatsSnapshot {
             cache_hits: self.cache_hits + other.cache_hits,
             cache_misses: self.cache_misses + other.cache_misses,
             steals: self.steals + other.steals,
+            rpc_round_trips: self.rpc_round_trips + other.rpc_round_trips,
+            rpc_resp_bytes: self.rpc_resp_bytes + other.rpc_resp_bytes,
+            cache_evictions: self.cache_evictions + other.cache_evictions,
         }
     }
 
@@ -101,7 +120,16 @@ impl StatsSnapshot {
             cache_hits: self.cache_hits.saturating_sub(before.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(before.cache_misses),
             steals: self.steals.saturating_sub(before.steals),
+            rpc_round_trips: self.rpc_round_trips.saturating_sub(before.rpc_round_trips),
+            rpc_resp_bytes: self.rpc_resp_bytes.saturating_sub(before.rpc_resp_bytes),
+            cache_evictions: self.cache_evictions.saturating_sub(before.cache_evictions),
         }
+    }
+
+    /// Total fine-grained (per-key) global accesses, local and remote. The
+    /// quantity the lookup-aggregation ablation compares against `msgs_sent`.
+    pub fn fine_grained_ops(&self) -> u64 {
+        self.remote_ops + self.local_ops
     }
 
     /// Fraction of fine-grained operations that crossed a node boundary.
@@ -168,6 +196,9 @@ mod tests {
             cache_hits: 5,
             cache_misses: 6,
             steals: 7,
+            rpc_round_trips: 8,
+            rpc_resp_bytes: 9,
+            cache_evictions: 10,
         };
         let b = a.add(&a);
         assert_eq!(b.msgs_sent, 2);

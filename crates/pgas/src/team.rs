@@ -9,7 +9,8 @@
 use crate::stats::{CommStats, StatsSnapshot};
 use crate::topology::Topology;
 use parking_lot::Mutex;
-use std::any::Any;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
@@ -25,6 +26,51 @@ pub struct Team {
     reduce_u64: Vec<AtomicU64>,
     /// Per-rank contribution slots for f64 reductions (bit-cast through u64).
     reduce_f64: Vec<AtomicU64>,
+    /// Long-lived shared values keyed by type and lease index, reused across
+    /// collective phases (e.g. the exchange mailboxes) so that each phase
+    /// does not pay for a fresh allocation plus a serialising `share` round.
+    /// The lease index distinguishes collectives of the same item type that
+    /// are live simultaneously (see [`Team::reusable_slot`]).
+    reusable_slots: Mutex<HashMap<(TypeId, usize), Arc<dyn Any + Send + Sync>>>,
+}
+
+thread_local! {
+    /// Per-rank (per SPMD thread) lease table: for each slot type, which
+    /// pooled instances this rank currently holds. Ranks execute the same
+    /// program in the same order, so every rank computes the same lease index
+    /// for the same collective and all of them resolve to the same pooled
+    /// instance — without any cross-rank synchronisation.
+    static SLOT_LEASES: std::cell::RefCell<HashMap<TypeId, Vec<bool>>> =
+        std::cell::RefCell::new(HashMap::new());
+}
+
+/// A leased reusable team slot (see [`Team::reusable_slot`]). Dereferences to
+/// the shared value; dropping the lease returns the instance to the pool for
+/// the rank's next acquisition. Not `Send`: the lease must be dropped on the
+/// rank thread that acquired it (which SPMD code does naturally).
+pub struct SlotLease<T: Send + Sync + 'static> {
+    value: Arc<T>,
+    index: usize,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl<T: Send + Sync + 'static> std::ops::Deref for SlotLease<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T: Send + Sync + 'static> Drop for SlotLease<T> {
+    fn drop(&mut self) {
+        SLOT_LEASES.with(|leases| {
+            if let Some(held) = leases.borrow_mut().get_mut(&TypeId::of::<T>()) {
+                if let Some(flag) = held.get_mut(self.index) {
+                    *flag = false;
+                }
+            }
+        });
+    }
 }
 
 impl Team {
@@ -38,7 +84,53 @@ impl Team {
             share_slot: Mutex::new(None),
             reduce_u64: (0..n).map(|_| AtomicU64::new(0)).collect(),
             reduce_f64: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            reusable_slots: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Leases the team's reusable shared value of type `T`, creating it with
+    /// `make` on first use. Unlike [`Ctx::share`] this performs no barriers:
+    /// whichever rank arrives first creates the value under the slot lock, so
+    /// `make` must be deterministic given the team (all current uses are
+    /// empty per-rank mailbox arrays). Two collectives of the same type that
+    /// are live at the same time receive *distinct* pooled instances: each
+    /// rank tracks which lease indices it currently holds (thread-locally)
+    /// and takes the lowest free one, and because SPMD ranks acquire and
+    /// release leases in identical program order, every rank of a collective
+    /// agrees on the instance. The caller must leave the value in a neutral
+    /// state when its collective phase ends, since the same instance is
+    /// handed out again for the next phase.
+    pub fn reusable_slot<T, F>(&self, make: F) -> SlotLease<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let index = SLOT_LEASES.with(|leases| {
+            let mut map = leases.borrow_mut();
+            let held = map.entry(TypeId::of::<T>()).or_default();
+            match held.iter().position(|h| !h) {
+                Some(i) => {
+                    held[i] = true;
+                    i
+                }
+                None => {
+                    held.push(true);
+                    held.len() - 1
+                }
+            }
+        });
+        let mut slots = self.reusable_slots.lock();
+        let entry = slots
+            .entry((TypeId::of::<T>(), index))
+            .or_insert_with(|| Arc::new(make()) as Arc<dyn Any + Send + Sync>);
+        let value = Arc::clone(entry)
+            .downcast::<T>()
+            .expect("reusable slot keyed by TypeId");
+        SlotLease {
+            value,
+            index,
+            _not_send: std::marker::PhantomData,
+        }
     }
 
     /// Convenience: a team of `ranks` ranks on a single simulated node.
@@ -177,6 +269,39 @@ impl<'t> Ctx<'t> {
         self.stats().atomic_ops.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records the payload of a response leg of an aggregated
+    /// request–response exchange (in addition to the ordinary
+    /// [`Ctx::record_message`] accounting done by the send itself).
+    #[inline]
+    pub fn record_rpc_response_bytes(&self, bytes: usize) {
+        self.stats()
+            .rpc_resp_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records the response leg of a *one-sided* aggregated read: the payload
+    /// travels from `src` to this rank, but this rank's thread performs the
+    /// transfer the owner's network interface would. The message (and its
+    /// response bytes) are therefore attributed to the serving rank `src`,
+    /// keeping per-rank traffic breakdowns faithful.
+    pub fn record_rpc_response_from(&self, src: usize, bytes: usize) {
+        let s = &self.team.stats[src];
+        s.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        s.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        s.rpc_resp_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        if self.team.topo.same_node(src, self.rank) {
+            s.local_ops.fetch_add(1, Ordering::Relaxed);
+        } else {
+            s.remote_ops.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one completed aggregated request–response round trip.
+    #[inline]
+    pub fn record_rpc_round_trip(&self) {
+        self.stats().rpc_round_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Blocks until every rank has reached the barrier.
     pub fn barrier(&self) {
         self.team.barrier.wait();
@@ -296,6 +421,36 @@ pub fn block_range_for(rank: usize, ranks: usize, total: usize) -> std::ops::Ran
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reusable_slots_reuse_sequentially_and_split_concurrently() {
+        let team = Team::single_node(2);
+        team.run(|ctx| {
+            let t = ctx.team();
+            let p1 = {
+                let lease = t.reusable_slot(|| vec![1u8]);
+                &*lease as *const Vec<u8> as usize
+            };
+            let p2 = {
+                let lease = t.reusable_slot(|| vec![1u8]);
+                &*lease as *const Vec<u8> as usize
+            };
+            assert_eq!(p1, p2, "sequential leases must reuse the instance");
+            let a = t.reusable_slot(|| vec![1u8]);
+            let b = t.reusable_slot(|| vec![1u8]);
+            assert_ne!(
+                &*a as *const Vec<u8>, &*b as *const Vec<u8>,
+                "concurrent same-typed leases must not alias"
+            );
+            drop(b);
+            drop(a);
+            let p3 = {
+                let lease = t.reusable_slot(|| vec![1u8]);
+                &*lease as *const Vec<u8> as usize
+            };
+            assert_eq!(p1, p3, "released leases return to the pool");
+        });
+    }
 
     #[test]
     fn spmd_run_returns_rank_ordered_results() {

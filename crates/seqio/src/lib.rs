@@ -8,7 +8,7 @@
 //! * [`read`] — sequencing [`read::Read`]s, read pairs and
 //!   [`read::ReadLibrary`]s with insert-size metadata;
 //! * [`fasta`] / [`fastq`] — parsing and writing of the standard text formats;
-//! * [`reference`] — named reference genomes used by the simulator and the
+//! * [`mod@reference`] — named reference genomes used by the simulator and the
 //!   quality-evaluation crate;
 //! * [`qc`] — light-weight quality trimming (the BBtools pre-processing step of
 //!   the paper is outside the evaluated pipeline; this is only used by tests

@@ -10,7 +10,7 @@
 //! * [`seqio`] / [`kmers`] — sequences, reads and packed k-mers;
 //! * [`mgsim`] — the synthetic community and read simulator (the paper's
 //!   MGSim / WGSim);
-//! * [`dbg`] / [`aligner`] / [`scaffolding`] / [`rrna_hmm`] — the pipeline
+//! * [`mod@dbg`] / [`aligner`] / [`scaffolding`] / [`rrna_hmm`] — the pipeline
 //!   stages as reusable libraries;
 //! * [`baselines`] — the comparator assemblers of Table I;
 //! * [`asm_metrics`] — the metaQUAST-substitute quality evaluation.

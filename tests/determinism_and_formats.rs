@@ -41,6 +41,43 @@ fn assembly_identical_for_one_two_and_four_ranks() {
 }
 
 #[test]
+fn lookup_batching_on_or_off_yields_identical_scaffolds() {
+    // The aggregated request–response lookups are a pure communication
+    // optimisation: the same seed must produce byte-identical scaffolds with
+    // batching disabled (batch size 1, fine-grained reads), with a small
+    // batch, and with the default large batch — with local assembly on, so
+    // the one-sided pool-fetch batching is exercised too.
+    let (refs, consensus) = mgsim::generate_community(&mgsim::CommunityParams {
+        num_taxa: 2,
+        genome_len_range: (4_000, 5_000),
+        seed: 77,
+        ..Default::default()
+    });
+    let library = mgsim::simulate_reads(
+        &refs,
+        &mgsim::ReadSimParams {
+            read_len: 90,
+            seed: 78,
+            ..Default::default()
+        }
+        .with_target_coverage(&refs, 18.0),
+    );
+    let mut baseline: Option<Vec<Vec<u8>>> = None;
+    for batch in [1usize, 4, 4096] {
+        let cfg = AssemblyConfig::small_test().with_lookup_batch(batch);
+        let out = MetaHipMer::new(cfg).assemble(&Team::single_node(3), &library, Some(&consensus));
+        let seqs = out.sequences();
+        match &baseline {
+            None => baseline = Some(seqs),
+            Some(expect) => assert_eq!(
+                expect, &seqs,
+                "lookup batch size {batch} changed the scaffolds"
+            ),
+        }
+    }
+}
+
+#[test]
 fn scaffolds_round_trip_through_fasta() {
     let (refs, consensus) = mgsim::generate_community(&mgsim::CommunityParams {
         num_taxa: 2,
