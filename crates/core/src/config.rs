@@ -20,6 +20,15 @@ pub struct AssemblyConfig {
     pub min_kmer_count: u32,
     /// Use the Bloom-filter pre-pass during k-mer analysis.
     pub use_bloom: bool,
+    /// Route k-mer analysis by supermers to minimizer-owned shards (one
+    /// extraction pass, one packed shipment per owner). `false` selects the
+    /// per-k-mer baseline — same counts table (for `min_kmer_count >= 2`),
+    /// byte-identical assembly, far more k-mer-analysis wire bytes — used by
+    /// the `ablation_supermer` harness.
+    pub use_supermers: bool,
+    /// Minimizer length m for supermer routing (clamped to each iteration's
+    /// k and to `kmers::MAX_MINIMIZER_LEN`).
+    pub minimizer_len: usize,
     /// Extension-threshold policy (dynamic for MetaHipMer, global for HipMer).
     pub threshold: ThresholdPolicy,
     /// Run bubble merging and hair removal.
@@ -56,6 +65,8 @@ impl Default for AssemblyConfig {
             k_step: 22,
             min_kmer_count: 2,
             use_bloom: true,
+            use_supermers: true,
+            minimizer_len: 15,
             threshold: ThresholdPolicy::metahipmer_default(),
             bubble_merging: true,
             pruning: true,
@@ -98,6 +109,8 @@ impl AssemblyConfig {
             k,
             min_count: self.min_kmer_count,
             use_bloom: self.use_bloom,
+            use_supermers: self.use_supermers,
+            minimizer_len: self.minimizer_len,
             ..Default::default()
         }
     }
@@ -204,11 +217,18 @@ mod tests {
         let cfg = AssemblyConfig {
             min_kmer_count: 3,
             use_bloom: false,
+            use_supermers: false,
+            minimizer_len: 11,
             ..Default::default()
         };
         let p = cfg.analysis_params(31);
         assert_eq!(p.k, 31);
         assert_eq!(p.min_count, 3);
         assert!(!p.use_bloom);
+        assert!(!p.use_supermers);
+        assert_eq!(p.minimizer_len, 11);
+        let default_params = AssemblyConfig::default().analysis_params(21);
+        assert!(default_params.use_supermers);
+        assert_eq!(default_params.effective_minimizer_len(), 15);
     }
 }

@@ -398,6 +398,37 @@ mod tests {
     }
 
     #[test]
+    fn supermer_routing_does_not_change_the_assembly() {
+        // The supermer-routed single-pass k-mer analysis must be a pure
+        // communication optimisation: toggling it changes how observations
+        // travel (and who owns which k-mer), never the final scaffolds.
+        let (_refs, library, consensus) = small_dataset(53);
+        let mut on = AssemblyConfig::small_test();
+        on.use_supermers = true;
+        let mut off = on.clone();
+        off.use_supermers = false;
+        let team = Team::single_node(3);
+        let out_on = MetaHipMer::new(on).assemble(&team, &library, Some(&consensus));
+        let out_off = MetaHipMer::new(off).assemble(&team, &library, Some(&consensus));
+        let mut seqs_on = out_on.sequences();
+        let mut seqs_off = out_off.sequences();
+        seqs_on.sort();
+        seqs_off.sort();
+        assert_eq!(
+            seqs_on, seqs_off,
+            "supermer routing must be byte-identical to the per-kmer baseline"
+        );
+        // And it must actually save k-mer-analysis wire bytes.
+        let on_bytes = out_on.stage_stats("kmer_analysis").bytes_sent;
+        let off_bytes = out_off.stage_stats("kmer_analysis").bytes_sent;
+        assert!(
+            on_bytes * 4 <= off_bytes,
+            "expected >=4x byte saving, got {on_bytes} vs {off_bytes}"
+        );
+        assert!(out_on.stage_stats("kmer_analysis").supermer_bytes > 0);
+    }
+
+    #[test]
     fn hipmer_mode_disables_metagenome_passes() {
         let mhm = MetaHipMer::hipmer_mode(AssemblyConfig::small_test());
         assert_eq!(mhm.config.k_values().len(), 1);

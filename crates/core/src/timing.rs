@@ -73,6 +73,7 @@ impl StageTimings {
                 rpc_round_trips: ctx.allreduce_sum_u64(stats.rpc_round_trips),
                 rpc_resp_bytes: ctx.allreduce_sum_u64(stats.rpc_resp_bytes),
                 cache_evictions: ctx.allreduce_sum_u64(stats.cache_evictions),
+                supermer_bytes: ctx.allreduce_sum_u64(stats.supermer_bytes),
             };
             out.push((name.clone(), max_secs, sum));
         }

@@ -3,24 +3,88 @@
 //! Every rank processes its slice of the reads, extracts canonical k-mers with
 //! their left/right extension observations, and routes them to owner ranks
 //! with aggregated messages. Owners count in their local shard of a
-//! distributed hash table. Two refinements from the paper are reproduced:
+//! distributed hash table. Three refinements from the paper are reproduced:
 //!
-//! * a **distributed Bloom filter pre-pass** admits a k-mer into the counting
-//!   table only once it has (probably) been seen at least twice, which keeps
-//!   the flood of singleton error k-mers out of memory;
+//! * **supermer routing** (the default): instead of shipping every canonical
+//!   k-mer as a ~32-byte packed struct — twice, once for the Bloom pass and
+//!   once for counting — each read is decomposed once into *supermers*
+//!   (maximal runs of consecutive k-mers sharing a canonical minimizer, see
+//!   [`kmers::minimizer`]) which travel as packed 2-bit sequence with a
+//!   quality/extension sidecar, ~(s+k−1)/4 bytes per s k-mers. The counts
+//!   table is partitioned by minimizer ([`MinimizerPartitioner`]), so every
+//!   occurrence of a k-mer arrives at its owner and Bloom admission, exact
+//!   counting and heavy-hitter sketching all happen on the receive side of a
+//!   *single* exchange;
+//! * **Bloom-filter admission** admits a k-mer into the final counting table
+//!   only once it has (probably) been seen at least twice, so singleton error
+//!   k-mers never survive into the table downstream stages consume. (Unlike
+//!   the real UPC implementation, this reproduction keeps counting *exact*:
+//!   the per-k-mer path counts everything and filters afterwards, and the
+//!   supermer path parks first sightings in a side map until a second
+//!   occurrence arrives — so admission here shapes the communication and the
+//!   result, not the peak memory.) The filter is sized from an all-reduced
+//!   global k-mer estimate so shards stay correctly provisioned however
+//!   unevenly the reads are distributed;
 //! * a **streaming heavy-hitter sketch** identifies k-mers with enormous
 //!   counts (ubiquitous in metagenomes because of highly abundant organisms)
 //!   so callers can inspect/treat them specially; the counting itself remains
-//!   exact.
+//!   exact. Per-rank sketches are combined with a deterministic binomial-tree
+//!   reduction rather than funnelling every sketch to rank 0.
+//!
+//! Setting [`KmerAnalysisParams::use_supermers`] to `false` selects the
+//! legacy per-k-mer path (hash partitioning, separate Bloom round trip,
+//! per-k-mer counting exchange). With `min_count >= 2` both paths produce an
+//! identical counts table — the `ablation_supermer` harness relies on this to
+//! measure the wire-byte saving with byte-identical assemblies. (With
+//! `min_count == 1` *and* the Bloom pre-pass enabled, the set of admitted
+//! singletons depends on Bloom false positives, which differ between the two
+//! partitionings.)
 
-use dht::{bulk_merge, DistBloom, DistMap, SpaceSaving};
-use kmers::{kmers_with_exts, Kmer, KmerCounts};
-use pgas::Ctx;
+use dht::{bulk_merge, DistBloom, DistMap, FxHashMap, Partitioner, SpaceSaving};
+use kmers::minimizer::{
+    encode_supermer, expand_supermer, kmer_minimizer, minimizer_shard, SupermerBlobIter,
+    SupermerIter, MAX_MINIMIZER_LEN,
+};
+use kmers::{kmers_with_exts_iter, Kmer, KmerCounts};
+use pgas::{BlobAggregator, Ctx};
 use seqio::Read;
 use std::sync::Arc;
 
 /// The distributed k-mer → counts table produced by analysis.
 pub type KmerCountsMap = Arc<DistMap<Kmer, KmerCounts>>;
+
+/// Routes a canonical k-mer to the shard of its canonical minimizer, so that
+/// table ownership agrees with supermer routing: every k-mer expanded from a
+/// supermer is owned by the rank the supermer was shipped to. Because the
+/// canonical minimizer is strand-invariant, the partitioner can be evaluated
+/// on canonical keys while senders route read-orientation supermers.
+#[derive(Debug, Clone, Copy)]
+pub struct MinimizerPartitioner {
+    m: usize,
+}
+
+impl MinimizerPartitioner {
+    /// Creates a partitioner for minimizer length `m`
+    /// (`1..=`[`MAX_MINIMIZER_LEN`]).
+    pub fn new(m: usize) -> Self {
+        assert!(
+            (1..=MAX_MINIMIZER_LEN).contains(&m),
+            "minimizer length must be in 1..={MAX_MINIMIZER_LEN}, got {m}"
+        );
+        MinimizerPartitioner { m }
+    }
+
+    /// The minimizer length.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+}
+
+impl Partitioner<Kmer> for MinimizerPartitioner {
+    fn owner_of(&self, key: &Kmer, ranks: usize) -> usize {
+        minimizer_shard(kmer_minimizer(key, self.m.min(key.k())), ranks)
+    }
+}
 
 /// Parameters of k-mer analysis.
 #[derive(Debug, Clone)]
@@ -31,12 +95,21 @@ pub struct KmerAnalysisParams {
     pub min_count: u32,
     /// Phred threshold above which an extension base counts as high quality.
     pub hq_threshold: u8,
-    /// Whether to run the Bloom-filter pre-pass.
+    /// Whether to run the Bloom-filter admission (as a separate pre-pass in
+    /// the per-k-mer path, folded into the receive side in the supermer path).
     pub use_bloom: bool,
     /// Capacity of the per-rank heavy-hitter sketch (0 disables it).
     pub heavy_hitter_capacity: usize,
-    /// Aggregation batch size for the all-to-all exchanges.
+    /// Aggregation batch size for the all-to-all exchanges (items for the
+    /// per-k-mer path; multiplied by the packed k-mer size to obtain the
+    /// supermer path's byte batch).
     pub batch: usize,
+    /// Route supermers to minimizer-owned shards (single exchange) instead of
+    /// individual k-mers to hash-owned shards (Bloom + counting exchanges).
+    pub use_supermers: bool,
+    /// Minimizer length m for supermer routing; clamped to
+    /// `min(k, `[`MAX_MINIMIZER_LEN`]`)`.
+    pub minimizer_len: usize,
 }
 
 impl Default for KmerAnalysisParams {
@@ -48,7 +121,17 @@ impl Default for KmerAnalysisParams {
             use_bloom: true,
             heavy_hitter_capacity: 64,
             batch: 4096,
+            use_supermers: true,
+            minimizer_len: 15,
         }
+    }
+}
+
+impl KmerAnalysisParams {
+    /// The effective minimizer length: `minimizer_len` clamped into
+    /// `1..=min(k, MAX_MINIMIZER_LEN)`.
+    pub fn effective_minimizer_len(&self) -> usize {
+        self.minimizer_len.clamp(1, self.k.min(MAX_MINIMIZER_LEN))
     }
 }
 
@@ -71,19 +154,129 @@ pub fn kmer_analysis(ctx: &Ctx, reads: &[Read], params: &KmerAnalysisParams) -> 
         "k must be odd so canonical k-mers are unambiguous"
     );
     assert!(params.min_count >= 1);
+    if params.use_supermers {
+        supermer_analysis(ctx, reads, params)
+    } else {
+        per_kmer_analysis(ctx, reads, params)
+    }
+}
 
+/// Shares a Bloom filter sized from the *global* k-mer estimate: every rank
+/// contributes its local estimate to an all-reduce, and each of the `ranks`
+/// shards is provisioned for an equal split of the total. Sizing from one
+/// rank's local estimate (as the seed did) under-provisions every shard when
+/// reads are unevenly distributed, inflating the false-positive rate.
+fn shared_bloom(ctx: &Ctx, reads: &[Read], k: usize) -> Arc<DistBloom> {
+    let local = estimate_kmers(reads, k) as u64;
+    let global = ctx.allreduce_sum_u64(local) as usize;
+    let expected_per_shard = global / ctx.ranks() + 16;
+    ctx.share(|| DistBloom::new(ctx.ranks(), expected_per_shard * 2, 0.01))
+}
+
+/// The supermer-routed single-pass analysis: one extraction pass per read,
+/// one aggregated shipment per owner, and all per-k-mer work (Bloom
+/// admission, exact counting, heavy-hitter sketching) on the receive side.
+fn supermer_analysis(ctx: &Ctx, reads: &[Read], params: &KmerAnalysisParams) -> KmerAnalysis {
+    let k = params.k;
+    let m = params.effective_minimizer_len();
+    let ranks = ctx.ranks();
+    let counts: KmerCountsMap =
+        ctx.share(|| DistMap::with_partitioner(ranks, Arc::new(MinimizerPartitioner::new(m))));
+    let bloom = params.use_bloom.then(|| shared_bloom(ctx, reads, k));
+
+    // --- Send side: one streaming supermer pass over this rank's reads ------
+    // The byte batch matches the per-k-mer path's message size (batch items of
+    // a packed k-mer each) so message counts stay comparable across modes.
+    let batch_bytes = params
+        .batch
+        .saturating_mul(std::mem::size_of::<Kmer>())
+        .max(64);
+    let mut agg = BlobAggregator::new(ctx, batch_bytes);
+    for read in reads {
+        for sm in SupermerIter::new(&read.seq, k, m) {
+            let dest = minimizer_shard(sm.minimizer, ranks);
+            let wrote = agg.push_with(dest, |buf| {
+                encode_supermer(buf, &read.seq, &read.qual, params.hq_threshold, &sm)
+            });
+            ctx.record_supermer_bytes(wrote);
+        }
+    }
+    let blobs = agg.finish();
+
+    // --- Receive side: expansion, admission, counting, sketching ------------
+    let mut sketch = (params.heavy_hitter_capacity > 0)
+        .then(|| SpaceSaving::<Kmer>::new(params.heavy_hitter_capacity));
+    // First sightings not yet admitted by the Bloom filter are parked here;
+    // they join the table when (if) a second occurrence arrives, so admitted
+    // k-mers keep their exact count including the first observation.
+    // Whatever is still parked at the end of the stream (singletons, bar
+    // Bloom false positives) is dropped, mirroring the per-k-mer path's
+    // retain-by-admission.
+    let mut parked: FxHashMap<Kmer, KmerCounts> = FxHashMap::default();
+    let rank = ctx.rank();
+    for blob in &blobs {
+        for record in SupermerBlobIter::new(blob) {
+            expand_supermer(&record, k, |obs| {
+                debug_assert_eq!(counts.owner_of(&obs.kmer), rank, "misrouted supermer");
+                if let Some(s) = sketch.as_mut() {
+                    s.offer(obs.kmer, 1);
+                }
+                let mut c = KmerCounts::default();
+                c.observe(obs.exts);
+                match &bloom {
+                    Some(bloom) => {
+                        if bloom.insert_and_check_shard(rank, &obs.kmer) {
+                            // Seen before (or a false positive): admitted.
+                            if let Some(mut held) = parked.remove(&obs.kmer) {
+                                held.merge(&c);
+                                c = held;
+                            }
+                            counts.merge_local(ctx, obs.kmer, c, |a, b| a.merge(&b));
+                        } else {
+                            parked
+                                .entry(obs.kmer)
+                                .and_modify(|held| held.merge(&c))
+                                .or_insert(c);
+                        }
+                    }
+                    None => counts.merge_local(ctx, obs.kmer, c, |a, b| a.merge(&b)),
+                }
+            });
+        }
+    }
+    drop(parked);
+    ctx.barrier();
+
+    let heavy_hitters = match sketch {
+        Some(s) => merge_heavy_hitters(ctx, s, params),
+        None => Vec::new(),
+    };
+
+    counts.retain_local(ctx, |_, v| v.count >= params.min_count);
+    ctx.barrier();
+
+    KmerAnalysis {
+        counts,
+        heavy_hitters,
+    }
+}
+
+/// The legacy per-k-mer analysis: a Bloom admission exchange, a heavy-hitter
+/// pass and a counting exchange, each re-extracting the reads. Kept (behind
+/// `use_supermers = false`) as the measurable baseline of the supermer
+/// ablation.
+fn per_kmer_analysis(ctx: &Ctx, reads: &[Read], params: &KmerAnalysisParams) -> KmerAnalysis {
     let counts: KmerCountsMap = DistMap::shared(ctx);
 
-    // --- Optional pass 1: Bloom admission + heavy hitters -------------------
+    // --- Optional pass 1: Bloom admission ------------------------------------
     // The admission set lives on the owner rank: a k-mer is admitted once the
     // Bloom filter has seen it before, i.e. from its second occurrence on.
     let admitted: Option<Arc<DistMap<Kmer, ()>>> = if params.use_bloom {
-        let expected_per_rank = estimate_kmers(reads, params.k) + 16;
-        let bloom = ctx.share(|| DistBloom::new(ctx.ranks(), expected_per_rank * 2, 0.01));
+        let bloom = shared_bloom(ctx, reads, params.k);
         let admitted: Arc<DistMap<Kmer, ()>> = DistMap::shared(ctx);
         let mut agg: pgas::Aggregator<Kmer> = pgas::Aggregator::new(ctx, params.batch);
         for read in reads {
-            for obs in kmers_with_exts(&read.seq, &read.qual, params.k, params.hq_threshold) {
+            for obs in kmers_with_exts_iter(&read.seq, &read.qual, params.k, params.hq_threshold) {
                 agg.push(counts.owner_of(&obs.kmer), obs.kmer);
             }
         }
@@ -103,7 +296,7 @@ pub fn kmer_analysis(ctx: &Ctx, reads: &[Read], params: &KmerAnalysisParams) -> 
     let heavy_hitters = if params.heavy_hitter_capacity > 0 {
         let mut sketch: SpaceSaving<Kmer> = SpaceSaving::new(params.heavy_hitter_capacity);
         for read in reads {
-            for obs in kmers_with_exts(&read.seq, &read.qual, params.k, params.hq_threshold) {
+            for obs in kmers_with_exts_iter(&read.seq, &read.qual, params.k, params.hq_threshold) {
                 sketch.offer(obs.kmer, 1);
             }
         }
@@ -114,13 +307,11 @@ pub fn kmer_analysis(ctx: &Ctx, reads: &[Read], params: &KmerAnalysisParams) -> 
 
     // --- Pass 2: exact counting with extensions ------------------------------
     let items = reads.iter().flat_map(|read| {
-        kmers_with_exts(&read.seq, &read.qual, params.k, params.hq_threshold)
-            .into_iter()
-            .map(|obs| {
-                let mut c = KmerCounts::default();
-                c.observe(obs.exts);
-                (obs.kmer, c)
-            })
+        kmers_with_exts_iter(&read.seq, &read.qual, params.k, params.hq_threshold).map(|obs| {
+            let mut c = KmerCounts::default();
+            c.observe(obs.exts);
+            (obs.kmer, c)
+        })
     });
     bulk_merge(ctx, &counts, items, params.batch, |a, b| a.merge(&b));
 
@@ -148,24 +339,40 @@ fn estimate_kmers(reads: &[Read], k: usize) -> usize {
         .sum()
 }
 
-/// Gathers per-rank sketches on rank 0, merges them and broadcasts the heavy
-/// hitters whose estimated count is at least `min_count × 64` (a scale-free
-/// proxy for "orders of magnitude more frequent than the admission cutoff").
+/// Combines the per-rank sketches with a deterministic binomial-tree
+/// reduction — round `2^i` merges rank `q·2^(i+1) + 2^i` into rank
+/// `q·2^(i+1)` — and broadcasts from rank 0 the heavy hitters whose
+/// estimated count is at least `min_count × 64` (a scale-free proxy for
+/// "orders of magnitude more frequent than the admission cutoff"). Each round
+/// every receiving rank merges at most one sketch, so no rank ever funnels
+/// all `P` sketches the way the old gather-on-rank-0 scheme did, and the
+/// merge order (hence the resulting list) is independent of thread timing.
 fn merge_heavy_hitters(
     ctx: &Ctx,
     sketch: SpaceSaving<Kmer>,
     params: &KmerAnalysisParams,
 ) -> Vec<(Kmer, u64)> {
-    // Ship every rank's tracked entries to rank 0.
-    let mut outgoing: Vec<Vec<(Kmer, u64)>> = vec![Vec::new(); ctx.ranks()];
-    outgoing[0] = sketch.heavy_hitters(0);
-    let received = ctx.exchange(outgoing);
-    let merged: Vec<(Kmer, u64)> = if ctx.rank() == 0 {
-        let mut combined: SpaceSaving<Kmer> = SpaceSaving::new(params.heavy_hitter_capacity.max(1));
-        for (k, c) in received {
-            combined.offer(k, c);
+    let mut acc = sketch;
+    let mut stride = 1usize;
+    while stride < ctx.ranks() {
+        let mut outgoing: Vec<Vec<SpaceSaving<Kmer>>> = vec![Vec::new(); ctx.ranks()];
+        let rank = ctx.rank();
+        if rank % (2 * stride) == stride {
+            // This rank's subtree is fully merged; hand it to the parent.
+            let done = std::mem::replace(&mut acc, SpaceSaving::new(1));
+            outgoing[rank - stride] = vec![done];
         }
-        combined.heavy_hitters(params.min_count as u64 * 64)
+        for other in ctx.exchange(outgoing) {
+            acc.merge(&other);
+        }
+        stride *= 2;
+    }
+    let merged: Vec<(Kmer, u64)> = if ctx.rank() == 0 {
+        let mut hh = acc.heavy_hitters(params.min_count as u64 * 64);
+        // `heavy_hitters` sorts by estimate only; break ties by key so the
+        // list is a pure function of the merged sketch.
+        hh.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        hh
     } else {
         Vec::new()
     };
@@ -191,33 +398,45 @@ mod tests {
         &reads[range]
     }
 
+    /// Every analysis test runs both routing modes.
+    fn both_modes(base: KmerAnalysisParams) -> [KmerAnalysisParams; 2] {
+        let mut supermer = base.clone();
+        supermer.use_supermers = true;
+        let mut per_kmer = base;
+        per_kmer.use_supermers = false;
+        [supermer, per_kmer]
+    }
+
     #[test]
     fn counts_match_naive_counting() {
         // 3 identical reads: every k-mer appears 3 times.
         let reads = reads_from(&["ACGTACGGTTCAGGCA"; 3]);
         let team = Team::single_node(2);
         let k = 7;
-        let out = team.run(|ctx| {
-            let mine = my_slice(ctx, &reads);
-            let params = KmerAnalysisParams {
-                k,
-                min_count: 2,
-                use_bloom: false,
-                ..Default::default()
-            };
-            let res = kmer_analysis(ctx, mine, &params);
-            ctx.barrier();
-            (res.counts.len(), {
-                let mut all = Vec::new();
-                res.counts.for_each_local(ctx, |_, v| all.push(v.count));
-                all
-            })
-        });
-        let expected_kmers = 16 - k + 1;
-        assert_eq!(out[0].0, expected_kmers);
-        let counts: Vec<u32> = out.iter().flat_map(|(_, c)| c.clone()).collect();
-        assert_eq!(counts.len(), expected_kmers);
-        assert!(counts.iter().all(|&c| c == 3));
+        for params in both_modes(KmerAnalysisParams {
+            k,
+            min_count: 2,
+            use_bloom: false,
+            ..Default::default()
+        }) {
+            let reads = &reads;
+            let params = &params;
+            let out = team.run(move |ctx| {
+                let mine = my_slice(ctx, reads);
+                let res = kmer_analysis(ctx, mine, params);
+                ctx.barrier();
+                (res.counts.len(), {
+                    let mut all = Vec::new();
+                    res.counts.for_each_local(ctx, |_, v| all.push(v.count));
+                    all
+                })
+            });
+            let expected_kmers = 16 - k + 1;
+            assert_eq!(out[0].0, expected_kmers);
+            let counts: Vec<u32> = out.iter().flat_map(|(_, c)| c.clone()).collect();
+            assert_eq!(counts.len(), expected_kmers);
+            assert!(counts.iter().all(|&c| c == 3));
+        }
     }
 
     #[test]
@@ -227,84 +446,83 @@ mod tests {
         let mut reads = reads_from(&["ACGTACGGTTCAGGCAT", "ACGTACGGTTCAGGCAT"]);
         reads.extend(reads_from(&["GGGGGCCCCCAAAAATTTTT"]));
         let team = Team::single_node(2);
-        let total = team.run(|ctx| {
-            let mine = my_slice(ctx, &reads);
-            let params = KmerAnalysisParams {
-                k: 9,
-                min_count: 2,
-                use_bloom: false,
-                ..Default::default()
-            };
-            let res = kmer_analysis(ctx, mine, &params);
-            ctx.barrier();
-            res.counts.len()
-        });
-        // The duplicated read contributes 17-9+1 = 9 distinct canonical k-mers.
-        // Two of the singleton read's windows happen to be canonical pairs of
-        // each other (GGGGGCCCC/GGGGCCCCC and AAAAATTTT/AAAATTTTT), so those
-        // two canonical k-mers reach count 2 within a single read and survive
-        // the ε filter as well.
-        assert_eq!(total[0], 9 + 2);
+        for params in both_modes(KmerAnalysisParams {
+            k: 9,
+            min_count: 2,
+            use_bloom: false,
+            ..Default::default()
+        }) {
+            let reads = &reads;
+            let params = &params;
+            let total = team.run(move |ctx| {
+                let mine = my_slice(ctx, reads);
+                let res = kmer_analysis(ctx, mine, params);
+                ctx.barrier();
+                res.counts.len()
+            });
+            // The duplicated read contributes 17-9+1 = 9 distinct canonical
+            // k-mers. Two of the singleton read's windows happen to be
+            // canonical pairs of each other (GGGGGCCCC/GGGGCCCCC and
+            // AAAAATTTT/AAAATTTTT), so those two canonical k-mers reach count
+            // 2 within a single read and survive the ε filter as well.
+            assert_eq!(total[0], 9 + 2);
+        }
     }
 
     #[test]
     fn bloom_prepass_gives_same_result_as_exact_for_repeated_kmers() {
         let reads = reads_from(&["ACGTACGGTTCAGGCATTACG"; 4]);
         let team = Team::single_node(3);
-        let (with_bloom, without_bloom) = {
-            let reads2 = reads.clone();
-            let a = team.run(|ctx| {
-                let params = KmerAnalysisParams {
-                    k: 11,
-                    min_count: 2,
-                    use_bloom: true,
-                    ..Default::default()
-                };
-                let res = kmer_analysis(ctx, my_slice(ctx, &reads2), &params);
-                ctx.barrier();
-                res.counts.len()
-            })[0];
-            let b = team.run(|ctx| {
-                let params = KmerAnalysisParams {
-                    k: 11,
-                    min_count: 2,
-                    use_bloom: false,
-                    ..Default::default()
-                };
-                let res = kmer_analysis(ctx, my_slice(ctx, &reads), &params);
-                ctx.barrier();
-                res.counts.len()
-            })[0];
-            (a, b)
-        };
-        assert_eq!(with_bloom, without_bloom);
-        assert_eq!(with_bloom, 21 - 11 + 1);
+        for use_supermers in [true, false] {
+            let run = |use_bloom: bool| {
+                let reads = &reads;
+                team.run(move |ctx| {
+                    let params = KmerAnalysisParams {
+                        k: 11,
+                        min_count: 2,
+                        use_bloom,
+                        use_supermers,
+                        ..Default::default()
+                    };
+                    let res = kmer_analysis(ctx, my_slice(ctx, reads), &params);
+                    ctx.barrier();
+                    res.counts.len()
+                })[0]
+            };
+            let (with_bloom, without_bloom) = (run(true), run(false));
+            assert_eq!(with_bloom, without_bloom);
+            assert_eq!(with_bloom, 21 - 11 + 1);
+        }
     }
 
     #[test]
     fn extensions_recorded_for_interior_kmers() {
         let reads = reads_from(&["AAACCCGGGTTTACG"; 2]);
         let team = Team::single_node(1);
-        team.run(|ctx| {
-            let params = KmerAnalysisParams {
-                k: 5,
-                min_count: 2,
-                use_bloom: false,
-                ..Default::default()
-            };
-            let res = kmer_analysis(ctx, &reads, &params);
-            // Interior k-mer CCCGG; its reverse complement CCGGG also occurs in
-            // the read, so the canonical entry is observed twice per read.
-            let km: Kmer = "CCCGG".parse().unwrap();
-            let (canon, _) = km.canonical();
-            let entry = res
-                .counts
-                .get_cloned(ctx, &canon)
-                .expect("interior k-mer present");
-            assert_eq!(entry.count, 4);
-            assert!(entry.left.total() > 0);
-            assert!(entry.right.total() > 0);
-        });
+        for params in both_modes(KmerAnalysisParams {
+            k: 5,
+            min_count: 2,
+            use_bloom: false,
+            ..Default::default()
+        }) {
+            let reads = &reads;
+            let params = &params;
+            team.run(move |ctx| {
+                let res = kmer_analysis(ctx, reads, params);
+                // Interior k-mer CCCGG; its reverse complement CCGGG also
+                // occurs in the read, so the canonical entry is observed twice
+                // per read.
+                let km: Kmer = "CCCGG".parse().unwrap();
+                let (canon, _) = km.canonical();
+                let entry = res
+                    .counts
+                    .get_cloned(ctx, &canon)
+                    .expect("interior k-mer present");
+                assert_eq!(entry.count, 4);
+                assert!(entry.left.total() > 0);
+                assert!(entry.right.total() > 0);
+            });
+        }
     }
 
     #[test]
@@ -319,25 +537,146 @@ mod tests {
             .map(|(i, s)| Read::with_uniform_quality(format!("r{i}"), s.as_bytes(), 35))
             .collect();
         let team = Team::single_node(2);
-        let hh = team.run(|ctx| {
-            let params = KmerAnalysisParams {
-                k: 15,
-                min_count: 2,
-                use_bloom: false,
-                heavy_hitter_capacity: 8,
-                ..Default::default()
-            };
-            let res = kmer_analysis(ctx, my_slice(ctx, &reads), &params);
-            ctx.barrier();
-            res.heavy_hitters
-        });
-        let poly_a: Kmer = "AAAAAAAAAAAAAAA".parse().unwrap();
-        for rank_hh in &hh {
-            assert!(
-                rank_hh.iter().any(|(k, _)| *k == poly_a),
-                "poly-A heavy hitter not reported: {rank_hh:?}"
-            );
+        for params in both_modes(KmerAnalysisParams {
+            k: 15,
+            min_count: 2,
+            use_bloom: false,
+            heavy_hitter_capacity: 8,
+            ..Default::default()
+        }) {
+            let reads = &reads;
+            let params = &params;
+            let hh = team.run(move |ctx| {
+                let res = kmer_analysis(ctx, my_slice(ctx, reads), params);
+                ctx.barrier();
+                res.heavy_hitters
+            });
+            let poly_a: Kmer = "AAAAAAAAAAAAAAA".parse().unwrap();
+            for rank_hh in &hh {
+                assert!(
+                    rank_hh.iter().any(|(k, _)| *k == poly_a),
+                    "poly-A heavy hitter not reported: {rank_hh:?}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn supermer_and_per_kmer_tables_are_identical_with_bloom() {
+        // Bloom on, ε = 2: admission is deterministic for every surviving
+        // k-mer, so the two routing modes must agree exactly — including
+        // counts and extension tallies.
+        let reads = reads_from(&[
+            "ACGTACGGTTCAGGCATTACGGATCCAGTT",
+            "ACGTACGGTTCAGGCATTACGGATCCAGTT",
+            "TTGACCGGATNACCAGGTTCCAGGAACCTT",
+            "TTGACCGGATAACCAGGTTCCAGGAACCTT",
+            "GGGGGCCCCCAAAAATTTTTGGGGGCCCCC",
+        ]);
+        let collect = |use_supermers: bool| {
+            let team = Team::single_node(3);
+            let reads = &reads;
+            let mut all: Vec<(Kmer, KmerCounts)> = team
+                .run(move |ctx| {
+                    let params = KmerAnalysisParams {
+                        k: 11,
+                        min_count: 2,
+                        use_bloom: true,
+                        use_supermers,
+                        ..Default::default()
+                    };
+                    let res = kmer_analysis(ctx, my_slice(ctx, reads), &params);
+                    ctx.barrier();
+                    res.counts.local_entries(ctx)
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+            all.sort_by_key(|a| a.0);
+            all
+        };
+        let supermer = collect(true);
+        let per_kmer = collect(false);
+        assert!(!supermer.is_empty());
+        assert_eq!(supermer, per_kmer);
+    }
+
+    #[test]
+    fn heavy_hitter_list_is_rank_count_invariant() {
+        // Capacity comfortably above the distinct-k-mer count keeps every
+        // per-rank sketch exact, so the tree reduction must give the same
+        // list on 1–8 ranks, in both routing modes.
+        let mut seqs = vec!["ACGGTCAGGTTCAAGGACTTACGGTACCAGT".to_string(); 6];
+        seqs.extend(vec!["TTTTTTTTTTTTTTTTTTTTTTTTT".to_string(); 9]);
+        let reads: Vec<Read> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Read::with_uniform_quality(format!("r{i}"), s.as_bytes(), 35))
+            .collect();
+        for use_supermers in [true, false] {
+            let mut lists: Vec<Vec<(Kmer, u64)>> = Vec::new();
+            for ranks in 1..=8usize {
+                let team = Team::single_node(ranks);
+                let reads = &reads;
+                let hh = team.run(move |ctx| {
+                    let params = KmerAnalysisParams {
+                        k: 15,
+                        min_count: 1,
+                        use_bloom: false,
+                        heavy_hitter_capacity: 256,
+                        use_supermers,
+                        ..Default::default()
+                    };
+                    let res = kmer_analysis(ctx, my_slice(ctx, reads), &params);
+                    ctx.barrier();
+                    res.heavy_hitters
+                });
+                // Identical on every rank…
+                for rank_hh in &hh[1..] {
+                    assert_eq!(rank_hh, &hh[0]);
+                }
+                assert!(!hh[0].is_empty(), "expected at least the poly-T hitter");
+                lists.push(hh.into_iter().next().unwrap());
+            }
+            // …and identical across rank counts.
+            for list in &lists[1..] {
+                assert_eq!(list, &lists[0], "use_supermers={use_supermers}");
+            }
+        }
+    }
+
+    #[test]
+    fn supermer_mode_ships_fewer_bytes() {
+        let seq: String = (0..400)
+            .map(|i| ['A', 'C', 'G', 'T'][((i * 2654435761usize) >> 5) % 4])
+            .collect();
+        let reads = reads_from(&[seq.as_str(); 6]);
+        let bytes_for = |use_supermers: bool| {
+            let team = Team::single_node(4);
+            let reads = &reads;
+            team.run(move |ctx| {
+                let params = KmerAnalysisParams {
+                    k: 21,
+                    min_count: 2,
+                    use_bloom: true,
+                    use_supermers,
+                    ..Default::default()
+                };
+                let _ = kmer_analysis(ctx, my_slice(ctx, reads), &params);
+            });
+            team.stats_total()
+        };
+        let supermer = bytes_for(true);
+        let per_kmer = bytes_for(false);
+        assert!(
+            supermer.bytes_sent * 4 < per_kmer.bytes_sent,
+            "supermer routing must cut k-mer analysis bytes >=4x: {} vs {}",
+            supermer.bytes_sent,
+            per_kmer.bytes_sent
+        );
+        assert!(supermer.supermer_bytes > 0);
+        assert!(supermer.supermer_bytes <= supermer.bytes_sent);
+        assert_eq!(per_kmer.supermer_bytes, 0);
     }
 
     #[test]

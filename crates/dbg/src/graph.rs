@@ -77,7 +77,11 @@ pub type KmerGraph = Arc<DistMap<Kmer, KmerVertex>>;
 /// table is left untouched (it is reused by later stages, e.g. pruning needs
 /// fork k-mers and §II-H merges new k-mers into it).
 pub fn build_graph(ctx: &Ctx, counts: &KmerCountsMap, policy: ThresholdPolicy) -> KmerGraph {
-    let graph: KmerGraph = DistMap::shared(ctx);
+    // The graph inherits the counts table's partitioner (hash by default,
+    // minimizer-based under supermer routing) so that both tables agree on
+    // ownership and the per-rank rebuild below stays purely local.
+    let graph: KmerGraph =
+        ctx.share(|| DistMap::with_partitioner(ctx.ranks(), counts.partitioner()));
     let mut local: Vec<(Kmer, KmerVertex)> = Vec::new();
     counts.for_each_local(ctx, |kmer, c| {
         let budget = policy.max_contradictions(c.count);
@@ -91,8 +95,8 @@ pub fn build_graph(ctx: &Ctx, counts: &KmerCountsMap, policy: ThresholdPolicy) -
             },
         ));
     });
-    // Keys keep the same owner in the new map (same hash, same rank count), so
-    // the insertion is purely local.
+    // Keys keep the same owner in the new map (same partitioner, same rank
+    // count), so the insertion is purely local.
     graph.apply_local_batch(ctx, local, |v| v, |slot, v| *slot = v);
     ctx.barrier();
     graph

@@ -32,7 +32,9 @@ pub mod pruning;
 pub mod traversal;
 pub mod types;
 
-pub use analysis::{kmer_analysis, KmerAnalysisParams, KmerCountsMap};
+pub use analysis::{
+    kmer_analysis, KmerAnalysis, KmerAnalysisParams, KmerCountsMap, MinimizerPartitioner,
+};
 pub use bubble::{merge_bubbles_and_remove_hair, BubbleParams, BubbleReport};
 pub use contig_graph::ContigAdjacency;
 pub use graph::{build_graph, KmerGraph, KmerVertex, ThresholdPolicy};

@@ -11,7 +11,7 @@
 use crate::analysis::KmerCountsMap;
 use crate::types::ContigSet;
 use dht::bulk_merge;
-use kmers::{kmers_with_exts, KmerCounts};
+use kmers::{kmers_with_exts_iter, KmerCounts};
 use pgas::Ctx;
 
 /// Collectively injects the (new_k)-mers of `contigs` into `counts`.
@@ -31,9 +31,12 @@ pub fn inject_contig_kmers(
     assert!(weight >= 1);
     let my_range = ctx.block_range(contigs.len());
     let mut injected = 0usize;
-    let items: Vec<(kmers::Kmer, KmerCounts)> = contigs.contigs[my_range]
+    // Streamed straight into the aggregated exchange: the allocation-free
+    // extraction iterator avoids both a per-contig Vec and the collected
+    // item list.
+    let items = contigs.contigs[my_range]
         .iter()
-        .flat_map(|c| kmers_with_exts(&c.seq, &[], new_k, 0))
+        .flat_map(|c| kmers_with_exts_iter(&c.seq, &[], new_k, 0))
         .map(|obs| {
             injected += 1;
             let mut kc = KmerCounts::default();
@@ -41,8 +44,7 @@ pub fn inject_contig_kmers(
                 kc.observe(obs.exts);
             }
             (obs.kmer, kc)
-        })
-        .collect();
+        });
     bulk_merge(ctx, counts, items, 4096, |a, b| a.merge(&b));
     ctx.allreduce_sum_u64(injected as u64) as usize
 }

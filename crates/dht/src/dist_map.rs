@@ -1,13 +1,15 @@
 //! The core distributed hash table.
 //!
-//! Keys are assigned to an *owner rank* by hashing (deterministically, so all
-//! ranks agree), and each owner's shard is further split into sub-shards so
-//! that concurrent fine-grained accesses from different ranks rarely contend
-//! on the same lock — the moral equivalent of UPC's per-bucket locks /
-//! remote atomics. All accesses go through a [`pgas::Ctx`] so that on-node
-//! vs off-node traffic is accounted.
+//! Keys are assigned to an *owner rank* by a pluggable [`Partitioner`]
+//! (deterministically, so all ranks agree; hashing by default), and each
+//! owner's shard is further split into sub-shards so that concurrent
+//! fine-grained accesses from different ranks rarely contend on the same
+//! lock — the moral equivalent of UPC's per-bucket locks / remote atomics.
+//! All accesses go through a [`pgas::Ctx`] so that on-node vs off-node
+//! traffic is accounted.
 
 use crate::fxhash::{fx_hash_one, FxHashMap};
+use crate::partition::{HashPartitioner, Partitioner};
 use parking_lot::Mutex;
 use pgas::{Aggregator, Ctx, RpcAggregator};
 use std::hash::Hash;
@@ -34,6 +36,7 @@ impl<K, V> Shard<K, V> {
 /// A hash map partitioned across the ranks of a team.
 pub struct DistMap<K, V> {
     shards: Vec<Shard<K, V>>,
+    partitioner: Arc<dyn Partitioner<K>>,
 }
 
 impl<K, V> DistMap<K, V>
@@ -41,12 +44,21 @@ where
     K: Hash + Eq + Clone + Send + Sync + 'static,
     V: Send + Sync + 'static,
 {
-    /// Creates a map distributed over `ranks` owner shards. Typically invoked
-    /// collectively via `ctx.share(|| DistMap::new(ctx.ranks()))`.
+    /// Creates a map distributed over `ranks` owner shards with the default
+    /// [`HashPartitioner`]. Typically invoked collectively via
+    /// `ctx.share(|| DistMap::new(ctx.ranks()))`.
     pub fn new(ranks: usize) -> Self {
+        DistMap::with_partitioner(ranks, Arc::new(HashPartitioner))
+    }
+
+    /// Creates a map whose owner assignment is delegated to `partitioner`
+    /// (which must be deterministic and identical on every rank; see
+    /// [`Partitioner`]).
+    pub fn with_partitioner(ranks: usize, partitioner: Arc<dyn Partitioner<K>>) -> Self {
         assert!(ranks > 0);
         DistMap {
             shards: (0..ranks).map(|_| Shard::new()).collect(),
+            partitioner,
         }
     }
 
@@ -55,18 +67,30 @@ where
         ctx.share(|| DistMap::new(ctx.ranks()))
     }
 
+    /// The partitioner this map routes keys with; a derived map (e.g. the de
+    /// Bruijn graph built from the counts table) passes it on so that both
+    /// tables agree on ownership and owner-local rebuilds stay local.
+    pub fn partitioner(&self) -> Arc<dyn Partitioner<K>> {
+        Arc::clone(&self.partitioner)
+    }
+
     /// The owner rank of a key (deterministic across ranks).
     #[inline]
     pub fn owner_of(&self, key: &K) -> usize {
-        (fx_hash_one(key) % self.shards.len() as u64) as usize
+        let owner = self.partitioner.owner_of(key, self.shards.len());
+        debug_assert!(owner < self.shards.len());
+        owner
     }
 
     #[inline]
     fn slot(&self, key: &K) -> (usize, usize) {
+        // One hash serves both decisions: the partitioner gets it as a hint
+        // (the default hash partitioner derives the owner straight from it)
+        // and the sub-shard comes from the upper bits so lock striping is
+        // independent of the owner selection (and of the partitioner).
         let h = fx_hash_one(key);
-        let owner = (h % self.shards.len() as u64) as usize;
-        // Use the upper bits for the sub-shard so it is independent of the
-        // owner selection.
+        let owner = self.partitioner.owner_of_hashed(key, h, self.shards.len());
+        debug_assert!(owner < self.shards.len());
         let sub = ((h >> 48) as usize) % SUB_SHARDS;
         (owner, sub)
     }
@@ -312,6 +336,26 @@ where
             .sum()
     }
 
+    /// Merges one `(key, value)` known to be owned by the calling rank into
+    /// its local shard — the streaming receive side of a routed exchange
+    /// (e.g. owner-side supermer expansion). No traffic is recorded: the
+    /// shipment that delivered the key was already accounted by its exchange.
+    pub fn merge_local(&self, ctx: &Ctx, key: K, value: V, merge: impl FnOnce(&mut V, V)) {
+        debug_assert_eq!(
+            self.owner_of(&key),
+            ctx.rank(),
+            "merge_local on a key this rank does not own"
+        );
+        let sub = ((fx_hash_one(&key) >> 48) as usize) % SUB_SHARDS;
+        let mut guard = self.shards[ctx.rank()].subs[sub].lock();
+        match guard.get_mut(&key) {
+            Some(existing) => merge(existing, value),
+            None => {
+                guard.insert(key, value);
+            }
+        }
+    }
+
     /// Applies a batch of `(key, value)` items that are already known to be
     /// owned by the calling rank, merging duplicates with `merge`. This is the
     /// receive side of the update-only phase.
@@ -549,6 +593,47 @@ mod tests {
             assert!(snap.msgs_sent <= 2 * ctx.ranks() as u64);
             assert_eq!(snap.rpc_round_trips, 1);
             assert!(snap.rpc_resp_bytes > 0);
+        });
+    }
+
+    /// Owner = key % ranks: a deliberately non-hash partitioner.
+    struct ModuloPartitioner;
+    impl crate::partition::Partitioner<u64> for ModuloPartitioner {
+        fn owner_of(&self, key: &u64, ranks: usize) -> usize {
+            (*key % ranks as u64) as usize
+        }
+    }
+
+    #[test]
+    fn custom_partitioner_drives_ownership_through_every_access_path() {
+        let team = Team::single_node(3);
+        team.run(|ctx| {
+            let map: Arc<DistMap<u64, u64>> =
+                ctx.share(|| DistMap::with_partitioner(ctx.ranks(), Arc::new(ModuloPartitioner)));
+            for k in 0..90u64 {
+                assert_eq!(map.owner_of(&k), (k % 3) as usize);
+            }
+            bulk_merge(ctx, &map, (0..90u64).map(|k| (k, k + 1)), 8, |a, b| *a += b);
+            // bulk_merge routed by the partitioner, so local iteration must
+            // see exactly the keys congruent to this rank.
+            let mut local = Vec::new();
+            map.for_each_local(ctx, |k, _| local.push(*k));
+            assert_eq!(local.len(), 30);
+            assert!(local.iter().all(|k| *k % 3 == ctx.rank() as u64));
+            // Fine-grained and batched reads agree.
+            let keys: Vec<u64> = (0..100u64).collect();
+            let got = map.get_many(ctx, &keys, 16);
+            for (k, v) in keys.iter().zip(got) {
+                assert_eq!(v, map.get_cloned(ctx, k));
+                // Every one of the 3 ranks contributed (k, k+1) once.
+                assert_eq!(v, (*k < 90).then_some(3 * (*k + 1)));
+            }
+            // The partitioner is inherited by derived maps.
+            let derived: Arc<DistMap<u64, u64>> =
+                ctx.share(|| DistMap::with_partitioner(ctx.ranks(), map.partitioner()));
+            for k in 0..90u64 {
+                assert_eq!(derived.owner_of(&k), map.owner_of(&k));
+            }
         });
     }
 

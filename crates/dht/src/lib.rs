@@ -20,6 +20,12 @@
 //! (work stealing), [`DistMap::get_many_onesided`] provides the one-sided
 //! aggregated variant.
 //!
+//! Key→owner assignment is pluggable: every [`DistMap`] routes through a
+//! [`Partitioner`] ([`HashPartitioner`] by default), so phases that know
+//! their access pattern — supermer-routed k-mer analysis partitions its
+//! counts table by minimizer — can choose owners while every consumer keeps
+//! working unchanged through [`DistMap::owner_of`].
+//!
 //! plus the auxiliary distributed structures the pipeline needs: a partitioned
 //! Bloom filter ([`DistBloom`]), a distributed counting histogram
 //! ([`DistHistogram`]) and a streaming heavy-hitter sketch
@@ -32,6 +38,7 @@ pub mod dist_map;
 pub mod fxhash;
 pub mod heavy;
 pub mod histogram;
+pub mod partition;
 
 pub use bloom::DistBloom;
 pub use cache::{CachedView, SoftwareCache};
@@ -39,3 +46,4 @@ pub use dist_map::{bulk_merge, DistMap};
 pub use fxhash::{fx_hash_one, FxHashMap, FxHashSet, FxHasher};
 pub use heavy::SpaceSaving;
 pub use histogram::DistHistogram;
+pub use partition::{HashPartitioner, Partitioner};

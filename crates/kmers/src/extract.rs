@@ -64,7 +64,8 @@ pub struct CanonicalKmerExt {
 }
 
 /// Extracts canonical k-mers with left/right extension observations from a
-/// read.
+/// read. Thin collecting wrapper over [`kmers_with_exts_iter`], kept for
+/// call sites (mostly tests) that want a `Vec`.
 ///
 /// `qual` may be empty (all bases are then treated as high quality); otherwise
 /// it must be as long as `seq`, and an extension base is flagged high quality
@@ -75,35 +76,111 @@ pub fn kmers_with_exts(
     k: usize,
     hq_threshold: u8,
 ) -> Vec<CanonicalKmerExt> {
+    kmers_with_exts_iter(seq, qual, k, hq_threshold).collect()
+}
+
+/// Allocation-free streaming form of [`kmers_with_exts`]: yields the same
+/// observations in the same order, rolling the window forward base by base
+/// without materialising a per-read `Vec`. This is the extraction hot path
+/// used by k-mer analysis and contig k-mer injection.
+pub fn kmers_with_exts_iter<'a>(
+    seq: &'a [u8],
+    qual: &'a [u8],
+    k: usize,
+    hq_threshold: u8,
+) -> KmersWithExtsIter<'a> {
     assert!(
         qual.is_empty() || qual.len() == seq.len(),
         "quality must be empty or match sequence length"
     );
-    let hq_at = |i: usize| -> bool {
-        if qual.is_empty() {
-            true
-        } else {
-            qual[i] >= hq_threshold
+    KmersWithExtsIter {
+        seq,
+        qual,
+        k,
+        hq_threshold,
+        pos: 0,
+        km: None,
+    }
+}
+
+/// Iterator behind [`kmers_with_exts_iter`].
+pub struct KmersWithExtsIter<'a> {
+    seq: &'a [u8],
+    qual: &'a [u8],
+    k: usize,
+    hq_threshold: u8,
+    /// Start of the next window to emit.
+    pos: usize,
+    /// The rolling k-mer for the window at `pos` (`None` when the iterator
+    /// must first locate the next ambiguity-free window).
+    km: Option<Kmer>,
+}
+
+impl KmersWithExtsIter<'_> {
+    #[inline]
+    fn hq_at(&self, i: usize) -> bool {
+        self.qual.is_empty() || self.qual[i] >= self.hq_threshold
+    }
+}
+
+impl Iterator for KmersWithExtsIter<'_> {
+    type Item = CanonicalKmerExt;
+
+    fn next(&mut self) -> Option<CanonicalKmerExt> {
+        let (k, n) = (self.k, self.seq.len());
+        if k == 0 || n < k {
+            return None;
         }
-    };
-    let mut out = Vec::new();
-    for (pos, km) in kmer_positions(seq, k) {
+        // Locate the next valid window if the previous one ended a run.
+        if self.km.is_none() {
+            loop {
+                if self.pos + k > n {
+                    return None;
+                }
+                match first_invalid(&self.seq[self.pos..self.pos + k]) {
+                    Some(bad) => self.pos += bad + 1,
+                    None => {
+                        self.km = Some(
+                            Kmer::from_bytes(&self.seq[self.pos..self.pos + k])
+                                .expect("validated window"),
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+        let pos = self.pos;
+        let km = self.km.expect("window primed above");
+        // Advance the rolling state for the following call.
+        let j = pos + k;
+        match self.seq.get(j).copied().and_then(encode_base) {
+            Some(code) => {
+                self.km = Some(km.extended_right(code));
+                self.pos = pos + 1;
+            }
+            None => {
+                // Either the read ended or base `j` is ambiguous; the next
+                // candidate window starts beyond it.
+                self.km = None;
+                self.pos = j + 1;
+            }
+        }
+        // Emit the observation for (pos, km).
         let left = if pos > 0 {
-            encode_base(seq[pos - 1]).map(|c| (c, hq_at(pos - 1)))
+            encode_base(self.seq[pos - 1]).map(|c| (c, self.hq_at(pos - 1)))
         } else {
             None
         };
-        let right = if pos + k < seq.len() {
-            encode_base(seq[pos + k]).map(|c| (c, hq_at(pos + k)))
+        let right = if pos + k < n {
+            encode_base(self.seq[pos + k]).map(|c| (c, self.hq_at(pos + k)))
         } else {
             None
         };
         let exts = ExtPair { left, right };
         let (canon, was_rc) = km.canonical();
         let exts = if was_rc { exts.revcomp() } else { exts };
-        out.push(CanonicalKmerExt { kmer: canon, exts });
+        Some(CanonicalKmerExt { kmer: canon, exts })
     }
-    out
 }
 
 #[cfg(test)]

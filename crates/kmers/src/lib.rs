@@ -13,12 +13,24 @@
 //!   graph traversal (§II-C of the paper);
 //! * [`extract`] — iterators that slide a window over reads/contigs and emit
 //!   canonical k-mers together with their observed extensions and quality
-//!   categories.
+//!   categories;
+//! * [`minimizer`] — canonical m-mer minimizers, the streaming supermer
+//!   iterator and the packed supermer wire codec that k-mer analysis uses to
+//!   ship whole runs of overlapping k-mers in ~(s+k−1)/4 bytes instead of
+//!   ~32 bytes per k-mer.
 
 pub mod ext;
 pub mod extract;
 pub mod kmer;
+pub mod minimizer;
 
 pub use ext::{Ext, ExtCounts, ExtPair, KmerCounts};
-pub use extract::{canonical_kmers, kmer_positions, kmers_with_exts, CanonicalKmerExt};
+pub use extract::{
+    canonical_kmers, kmer_positions, kmers_with_exts, kmers_with_exts_iter, CanonicalKmerExt,
+    KmersWithExtsIter,
+};
 pub use kmer::{Kmer, MAX_K};
+pub use minimizer::{
+    encode_supermer, expand_supermer, kmer_minimizer, minimizer_shard, supermer_wire_bytes,
+    supermers, Supermer, SupermerBlobIter, SupermerIter, SupermerRecord, MAX_MINIMIZER_LEN,
+};

@@ -189,6 +189,100 @@ impl<'c, 't, T: Send + Sync + 'static> Aggregator<'c, 't, T> {
     }
 }
 
+/// A flushed byte-buffer batch travelling through a [`BlobAggregator`]
+/// exchange. A newtype (rather than a bare `Vec<u8>`) so the reusable
+/// mailbox slot cannot alias an ordinary `AllToAll<Vec<u8>>` and so the
+/// item-count-based accounting of [`AllToAll::send_batch`] can be bypassed
+/// in favour of exact byte accounting.
+pub struct Blob(pub Vec<u8>);
+
+impl AllToAll<Blob> {
+    /// Deposits one pre-serialised blob into `dest`'s inbox, recording one
+    /// aggregated message of exactly `blob.len()` payload bytes (the generic
+    /// [`AllToAll::send_batch`] would count `size_of::<Blob>()` per item,
+    /// which is meaningless for variable-length records).
+    fn send_blob(&self, ctx: &Ctx, dest: usize, blob: Vec<u8>) {
+        if blob.is_empty() {
+            return;
+        }
+        ctx.record_message(dest, blob.len());
+        self.inboxes[dest].lock().push(Blob(blob));
+    }
+}
+
+/// A per-rank aggregating sender for **variable-length byte records**: the
+/// counterpart of [`Aggregator`] for phases that serialise their items into
+/// packed wire records (supermer-routed k-mer analysis) instead of shipping
+/// fixed-size structs. Records are appended to a per-destination byte buffer;
+/// a buffer is flushed as one aggregated message when it reaches
+/// `batch_bytes`, and the flush accounts the *actual* payload bytes.
+///
+/// Construct with [`BlobAggregator::new`], append records with
+/// [`BlobAggregator::push_record`] or serialise in place with
+/// [`BlobAggregator::push_with`], and terminate the phase with
+/// [`BlobAggregator::finish`], which returns every blob destined for the
+/// calling rank (each blob holds only whole records, in sender order;
+/// blob arrival order across senders is unspecified). Collective: all ranks
+/// must construct and finish the aggregator in the same phase.
+pub struct BlobAggregator<'c, 't> {
+    ctx: &'c Ctx<'t>,
+    a2a: SlotLease<AllToAll<Blob>>,
+    bufs: Vec<Vec<u8>>,
+    batch_bytes: usize,
+}
+
+impl<'c, 't> BlobAggregator<'c, 't> {
+    /// Creates an aggregator flushing each destination's buffer once it holds
+    /// at least `batch_bytes` bytes.
+    pub fn new(ctx: &'c Ctx<'t>, batch_bytes: usize) -> Self {
+        assert!(batch_bytes > 0, "batch size must be positive");
+        BlobAggregator {
+            ctx,
+            a2a: ctx.mailboxes(),
+            bufs: (0..ctx.ranks()).map(|_| Vec::new()).collect(),
+            batch_bytes,
+        }
+    }
+
+    /// Appends one whole record to `dest`'s buffer.
+    pub fn push_record(&mut self, dest: usize, record: &[u8]) {
+        self.bufs[dest].extend_from_slice(record);
+        self.maybe_flush(dest);
+    }
+
+    /// Serialises one record directly into `dest`'s buffer (saving the copy
+    /// of [`BlobAggregator::push_record`]); `write` must append only whole
+    /// records and returns its byte count, which is passed through.
+    pub fn push_with(&mut self, dest: usize, write: impl FnOnce(&mut Vec<u8>) -> usize) -> usize {
+        let written = write(&mut self.bufs[dest]);
+        self.maybe_flush(dest);
+        written
+    }
+
+    fn maybe_flush(&mut self, dest: usize) {
+        if self.bufs[dest].len() >= self.batch_bytes {
+            let full = std::mem::take(&mut self.bufs[dest]);
+            self.a2a.send_blob(self.ctx, dest, full);
+        }
+    }
+
+    /// Flushes the remaining buffers, synchronises, and returns the blobs
+    /// destined for the calling rank. Collective.
+    pub fn finish(mut self) -> Vec<Vec<u8>> {
+        for dest in 0..self.bufs.len() {
+            if !self.bufs[dest].is_empty() {
+                let full = std::mem::take(&mut self.bufs[dest]);
+                self.a2a.send_blob(self.ctx, dest, full);
+            }
+        }
+        self.ctx.barrier();
+        let mine = self.a2a.take_inbox(self.ctx);
+        // Required for mailbox reuse; see the module docs.
+        self.ctx.barrier();
+        mine.into_iter().map(|Blob(b)| b).collect()
+    }
+}
+
 /// Envelope carrying one request to its owner rank.
 struct RpcRequest<Req> {
     origin: u32,
@@ -474,6 +568,62 @@ mod tests {
             coarse * 10 < fine,
             "aggregated messaging should send far fewer messages: fine={fine} coarse={coarse}"
         );
+    }
+
+    #[test]
+    fn blob_aggregator_delivers_whole_records_and_counts_exact_bytes() {
+        let team = Team::single_node(3);
+        let received = team.run(|ctx| {
+            let n = ctx.ranks();
+            let mut agg = BlobAggregator::new(ctx, 16);
+            // Rank r sends 30 records of varying length to round-robin
+            // destinations; each record is [dest, r, len, 0xAB * (len-3)].
+            for i in 0..30usize {
+                let dest = i % n;
+                let len = 3 + (i % 5);
+                let mut rec = vec![dest as u8, ctx.rank() as u8, len as u8];
+                rec.resize(len, 0xAB);
+                agg.push_record(dest, &rec);
+            }
+            let blobs = agg.finish();
+            // Reassemble records from each blob: all must be destined here,
+            // whole, and well-formed.
+            let mut count = 0usize;
+            let mut bytes = 0usize;
+            for blob in &blobs {
+                let mut off = 0;
+                while off < blob.len() {
+                    assert_eq!(blob[off] as usize, ctx.rank(), "misrouted record");
+                    let len = blob[off + 2] as usize;
+                    assert!(blob[off + 3..off + len].iter().all(|&b| b == 0xAB));
+                    off += len;
+                    count += 1;
+                }
+                assert_eq!(off, blob.len(), "record split across blobs");
+                bytes += blob.len();
+            }
+            (count, bytes)
+        });
+        let total: usize = received.iter().map(|&(c, _)| c).sum();
+        assert_eq!(total, 3 * 30);
+        // Byte accounting is exact: bytes_sent equals the payload received.
+        let payload: usize = received.iter().map(|&(_, b)| b).sum();
+        assert_eq!(team.stats_total().bytes_sent, payload as u64);
+    }
+
+    #[test]
+    fn blob_aggregator_push_with_serialises_in_place() {
+        let team = Team::single_node(2);
+        team.run(|ctx| {
+            let mut agg = BlobAggregator::new(ctx, 8);
+            let wrote = agg.push_with(1 - ctx.rank(), |buf| {
+                buf.extend_from_slice(&[1, 2, 3, 4]);
+                4
+            });
+            assert_eq!(wrote, 4);
+            let blobs = agg.finish();
+            assert_eq!(blobs.concat(), vec![1, 2, 3, 4]);
+        });
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod team;
 pub mod topology;
 pub mod work;
 
-pub use exchange::{Aggregator, AllToAll, RpcAggregator};
+pub use exchange::{Aggregator, AllToAll, Blob, BlobAggregator, RpcAggregator};
 pub use stats::{CommStats, StatsSnapshot};
 pub use team::{Ctx, SlotLease, Team};
 pub use topology::Topology;

@@ -38,6 +38,9 @@ pub struct CommStats {
     pub rpc_resp_bytes: AtomicU64,
     /// Software-cache evictions (entries displaced by the capacity bound).
     pub cache_evictions: AtomicU64,
+    /// Payload bytes of packed supermer records shipped by supermer-routed
+    /// k-mer analysis (a subset of `bytes_sent`, recorded on the sender).
+    pub supermer_bytes: AtomicU64,
 }
 
 impl CommStats {
@@ -54,6 +57,7 @@ impl CommStats {
         self.rpc_round_trips.store(0, Ordering::Relaxed);
         self.rpc_resp_bytes.store(0, Ordering::Relaxed);
         self.cache_evictions.store(0, Ordering::Relaxed);
+        self.supermer_bytes.store(0, Ordering::Relaxed);
     }
 
     /// Takes a plain-value snapshot of the counters.
@@ -70,6 +74,7 @@ impl CommStats {
             rpc_round_trips: self.rpc_round_trips.load(Ordering::Relaxed),
             rpc_resp_bytes: self.rpc_resp_bytes.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            supermer_bytes: self.supermer_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -88,6 +93,7 @@ pub struct StatsSnapshot {
     pub rpc_round_trips: u64,
     pub rpc_resp_bytes: u64,
     pub cache_evictions: u64,
+    pub supermer_bytes: u64,
 }
 
 impl StatsSnapshot {
@@ -105,6 +111,7 @@ impl StatsSnapshot {
             rpc_round_trips: self.rpc_round_trips + other.rpc_round_trips,
             rpc_resp_bytes: self.rpc_resp_bytes + other.rpc_resp_bytes,
             cache_evictions: self.cache_evictions + other.cache_evictions,
+            supermer_bytes: self.supermer_bytes + other.supermer_bytes,
         }
     }
 
@@ -123,6 +130,7 @@ impl StatsSnapshot {
             rpc_round_trips: self.rpc_round_trips.saturating_sub(before.rpc_round_trips),
             rpc_resp_bytes: self.rpc_resp_bytes.saturating_sub(before.rpc_resp_bytes),
             cache_evictions: self.cache_evictions.saturating_sub(before.cache_evictions),
+            supermer_bytes: self.supermer_bytes.saturating_sub(before.supermer_bytes),
         }
     }
 
@@ -199,6 +207,7 @@ mod tests {
             rpc_round_trips: 8,
             rpc_resp_bytes: 9,
             cache_evictions: 10,
+            supermer_bytes: 11,
         };
         let b = a.add(&a);
         assert_eq!(b.msgs_sent, 2);

@@ -302,6 +302,17 @@ impl<'t> Ctx<'t> {
         self.stats().rpc_round_trips.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records the payload of one packed supermer record shipped by
+    /// supermer-routed k-mer analysis (in addition to the ordinary
+    /// [`Ctx::record_message`] accounting done when the carrying blob is
+    /// flushed).
+    #[inline]
+    pub fn record_supermer_bytes(&self, bytes: usize) {
+        self.stats()
+            .supermer_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
     /// Blocks until every rank has reached the barrier.
     pub fn barrier(&self) {
         self.team.barrier.wait();
