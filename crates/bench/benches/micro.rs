@@ -1,6 +1,8 @@
 //! Criterion micro-benchmarks of the distributed substrates: the four
-//! hash-table phases, k-mer analysis, graph traversal, alignment and the
-//! Bloom/heavy-hitter structures. `cargo bench -p mhm_bench` runs them all.
+//! hash-table phases, k-mer analysis, the extraction hot loops (rolling
+//! minimizer, supermer grouping), both graph-traversal implementations,
+//! alignment and the Bloom/heavy-hitter structures. `cargo bench -p
+//! mhm_bench` runs them all.
 
 use aligner::{align_reads, build_seed_index, AlignParams};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
@@ -9,6 +11,7 @@ use dbg::{
     TraversalParams,
 };
 use dht::{bulk_merge, DistBloom, DistMap, SpaceSaving};
+use kmers::{kmer_minimizer, Kmer, SupermerIter};
 use mgsim::{CommunityParams, ReadSimParams};
 use pgas::Team;
 use seqio::Read;
@@ -89,6 +92,45 @@ fn bench_dht_phases(c: &mut Criterion) {
     });
 }
 
+fn bench_extraction_hot_loops(c: &mut Criterion) {
+    // A 100 kb pseudo-random sequence: long enough that the rolling-minimizer
+    // deque and the supermer run-grouping dominate, not setup.
+    let seq: Vec<u8> = {
+        let mut x = 0x9E3779B97F4A7C15u64;
+        (0..100_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                [b'A', b'C', b'G', b'T'][(x & 3) as usize]
+            })
+            .collect()
+    };
+    c.bench_function("kmers/rolling_minimizer_100kb", |b| {
+        // The streaming path: one O(len) pass maintains every window's
+        // canonical minimizer through the monotonic deque.
+        b.iter(|| {
+            SupermerIter::new(&seq, 21, 15)
+                .map(|s| s.minimizer)
+                .sum::<u64>()
+        })
+    });
+    c.bench_function("kmers/kmer_minimizer_1k_windows", |b| {
+        // The per-k-mer recomputation (owner-side routing checks).
+        let kmers: Vec<Kmer> = (0..1000)
+            .map(|i| Kmer::from_bytes(&seq[i..i + 21]).unwrap())
+            .collect();
+        b.iter(|| kmers.iter().map(|km| kmer_minimizer(km, 15)).sum::<u64>())
+    });
+    c.bench_function("kmers/supermer_iter_100kb", |b| {
+        b.iter(|| {
+            SupermerIter::new(&seq, 21, 15)
+                .map(|s| s.kmers)
+                .sum::<usize>()
+        })
+    });
+}
+
 fn bench_pipeline_stages(c: &mut Criterion) {
     let (reads, contigs) = dataset();
     let team = Team::single_node(4);
@@ -105,31 +147,53 @@ fn bench_pipeline_stages(c: &mut Criterion) {
             })
         })
     });
-    c.bench_function("dbg/traversal_k21", |b| {
-        b.iter_batched(
-            || {
-                team.run(|ctx| {
-                    let range = ctx.block_range(reads.len());
-                    let params = KmerAnalysisParams {
-                        k: 21,
-                        use_bloom: false,
-                        ..Default::default()
-                    };
-                    kmer_analysis(ctx, &reads[range], &params)
-                })
-                .pop()
-                .unwrap()
-            },
-            |analysis| {
-                team.run(|ctx| {
-                    let graph =
-                        build_graph(ctx, &analysis.counts, ThresholdPolicy::metahipmer_default());
-                    traverse_contigs(ctx, &graph, 21, &TraversalParams::default()).len()
-                })
-            },
-            BatchSize::LargeInput,
-        )
-    });
+    // Both traversal implementations over the same graph: the segment
+    // compactor (default) and the per-hop ablation baseline, so hot-loop
+    // regressions in either show up without running the full pipeline.
+    for (name, segment) in [
+        ("dbg/traversal_segment_k21", true),
+        ("dbg/traversal_perhop_k21", false),
+    ] {
+        let reads = reads.clone();
+        let team = Arc::clone(&team);
+        c.bench_function(name, move |b| {
+            b.iter_batched(
+                || {
+                    team.run(|ctx| {
+                        let range = ctx.block_range(reads.len());
+                        let params = KmerAnalysisParams {
+                            k: 21,
+                            use_bloom: false,
+                            ..Default::default()
+                        };
+                        kmer_analysis(ctx, &reads[range], &params)
+                    })
+                    .pop()
+                    .unwrap()
+                },
+                |analysis| {
+                    team.run(|ctx| {
+                        let graph = build_graph(
+                            ctx,
+                            &analysis.counts,
+                            ThresholdPolicy::metahipmer_default(),
+                        );
+                        traverse_contigs(
+                            ctx,
+                            &graph,
+                            21,
+                            &TraversalParams {
+                                use_segment_traversal: segment,
+                                ..Default::default()
+                            },
+                        )
+                        .len()
+                    })
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
     c.bench_function("aligner/align_2k_reads", |b| {
         b.iter(|| {
             team.run(|ctx| {
@@ -161,6 +225,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_dht_phases, bench_pipeline_stages
+    targets = bench_dht_phases, bench_extraction_hot_loops, bench_pipeline_stages
 }
 criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Ablation: segment-compaction + stitching traversal vs per-hop walking.
+//!
+//! Contig generation is the latency-bound stage of the paper's pipeline: the
+//! per-hop walker touches one remote vertex per k-mer per walk, from both
+//! ends of every path. The segment traversal compacts each rank's owned
+//! shard entirely in memory and stitches the owner-local segments with a
+//! handful of aggregated endpoint-exchange rounds (predecessor resolution,
+//! pointer jumping, segment shipping), so its traversal-stage traffic is
+//! `O(owner crossings)` aggregated messages instead of `O(contig length)`
+//! fine-grained lookups.
+//!
+//! This harness runs the same assembly with both traversal implementations
+//! at 1, 2, 4 and 8 ranks and compares the *graph-traversal-stage traffic*
+//! (fine-grained accesses plus aggregated messages — each would be one
+//! network message on real hardware). It exits non-zero unless the segment
+//! path produces at least 5× fewer traversal-stage messages at every rank
+//! count AND byte-identical scaffolds. The measured numbers are written to
+//! `BENCH_traversal.json` so the perf trajectory accumulates across commits.
+//!
+//! It also acts as the communication-volume drift guard: if a committed
+//! `BENCH_kmer_comm.json` (written by `ablation_supermer`) reports a
+//! supermer `byte_ratio` below 40×, the harness fails, so a regression in
+//! the k-mer-analysis wire format cannot slip through CI unnoticed.
+
+use baselines::{Assembler, MetaHipMerAssembler};
+use mhm_bench::{fmt, print_table, scaled_eval_params};
+use mhm_core::AssemblyConfig;
+use pgas::{StatsSnapshot, Team};
+use std::io::Write;
+
+/// Events that cross (or would cross) the network: one per fine-grained
+/// access, one per aggregated message — the same metric the batched-lookup
+/// ablation uses.
+fn traffic(s: &StatsSnapshot) -> u64 {
+    s.fine_grained_ops() + s.msgs_sent
+}
+
+/// FNV-1a digest over the sorted scaffold sequences: a compact fingerprint
+/// of byte-identity for the JSON snapshot.
+fn scaffold_digest(seqs: &[Vec<u8>]) -> u64 {
+    let mut sorted: Vec<&Vec<u8>> = seqs.iter().collect();
+    sorted.sort();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for s in sorted {
+        for &b in s.iter().chain(&[0xFFu8]) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+fn main() {
+    let ds = mgsim::mg64_sim(mgsim::Mg64Scale::Tiny, 20260614);
+    let eval = scaled_eval_params();
+
+    let mut rows = Vec::new();
+    let mut snapshots = Vec::new();
+    for ranks in [1usize, 2, 4, 8] {
+        let mut outputs = Vec::new();
+        for segment in [false, true] {
+            let cfg = AssemblyConfig {
+                use_segment_traversal: segment,
+                ..Default::default()
+            };
+            let team = Team::single_node(ranks);
+            let assembler = MetaHipMerAssembler { config: cfg };
+            outputs.push(assembler.assemble(&team, &ds.library, Some(&ds.rrna_consensus)));
+        }
+        let (hop, seg) = (&outputs[0], &outputs[1]);
+        let hop_stats = hop.stage_stats("graph_traversal");
+        let seg_stats = seg.stage_stats("graph_traversal");
+        let (th, ts) = (traffic(&hop_stats), traffic(&seg_stats));
+        let ratio = th as f64 / (ts as f64).max(1.0);
+        rows.push(vec![
+            ranks.to_string(),
+            th.to_string(),
+            ts.to_string(),
+            seg_stats.traversal_rounds.to_string(),
+            seg_stats.stitch_bytes.to_string(),
+            fmt(ratio, 1),
+        ]);
+
+        // ---- The hard claims, per rank count --------------------------------
+        let (seq_hop, seq_seg) = (hop.sequences(), seg.sequences());
+        assert_eq!(
+            seq_hop, seq_seg,
+            "scaffolds must be byte-identical across traversal modes at {ranks} ranks"
+        );
+        assert!(
+            ratio >= 5.0,
+            "segment traversal must cut traversal-stage messages >= 5x at {ranks} ranks, \
+             got {ratio:.1}x ({th} -> {ts})"
+        );
+        let report = asm_metrics::evaluate(&seg.sequences(), &ds.refs, &eval);
+        println!(
+            "ranks={ranks}: {ratio:.1}x fewer traversal messages ({th} -> {ts}), {}",
+            report.summary_line()
+        );
+        snapshots.push(format!(
+            "    {{\"ranks\": {ranks}, \"traversal_msgs_per_hop\": {th}, \
+             \"traversal_msgs_segment\": {ts}, \"msg_ratio\": {ratio:.2}, \
+             \"stitch_rounds\": {}, \"stitch_bytes\": {}, \
+             \"traversal_bytes_per_hop\": {}, \"traversal_bytes_segment\": {}, \
+             \"scaffold_digest\": \"{:016x}\", \"scaffolds\": {}}}",
+            seg_stats.traversal_rounds,
+            seg_stats.stitch_bytes,
+            hop_stats.bytes_sent,
+            seg_stats.bytes_sent,
+            scaffold_digest(&seq_seg),
+            seq_seg.len(),
+        ));
+    }
+    print_table(
+        "Ablation — segment-compaction traversal",
+        &[
+            "Ranks",
+            "Traffic (per-hop)",
+            "Traffic (segment)",
+            "Stitch rounds",
+            "Stitch bytes",
+            "Ratio",
+        ],
+        &rows,
+    );
+
+    // ---- Snapshot for the perf trajectory -----------------------------------
+    let snapshot = format!(
+        "{{\n  \"bench\": \"ablation_traversal\",\n  \"dataset\": \"mg64_tiny\",\n  \
+         \"runs\": [\n{}\n  ]\n}}\n",
+        snapshots.join(",\n")
+    );
+    let path = "BENCH_traversal.json";
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(snapshot.as_bytes())) {
+        Ok(()) => println!("Wrote {path}"),
+        Err(e) => eprintln!("Could not write {path}: {e}"),
+    }
+
+    // ---- Drift guard on the supermer communication win ----------------------
+    match std::fs::read_to_string("BENCH_kmer_comm.json") {
+        Ok(s) => {
+            let ratio: f64 = s
+                .lines()
+                .find(|l| l.contains("\"byte_ratio\""))
+                .and_then(|l| l.split(':').nth(1))
+                .and_then(|v| v.trim().trim_end_matches(',').parse().ok())
+                .expect("BENCH_kmer_comm.json has a byte_ratio field");
+            assert!(
+                ratio >= 40.0,
+                "supermer byte_ratio drifted below 40x: {ratio:.1}x (BENCH_kmer_comm.json)"
+            );
+            println!("Drift guard: supermer byte_ratio {ratio:.1}x >= 40x");
+        }
+        Err(e) => eprintln!("Drift guard skipped: BENCH_kmer_comm.json not readable ({e})"),
+    }
+}

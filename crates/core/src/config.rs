@@ -29,6 +29,12 @@ pub struct AssemblyConfig {
     /// Minimizer length m for supermer routing (clamped to each iteration's
     /// k and to `kmers::MAX_MINIMIZER_LEN`).
     pub minimizer_len: usize,
+    /// Generate contigs with the segment-compaction + stitching traversal
+    /// (owner-local in-memory compaction, then aggregated pointer-jumping
+    /// stitch rounds). `false` selects the per-hop walker — one fine-grained
+    /// lookup per k-mer per walk, byte-identical contigs — used by the
+    /// `ablation_traversal` harness as the baseline.
+    pub use_segment_traversal: bool,
     /// Extension-threshold policy (dynamic for MetaHipMer, global for HipMer).
     pub threshold: ThresholdPolicy,
     /// Run bubble merging and hair removal.
@@ -67,6 +73,7 @@ impl Default for AssemblyConfig {
             use_bloom: true,
             use_supermers: true,
             minimizer_len: 15,
+            use_segment_traversal: true,
             threshold: ThresholdPolicy::metahipmer_default(),
             bubble_merging: true,
             pruning: true,
@@ -119,6 +126,7 @@ impl AssemblyConfig {
     pub fn traversal_params(&self) -> TraversalParams {
         TraversalParams {
             min_contig_len: self.min_contig_len,
+            use_segment_traversal: self.use_segment_traversal,
         }
     }
 

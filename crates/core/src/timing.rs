@@ -74,6 +74,8 @@ impl StageTimings {
                 rpc_resp_bytes: ctx.allreduce_sum_u64(stats.rpc_resp_bytes),
                 cache_evictions: ctx.allreduce_sum_u64(stats.cache_evictions),
                 supermer_bytes: ctx.allreduce_sum_u64(stats.supermer_bytes),
+                traversal_rounds: ctx.allreduce_sum_u64(stats.traversal_rounds),
+                stitch_bytes: ctx.allreduce_sum_u64(stats.stitch_bytes),
             };
             out.push((name.clone(), max_secs, sum));
         }

@@ -149,14 +149,14 @@ pub struct OrientedVertex {
     pub used: bool,
 }
 
-fn flip_ext(e: Ext) -> Ext {
+pub(crate) fn flip_ext(e: Ext) -> Ext {
     match e {
         Ext::Base(c) => Ext::Base(3 - c),
         other => other,
     }
 }
 
-fn orient(v: KmerVertex, canonical: Kmer, was_rc: bool) -> OrientedVertex {
+pub(crate) fn orient(v: KmerVertex, canonical: Kmer, was_rc: bool) -> OrientedVertex {
     if was_rc {
         OrientedVertex {
             canonical,

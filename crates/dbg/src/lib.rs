@@ -29,6 +29,7 @@ pub mod contig_graph;
 pub mod graph;
 pub mod merge;
 pub mod pruning;
+mod segment;
 pub mod traversal;
 pub mod types;
 

@@ -1,0 +1,638 @@
+//! Owner-local segment compaction + cross-rank stitching: the aggregated
+//! contig-generation algorithm behind [`crate::traversal::traverse_contigs`].
+//!
+//! The per-hop walker (kept as the ablation baseline) pays one fine-grained
+//! remote lookup per k-mer per walk. This module replaces it with a two-level
+//! algorithm whose communication is *aggregated exchange rounds* instead:
+//!
+//! * **Level 1 — local compaction.** Each rank opens a
+//!   [`dht::DistMap::local_view`] over its own shard of the graph (one lock
+//!   acquisition for the whole phase, zero `Ctx` traffic) and walks UU runs
+//!   entirely in memory. Every maximal run of vertices that are (a) owned by
+//!   this rank and (b) mutually-agreeing unique extensions of each other is
+//!   emitted as one *segment*: its bases, its oriented endpoint k-mers, and
+//!   the unresolved neighbour k-mer dangling off each end that is owned by
+//!   another rank. A path that never crosses an ownership boundary therefore
+//!   finishes here, and fully-local cycles are emitted here too. Each
+//!   undirected run is discovered once per direction (two mirror segments),
+//!   exactly as the per-hop walker discovers every path from both ends.
+//! * **Level 2 — stitching.** Segments of one direction form a linked list
+//!   across ranks. One aggregated request–response round resolves every
+//!   segment's predecessor (by asking the dangling left-neighbour's owner
+//!   which of its segments *ends* with that oriented k-mer and extends back
+//!   mutually); then iterated pointer-jumping rounds over
+//!   [`pgas::Ctx::exchange_map`] double each segment's known distance to its
+//!   chain head every round, so any chain of `m` segments resolves in
+//!   `O(log m)` aggregated rounds. Chains still unresolved after
+//!   `ceil(log2(total segments)) + 2` rounds are cycles; by then every cycle
+//!   segment's jump window has wrapped the whole cycle, so the running
+//!   minimum carried alongside the jumps is the cycle's global minimum
+//!   vertex. A final aggregated exchange ships every segment to its chain
+//!   head (paths) or to the owner of the cycle-minimal vertex (cycles),
+//!   which splices the bases and emits.
+//!
+//! **Determinism / byte-identity.** The emitter rules reproduce the per-hop
+//! walker's output exactly, at any rank count:
+//! * a path is emitted by the chain whose *first* terminal vertex has the
+//!   lexicographically smaller canonical k-mer (mirror chains see the two
+//!   endpoint canonicals in swapped order, so exactly one emits; a
+//!   single-vertex path, where both mirrors see equal endpoints, is emitted
+//!   by the canonical-orientation chain only);
+//! * a cycle is emitted rotated to start at its minimal canonical vertex, in
+//!   the direction that visits that vertex in canonical orientation — the
+//!   same contig the per-hop walker emits from that vertex's canonical seed.
+//!
+//! Both rules need each (vertex, orientation) pair to appear at most once per
+//! directed chain, which holds for odd k (no k-mer equals its own reverse
+//! complement); [`crate::traversal::traverse_contigs`] falls back to the
+//! per-hop walker for even k.
+
+use crate::graph::{orient, KmerVertex, OrientedVertex};
+use crate::traversal::{eligible, push_contig, TraversalParams};
+use dht::{DistMap, FxHashMap, FxHashSet};
+use kmers::{Ext, Kmer};
+use pgas::{Aggregator, Ctx};
+use seqio::alphabet::decode_base;
+
+/// Per-owner batch size of the stitching request–response rounds.
+const STITCH_BATCH: usize = 4096;
+/// Per-owner batch size of the final segment-shipping exchange.
+const ASSEMBLE_BATCH: usize = 1024;
+
+/// Global identity of a segment: the rank that compacted it + its index in
+/// that rank's segment vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SegId {
+    rank: u32,
+    idx: u32,
+}
+
+/// Pointer-jumping state of one segment.
+#[derive(Debug, Clone, Copy)]
+enum Link {
+    /// Resolved: the chain head is `head` and this segment sits `pos` segments
+    /// after it.
+    Done { head: SegId, pos: u32 },
+    /// Unresolved: the chain head is somewhere at or before `to`, which is
+    /// `d` predecessor hops away; `amin` is the minimal canonical vertex over
+    /// the `d` segments starting at this one (exclusive of `to`) — the
+    /// accumulator that yields the cycle minimum once `d` wraps a cycle.
+    Chase { to: SegId, d: u32, amin: Kmer },
+}
+
+/// What lies beyond a segment's left (chain-predecessor) end.
+#[derive(Debug, Clone, Copy)]
+enum LeftBoundary {
+    /// Resolved locally: the path starts here.
+    Terminal,
+    /// The continuing predecessor vertex `nbr` (in walk orientation) is owned
+    /// by another rank; `agree` is this segment's first-vertex last base code,
+    /// which the owner uses to verify the predecessor extends back mutually.
+    Pending { nbr: Kmer, agree: u8 },
+}
+
+/// One owner-local maximal run, in a fixed walk direction.
+struct Segment {
+    /// First vertex, in walk orientation.
+    first: Kmer,
+    /// Last vertex, in walk orientation.
+    last: Kmer,
+    left: LeftBoundary,
+    /// The right-extension base code of `last` (`None` when that side is a
+    /// dead end).
+    right_code: Option<u8>,
+    /// True when `right_code` points at a vertex owned by another rank.
+    right_remote: bool,
+    bases: Vec<u8>,
+    depth_sum: u64,
+    vcount: u32,
+    /// Minimal canonical vertex of the segment, whether it was visited in
+    /// canonical orientation, and its vertex index within the segment.
+    min_vertex: Kmer,
+    min_is_canonical: bool,
+    min_offset: u32,
+}
+
+/// The request of the predecessor-resolution round: "which of your segments
+/// ends with `last` and extends right with base code `agree`?"
+#[derive(Debug, Clone, Copy)]
+struct PredQuery {
+    last: Kmer,
+    agree: u8,
+}
+
+/// One segment shipped to its assembly site (chain head or cycle-min owner).
+struct AsmRecord {
+    chain: Chain,
+    first: Kmer,
+    last: Kmer,
+    right_code: u8,
+    first_canonical: Kmer,
+    first_is_canonical: bool,
+    last_canonical: Kmer,
+    min_vertex: Kmer,
+    min_is_canonical: bool,
+    min_offset: u32,
+    bases: Vec<u8>,
+    depth_sum: u64,
+    vcount: u32,
+}
+
+enum Chain {
+    Path { head_idx: u32, pos: u32 },
+    Cycle { min: Kmer },
+}
+
+/// A borrowed, zero-traffic view of this rank's own graph shard.
+struct LocalGraph<'a> {
+    view: dht::LocalShardView<'a, Kmer, KmerVertex>,
+    graph: &'a DistMap<Kmer, KmerVertex>,
+    rank: usize,
+}
+
+enum Probe {
+    /// The vertex (if it exists) is owned by another rank.
+    Remote,
+    /// Owned here, but not in the graph.
+    Absent,
+    /// Owned here; `canonical_oriented` is true when the probe orientation is
+    /// the canonical one.
+    Present {
+        v: OrientedVertex,
+        canonical_oriented: bool,
+    },
+}
+
+impl LocalGraph<'_> {
+    fn probe(&self, kmer: &Kmer) -> Probe {
+        let (canon, was_rc) = kmer.canonical();
+        if self.graph.owner_of(&canon) != self.rank {
+            return Probe::Remote;
+        }
+        match self.view.get(&canon) {
+            None => Probe::Absent,
+            Some(v) => Probe::Present {
+                v: orient(*v, canon, was_rc),
+                canonical_oriented: !was_rc,
+            },
+        }
+    }
+}
+
+/// The outcome of one in-memory walk over the local shard.
+struct LocalWalk {
+    bases: Vec<u8>,
+    depth_sum: u64,
+    vcount: u32,
+    /// Canonical forms of the visited vertices, in walk order.
+    visited: Vec<Kmer>,
+    last: Kmer,
+    right_code: Option<u8>,
+    right_remote: bool,
+    /// The walk returned to its start (a fully-local cycle).
+    closed: bool,
+    min_vertex: Kmer,
+    min_is_canonical: bool,
+    min_offset: u32,
+}
+
+/// Walks right from `start` while the next vertex is local, eligible and
+/// mutually agreeing — the same continuation rule as the per-hop walker, with
+/// remote ownership as an additional stop (it becomes a segment boundary).
+fn walk_local(
+    lg: &LocalGraph,
+    start: Kmer,
+    v0: &OrientedVertex,
+    start_canonical_oriented: bool,
+    limit: usize,
+) -> LocalWalk {
+    let mut w = LocalWalk {
+        bases: start.to_bytes(),
+        depth_sum: v0.count as u64,
+        vcount: 1,
+        visited: vec![v0.canonical],
+        last: start,
+        right_code: None,
+        right_remote: false,
+        closed: false,
+        min_vertex: v0.canonical,
+        min_is_canonical: start_canonical_oriented,
+        min_offset: 0,
+    };
+    let mut current = start;
+    let mut right = v0.right;
+    let mut steps = 0usize;
+    while let Ext::Base(c) = right {
+        steps += 1;
+        if steps > limit {
+            break;
+        }
+        let next = current.extended_right(c);
+        if next == start {
+            w.closed = true;
+            break;
+        }
+        match lg.probe(&next) {
+            Probe::Remote => {
+                w.right_code = Some(c);
+                w.right_remote = true;
+                break;
+            }
+            Probe::Absent => {
+                w.right_code = Some(c);
+                break;
+            }
+            Probe::Present {
+                v: nv,
+                canonical_oriented,
+            } => {
+                if !eligible(nv.left, nv.right) {
+                    w.right_code = Some(c);
+                    break;
+                }
+                // The next vertex must agree that its left neighbour is
+                // `current` (same mutual check as the per-hop walker, reduced
+                // to a base-code comparison).
+                match nv.left {
+                    Ext::Base(lc) if lc == current.first_code() => {}
+                    _ => {
+                        w.right_code = Some(c);
+                        break;
+                    }
+                }
+                w.bases.push(decode_base(c));
+                w.depth_sum += nv.count as u64;
+                // Track the minimal canonical vertex, preferring its
+                // canonical-orientation occurrence: a walk through a
+                // palindromic junction can visit the same vertex in both
+                // orientations, and the cycle emitter starts at the
+                // canonical one (as the per-hop walker's cycle seed does).
+                if nv.canonical < w.min_vertex
+                    || (nv.canonical == w.min_vertex && canonical_oriented && !w.min_is_canonical)
+                {
+                    w.min_vertex = nv.canonical;
+                    w.min_is_canonical = canonical_oriented;
+                    w.min_offset = w.vcount;
+                }
+                w.vcount += 1;
+                w.visited.push(nv.canonical);
+                w.last = next;
+                current = next;
+                right = nv.right;
+            }
+        }
+    }
+    w
+}
+
+/// Decides whether `kmer` (oriented, eligible) starts a local segment, i.e.
+/// whether its left neighbour does *not* continue the path locally. Mirrors
+/// the per-hop walker's `is_left_path_end`, with "owned by another rank" as
+/// the extra, stitch-resolved case.
+fn left_boundary(lg: &LocalGraph, kmer: &Kmer, v: &OrientedVertex) -> Option<LeftBoundary> {
+    let Ext::Base(lc) = v.left else {
+        return Some(LeftBoundary::Terminal);
+    };
+    let nbr = kmer.extended_left(lc);
+    match lg.probe(&nbr) {
+        Probe::Remote => Some(LeftBoundary::Pending {
+            nbr,
+            agree: kmer.last_code(),
+        }),
+        Probe::Absent => Some(LeftBoundary::Terminal),
+        Probe::Present { v: lv, .. } => {
+            if !eligible(lv.left, lv.right) {
+                return Some(LeftBoundary::Terminal);
+            }
+            match lv.right {
+                // The neighbour's right extension leads back into us: the
+                // path continues locally, so we are mid-segment here.
+                Ext::Base(rc) if rc == kmer.last_code() => None,
+                _ => Some(LeftBoundary::Terminal),
+            }
+        }
+    }
+}
+
+/// Runs the segment-compaction traversal and returns this rank's emitted
+/// contigs. Collective; byte-identical to the per-hop walker's output.
+pub(crate) fn segment_contigs(
+    ctx: &Ctx,
+    graph: &DistMap<Kmer, KmerVertex>,
+    k: usize,
+    params: &TraversalParams,
+) -> Vec<(Vec<u8>, f64)> {
+    let rank = ctx.rank();
+    let mut local: Vec<(Vec<u8>, f64)> = Vec::new();
+    let mut segs: Vec<Segment> = Vec::new();
+    let mut by_last: FxHashMap<Kmer, u32> = FxHashMap::default();
+
+    // ---- Level 1: owner-local compaction (zero communication) --------------
+    {
+        let lg = LocalGraph {
+            view: graph.local_view(ctx),
+            graph,
+            rank,
+        };
+        // Same safety bound as the per-hop walker: at most every local
+        // (vertex, orientation) pair once.
+        let limit = 2 * lg.view.len() + 2;
+        let mut covered: FxHashSet<Kmer> = FxHashSet::default();
+        // Iterate the locked view directly (`iter` and `probe` both take
+        // shared borrows), so the shard is never copied.
+        for (key, v) in lg.view.iter() {
+            if !eligible(v.left, v.right) {
+                continue;
+            }
+            for was_rc in [false, true] {
+                let okmer = if was_rc { key.revcomp() } else { *key };
+                if was_rc && okmer == *key {
+                    continue; // palindromic vertex (even k only): one orientation
+                }
+                let ov = orient(*v, *key, was_rc);
+                let Some(left) = left_boundary(&lg, &okmer, &ov) else {
+                    continue;
+                };
+                let w = walk_local(&lg, okmer, &ov, !was_rc, limit);
+                debug_assert!(!w.closed, "a segment start cannot close a cycle");
+                covered.extend(w.visited.iter().copied());
+                let idx = segs.len() as u32;
+                by_last.insert(w.last, idx);
+                segs.push(Segment {
+                    first: okmer,
+                    last: w.last,
+                    left,
+                    right_code: w.right_code,
+                    right_remote: w.right_remote,
+                    bases: w.bases,
+                    depth_sum: w.depth_sum,
+                    vcount: w.vcount,
+                    min_vertex: w.min_vertex,
+                    min_is_canonical: w.min_is_canonical,
+                    min_offset: w.min_offset,
+                });
+            }
+        }
+        // Eligible vertices no segment reached sit on fully-local cycles
+        // (any boundary — terminal or remote — would have started a segment
+        // somewhere on their chain). Emit each cycle from its minimal
+        // canonical vertex, in canonical orientation, like the per-hop
+        // walker's cycle phase.
+        let mut cycle_seen: FxHashSet<Kmer> = FxHashSet::default();
+        for (key, v) in lg.view.iter() {
+            if !eligible(v.left, v.right) || covered.contains(key) || cycle_seen.contains(key) {
+                continue;
+            }
+            let ov = orient(*v, *key, false);
+            let w = walk_local(&lg, *key, &ov, true, limit);
+            debug_assert!(w.closed, "uncovered vertices must lie on local cycles");
+            cycle_seen.extend(w.visited.iter().copied());
+            let min = w.visited.iter().min().copied().unwrap_or(*key);
+            let wmin = if min == *key {
+                w
+            } else {
+                let mv = *lg.view.get(&min).expect("cycle vertex is owned locally");
+                walk_local(&lg, min, &orient(mv, min, false), true, limit)
+            };
+            push_contig(
+                &mut local,
+                wmin.bases,
+                wmin.depth_sum as f64,
+                wmin.vcount as usize,
+                params,
+            );
+        }
+    } // shard view dropped before any cross-rank phase
+
+    // ---- Level 2a: one aggregated round resolves every predecessor ---------
+    let me = |idx: usize| SegId {
+        rank: rank as u32,
+        idx: idx as u32,
+    };
+    let mut pending: Vec<(usize, u32)> = Vec::new(); // (seg idx, dest rank)
+    let mut reqs: Vec<(usize, PredQuery)> = Vec::new();
+    for (i, seg) in segs.iter().enumerate() {
+        if let LeftBoundary::Pending { nbr, agree } = seg.left {
+            let (canon, _) = nbr.canonical();
+            let dest = graph.owner_of(&canon);
+            debug_assert_ne!(dest, rank, "a pending neighbour is remote by construction");
+            pending.push((i, dest as u32));
+            reqs.push((dest, PredQuery { last: nbr, agree }));
+            ctx.record_stitch_bytes(
+                std::mem::size_of::<PredQuery>() + std::mem::size_of::<Option<u32>>(),
+            );
+        }
+    }
+    if rank == 0 {
+        ctx.record_traversal_round();
+    }
+    let pred_resps = ctx.exchange_map(reqs, STITCH_BATCH, |q: PredQuery| -> Option<u32> {
+        by_last.get(&q.last).copied().filter(|&i| {
+            let p = &segs[i as usize];
+            debug_assert!(p.right_remote || p.right_code != Some(q.agree));
+            p.right_code == Some(q.agree)
+        })
+    });
+    let mut links: Vec<Link> = segs
+        .iter()
+        .enumerate()
+        .map(|(i, _)| Link::Done {
+            head: me(i),
+            pos: 0,
+        })
+        .collect();
+    for ((i, dest), resp) in pending.iter().zip(pred_resps) {
+        if let Some(p_idx) = resp {
+            links[*i] = Link::Chase {
+                to: SegId {
+                    rank: *dest,
+                    idx: p_idx,
+                },
+                d: 1,
+                amin: segs[*i].min_vertex,
+            };
+        }
+    }
+
+    // ---- Level 2b: pointer-jumping rounds (chain length halves per round) ---
+    let total_segs = ctx.allreduce_sum_u64(segs.len() as u64);
+    let max_rounds = (u64::BITS - total_segs.leading_zeros()) as usize + 2;
+    let mut rounds = 0usize;
+    loop {
+        let chasing: Vec<usize> = links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| matches!(l, Link::Chase { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let any = ctx.allreduce_any(!chasing.is_empty());
+        if !any || rounds >= max_rounds {
+            break;
+        }
+        rounds += 1;
+        if rank == 0 {
+            ctx.record_traversal_round();
+        }
+        let jump_reqs: Vec<(usize, u32)> = chasing
+            .iter()
+            .map(|&i| {
+                let Link::Chase { to, .. } = links[i] else {
+                    unreachable!()
+                };
+                ctx.record_stitch_bytes(std::mem::size_of::<u32>() + std::mem::size_of::<Link>());
+                (to.rank as usize, to.idx)
+            })
+            .collect();
+        let resps = ctx.exchange_map(jump_reqs, STITCH_BATCH, |idx: u32| links[idx as usize]);
+        for (&i, resp) in chasing.iter().zip(resps) {
+            let Link::Chase { d, amin, .. } = links[i] else {
+                unreachable!()
+            };
+            links[i] = match resp {
+                // The target knows its head: we sit `d` segments after it.
+                Link::Done { head, pos } => Link::Done { head, pos: pos + d },
+                // Jump over the target: distance doubles, minima merge.
+                Link::Chase {
+                    to: to2,
+                    d: d2,
+                    amin: amin2,
+                } => Link::Chase {
+                    to: to2,
+                    d: d + d2,
+                    amin: amin.min(amin2),
+                },
+            };
+        }
+    }
+
+    // ---- Level 2c: ship every segment to its assembly site ------------------
+    if rank == 0 {
+        ctx.record_traversal_round();
+    }
+    let mut agg: Aggregator<AsmRecord> = Aggregator::new(ctx, ASSEMBLE_BATCH);
+    for (i, seg) in segs.into_iter().enumerate() {
+        let (dest, chain) = match links[i] {
+            Link::Done { head, pos } => (
+                head.rank as usize,
+                Chain::Path {
+                    head_idx: head.idx,
+                    pos,
+                },
+            ),
+            // Still chasing after the round cap: a cross-rank cycle; `amin`
+            // wrapped the whole cycle, so it is the cycle's global minimum.
+            Link::Chase { amin, .. } => (graph.owner_of(&amin), Chain::Cycle { min: amin }),
+        };
+        let (first_canonical, f_was_rc) = seg.first.canonical();
+        let (last_canonical, _) = seg.last.canonical();
+        ctx.record_stitch_bytes(seg.bases.len() + 4 * std::mem::size_of::<Kmer>() + 32);
+        agg.push(
+            dest,
+            AsmRecord {
+                chain,
+                first: seg.first,
+                last: seg.last,
+                right_code: seg.right_code.unwrap_or(0),
+                first_canonical,
+                first_is_canonical: !f_was_rc,
+                last_canonical,
+                min_vertex: seg.min_vertex,
+                min_is_canonical: seg.min_is_canonical,
+                min_offset: seg.min_offset,
+                bases: seg.bases,
+                depth_sum: seg.depth_sum,
+                vcount: seg.vcount,
+            },
+        );
+    }
+    let records = agg.finish();
+
+    // ---- Assembly: splice chains, apply the emitter rules -------------------
+    let mut paths: FxHashMap<u32, Vec<AsmRecord>> = FxHashMap::default();
+    let mut cycles: FxHashMap<Kmer, Vec<AsmRecord>> = FxHashMap::default();
+    for rec in records {
+        match rec.chain {
+            Chain::Path { head_idx, .. } => paths.entry(head_idx).or_default().push(rec),
+            Chain::Cycle { min } => cycles.entry(min).or_default().push(rec),
+        }
+    }
+    for (_, mut recs) in paths {
+        recs.sort_unstable_by_key(|r| match r.chain {
+            Chain::Path { pos, .. } => pos,
+            Chain::Cycle { .. } => 0,
+        });
+        debug_assert!(recs
+            .iter()
+            .enumerate()
+            .all(|(i, r)| matches!(r.chain, Chain::Path { pos, .. } if pos == i as u32)));
+        let fc = recs[0].first_canonical;
+        let lc = recs[recs.len() - 1].last_canonical;
+        let vtotal: usize = recs.iter().map(|r| r.vcount as usize).sum();
+        // Mirror chains see (fc, lc) swapped: the smaller-first chain emits.
+        // Equal endpoints happens in two self-mirror shapes: a single-vertex
+        // path (both mirrors see it identically — only the canonical-
+        // orientation chain emits) and a palindromic hairpin path, which
+        // ends on the reverse complement of its first vertex and *is* its
+        // own mirror (exactly one chain exists — always emit).
+        if fc < lc || (fc == lc && (vtotal > 1 || recs[0].first_is_canonical)) {
+            let mut bases = std::mem::take(&mut recs[0].bases);
+            let mut depth_sum = recs[0].depth_sum;
+            for r in &recs[1..] {
+                bases.extend_from_slice(&r.bases[k - 1..]);
+                depth_sum += r.depth_sum;
+            }
+            push_contig(&mut local, bases, depth_sum as f64, vtotal, params);
+        }
+    }
+    for (min, recs) in cycles {
+        // Both directed cycles land here (same minimum). Emit the direction
+        // that visits the minimal vertex canonically, starting at it.
+        let Some(e) = recs
+            .iter()
+            .position(|r| r.min_vertex == min && r.min_is_canonical)
+        else {
+            debug_assert!(false, "cycle group without a canonical-min emitter");
+            continue;
+        };
+        let by_first: FxHashMap<Kmer, usize> =
+            recs.iter().enumerate().map(|(i, r)| (r.first, i)).collect();
+        let mut order = vec![e];
+        loop {
+            let r = &recs[*order.last().expect("order is non-empty")];
+            let next_first = r.last.extended_right(r.right_code);
+            let Some(&j) = by_first.get(&next_first) else {
+                debug_assert!(false, "broken cycle chain");
+                break;
+            };
+            if j == e || order.len() > recs.len() {
+                break;
+            }
+            order.push(j);
+        }
+        let total: usize = order.iter().map(|&j| recs[j].vcount as usize).sum();
+        let mut circle = recs[e].bases.clone();
+        for &j in &order[1..] {
+            circle.extend_from_slice(&recs[j].bases[k - 1..]);
+        }
+        debug_assert_eq!(circle.len(), total + k - 1);
+        // Rotate so the contig starts at the minimal vertex: base i of the
+        // output is base (min_offset + i) of the underlying base cycle.
+        let p = recs[e].min_offset as usize;
+        let out: Vec<u8> = (0..total + k - 1)
+            .map(|i| circle[(p + i) % total])
+            .collect();
+        let depth_sum: u64 = order.iter().map(|&j| recs[j].depth_sum).sum();
+        push_contig(&mut local, out, depth_sum as f64, total, params);
+    }
+
+    // The per-hop walker leaves every eligible vertex claimed (each lies on
+    // exactly one path or cycle, and every path is walked end to end from
+    // both ends); replicate that final graph state with a local pass.
+    graph.for_each_local_mut(ctx, |_, v| {
+        if eligible(v.left, v.right) {
+            v.used = true;
+        }
+    });
+    ctx.barrier();
+    local
+}

@@ -1,24 +1,35 @@
 //! Parallel de Bruijn graph traversal: turning UU k-mer paths into contigs.
 //!
 //! Contigs are maximal paths of k-mers that have a unique high-quality
-//! extension on both sides (§II-C). The UPC implementation claims vertices
-//! with remote atomics and resolves conflicts speculatively (§II-D). Here the
-//! same distributed-hash-table structure is kept, but ownership of each path
-//! is decided *deterministically* so that the contig set is identical for any
-//! rank count (which both simplifies testing and removes the need for the
-//! paper's serial clean-up of aborted traversals):
+//! extension on both sides (§II-C). Two interchangeable, byte-identical
+//! implementations live here:
 //!
-//! * **Phase 1 (paths)** — every rank scans the UU k-mers it owns and walks
-//!   rightwards from *path left-ends* (UU k-mers whose left neighbour is
-//!   absent, not UU, or disagrees). Each maximal path is discovered from both
-//!   of its ends (once per direction); the walker whose starting end has the
-//!   lexicographically smaller canonical k-mer emits the contig, the other
-//!   discards its walk. Vertices are marked `used` with atomic entry updates
-//!   as walks proceed — the same "claim" writes the paper performs — which
-//!   phase 2 uses to find cycles.
-//! * **Phase 2 (cycles)** — UU k-mers never touched by phase 1 lie on cycles.
-//!   Ranks walk the cycle from the seeds they own and the walk that started
-//!   from the cycle's minimal canonical k-mer emits the contig.
+//! * **Segment compaction + stitching** (default; the `segment` module) — each
+//!   rank first compacts its *owned* shard entirely in memory through a
+//!   direct [`dht::DistMap::local_view`], emitting maximal owner-local
+//!   segments, then segments are stitched across ranks with one aggregated
+//!   predecessor-resolution round plus `O(log chains)` pointer-jumping
+//!   rounds over [`pgas::Ctx::exchange_map`] and a final aggregated
+//!   segment-shipping exchange. Communication is `O(owner crossings)`
+//!   aggregated messages instead of `O(contig length)` fine-grained lookups.
+//! * **Per-hop walking** (`use_segment_traversal = false`, the ablation
+//!   baseline) — the paper's §II-D structure: every rank scans the UU k-mers
+//!   it owns and walks rightwards from *path left-ends* (UU k-mers whose
+//!   left neighbour is absent, not UU, or disagrees), one `lookup_oriented`
+//!   per hop. Each maximal path is discovered from both of its ends; the
+//!   walker whose starting end has the lexicographically smaller canonical
+//!   k-mer emits the contig. Vertices are claimed `used` — the paper's
+//!   atomic claim writes — in aggregated batches through
+//!   [`dht::DistMap::update_many`] (not one round trip per claim), and
+//!   k-mers never touched by a path walk lie on cycles, walked in a second
+//!   phase with the cycle's minimal canonical k-mer designating the emitter.
+//!
+//! Ownership of each path is decided *deterministically* in both modes, so
+//! the contig set is identical for any rank count (which both simplifies
+//! testing and removes the need for the paper's serial clean-up of aborted
+//! speculative traversals) and identical between the two modes — the
+//! equivalence the `traversal_equivalence` integration test and the
+//! `ablation_traversal` harness enforce.
 
 use crate::graph::{lookup_oriented, KmerGraph, KmerVertex};
 use crate::types::ContigSet;
@@ -26,28 +37,48 @@ use dht::DistMap;
 use kmers::{Ext, Kmer};
 use pgas::Ctx;
 
+/// Per-owner batch size for the aggregated `used`-claim writes of the
+/// per-hop walker.
+const CLAIM_BATCH: usize = 4096;
+
 /// Parameters of the traversal.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct TraversalParams {
     /// Minimum contig length (in bases) to emit. Contigs shorter than this are
     /// dropped immediately.
     pub min_contig_len: usize,
+    /// Use the segment-compaction + stitching traversal (default). `false`
+    /// selects the per-hop walker — same contigs, one fine-grained lookup per
+    /// k-mer per walk — used as the `ablation_traversal` baseline. Even k
+    /// (where a k-mer can be its own reverse complement) always uses the
+    /// per-hop walker; the pipeline only ever runs odd k.
+    pub use_segment_traversal: bool,
 }
 
-/// Marks a vertex as used (idempotent; the atomic "claim" write of §II-D).
-fn mark_used(ctx: &Ctx, graph: &DistMap<Kmer, KmerVertex>, key: &Kmer) {
-    graph.update(ctx, key, |v| {
-        if let Some(v) = v {
-            v.used = true;
+impl Default for TraversalParams {
+    fn default() -> Self {
+        TraversalParams {
+            min_contig_len: 0,
+            use_segment_traversal: true,
         }
-    });
+    }
 }
 
 /// True if the vertex may be part of a contig: fork vertices (an `F` on either
 /// side) belong to multiple paths and are excluded; dead-end sides (`X`) are
 /// fine — they simply terminate the contig.
-fn eligible(left: Ext, right: Ext) -> bool {
+pub(crate) fn eligible(left: Ext, right: Ext) -> bool {
     left != Ext::Fork && right != Ext::Fork
+}
+
+/// Claims a batch of vertices as `used` (idempotent; the aggregated form of
+/// the paper's §II-D atomic claim writes). Collective.
+fn claim_used(ctx: &Ctx, graph: &DistMap<Kmer, KmerVertex>, keys: &[Kmer]) {
+    graph.update_many(ctx, keys, CLAIM_BATCH, |_, v| {
+        if let Some(v) = v {
+            v.used = true;
+        }
+    });
 }
 
 /// True if `kmer` (in walk orientation) is an eligible vertex whose left
@@ -81,7 +112,8 @@ fn is_left_path_end(ctx: &Ctx, graph: &DistMap<Kmer, KmerVertex>, kmer: &Kmer) -
 /// The outcome of a rightward walk.
 struct Walk {
     bases: Vec<u8>,
-    depths: Vec<u32>,
+    depth_sum: f64,
+    vcount: usize,
     /// Canonical form of the final k-mer of the walk.
     last_canonical: Kmer,
     /// Canonical k-mers visited, in walk order.
@@ -89,17 +121,16 @@ struct Walk {
 }
 
 /// Walks right from `start`, appending bases while the next vertex is UU and
-/// agrees with the walk. Stops when the walk returns to `start` (cycle). Marks
-/// every visited vertex as used.
+/// agrees with the walk. Stops when the walk returns to `start` (cycle). The
+/// visited vertices are *not* claimed here; the caller batches the claims.
 fn walk_right(ctx: &Ctx, graph: &DistMap<Kmer, KmerVertex>, start: Kmer, limit: usize) -> Walk {
     let mut bases = start.to_bytes();
-    let mut depths = Vec::new();
     let mut visited = Vec::new();
     let mut current = start;
     let v0 = lookup_oriented(ctx, graph, &current).expect("start vertex exists");
-    depths.push(v0.count);
+    let mut depth_sum = v0.count as f64;
+    let mut vcount = 1usize;
     visited.push(v0.canonical);
-    mark_used(ctx, graph, &v0.canonical);
     let mut right = v0.right;
     let mut last_canonical = v0.canonical;
     let mut steps = 0usize;
@@ -125,9 +156,9 @@ fn walk_right(ctx: &Ctx, graph: &DistMap<Kmer, KmerVertex>, start: Kmer, limit: 
             Ext::Base(lc) if next.extended_left(lc) == current => {}
             _ => break,
         }
-        mark_used(ctx, graph, &nv.canonical);
         bases.push(seqio::alphabet::decode_base(c));
-        depths.push(nv.count);
+        depth_sum += nv.count as f64;
+        vcount += 1;
         visited.push(nv.canonical);
         last_canonical = nv.canonical;
         current = next;
@@ -135,23 +166,25 @@ fn walk_right(ctx: &Ctx, graph: &DistMap<Kmer, KmerVertex>, start: Kmer, limit: 
     }
     Walk {
         bases,
-        depths,
+        depth_sum,
+        vcount,
         last_canonical,
         visited,
     }
 }
 
-/// Traverses the graph and returns the contig set (identical on every rank).
-/// Collective.
-pub fn traverse_contigs(
+/// The per-hop baseline: one aggregated-claim batch per phase, one
+/// fine-grained lookup per hop. Returns this rank's emitted contigs.
+fn per_hop_contigs(
     ctx: &Ctx,
-    graph: &KmerGraph,
-    k: usize,
+    graph: &DistMap<Kmer, KmerVertex>,
     params: &TraversalParams,
-) -> ContigSet {
-    // A safety bound on walk length: no contig contains more vertices than the
-    // graph holds.
-    let limit = graph.len() + 1;
+) -> Vec<(Vec<u8>, f64)> {
+    // A safety bound on walk length: a walk visits each (vertex, orientation)
+    // pair at most once, and Möbius-shaped structures (a walk crossing a
+    // palindromic junction into its own reverse complement) legitimately
+    // visit both orientations — so the bound is twice the vertex count.
+    let limit = 2 * graph.len() + 2;
 
     let mut local: Vec<(Vec<u8>, f64)> = Vec::new();
 
@@ -165,21 +198,26 @@ pub fn traverse_contigs(
         });
         s
     };
+    let mut claims: Vec<Kmer> = Vec::new();
     for seed in &seeds {
         // The seed is stored canonically; a path end may present itself in
         // either orientation, so test both (at most one walk per seed).
         for oriented in [*seed, seed.revcomp()] {
             if is_left_path_end(ctx, graph, &oriented) {
                 let walk = walk_right(ctx, graph, oriented, limit);
+                claims.extend_from_slice(&walk.visited);
                 // The path is discovered from both ends; the end with the
                 // smaller canonical k-mer is the designated emitter.
                 if *seed <= walk.last_canonical {
-                    push_contig(&mut local, walk.bases, &walk.depths, params);
+                    push_contig(&mut local, walk.bases, walk.depth_sum, walk.vcount, params);
                 }
                 break;
             }
         }
     }
+    // The claims of the whole phase travel in aggregated batches — not one
+    // round trip per vertex — and phase 2 only reads them after the barrier.
+    claim_used(ctx, graph, &claims);
     ctx.barrier();
 
     // ---- Phase 2: cycles (eligible vertices untouched by any path walk) -----
@@ -192,21 +230,35 @@ pub fn traverse_contigs(
         });
         s
     };
-    // All ranks must finish collecting their cycle seeds before anyone starts
-    // marking vertices during cycle walks, otherwise a rank could miss the
-    // seed that is the cycle's designated (minimal) emitter.
-    ctx.barrier();
+    let mut claims: Vec<Kmer> = Vec::new();
     for seed in leftovers {
-        // The vertex may have been marked by another rank's cycle walk in the
-        // meantime, but walking it again is harmless: only the walk started at
+        // Every rank walks every cycle seed it owns; only the walk started at
         // the cycle's minimal k-mer emits.
         let walk = walk_right(ctx, graph, seed, limit);
+        claims.extend_from_slice(&walk.visited);
         let min = walk.visited.iter().min().copied().unwrap_or(seed);
         if seed == min {
-            push_contig(&mut local, walk.bases, &walk.depths, params);
+            push_contig(&mut local, walk.bases, walk.depth_sum, walk.vcount, params);
         }
     }
+    claim_used(ctx, graph, &claims);
     ctx.barrier();
+    local
+}
+
+/// Traverses the graph and returns the contig set (identical on every rank
+/// and for either traversal implementation). Collective.
+pub fn traverse_contigs(
+    ctx: &Ctx,
+    graph: &KmerGraph,
+    k: usize,
+    params: &TraversalParams,
+) -> ContigSet {
+    let local = if params.use_segment_traversal && k % 2 == 1 {
+        crate::segment::segment_contigs(ctx, graph, k, params)
+    } else {
+        per_hop_contigs(ctx, graph, params)
+    };
 
     // ---- Gather to a deterministic, shared contig set ------------------------
     let mut outgoing: Vec<Vec<(Vec<u8>, f64)>> = vec![Vec::new(); ctx.ranks()];
@@ -220,19 +272,20 @@ pub fn traverse_contigs(
     ctx.broadcast(|| set)
 }
 
-fn push_contig(
+pub(crate) fn push_contig(
     local: &mut Vec<(Vec<u8>, f64)>,
     bases: Vec<u8>,
-    depths: &[u32],
+    depth_sum: f64,
+    vcount: usize,
     params: &TraversalParams,
 ) {
     if bases.len() < params.min_contig_len {
         return;
     }
-    let depth = if depths.is_empty() {
+    let depth = if vcount == 0 {
         0.0
     } else {
-        depths.iter().map(|&d| d as f64).sum::<f64>() / depths.len() as f64
+        depth_sum / vcount as f64
     };
     local.push((bases, depth));
 }
@@ -246,7 +299,7 @@ mod tests {
     use seqio::alphabet::revcomp;
     use seqio::Read;
 
-    fn assemble(seqs: &[&str], k: usize, ranks: usize) -> ContigSet {
+    fn assemble_with(seqs: &[&str], k: usize, ranks: usize, segment: bool) -> ContigSet {
         let reads: Vec<Read> = seqs
             .iter()
             .cycle()
@@ -265,12 +318,31 @@ mod tests {
             };
             let res = kmer_analysis(ctx, &reads[range], &params);
             let graph = build_graph(ctx, &res.counts, ThresholdPolicy::metahipmer_default());
-            traverse_contigs(ctx, &graph, k, &TraversalParams::default())
+            traverse_contigs(
+                ctx,
+                &graph,
+                k,
+                &TraversalParams {
+                    use_segment_traversal: segment,
+                    ..Default::default()
+                },
+            )
         });
         for s in &sets[1..] {
             assert_eq!(s, &sets[0], "contig set must be identical on every rank");
         }
         sets[0].clone()
+    }
+
+    /// Runs both traversal implementations, asserts they agree, returns one.
+    fn assemble(seqs: &[&str], k: usize, ranks: usize) -> ContigSet {
+        let seg = assemble_with(seqs, k, ranks, true);
+        let hop = assemble_with(seqs, k, ranks, false);
+        assert_eq!(
+            seg, hop,
+            "segment traversal must match the per-hop baseline"
+        );
+        seg
     }
 
     #[test]
@@ -353,25 +425,65 @@ mod tests {
         let reads: Vec<Read> = (0..3)
             .map(|i| Read::with_uniform_quality(format!("r{i}"), seq.as_bytes(), 35))
             .collect();
-        let team = Team::single_node(1);
-        let sets = team.run(|ctx| {
-            let params = KmerAnalysisParams {
-                k: 15,
-                min_count: 2,
-                use_bloom: false,
-                ..Default::default()
-            };
-            let res = kmer_analysis(ctx, &reads, &params);
-            let graph = build_graph(ctx, &res.counts, ThresholdPolicy::metahipmer_default());
-            traverse_contigs(
-                ctx,
-                &graph,
-                15,
-                &TraversalParams {
-                    min_contig_len: 1000,
-                },
-            )
-        });
-        assert!(sets[0].is_empty());
+        for segment in [true, false] {
+            let team = Team::single_node(1);
+            let sets = team.run(|ctx| {
+                let params = KmerAnalysisParams {
+                    k: 15,
+                    min_count: 2,
+                    use_bloom: false,
+                    ..Default::default()
+                };
+                let res = kmer_analysis(ctx, &reads, &params);
+                let graph = build_graph(ctx, &res.counts, ThresholdPolicy::metahipmer_default());
+                traverse_contigs(
+                    ctx,
+                    &graph,
+                    15,
+                    &TraversalParams {
+                        min_contig_len: 1000,
+                        use_segment_traversal: segment,
+                    },
+                )
+            });
+            assert!(sets[0].is_empty());
+        }
+    }
+
+    #[test]
+    fn segment_traversal_claims_all_eligible_vertices() {
+        // Both implementations must leave the same graph state behind: every
+        // eligible vertex claimed.
+        let seq = "ACGGTCAGGTTCAAGGACTTACGGACCATGGCATTACGGATACCAGGATCCAGATCACCAGT";
+        let reads: Vec<Read> = (0..3)
+            .map(|i| Read::with_uniform_quality(format!("r{i}"), seq.as_bytes(), 35))
+            .collect();
+        for segment in [true, false] {
+            let team = Team::single_node(2);
+            team.run(|ctx| {
+                let params = KmerAnalysisParams {
+                    k: 15,
+                    min_count: 2,
+                    use_bloom: false,
+                    ..Default::default()
+                };
+                let res = kmer_analysis(ctx, &reads, &params);
+                let graph = build_graph(ctx, &res.counts, ThresholdPolicy::metahipmer_default());
+                traverse_contigs(
+                    ctx,
+                    &graph,
+                    15,
+                    &TraversalParams {
+                        use_segment_traversal: segment,
+                        ..Default::default()
+                    },
+                );
+                graph.for_each_local(ctx, |_, v| {
+                    if eligible(v.left, v.right) {
+                        assert!(v.used, "eligible vertex left unclaimed");
+                    }
+                });
+            });
+        }
     }
 }

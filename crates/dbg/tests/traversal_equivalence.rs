@@ -1,0 +1,185 @@
+//! Equivalence of the two contig-traversal implementations: over randomised
+//! cycle-heavy and palindrome-adjacent graphs, team widths of 1–8 ranks and
+//! both table partitioners (hash-partitioned per-k-mer analysis and
+//! minimizer-partitioned supermer analysis), the segment-compaction +
+//! stitching traversal must emit exactly the per-hop walker's contig set.
+
+use dbg::{build_graph, kmer_analysis, traverse_contigs, KmerAnalysisParams, ThresholdPolicy};
+use dbg::{ContigSet, TraversalParams};
+use pgas::Team;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seqio::alphabet::revcomp;
+use seqio::Read;
+
+fn random_seq(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|_| [b'A', b'C', b'G', b'T'][rng.gen_range(0..4)])
+        .collect()
+}
+
+/// Builds a read set whose graph is rich in the traversal's hard cases:
+/// circular templates (cross-rank and single-owner cycles), sequences that
+/// share a repeat (forks), hairpins (a stretch followed by its own reverse
+/// complement) and exact even-length palindromes — the "palindrome-adjacent"
+/// structures where orientation bookkeeping is easiest to get wrong.
+fn stress_reads(rng: &mut StdRng, k: usize) -> Vec<Read> {
+    let mut templates: Vec<Vec<u8>> = Vec::new();
+    // Linear sequences with a shared repeat to plant forks.
+    let repeat = random_seq(rng, 2 * k);
+    for _ in 0..rng.gen_range(1..3) {
+        let slen = rng.gen_range(60..160);
+        let mut s = random_seq(rng, slen);
+        let tlen = rng.gen_range(60..160);
+        let mut t = random_seq(rng, tlen);
+        s.extend_from_slice(&repeat);
+        s.extend_from_slice(&random_seq(rng, 40));
+        t.extend_from_slice(&repeat);
+        t.extend_from_slice(&random_seq(rng, 40));
+        templates.push(s);
+        templates.push(t);
+    }
+    // Hairpin: a stem followed by its reverse complement, plus an exact
+    // even-length palindrome embedded in a random context.
+    let stem_len = rng.gen_range(40..80);
+    let stem = random_seq(rng, stem_len);
+    let mut hairpin = stem.clone();
+    hairpin.extend_from_slice(&revcomp(&stem));
+    templates.push(hairpin);
+    let half = random_seq(rng, k);
+    let mut palindrome = random_seq(rng, 50);
+    palindrome.extend_from_slice(&half);
+    palindrome.extend_from_slice(&revcomp(&half));
+    palindrome.extend_from_slice(&random_seq(rng, 50));
+    templates.push(palindrome);
+
+    let mut reads: Vec<Read> = Vec::new();
+    let push_cover = |reads: &mut Vec<Read>, seq: &[u8]| {
+        // 3x coverage so min_count = 2 keeps every k-mer.
+        for c in 0..3 {
+            reads.push(Read::with_uniform_quality(
+                format!("r{}_{}", reads.len(), c),
+                seq,
+                35,
+            ));
+        }
+    };
+    for t in &templates {
+        push_cover(&mut reads, t);
+    }
+    // Circular templates: tile the doubled circle so every junction-spanning
+    // k-mer is observed. Several small circles make single-owner cycles
+    // likely even at 8 ranks; one larger circle crosses owners.
+    for _ in 0..rng.gen_range(2..5) {
+        let clen = rng.gen_range(k + 5..120);
+        let circle = random_seq(rng, clen);
+        let mut doubled = circle.clone();
+        doubled.extend_from_slice(&circle);
+        let window = (2 * k).min(circle.len());
+        for start in 0..circle.len() {
+            push_cover(&mut reads, &doubled[start..start + window]);
+        }
+    }
+    reads
+}
+
+fn run_traversal(
+    reads: &[Read],
+    ranks: usize,
+    params: &KmerAnalysisParams,
+    segment: bool,
+) -> ContigSet {
+    let team = Team::single_node(ranks);
+    let sets = team.run(|ctx| {
+        let range = ctx.block_range(reads.len());
+        let res = kmer_analysis(ctx, &reads[range], params);
+        let graph = build_graph(ctx, &res.counts, ThresholdPolicy::metahipmer_default());
+        traverse_contigs(
+            ctx,
+            &graph,
+            params.k,
+            &TraversalParams {
+                use_segment_traversal: segment,
+                ..Default::default()
+            },
+        )
+    });
+    for s in &sets[1..] {
+        assert_eq!(s, &sets[0], "contig set must be identical on every rank");
+    }
+    sets.into_iter().next().unwrap()
+}
+
+#[test]
+fn segment_traversal_matches_per_hop_on_randomised_graphs() {
+    let mut rng = StdRng::seed_from_u64(20260729);
+    for trial in 0..5u64 {
+        let k = *[11usize, 15, 21].get(rng.gen_range(0..3)).unwrap();
+        let reads = stress_reads(&mut rng, k);
+        // Both partitioners: the per-k-mer analysis hash-partitions the
+        // tables; the supermer analysis partitions them by minimizer, which
+        // co-locates consecutive path k-mers on one owner (fewer, longer
+        // segments — a different stitching workload).
+        for use_supermers in [false, true] {
+            let params = KmerAnalysisParams {
+                k,
+                min_count: 2,
+                use_bloom: false,
+                use_supermers,
+                minimizer_len: 7,
+                ..Default::default()
+            };
+            let ranks_list = [1usize, 2, 3, 5, 8];
+            let reference = run_traversal(&reads, 1, &params, false);
+            assert!(
+                !reference.is_empty(),
+                "trial {trial}: stress graph produced no contigs"
+            );
+            for &ranks in &ranks_list {
+                let per_hop = run_traversal(&reads, ranks, &params, false);
+                let seg = run_traversal(&reads, ranks, &params, true);
+                assert_eq!(
+                    per_hop, reference,
+                    "trial {trial}: per-hop traversal not rank-invariant \
+                     (k={k} ranks={ranks} supermers={use_supermers})"
+                );
+                assert_eq!(
+                    seg, reference,
+                    "trial {trial}: segment traversal diverged from per-hop \
+                     (k={k} ranks={ranks} supermers={use_supermers})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn segment_traversal_handles_tiny_and_degenerate_graphs() {
+    // Single-vertex paths, self-loop homopolymer cycles and empty graphs are
+    // the tie-break corners of the emitter rules.
+    let cases: Vec<Vec<Read>> = vec![
+        // One isolated k-mer (a read exactly k long).
+        (0..3)
+            .map(|i| Read::with_uniform_quality(format!("a{i}"), b"ACGTACGTACG", 35))
+            .collect(),
+        // A homopolymer run: the AAA...A k-mer is its own successor.
+        (0..3)
+            .map(|i| Read::with_uniform_quality(format!("h{i}"), &[b'A'; 40], 35))
+            .collect(),
+        // Nothing survives the count threshold.
+        vec![Read::with_uniform_quality("solo", b"ACGTACGTACGTACGT", 35)],
+    ];
+    for (ci, reads) in cases.iter().enumerate() {
+        let params = KmerAnalysisParams {
+            k: 11,
+            min_count: 2,
+            use_bloom: false,
+            ..Default::default()
+        };
+        for ranks in [1usize, 2, 4] {
+            let per_hop = run_traversal(reads, ranks, &params, false);
+            let seg = run_traversal(reads, ranks, &params, true);
+            assert_eq!(seg, per_hop, "case {ci} ranks {ranks}");
+        }
+    }
+}

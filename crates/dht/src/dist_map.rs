@@ -19,6 +19,20 @@ use std::sync::Arc;
 /// can be taken from independent hash bits.
 const SUB_SHARDS: usize = 16;
 
+/// Sub-shard (lock stripe) of a key within its owner's shard: taken from the
+/// upper hash bits so striping is independent of the owner selection and of
+/// the partitioner. The single source of truth for every access path.
+#[inline]
+fn sub_of_hash(h: u64) -> usize {
+    ((h >> 48) as usize) % SUB_SHARDS
+}
+
+/// [`sub_of_hash`] for callers that have not already hashed the key.
+#[inline]
+fn sub_of<K: Hash>(key: &K) -> usize {
+    sub_of_hash(fx_hash_one(key))
+}
+
 struct Shard<K, V> {
     subs: Vec<Mutex<FxHashMap<K, V>>>,
 }
@@ -91,8 +105,7 @@ where
         let h = fx_hash_one(key);
         let owner = self.partitioner.owner_of_hashed(key, h, self.shards.len());
         debug_assert!(owner < self.shards.len());
-        let sub = ((h >> 48) as usize) % SUB_SHARDS;
-        (owner, sub)
+        (owner, sub_of_hash(h))
     }
 
     /// Inserts a value, returning the previous value if any. Fine-grained
@@ -284,6 +297,28 @@ where
         }
     }
 
+    /// A direct, random-access view of the calling rank's own shard: locks
+    /// every sub-shard once and holds the guards for the view's lifetime, so
+    /// repeated [`LocalShardView::get`] probes pay neither `Ctx` accounting
+    /// nor per-access mutex churn. This is the keyed complement of
+    /// [`DistMap::for_each_local`] (use case 4), built for owner-local graph
+    /// algorithms such as the segment-compaction traversal that chase keys
+    /// around their own shard millions of times.
+    ///
+    /// Only sound under the usual owner-local pattern: barrier, then every
+    /// rank touches exclusively its own shard. While the view is alive, any
+    /// other access to this rank's shard (from this rank or another)
+    /// deadlocks — drop the view before going back through `Ctx` paths.
+    pub fn local_view(&self, ctx: &Ctx) -> LocalShardView<'_, K, V> {
+        LocalShardView {
+            subs: self.shards[ctx.rank()]
+                .subs
+                .iter()
+                .map(|m| m.lock())
+                .collect(),
+        }
+    }
+
     /// Mutable owner-local visit.
     pub fn for_each_local_mut(&self, ctx: &Ctx, mut f: impl FnMut(&K, &mut V)) {
         for sub in &self.shards[ctx.rank()].subs {
@@ -346,7 +381,7 @@ where
             ctx.rank(),
             "merge_local on a key this rank does not own"
         );
-        let sub = ((fx_hash_one(&key) >> 48) as usize) % SUB_SHARDS;
+        let sub = sub_of(&key);
         let mut guard = self.shards[ctx.rank()].subs[sub].lock();
         match guard.get_mut(&key) {
             Some(existing) => merge(existing, value),
@@ -368,8 +403,7 @@ where
     ) {
         let shard = &self.shards[ctx.rank()];
         for (key, value) in items {
-            let h = fx_hash_one(&key);
-            let sub = ((h >> 48) as usize) % SUB_SHARDS;
+            let sub = sub_of(&key);
             let mut guard = shard.subs[sub].lock();
             match guard.get_mut(&key) {
                 Some(existing) => merge(existing, value),
@@ -378,6 +412,46 @@ where
                 }
             }
         }
+    }
+}
+
+/// The view returned by [`DistMap::local_view`]: the calling rank's sub-shard
+/// maps, locked once for the lifetime of the view.
+pub struct LocalShardView<'a, K, V> {
+    subs: Vec<parking_lot::MutexGuard<'a, FxHashMap<K, V>>>,
+}
+
+impl<K, V> LocalShardView<'_, K, V>
+where
+    K: Hash + Eq,
+{
+    /// Looks up a key in the viewed shard. The key must be owned by the
+    /// viewing rank (a foreign key is simply absent from this shard, so the
+    /// caller is expected to have checked `owner_of` first).
+    #[inline]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.subs[sub_of(key)].get(key)
+    }
+
+    /// True if the viewed shard holds the key.
+    #[inline]
+    pub fn contains(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterates over every entry of the viewed shard (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.subs.iter().flat_map(|m| m.iter())
+    }
+
+    /// Number of entries in the viewed shard.
+    pub fn len(&self) -> usize {
+        self.subs.iter().map(|m| m.len()).sum()
+    }
+
+    /// True if the viewed shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.subs.iter().all(|m| m.is_empty())
     }
 }
 

@@ -42,7 +42,7 @@ pub mod partition;
 
 pub use bloom::DistBloom;
 pub use cache::{CachedView, SoftwareCache};
-pub use dist_map::{bulk_merge, DistMap};
+pub use dist_map::{bulk_merge, DistMap, LocalShardView};
 pub use fxhash::{fx_hash_one, FxHashMap, FxHashSet, FxHasher};
 pub use heavy::SpaceSaving;
 pub use histogram::DistHistogram;

@@ -41,6 +41,13 @@ pub struct CommStats {
     /// Payload bytes of packed supermer records shipped by supermer-routed
     /// k-mer analysis (a subset of `bytes_sent`, recorded on the sender).
     pub supermer_bytes: AtomicU64,
+    /// Collective endpoint-exchange rounds performed by the segment-stitching
+    /// contig traversal (pred resolution + pointer-jumping + assembly).
+    /// Recorded on rank 0 only, so a summed snapshot reads as "rounds".
+    pub traversal_rounds: AtomicU64,
+    /// Payload bytes of segment-stitching exchanges during traversal (a
+    /// subset of `bytes_sent`, recorded on the sender).
+    pub stitch_bytes: AtomicU64,
 }
 
 impl CommStats {
@@ -58,6 +65,8 @@ impl CommStats {
         self.rpc_resp_bytes.store(0, Ordering::Relaxed);
         self.cache_evictions.store(0, Ordering::Relaxed);
         self.supermer_bytes.store(0, Ordering::Relaxed);
+        self.traversal_rounds.store(0, Ordering::Relaxed);
+        self.stitch_bytes.store(0, Ordering::Relaxed);
     }
 
     /// Takes a plain-value snapshot of the counters.
@@ -75,6 +84,8 @@ impl CommStats {
             rpc_resp_bytes: self.rpc_resp_bytes.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
             supermer_bytes: self.supermer_bytes.load(Ordering::Relaxed),
+            traversal_rounds: self.traversal_rounds.load(Ordering::Relaxed),
+            stitch_bytes: self.stitch_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -94,6 +105,8 @@ pub struct StatsSnapshot {
     pub rpc_resp_bytes: u64,
     pub cache_evictions: u64,
     pub supermer_bytes: u64,
+    pub traversal_rounds: u64,
+    pub stitch_bytes: u64,
 }
 
 impl StatsSnapshot {
@@ -112,6 +125,8 @@ impl StatsSnapshot {
             rpc_resp_bytes: self.rpc_resp_bytes + other.rpc_resp_bytes,
             cache_evictions: self.cache_evictions + other.cache_evictions,
             supermer_bytes: self.supermer_bytes + other.supermer_bytes,
+            traversal_rounds: self.traversal_rounds + other.traversal_rounds,
+            stitch_bytes: self.stitch_bytes + other.stitch_bytes,
         }
     }
 
@@ -131,6 +146,10 @@ impl StatsSnapshot {
             rpc_resp_bytes: self.rpc_resp_bytes.saturating_sub(before.rpc_resp_bytes),
             cache_evictions: self.cache_evictions.saturating_sub(before.cache_evictions),
             supermer_bytes: self.supermer_bytes.saturating_sub(before.supermer_bytes),
+            traversal_rounds: self
+                .traversal_rounds
+                .saturating_sub(before.traversal_rounds),
+            stitch_bytes: self.stitch_bytes.saturating_sub(before.stitch_bytes),
         }
     }
 
@@ -208,6 +227,8 @@ mod tests {
             rpc_resp_bytes: 9,
             cache_evictions: 10,
             supermer_bytes: 11,
+            traversal_rounds: 12,
+            stitch_bytes: 13,
         };
         let b = a.add(&a);
         assert_eq!(b.msgs_sent, 2);

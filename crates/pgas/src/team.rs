@@ -313,6 +313,26 @@ impl<'t> Ctx<'t> {
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Records one collective endpoint-exchange round of the segment-stitching
+    /// traversal. Call on rank 0 only, so that a team-summed snapshot reads
+    /// directly as "number of stitch rounds".
+    #[inline]
+    pub fn record_traversal_round(&self) {
+        self.stats()
+            .traversal_rounds
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the payload of one segment-stitching exchange item (endpoint
+    /// query, pointer-jump probe or shipped segment record), in addition to
+    /// the ordinary aggregated-message accounting.
+    #[inline]
+    pub fn record_stitch_bytes(&self, bytes: usize) {
+        self.stats()
+            .stitch_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
     /// Blocks until every rank has reached the barrier.
     pub fn barrier(&self) {
         self.team.barrier.wait();
