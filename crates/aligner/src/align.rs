@@ -18,7 +18,7 @@
 //! are byte-identical.
 
 use crate::seed_index::{SeedHit, SeedIndex};
-use dbg::{ContigId, ContigSet};
+use dbg::{ContigId, ContigSet, ContigsRef, PackedSeq};
 use dht::{CachedView, FxHashMap, SoftwareCache};
 use kmers::Kmer;
 use pgas::Ctx;
@@ -135,18 +135,37 @@ impl AlignmentSet {
     }
 }
 
-/// Aligns the reads `(read_id, read)` of this rank against the contigs using
-/// the shared seed index. Returns this rank's alignments.
-///
-/// With the default aggregated lookups (`lookup_batch > 1`) this is a
-/// **collective**: every rank must call it in the same phase (an empty read
-/// set is fine) because the seed misses of each read block are fetched
-/// through a collective request–response exchange. With `lookup_batch <= 1`
-/// it degenerates to the fine-grained, communication-per-seed baseline.
+/// Aligns the reads `(read_id, read)` of this rank against a replicated
+/// contig set using the shared seed index. Returns this rank's alignments.
+/// See [`align_reads_ref`] for the collectivity contract.
 pub fn align_reads(
     ctx: &Ctx,
     reads: impl IntoIterator<Item = (ReadId, Read)>,
     contigs: &ContigSet,
+    index: &SeedIndex,
+    params: &AlignParams,
+) -> AlignmentSet {
+    align_reads_ref(ctx, reads, ContigsRef::Local(contigs), index, params)
+}
+
+/// Aligns the reads `(read_id, read)` of this rank against either a
+/// replicated contig set or the distributed contig store.
+///
+/// With the default aggregated lookups (`lookup_batch > 1`) this is a
+/// **collective**: every rank must call it in the same phase (an empty read
+/// set is fine) because the seed misses of each read block are fetched
+/// through a collective request–response exchange — and, with a distributed
+/// contig store, so are the contig windows named by the block's surviving
+/// candidates. With `lookup_batch <= 1` it degenerates to the fine-grained,
+/// communication-per-seed (and per-candidate-contig) baseline.
+///
+/// The alignments are byte-identical across all four combinations: seed
+/// voting never touches sequence bytes, and verification reads exactly the
+/// candidate windows whichever transport delivered them.
+pub fn align_reads_ref(
+    ctx: &Ctx,
+    reads: impl IntoIterator<Item = (ReadId, Read)>,
+    contigs: ContigsRef<'_>,
     index: &SeedIndex,
     params: &AlignParams,
 ) -> AlignmentSet {
@@ -157,16 +176,18 @@ pub fn align_reads(
     }
 }
 
-/// The unaggregated baseline: one synchronous index probe per seed, through
-/// the per-rank software cache.
+/// The unaggregated baseline: one synchronous index probe per seed and one
+/// fine-grained contig fetch per candidate, through the per-rank software
+/// caches.
 fn align_reads_fine_grained(
     ctx: &Ctx,
     reads: impl IntoIterator<Item = (ReadId, Read)>,
-    contigs: &ContigSet,
+    contigs: ContigsRef<'_>,
     index: &SeedIndex,
     params: &AlignParams,
 ) -> AlignmentSet {
     let mut cache: SoftwareCache<Kmer, Vec<SeedHit>> = SoftwareCache::new(params.cache_capacity);
+    let mut reader = contigs.store().map(|s| s.reader(ctx));
     let mut out = AlignmentSet::default();
     for (read_id, read) in reads {
         let seeds = collect_seeds(&read.seq, index.seed_len, params.stride);
@@ -174,34 +195,43 @@ fn align_reads_fine_grained(
             .iter()
             .map(|s| cache.get(ctx, &index.map, &s.canon))
             .collect();
-        vote_and_verify(
-            read_id,
-            &read,
-            contigs,
-            params,
-            index.seed_len,
-            &seeds,
-            &hits,
-            &mut out,
-        );
+        let candidates = vote_candidates(&read.seq, index.seed_len, &seeds, &hits);
+        match contigs {
+            ContigsRef::Local(set) => {
+                verify_candidates_local(read_id, &read, set, params, candidates, &mut out)
+            }
+            ContigsRef::Store(_) => {
+                let reader = reader.as_mut().expect("reader exists for store sources");
+                let mut fetched: FxHashMap<ContigId, Option<PackedSeq>> = FxHashMap::default();
+                for cand in candidates.iter().take(params.max_candidates) {
+                    fetched
+                        .entry(cand.contig)
+                        .or_insert_with(|| reader.get(ctx, cand.contig));
+                }
+                verify_candidates_fetched(read_id, &read, &fetched, params, candidates, &mut out);
+            }
+        }
     }
     out
 }
 
 /// The aggregated path: reads are processed in blocks whose seeds are
 /// resolved together — cache hits locally, all misses of the block in one
-/// request–response round trip. Collective; ranks with fewer reads keep
+/// request–response round trip — and, against a distributed store, the
+/// contig windows named by the block's surviving candidates are fetched in a
+/// second aggregated round. Collective; ranks with fewer reads keep
 /// participating in the remaining rounds with empty batches.
 fn align_reads_batched(
     ctx: &Ctx,
     reads: impl IntoIterator<Item = (ReadId, Read)>,
-    contigs: &ContigSet,
+    contigs: ContigsRef<'_>,
     index: &SeedIndex,
     params: &AlignParams,
 ) -> AlignmentSet {
     let mut reads = reads.into_iter();
     let mut view: CachedView<Kmer, Vec<SeedHit>> =
         CachedView::new(&index.map, params.cache_capacity, params.lookup_batch);
+    let mut reader = contigs.store().map(|s| s.reader(ctx));
     let mut out = AlignmentSet::default();
     loop {
         // Pull one block of reads from the stream: enough to fill roughly one
@@ -225,17 +255,41 @@ fn align_reads_batched(
         }
         let keys: Vec<Kmer> = seeds.iter().map(|s| s.canon).collect();
         let resolved = view.get_many(ctx, &keys);
-        for ((read_id, read), &(lo, hi)) in block.iter().zip(&spans) {
-            vote_and_verify(
-                *read_id,
-                read,
-                contigs,
-                params,
-                index.seed_len,
-                &seeds[lo..hi],
-                &resolved[lo..hi],
-                &mut out,
-            );
+        let candidates: Vec<Vec<Candidate>> = block
+            .iter()
+            .zip(&spans)
+            .map(|((_, read), &(lo, hi))| {
+                vote_candidates(&read.seq, index.seed_len, &seeds[lo..hi], &resolved[lo..hi])
+            })
+            .collect();
+        match contigs {
+            ContigsRef::Local(set) => {
+                for ((read_id, read), cands) in block.iter().zip(candidates) {
+                    verify_candidates_local(*read_id, read, set, params, cands, &mut out);
+                }
+            }
+            ContigsRef::Store(_) => {
+                // One aggregated fetch for every contig named by a surviving
+                // candidate anywhere in the block (collective — ranks with an
+                // empty block fetch an empty id set).
+                let reader = reader.as_mut().expect("reader exists for store sources");
+                let mut ids: Vec<ContigId> = Vec::new();
+                let mut seen: FxHashMap<ContigId, usize> = FxHashMap::default();
+                for cands in &candidates {
+                    for cand in cands.iter().take(params.max_candidates) {
+                        seen.entry(cand.contig).or_insert_with(|| {
+                            ids.push(cand.contig);
+                            ids.len() - 1
+                        });
+                    }
+                }
+                let values = reader.get_many(ctx, &ids);
+                let fetched: FxHashMap<ContigId, Option<PackedSeq>> =
+                    ids.into_iter().zip(values).collect();
+                for ((read_id, read), cands) in block.iter().zip(candidates) {
+                    verify_candidates_fetched(*read_id, read, &fetched, params, cands, &mut out);
+                }
+            }
         }
     }
     out
@@ -284,22 +338,17 @@ fn collect_seeds_into(seq: &[u8], slen: usize, stride: usize, seeds: &mut Vec<Se
     }
 }
 
-/// Turns one read's resolved seed hits into candidate votes and verified
-/// alignments. `hits[i]` is the index answer for `seeds[i]`; `slen` is the
-/// seed length the seeds were sampled with (the index's, not the params').
-#[allow(clippy::too_many_arguments)]
-fn vote_and_verify(
-    read_id: ReadId,
-    read: &Read,
-    contigs: &ContigSet,
-    params: &AlignParams,
+/// Turns one read's resolved seed hits into the sorted candidate list
+/// (best-voted first, deterministic tie-break). `hits[i]` is the index answer
+/// for `seeds[i]`; `slen` is the seed length the seeds were sampled with (the
+/// index's, not the params'). Voting never touches contig sequence bytes, so
+/// it is shared verbatim by the replicated and distributed-store paths.
+fn vote_candidates(
+    seq: &[u8],
     slen: usize,
     seeds: &[Seed],
     hits: &[Option<Vec<SeedHit>>],
-    out: &mut AlignmentSet,
-) {
-    let seq = &read.seq;
-    // ---- Candidate voting ---------------------------------------------------
+) -> Vec<Candidate> {
     let mut votes: FxHashMap<Candidate, usize> = FxHashMap::default();
     for (seed, hit_list) in seeds.iter().zip(hits) {
         let Some(hit_list) = hit_list else { continue };
@@ -323,10 +372,6 @@ fn vote_and_verify(
             *votes.entry(cand).or_insert(0) += 1;
         }
     }
-    if votes.is_empty() {
-        return;
-    }
-    // ---- Verification of the top candidates ----------------------------------
     let mut candidates: Vec<(Candidate, usize)> = votes.into_iter().collect();
     candidates.sort_by(|a, b| {
         b.1.cmp(&a.1).then_with(|| {
@@ -337,24 +382,97 @@ fn vote_and_verify(
             ))
         })
     });
+    candidates.into_iter().map(|(c, _)| c).collect()
+}
+
+/// A contig window handed to verification: the bytes, the contig coordinate
+/// the window starts at, and the full contig length.
+type ContigWindow<'a> = (std::borrow::Cow<'a, [u8]>, i64, usize);
+
+/// Verifies the top candidates of one read against a replicated contig set
+/// (windows borrow the stored sequences; nothing is copied).
+fn verify_candidates_local(
+    read_id: ReadId,
+    read: &Read,
+    contigs: &ContigSet,
+    params: &AlignParams,
+    candidates: Vec<Candidate>,
+    out: &mut AlignmentSet,
+) {
+    verify_candidates(read_id, read, params, candidates, out, |id, _, _| {
+        contigs
+            .get(id)
+            .map(|c| (std::borrow::Cow::Borrowed(c.seq.as_slice()), 0, c.len()))
+    });
+}
+
+/// Verifies the top candidates of one read against pre-fetched packed
+/// contigs, unpacking only the window each placement can touch.
+fn verify_candidates_fetched(
+    read_id: ReadId,
+    read: &Read,
+    fetched: &FxHashMap<ContigId, Option<PackedSeq>>,
+    params: &AlignParams,
+    candidates: Vec<Candidate>,
+    out: &mut AlignmentSet,
+) {
+    verify_candidates(
+        read_id,
+        read,
+        params,
+        candidates,
+        out,
+        |id, offset, rlen| {
+            let packed = fetched.get(&id).and_then(|p| p.as_ref())?;
+            let start = offset.max(0) as usize;
+            let end = (offset + rlen as i64).max(0) as usize;
+            let window = packed.window(start, end.saturating_sub(start));
+            Some((std::borrow::Cow::Owned(window), start as i64, packed.len()))
+        },
+    );
+}
+
+/// Shared verification loop: report at most one placement per contig per
+/// read (the best-voted one), accept if long and identical enough.
+/// `window_of(contig, offset, read_len)` yields the contig window covering
+/// the placement `[offset, offset + read_len)` (clamped), or `None` for an
+/// unknown contig.
+fn verify_candidates<'a>(
+    read_id: ReadId,
+    read: &Read,
+    params: &AlignParams,
+    candidates: Vec<Candidate>,
+    out: &mut AlignmentSet,
+    mut window_of: impl FnMut(ContigId, i64, usize) -> Option<ContigWindow<'a>>,
+) {
+    if candidates.is_empty() {
+        return;
+    }
+    let seq = &read.seq;
     let oriented_fwd = seq.clone();
     let oriented_rev = revcomp(seq);
     let mut reported_contigs: Vec<ContigId> = Vec::new();
-    for (cand, _votes) in candidates.into_iter().take(params.max_candidates) {
-        // Report at most one placement per contig per read: the best-voted one.
+    for cand in candidates.into_iter().take(params.max_candidates) {
         if reported_contigs.contains(&cand.contig) {
             continue;
         }
-        let contig = match contigs.get(cand.contig) {
-            Some(c) => c,
-            None => continue,
+        let Some((window, window_start, contig_len)) =
+            window_of(cand.contig, cand.contig_offset, seq.len())
+        else {
+            continue;
         };
         let oriented: &[u8] = if cand.forward {
             &oriented_fwd
         } else {
             &oriented_rev
         };
-        let (aligned_len, matches) = verify(oriented, &contig.seq, cand.contig_offset);
+        let (aligned_len, matches) = verify_window(
+            oriented,
+            &window,
+            window_start,
+            contig_len as i64,
+            cand.contig_offset,
+        );
         if aligned_len >= params.min_aligned_len
             && matches as f64 >= params.min_identity * aligned_len as f64
         {
@@ -371,11 +489,20 @@ fn vote_and_verify(
     }
 }
 
-/// Counts aligned/matching bases of `oriented_read` placed at `offset` on the
-/// contig (ungapped).
-fn verify(oriented_read: &[u8], contig: &[u8], offset: i64) -> (usize, usize) {
+/// Counts aligned/matching bases of `oriented_read` placed at `offset` on a
+/// contig of length `contig_len`, reading contig bases from `window` (which
+/// starts at contig coordinate `window_start` and must cover the overlap).
+/// Ungapped. An `N` never counts as a match — not even against another `N`:
+/// ambiguous bases carry no evidence, and letting `N` runs in low-quality
+/// read tails "match" contig `N`s would manufacture identity.
+fn verify_window(
+    oriented_read: &[u8],
+    window: &[u8],
+    window_start: i64,
+    contig_len: i64,
+    offset: i64,
+) -> (usize, usize) {
     let read_len = oriented_read.len() as i64;
-    let contig_len = contig.len() as i64;
     let start = offset.max(0);
     let end = (offset + read_len).min(contig_len);
     if end <= start {
@@ -384,7 +511,8 @@ fn verify(oriented_read: &[u8], contig: &[u8], offset: i64) -> (usize, usize) {
     let mut matches = 0usize;
     for pos in start..end {
         let rpos = (pos - offset) as usize;
-        if contig[pos as usize] == oriented_read[rpos] {
+        let c = window[(pos - window_start) as usize];
+        if c == oriented_read[rpos] && c != b'N' {
             matches += 1;
         }
     }
@@ -394,7 +522,7 @@ fn verify(oriented_read: &[u8], contig: &[u8], offset: i64) -> (usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::seed_index::build_seed_index;
+    use crate::seed_index::{build_seed_index, build_seed_index_ref};
     use pgas::Team;
 
     const GENOME: &str = "ACGGTCAGGTTCAAGGACTTACGGACCATGGCATTACGGATACCAGGATCCAGATCACCAGTTTGACCGATTACAGGACCGATACCGATTAGGACCAGT";
@@ -593,6 +721,104 @@ mod tests {
             );
             assert!(batched_stats.rpc_round_trips >= 1);
         });
+    }
+
+    #[test]
+    fn n_bases_never_count_as_matches_even_against_n() {
+        // A contig whose middle is an N run (e.g. an earlier gap fill), and a
+        // low-quality read whose tail is also Ns over the same region: the
+        // self-matching N run must not manufacture identity.
+        let mut contig_seq = GENOME.as_bytes().to_vec();
+        for b in &mut contig_seq[60..75] {
+            *b = b'N';
+        }
+        let contigs = ContigSet::from_sequences(21, vec![(contig_seq.clone(), 10.0)]);
+        let stored = &contigs.contigs[0].seq;
+        // Read covering 40..90 of the stored orientation, with the same N run.
+        let read_bases = stored[40..90].to_vec();
+        let n_in_read = read_bases.iter().filter(|&&b| b == b'N').count();
+        assert!(n_in_read >= 10, "test setup: read must contain the N run");
+        let team = Team::single_node(1);
+        team.run(|ctx| {
+            let index = build_seed_index(ctx, &contigs, 15);
+            let read = Read::with_uniform_quality("r0", &read_bases, 35);
+            // Drop the identity floor so the placement is reported and the
+            // match count itself can be inspected.
+            let p = AlignParams {
+                min_identity: 0.5,
+                ..params()
+            };
+            let set = align_reads(ctx, vec![(0u64, read)], &contigs, &index, &p);
+            assert_eq!(set.alignments.len(), 1, "{:?}", set.alignments);
+            let a = &set.alignments[0];
+            assert_eq!(a.aligned_len, 50);
+            assert_eq!(
+                a.matches,
+                50 - n_in_read,
+                "N positions must not count as matches"
+            );
+        });
+    }
+
+    #[test]
+    fn distributed_store_alignments_match_replicated_in_both_lookup_modes() {
+        let contigs = contigs_of(&[&GENOME[..50], &GENOME[40..]]);
+        for ranks in [1usize, 3] {
+            let team = Team::single_node(ranks);
+            let contigs2 = contigs.clone();
+            team.run(|ctx| {
+                let store = dbg::ContigStore::build(
+                    ctx,
+                    &contigs2,
+                    &dbg::ContigStoreParams {
+                        cache_bytes: 128, // force evictions and refetches
+                        ..Default::default()
+                    },
+                );
+                let index = build_seed_index_ref(ctx, ContigsRef::Store(&store), 15);
+                let index_local = build_seed_index(ctx, &contigs2, 15);
+                ctx.barrier();
+                let my_reads: Vec<(ReadId, Read)> = (0..24)
+                    .filter(|i| i % ctx.ranks() == ctx.rank())
+                    .map(|i| {
+                        let lo = (i * 3) % 45;
+                        (
+                            i as ReadId,
+                            Read::with_uniform_quality(
+                                format!("r{i}"),
+                                &GENOME.as_bytes()[lo..lo + 50],
+                                35,
+                            ),
+                        )
+                    })
+                    .collect();
+                for lookup_batch in [1usize, 4096] {
+                    let p = AlignParams {
+                        lookup_batch,
+                        ..params()
+                    };
+                    let local = align_reads_ref(
+                        ctx,
+                        my_reads.clone(),
+                        ContigsRef::Local(&contigs2),
+                        &index_local,
+                        &p,
+                    );
+                    let dist = align_reads_ref(
+                        ctx,
+                        my_reads.clone(),
+                        ContigsRef::Store(&store),
+                        &index,
+                        &p,
+                    );
+                    assert_eq!(
+                        local.alignments, dist.alignments,
+                        "store alignments diverged (ranks={ranks}, batch={lookup_batch})"
+                    );
+                }
+                ctx.barrier();
+            });
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The distributed seed index over a contig set.
 
-use dbg::{ContigId, ContigSet};
+use dbg::{ContigId, ContigSet, ContigsRef};
 use dht::{bulk_merge, DistMap};
 use kmers::{kmer_positions, Kmer};
 use pgas::Ctx;
@@ -32,38 +32,78 @@ impl SeedIndex {
     pub const MAX_HITS_PER_SEED: usize = 32;
 }
 
-/// Collectively builds the seed index for a contig set.
-///
-/// Every rank indexes a block of the contigs; the hit lists are merged on the
-/// owner ranks with aggregated messages (global update-only phase).
+/// Collectively builds the seed index for a replicated contig set.
 pub fn build_seed_index(ctx: &Ctx, contigs: &ContigSet, seed_len: usize) -> SeedIndex {
+    build_seed_index_ref(ctx, ContigsRef::Local(contigs), seed_len)
+}
+
+/// Extracts the seed items of one contig sequence.
+fn seed_items(id: ContigId, seq: &[u8], seed_len: usize) -> Vec<(Kmer, Vec<SeedHit>)> {
+    kmer_positions(seq, seed_len)
+        .into_iter()
+        .map(|(pos, km)| {
+            let (canon, was_rc) = km.canonical();
+            (
+                canon,
+                vec![SeedHit {
+                    contig: id,
+                    pos: pos as u32,
+                    forward: !was_rc,
+                }],
+            )
+        })
+        .collect()
+}
+
+/// Merges a batch of arriving hits into a hit list kept **sorted by
+/// `(contig, pos)` and capped** at [`SeedIndex::MAX_HITS_PER_SEED`]. Keeping
+/// the smallest hits under the cap (instead of the first arrivals) makes the
+/// index content independent of arrival order — and therefore identical
+/// across rank counts and across the replicated/distributed contig sources,
+/// which index different contig subsets per rank.
+fn merge_hits(a: &mut Vec<SeedHit>, mut b: Vec<SeedHit>) {
+    a.append(&mut b);
+    a.sort_unstable_by_key(|h| (h.contig, h.pos));
+    a.truncate(SeedIndex::MAX_HITS_PER_SEED);
+}
+
+/// Collectively builds the seed index for a contig source.
+///
+/// With a replicated set every rank indexes a block of the contigs; with a
+/// distributed [`dbg::ContigStore`] every rank indexes exactly the contigs it
+/// owns (an owner-local read pass — no sequence ever travels for indexing).
+/// Either way the hit lists are merged on the owner ranks with aggregated
+/// messages (global update-only phase) into the same deterministic index.
+pub fn build_seed_index_ref(ctx: &Ctx, contigs: ContigsRef<'_>, seed_len: usize) -> SeedIndex {
     assert!(
         seed_len >= 3 && seed_len % 2 == 1,
         "seed length must be odd and >= 3"
     );
     let map: Arc<DistMap<Kmer, Vec<SeedHit>>> = DistMap::shared(ctx);
-    let my_range = ctx.block_range(contigs.len());
-    let items = contigs.contigs[my_range].iter().flat_map(|c| {
-        kmer_positions(&c.seq, seed_len)
-            .into_iter()
-            .map(move |(pos, km)| {
-                let (canon, was_rc) = km.canonical();
-                (
-                    canon,
-                    vec![SeedHit {
-                        contig: c.id,
-                        pos: pos as u32,
-                        forward: !was_rc,
-                    }],
-                )
-            })
-    });
-    bulk_merge(ctx, &map, items, 4096, |a, mut b| {
-        if a.len() < SeedIndex::MAX_HITS_PER_SEED {
-            a.append(&mut b);
-            a.truncate(SeedIndex::MAX_HITS_PER_SEED);
+    match contigs {
+        ContigsRef::Local(set) => {
+            let my_range = ctx.block_range(set.len());
+            let items = set.contigs[my_range]
+                .iter()
+                .flat_map(|c| seed_items(c.id, &c.seq, seed_len));
+            bulk_merge(ctx, &map, items, 4096, merge_hits);
         }
-    });
+        ContigsRef::Store(store) => {
+            // Unpack this rank's owned contigs once (O(shard) bytes), then
+            // stream the per-position items lazily into the aggregated
+            // exchange exactly like the replicated arm — buffering one item
+            // per base here would transiently dwarf the packed shard the
+            // store exists to bound.
+            let mut owned: Vec<(ContigId, Vec<u8>)> = Vec::new();
+            store
+                .map()
+                .for_each_local(ctx, |id, packed| owned.push((*id, packed.unpack())));
+            let items = owned
+                .iter()
+                .flat_map(|(id, seq)| seed_items(*id, seq, seed_len));
+            bulk_merge(ctx, &map, items, 4096, merge_hits);
+        }
+    }
     SeedIndex { map, seed_len }
 }
 

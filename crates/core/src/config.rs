@@ -35,6 +35,19 @@ pub struct AssemblyConfig {
     /// lookup per k-mer per walk, byte-identical contigs — used by the
     /// `ablation_traversal` harness as the baseline.
     pub use_segment_traversal: bool,
+    /// Serve contig sequences from the sharded `dbg::ContigStore` (2-bit
+    /// packed, owner-rank sharded, read through per-rank byte-bounded caches
+    /// with aggregated window fetches) instead of replicating the full
+    /// `ContigSet` on every rank. `false` keeps the replicated baseline —
+    /// byte-identical scaffolds, O(total assembly size) contig bytes per rank
+    /// — used by the `ablation_contig_store` harness.
+    pub use_distributed_contigs: bool,
+    /// Per-rank bound (packed bytes) of each contig reader's software cache.
+    pub contig_cache_bytes: usize,
+    /// Assign contigs to owner ranks longest-first onto the least-loaded rank
+    /// (bounding every rank's shard by total/ranks + one contig) instead of
+    /// hashing contig ids.
+    pub balanced_contig_partition: bool,
     /// Extension-threshold policy (dynamic for MetaHipMer, global for HipMer).
     pub threshold: ThresholdPolicy,
     /// Run bubble merging and hair removal.
@@ -74,6 +87,9 @@ impl Default for AssemblyConfig {
             use_supermers: true,
             minimizer_len: 15,
             use_segment_traversal: true,
+            use_distributed_contigs: true,
+            contig_cache_bytes: 1 << 20,
+            balanced_contig_partition: true,
             threshold: ThresholdPolicy::metahipmer_default(),
             bubble_merging: true,
             pruning: true,
@@ -127,6 +143,15 @@ impl AssemblyConfig {
         TraversalParams {
             min_contig_len: self.min_contig_len,
             use_segment_traversal: self.use_segment_traversal,
+        }
+    }
+
+    /// Parameters for the distributed contig store.
+    pub fn contig_store_params(&self) -> dbg::ContigStoreParams {
+        dbg::ContigStoreParams {
+            cache_bytes: self.contig_cache_bytes,
+            balanced: self.balanced_contig_partition,
+            ..Default::default()
         }
     }
 

@@ -16,7 +16,7 @@
 //! blocks through the shared atomic counter of [`pgas::DynamicBlocks`].
 
 use aligner::AlignmentSet;
-use dbg::{Contig, ContigSet};
+use dbg::{ContigSet, ContigsRef};
 use dht::{bulk_merge, DistMap, FxHashMap};
 use pgas::{Ctx, DynamicBlocks};
 use seqio::alphabet::revcomp;
@@ -68,12 +68,28 @@ impl Default for LocalAssemblyParams {
     }
 }
 
-/// Extends every contig at both ends using locally gathered reads. Collective.
-/// Returns the extended contig set (identical on every rank) and the per-rank
-/// number of contigs processed (the Figure-5 load-balance signal).
+/// Extends every contig of a replicated set at both ends. Collective.
 pub fn extend_contigs_locally(
     ctx: &Ctx,
     contigs: &ContigSet,
+    alignments: &AlignmentSet,
+    library: &ReadLibrary,
+    params: &LocalAssemblyParams,
+) -> (ContigSet, usize) {
+    extend_contigs_locally_ref(ctx, ContigsRef::Local(contigs), alignments, library, params)
+}
+
+/// Extends every contig at both ends using locally gathered reads. Collective.
+/// Returns the extended contig set (identical on every rank) and the per-rank
+/// number of contigs processed (the Figure-5 load-balance signal).
+///
+/// Against the distributed contig store, a grabbed block's contig sequences
+/// travel in the same kind of *one-sided* aggregated batch as its read pools
+/// ([`dbg::ContigReader::get_many_onesided`]) — the steal loop cannot reach a
+/// collective in lockstep — so the walks themselves stay communication-free.
+pub fn extend_contigs_locally_ref(
+    ctx: &Ctx,
+    contigs: ContigsRef<'_>,
     alignments: &AlignmentSet,
     library: &ReadLibrary,
     params: &LocalAssemblyParams,
@@ -82,15 +98,14 @@ pub fn extend_contigs_locally(
     // pools[contig] = reads (oriented to the contig's forward strand).
     let mut pools: FxHashMap<u64, Vec<Vec<u8>>> = FxHashMap::default();
     for a in &alignments.alignments {
-        let contig = match contigs.get(a.contig) {
-            Some(c) => c,
-            None => continue,
+        let Some(contig_len) = contigs.len_of(a.contig) else {
+            continue;
         };
         let read = library.read(a.read_id);
         let read_len = read.len();
         let near_head = a.contig_offset < params.end_window as i64;
         let near_tail =
-            a.contig_offset + read_len as i64 > contig.len() as i64 - params.end_window as i64;
+            a.contig_offset + read_len as i64 > contig_len as i64 - params.end_window as i64;
         if !(near_head || near_tail) {
             continue;
         }
@@ -131,17 +146,21 @@ pub fn extend_contigs_locally(
     // Once a contig's reads are extracted to local storage the walk itself
     // needs no communication; blocks of contigs are grabbed through the shared
     // atomic counter so ranks with cheap walks steal from slower ones. A
-    // grabbed block's read pools are fetched with one *one-sided* aggregated
-    // batch per block (the steal loop cannot reach a collective in lockstep,
-    // so the two-sided `get_many` is not usable here) instead of one
-    // fine-grained pool read per contig.
-    let blocks = ctx.share(|| DynamicBlocks::new(contigs.len(), params.block_size));
+    // grabbed block's read pools — and, with a distributed contig store, its
+    // contig sequences — are fetched with one *one-sided* aggregated batch
+    // per block (the steal loop cannot reach a collective in lockstep, so the
+    // two-sided `get_many` is not usable here) instead of one fine-grained
+    // read per contig.
+    let blocks = ctx.share(|| DynamicBlocks::new(contigs.num_contigs(), params.block_size));
+    let mut reader = contigs.store().map(|s| s.reader(ctx));
     let mut extended_local: Vec<(u64, Vec<u8>, f64)> = Vec::new();
     let mut processed = 0usize;
     let mut first = true;
     while let Some(range) = blocks.next_block(ctx, first) {
         first = false;
-        let ids: Vec<u64> = range.clone().map(|idx| contigs.contigs[idx].id).collect();
+        // Contig ids are dense (`ContigSet::from_sequences` numbers them
+        // 0..n in order), so the block range is the id range.
+        let ids: Vec<u64> = range.clone().map(|idx| idx as u64).collect();
         let pools: Vec<Option<Vec<Vec<u8>>>> = if params.lookup_batch > 1 {
             pool_table.get_many_onesided(ctx, &ids)
         } else {
@@ -149,12 +168,29 @@ pub fn extend_contigs_locally(
                 .map(|id| pool_table.get_cloned(ctx, id))
                 .collect()
         };
-        for (idx, pool) in range.zip(pools) {
-            let contig = &contigs.contigs[idx];
+        let block_seqs: Option<Vec<Vec<u8>>> = reader.as_mut().map(|reader| {
+            let fetched = if params.lookup_batch > 1 {
+                reader.get_many_onesided(ctx, &ids)
+            } else {
+                ids.iter().map(|id| reader.get(ctx, *id)).collect()
+            };
+            fetched
+                .into_iter()
+                .map(|p| p.expect("contig present in store").unpack())
+                .collect()
+        });
+        for ((j, idx), pool) in range.enumerate().zip(pools) {
+            let id = idx as u64;
             processed += 1;
             let pool = pool.unwrap_or_default();
-            let new_seq = extend_one(contig, &pool, params);
-            extended_local.push((contig.id, new_seq, contig.depth));
+            let seq: &[u8] = match (&contigs, &block_seqs) {
+                (ContigsRef::Local(set), _) => &set.contigs[idx].seq,
+                (ContigsRef::Store(_), Some(seqs)) => &seqs[j],
+                (ContigsRef::Store(_), None) => unreachable!("store sources fetch blocks"),
+            };
+            let depth = contigs.depth_of(id).expect("contig exists");
+            let new_seq = extend_one(seq, &pool, params);
+            extended_local.push((id, new_seq, depth));
         }
     }
     ctx.barrier();
@@ -165,14 +201,14 @@ pub fn extend_contigs_locally(
     let gathered = ctx.exchange(out);
     let set = if ctx.rank() == 0 {
         ContigSet::from_sequences(
-            contigs.k,
+            contigs.k(),
             gathered
                 .into_iter()
                 .map(|(_, seq, depth)| (seq, depth))
                 .collect(),
         )
     } else {
-        ContigSet::new(contigs.k)
+        ContigSet::new(contigs.k())
     };
     (ctx.broadcast(|| set), processed)
 }
@@ -185,14 +221,14 @@ fn oriented_read(read: &Read, forward: bool) -> Vec<u8> {
     }
 }
 
-/// Extends one contig at both ends using its read pool.
-fn extend_one(contig: &Contig, pool: &[Vec<u8>], params: &LocalAssemblyParams) -> Vec<u8> {
+/// Extends one contig sequence at both ends using its read pool.
+fn extend_one(contig_seq: &[u8], pool: &[Vec<u8>], params: &LocalAssemblyParams) -> Vec<u8> {
     if pool.is_empty() {
-        return contig.seq.clone();
+        return contig_seq.to_vec();
     }
     // Right (tail) extension on the forward strand, then left extension done as
     // a right extension of the reverse complement.
-    let mut seq = contig.seq.clone();
+    let mut seq = contig_seq.to_vec();
     let right = walk_extension(&seq, pool, params);
     seq.extend_from_slice(&right);
     let mut rc = revcomp(&seq);

@@ -1,19 +1,68 @@
 //! The MetaHipMer pipeline: iterative contig generation + scaffolding.
 
 use crate::config::AssemblyConfig;
-use crate::local_assembly::extend_contigs_locally;
+use crate::local_assembly::extend_contigs_locally_ref;
 use crate::timing::StageTimings;
-use aligner::{align_reads, build_seed_index, localize_pairs, AlignmentSet, ReadDistribution};
+use aligner::{
+    align_reads_ref, build_seed_index_ref, localize_pairs, AlignmentSet, ReadDistribution,
+};
 use dbg::{
-    build_graph, inject_contig_kmers, kmer_analysis, merge_bubbles_and_remove_hair,
-    prune_iteratively, traverse_contigs, ContigSet, ThresholdPolicy,
+    build_graph, inject_contig_kmers_ref, kmer_analysis, merge_bubbles_and_remove_hair,
+    prune_iteratively, traverse_contigs, ContigSet, ContigStore, ContigsRef, ThresholdPolicy,
 };
 use pgas::{Ctx, StatsSnapshot, Team};
 use rrna_hmm::RrnaDetector;
-use scaffolding::{scaffold, Scaffold, ScaffoldEntry, ScaffoldSet};
+use scaffolding::{scaffold_ref, Scaffold, ScaffoldEntry, ScaffoldSet};
 use seqio::{Read, ReadId, ReadLibrary};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// How the pipeline holds the current iteration's contigs between stages:
+/// the replicated baseline keeps the full set on every rank; distributed
+/// mode converts each freshly generated set into a sharded
+/// [`dbg::ContigStore`] and drops the replica, so the downstream stages only
+/// ever see O(total/ranks + cache) contig bytes per rank.
+enum ContigsHolder {
+    Local(ContigSet),
+    Store(Arc<ContigStore>),
+}
+
+impl ContigsHolder {
+    /// Collective: wraps a freshly produced (transiently replicated) contig
+    /// set according to the configuration, recording the per-rank contig
+    /// residency either way.
+    fn wrap(ctx: &Ctx, cfg: &AssemblyConfig, set: ContigSet) -> ContigsHolder {
+        if cfg.use_distributed_contigs {
+            let store = ContigStore::build(ctx, &set, &cfg.contig_store_params());
+            ContigsHolder::Store(store)
+        } else {
+            // The replicated baseline keeps every raw sequence byte resident
+            // on every rank.
+            ctx.record_contig_resident(set.total_bases());
+            ContigsHolder::Local(set)
+        }
+    }
+
+    fn as_ref(&self) -> ContigsRef<'_> {
+        match self {
+            ContigsHolder::Local(set) => ContigsRef::Local(set),
+            ContigsHolder::Store(store) => ContigsRef::Store(store),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.as_ref().is_empty()
+    }
+
+    /// Collective: the full contig set (cloned from the replica, or
+    /// regathered from the shards) for the pipeline's output.
+    fn materialize(&self, ctx: &Ctx) -> ContigSet {
+        match self {
+            ContigsHolder::Local(set) => set.clone(),
+            ContigsHolder::Store(store) => store.materialize(ctx),
+        }
+    }
+}
 
 /// Everything a MetaHipMer run produces.
 #[derive(Debug, Clone)]
@@ -112,7 +161,7 @@ impl MetaHipMer {
             library.num_reads()
         };
         let mut distribution = ReadDistribution::block(num_pairs, ctx.ranks());
-        let mut contigs: Option<ContigSet> = None;
+        let mut contigs: Option<ContigsHolder> = None;
         let mut last_alignments = AlignmentSet::default();
         let mut local_work = 0usize;
 
@@ -127,9 +176,16 @@ impl MetaHipMer {
             });
 
             // --- 2. merge k-mers extracted from the previous iteration -------
+            // (an owner-local pass over the sharded store in distributed mode)
             if let Some(prev) = &contigs {
                 timings.time(ctx, "kmer_merging", || {
-                    inject_contig_kmers(ctx, &analysis.counts, prev, k, cfg.min_kmer_count)
+                    inject_contig_kmers_ref(
+                        ctx,
+                        &analysis.counts,
+                        prev.as_ref(),
+                        k,
+                        cfg.min_kmer_count,
+                    )
                 });
             }
 
@@ -141,6 +197,9 @@ impl MetaHipMer {
             });
 
             // --- 4. bubble merging / hair removal + iterative pruning --------
+            // The freshly traversed set is then sharded into the distributed
+            // contig store (or kept replicated in baseline mode): everything
+            // downstream reads contig sequences through that holder.
             let cleaned = timings.time(ctx, "bubble_pruning", || {
                 let mut current = traversed;
                 if cfg.bubble_merging {
@@ -149,22 +208,29 @@ impl MetaHipMer {
                 if cfg.pruning {
                     current = prune_iteratively(ctx, &current, &graph, &cfg.prune).0;
                 }
-                current
+                ContigsHolder::wrap(ctx, cfg, current)
             });
 
             // --- 5. read-to-contig alignment ----------------------------------
             let alignments = timings.time(ctx, "alignment", || {
-                let index = build_seed_index(ctx, &cleaned, cfg.align.seed_len);
+                let index = build_seed_index_ref(ctx, cleaned.as_ref(), cfg.align.seed_len);
                 ctx.barrier();
                 let reads = my_read_ids.iter().map(|&id| (id, library.read(id).clone()));
-                align_reads(ctx, reads, &cleaned, &index, &cfg.align)
+                align_reads_ref(ctx, reads, cleaned.as_ref(), &index, &cfg.align)
             });
 
             // --- 6. local assembly (mer-walking) -------------------------------
             let is_last = iter + 1 == k_values.len();
             let extended = if cfg.local_assembly {
                 let (set, work) = timings.time(ctx, "local_assembly", || {
-                    extend_contigs_locally(ctx, &cleaned, &alignments, library, &cfg.local)
+                    let (set, work) = extend_contigs_locally_ref(
+                        ctx,
+                        cleaned.as_ref(),
+                        &alignments,
+                        library,
+                        &cfg.local,
+                    );
+                    (ContigsHolder::wrap(ctx, cfg, set), work)
                 });
                 local_work += work;
                 set
@@ -182,39 +248,46 @@ impl MetaHipMer {
             contigs = Some(extended);
         }
 
-        let final_contigs = contigs.unwrap_or_else(|| ContigSet::new(cfg.k_max));
+        let final_contigs =
+            contigs.unwrap_or_else(|| ContigsHolder::Local(ContigSet::new(cfg.k_max)));
 
         // --- Scaffolding -------------------------------------------------------
-        let scaffolds = if cfg.scaffolding && !final_contigs.is_empty() {
-            timings.time(ctx, "scaffolding", || {
+        // (the full contig set the output contract owes callers is regathered
+        // exactly once per branch, after every stage has run against the
+        // sharded store)
+        let (scaffolds, final_contigs) = if cfg.scaffolding && !final_contigs.is_empty() {
+            let scaffolds = timings.time(ctx, "scaffolding", || {
                 // Scaffolding aligns the reads onto the *final* contigs; reuse
                 // the last alignment round only if local assembly is disabled
                 // (otherwise the contigs changed and must be re-aligned).
                 let alignments = if cfg.local_assembly {
-                    let index = build_seed_index(ctx, &final_contigs, cfg.align.seed_len);
+                    let index =
+                        build_seed_index_ref(ctx, final_contigs.as_ref(), cfg.align.seed_len);
                     ctx.barrier();
                     let reads = self
                         .read_ids_of(ctx, library, &distribution)
                         .into_iter()
                         .map(|id| (id, library.read(id).clone()));
-                    align_reads(ctx, reads, &final_contigs, &index, &cfg.align)
+                    align_reads_ref(ctx, reads, final_contigs.as_ref(), &index, &cfg.align)
                 } else {
                     last_alignments.clone()
                 };
-                scaffold(
+                scaffold_ref(
                     ctx,
-                    &final_contigs,
+                    final_contigs.as_ref(),
                     &alignments,
                     library,
                     rrna,
                     &cfg.scaffold,
                 )
                 .0
-            })
+            });
+            (scaffolds, final_contigs.materialize(ctx))
         } else {
             // Emit each contig as its own scaffold.
-            ScaffoldSet {
-                scaffolds: final_contigs
+            let set = final_contigs.materialize(ctx);
+            let scaffolds = ScaffoldSet {
+                scaffolds: set
                     .contigs
                     .iter()
                     .map(|c| Scaffold {
@@ -228,7 +301,8 @@ impl MetaHipMer {
                         seq: c.seq.clone(),
                     })
                     .collect(),
-            }
+            };
+            (scaffolds, set)
         };
 
         let stages = timings.reduce(ctx);

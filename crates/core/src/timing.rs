@@ -76,6 +76,8 @@ impl StageTimings {
                 supermer_bytes: ctx.allreduce_sum_u64(stats.supermer_bytes),
                 traversal_rounds: ctx.allreduce_sum_u64(stats.traversal_rounds),
                 stitch_bytes: ctx.allreduce_sum_u64(stats.stitch_bytes),
+                contig_bytes_resident: ctx.allreduce_sum_u64(stats.contig_bytes_resident),
+                contig_fetch_bytes: ctx.allreduce_sum_u64(stats.contig_fetch_bytes),
             };
             out.push((name.clone(), max_secs, sum));
         }

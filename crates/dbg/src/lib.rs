@@ -30,6 +30,7 @@ pub mod graph;
 pub mod merge;
 pub mod pruning;
 mod segment;
+pub mod store;
 pub mod traversal;
 pub mod types;
 
@@ -39,7 +40,8 @@ pub use analysis::{
 pub use bubble::{merge_bubbles_and_remove_hair, BubbleParams, BubbleReport};
 pub use contig_graph::ContigAdjacency;
 pub use graph::{build_graph, KmerGraph, KmerVertex, ThresholdPolicy};
-pub use merge::inject_contig_kmers;
+pub use merge::{inject_contig_kmers, inject_contig_kmers_ref};
 pub use pruning::{prune_iteratively, PruningParams, PruningReport};
+pub use store::{ContigMeta, ContigReader, ContigStore, ContigStoreParams, ContigsRef, PackedSeq};
 pub use traversal::{traverse_contigs, TraversalParams};
 pub use types::{Contig, ContigId, ContigSet};

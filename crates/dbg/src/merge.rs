@@ -9,18 +9,14 @@
 //! duplicates (k-mers present in both sets) simply merge their counts.
 
 use crate::analysis::KmerCountsMap;
+use crate::store::ContigsRef;
 use crate::types::ContigSet;
 use dht::bulk_merge;
 use kmers::{kmers_with_exts_iter, KmerCounts};
 use pgas::Ctx;
 
-/// Collectively injects the (new_k)-mers of `contigs` into `counts`.
-///
-/// `weight` is the pseudo-count given to each injected k-mer occurrence; it
-/// must be at least the analysis ε so injected k-mers survive the depth
-/// filter. Extensions observed inside the contigs are recorded as high
-/// quality (contig bases are error-free by construction of the previous
-/// iteration).
+/// Collectively injects the (new_k)-mers of a replicated `contigs` set into
+/// `counts`.
 pub fn inject_contig_kmers(
     ctx: &Ctx,
     counts: &KmerCountsMap,
@@ -28,24 +24,72 @@ pub fn inject_contig_kmers(
     new_k: usize,
     weight: u32,
 ) -> usize {
+    inject_contig_kmers_ref(ctx, counts, ContigsRef::Local(contigs), new_k, weight)
+}
+
+/// Collectively injects the (new_k)-mers of the previous iteration's contigs
+/// into `counts`.
+///
+/// `weight` is the pseudo-count given to each injected k-mer occurrence; it
+/// must be at least the analysis ε so injected k-mers survive the depth
+/// filter. Extensions observed inside the contigs are recorded as high
+/// quality (contig bases are error-free by construction of the previous
+/// iteration).
+///
+/// With a replicated set every rank extracts from a block of the contigs;
+/// with the distributed store every rank extracts from the contigs it owns —
+/// an owner-local read pass. The merged counts are identical either way
+/// because the per-k-mer merge is commutative.
+pub fn inject_contig_kmers_ref(
+    ctx: &Ctx,
+    counts: &KmerCountsMap,
+    contigs: ContigsRef<'_>,
+    new_k: usize,
+    weight: u32,
+) -> usize {
     assert!(weight >= 1);
-    let my_range = ctx.block_range(contigs.len());
     let mut injected = 0usize;
-    // Streamed straight into the aggregated exchange: the allocation-free
-    // extraction iterator avoids both a per-contig Vec and the collected
-    // item list.
-    let items = contigs.contigs[my_range]
-        .iter()
-        .flat_map(|c| kmers_with_exts_iter(&c.seq, &[], new_k, 0))
-        .map(|obs| {
-            injected += 1;
-            let mut kc = KmerCounts::default();
-            for _ in 0..weight {
-                kc.observe(obs.exts);
-            }
-            (obs.kmer, kc)
-        });
-    bulk_merge(ctx, counts, items, 4096, |a, b| a.merge(&b));
+    let observe = |obs: kmers::CanonicalKmerExt| {
+        let mut kc = KmerCounts::default();
+        for _ in 0..weight {
+            kc.observe(obs.exts);
+        }
+        (obs.kmer, kc)
+    };
+    match contigs {
+        ContigsRef::Local(set) => {
+            let my_range = ctx.block_range(set.len());
+            // Streamed straight into the aggregated exchange: the
+            // allocation-free extraction iterator avoids both a per-contig
+            // Vec and the collected item list.
+            let items = set.contigs[my_range]
+                .iter()
+                .flat_map(|c| kmers_with_exts_iter(&c.seq, &[], new_k, 0))
+                .map(|obs| {
+                    injected += 1;
+                    observe(obs)
+                });
+            bulk_merge(ctx, counts, items, 4096, |a, b| a.merge(&b));
+        }
+        ContigsRef::Store(store) => {
+            // Unpack this rank's owned contigs once (O(shard) bytes), then
+            // stream the extracted k-mers lazily into the aggregated
+            // exchange like the replicated arm — a collected per-k-mer item
+            // list would transiently dwarf the packed shard.
+            let mut owned: Vec<Vec<u8>> = Vec::new();
+            store
+                .map()
+                .for_each_local(ctx, |_, packed| owned.push(packed.unpack()));
+            let items = owned
+                .iter()
+                .flat_map(|seq| kmers_with_exts_iter(seq, &[], new_k, 0))
+                .map(|obs| {
+                    injected += 1;
+                    observe(obs)
+                });
+            bulk_merge(ctx, counts, items, 4096, |a, b| a.merge(&b));
+        }
+    }
     ctx.allreduce_sum_u64(injected as u64) as usize
 }
 

@@ -1,0 +1,665 @@
+//! The distributed contig store (§II-F/III of the paper, memory side).
+//!
+//! Every pipeline stage downstream of contig generation reads contig
+//! sequences: alignment verifies candidate placements against contig windows,
+//! scaffolding measures link geometry, gap closing splices flank sequences,
+//! and local assembly walks outward from contig ends. HipMer keeps those
+//! sequences in the PGAS global address space — each rank owns a shard and
+//! fetches foreign contigs on demand through aggregated, software-cached
+//! lookups — which is exactly what lets it assemble metagenomes that do not
+//! fit in one node's memory. This module is that layer:
+//!
+//! * [`PackedSeq`] — a 2-bit-packed sequence (4 bases/byte) with a tiny
+//!   exception list for non-ACGT bytes, sliceable by window without unpacking
+//!   the whole contig;
+//! * [`ContigStore`] — contig id → [`PackedSeq`], sharded over the ranks by a
+//!   [`dht::DistMap`] (size-balanced owner table by default, so no rank holds
+//!   more than its fair share plus one contig), plus a small *replicated*
+//!   per-contig metadata table (length and depth — O(#contigs), not
+//!   O(bases)) that answers the geometry queries every stage makes;
+//! * [`ContigReader`] — a per-rank read-through view with a byte-bounded FIFO
+//!   [`dht::SoftwareCache`]; batch fetches fill all misses through
+//!   [`dht::DistMap::get_many`] on collective paths and
+//!   [`dht::DistMap::get_many_onesided`] inside dynamically scheduled
+//!   (work-stealing) loops;
+//! * [`ContigsRef`] — the handle consumers take: either a replicated
+//!   [`ContigSet`] (the ablation baseline) or a [`ContigStore`].
+//!
+//! Residency accounting: the store records each rank's peak resident contig
+//! bytes (owned shard + reader caches, packed) in
+//! `CommStats::contig_bytes_resident` and every cache-miss fill in
+//! `CommStats::contig_fetch_bytes`, which is what the `ablation_contig_store`
+//! harness asserts the `total/ranks + cache bound` memory ceiling on.
+
+use crate::types::{Contig, ContigId, ContigSet};
+use dht::{DistMap, FxHashMap, SoftwareCache, TablePartitioner};
+use pgas::Ctx;
+use seqio::alphabet::{decode_base, encode_base};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A 2-bit-packed DNA sequence with an exception list for rare non-ACGT
+/// bytes, so packing is lossless for any input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedSeq {
+    /// 2-bit codes, four bases per byte, least-significant pair first.
+    data: Vec<u8>,
+    len: u32,
+    /// `(position, raw byte)` of bases that are not A/C/G/T (sorted).
+    exceptions: Vec<(u32, u8)>,
+}
+
+impl PackedSeq {
+    /// Packs a raw sequence.
+    pub fn from_bytes(seq: &[u8]) -> Self {
+        assert!(seq.len() <= u32::MAX as usize, "sequence too long to pack");
+        let mut data = vec![0u8; seq.len().div_ceil(4)];
+        let mut exceptions = Vec::new();
+        for (i, &b) in seq.iter().enumerate() {
+            let code = match encode_base(b) {
+                Some(c) => c,
+                None => {
+                    exceptions.push((i as u32, b));
+                    0
+                }
+            };
+            data[i / 4] |= code << ((i % 4) * 2);
+        }
+        PackedSeq {
+            data,
+            len: seq.len() as u32,
+            exceptions,
+        }
+    }
+
+    /// Unpacked length in bases.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if the sequence holds no bases.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Resident size of the packed representation in bytes (the unit of the
+    /// store's memory accounting and of the reader cache bound).
+    pub fn packed_bytes(&self) -> usize {
+        self.data.len() + self.exceptions.len() * std::mem::size_of::<(u32, u8)>() + 4
+    }
+
+    /// Unpacks the window `[start, start + len)`, clamped to the sequence
+    /// bounds: a start at or past the end yields an empty vector, and a
+    /// window reaching past the end is truncated. Equals
+    /// `&seq[start.min(n)..(start + len).min(n)]` on the raw sequence.
+    pub fn window(&self, start: usize, len: usize) -> Vec<u8> {
+        let n = self.len();
+        let start = start.min(n);
+        let end = start.saturating_add(len).min(n);
+        let mut out = Vec::with_capacity(end - start);
+        for i in start..end {
+            out.push(decode_base((self.data[i / 4] >> ((i % 4) * 2)) & 3));
+        }
+        for &(pos, b) in &self.exceptions {
+            let pos = pos as usize;
+            if pos >= start && pos < end {
+                out[pos - start] = b;
+            }
+        }
+        out
+    }
+
+    /// Unpacks the whole sequence.
+    pub fn unpack(&self) -> Vec<u8> {
+        self.window(0, self.len())
+    }
+}
+
+/// Replicated per-contig metadata: O(#contigs) and cheap, unlike the
+/// sequence bytes it describes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContigMeta {
+    /// Sequence length in bases.
+    pub len: u32,
+    /// Mean k-mer depth.
+    pub depth: f64,
+}
+
+/// Construction parameters of a [`ContigStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct ContigStoreParams {
+    /// Per-rank reader cache bound in *packed* bytes (0 disables caching).
+    pub cache_bytes: usize,
+    /// Per-owner request batch handed to the aggregated lookup layer.
+    pub batch: usize,
+    /// Assign contigs to owners longest-first onto the least-loaded rank
+    /// (guaranteeing owned bytes <= total/ranks + one contig) instead of
+    /// hashing ids.
+    pub balanced: bool,
+}
+
+impl Default for ContigStoreParams {
+    fn default() -> Self {
+        ContigStoreParams {
+            cache_bytes: 1 << 20,
+            batch: 1024,
+            balanced: true,
+        }
+    }
+}
+
+/// Size-balanced owner table: contigs are dealt longest-first to the rank
+/// with the least packed bytes so far (ties to the lowest rank). Deterministic
+/// given the set, so every rank computes the same table.
+fn balanced_owners(set: &ContigSet, ranks: usize) -> Vec<u32> {
+    let mut owners = vec![0u32; set.len()];
+    let mut load = vec![0usize; ranks];
+    // Contig ids are assigned longest-first by `ContigSet::from_sequences`,
+    // so iterating in id order is the greedy longest-first order.
+    for c in &set.contigs {
+        let owner = (0..ranks).min_by_key(|&r| (load[r], r)).unwrap_or(0);
+        owners[c.id as usize] = owner as u32;
+        load[owner] += c.len().div_ceil(4) + 4;
+    }
+    owners
+}
+
+/// The distributed contig store: packed sequences sharded by owner rank plus
+/// replicated per-contig metadata. Built collectively; shared by the team.
+pub struct ContigStore {
+    map: Arc<DistMap<ContigId, PackedSeq>>,
+    meta: Vec<ContigMeta>,
+    k: usize,
+    cache_bytes: usize,
+    batch: usize,
+}
+
+impl ContigStore {
+    /// Collectively builds the store from a (transiently replicated) contig
+    /// set: every rank packs and stores exactly the contigs it owns — an
+    /// owner-local update phase with no wire traffic — then records its
+    /// owned packed bytes in the residency accounting. Callers in
+    /// distributed mode drop the replicated set right after this returns.
+    pub fn build(ctx: &Ctx, set: &ContigSet, params: &ContigStoreParams) -> Arc<ContigStore> {
+        let ranks = ctx.ranks();
+        let map: Arc<DistMap<ContigId, PackedSeq>> = if params.balanced {
+            ctx.share(|| {
+                DistMap::with_partitioner(
+                    ranks,
+                    Arc::new(TablePartitioner::new(balanced_owners(set, ranks))),
+                )
+            })
+        } else {
+            DistMap::shared(ctx)
+        };
+        let mine: Vec<(ContigId, PackedSeq)> = set
+            .contigs
+            .iter()
+            .filter(|c| map.owner_of(&c.id) == ctx.rank())
+            .map(|c| (c.id, PackedSeq::from_bytes(&c.seq)))
+            .collect();
+        map.apply_local_batch(ctx, mine, |v| v, |a, b| *a = b);
+        ctx.barrier();
+        let store = ctx.share(|| ContigStore {
+            map: Arc::clone(&map),
+            meta: set
+                .contigs
+                .iter()
+                .map(|c| ContigMeta {
+                    len: c.len() as u32,
+                    depth: c.depth,
+                })
+                .collect(),
+            k: set.k,
+            cache_bytes: params.cache_bytes,
+            batch: params.batch,
+        });
+        ctx.record_contig_resident(store.owned_packed_bytes(ctx));
+        ctx.barrier();
+        store
+    }
+
+    /// The k the contigs were assembled with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of contigs in the store.
+    pub fn num_contigs(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// True if the store holds no contigs.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Metadata of one contig.
+    pub fn meta(&self, id: ContigId) -> Option<ContigMeta> {
+        self.meta.get(id as usize).copied()
+    }
+
+    /// Total assembled bases across all shards.
+    pub fn total_bases(&self) -> usize {
+        self.meta.iter().map(|m| m.len as usize).sum()
+    }
+
+    /// The sharded sequence table (for owner-local passes).
+    pub fn map(&self) -> &Arc<DistMap<ContigId, PackedSeq>> {
+        &self.map
+    }
+
+    /// Packed bytes of the calling rank's owned shard.
+    pub fn owned_packed_bytes(&self, ctx: &Ctx) -> usize {
+        let mut owned = 0usize;
+        self.map
+            .for_each_local(ctx, |_, v| owned += v.packed_bytes());
+        owned
+    }
+
+    /// Creates this rank's cached read-through view.
+    pub fn reader(&self, ctx: &Ctx) -> ContigReader<'_> {
+        ContigReader {
+            store: self,
+            cache: SoftwareCache::new_weighted(self.cache_bytes, |v: &PackedSeq| v.packed_bytes()),
+            owned_bytes: self.owned_packed_bytes(ctx),
+        }
+    }
+
+    /// Collectively regathers the full replicated [`ContigSet`] (rank 0
+    /// collects the owned shards, orders by id, broadcast). Used to
+    /// materialise the pipeline's final output; the hot paths never call it.
+    pub fn materialize(&self, ctx: &Ctx) -> ContigSet {
+        let mut outgoing: Vec<Vec<(ContigId, Vec<u8>)>> = vec![Vec::new(); ctx.ranks()];
+        let mut local: Vec<(ContigId, Vec<u8>)> = Vec::new();
+        self.map
+            .for_each_local(ctx, |id, v| local.push((*id, v.unpack())));
+        outgoing[0] = local;
+        let gathered = ctx.exchange(outgoing);
+        let set = if ctx.rank() == 0 {
+            let mut gathered = gathered;
+            gathered.sort_by_key(|(id, _)| *id);
+            ContigSet {
+                contigs: gathered
+                    .into_iter()
+                    .map(|(id, seq)| Contig {
+                        id,
+                        seq,
+                        depth: self.meta[id as usize].depth,
+                    })
+                    .collect(),
+                k: self.k,
+            }
+        } else {
+            ContigSet::new(self.k)
+        };
+        ctx.broadcast(|| set)
+    }
+}
+
+/// A per-rank cached read-through view of a [`ContigStore`]: lookups are
+/// served from a byte-bounded FIFO cache of packed contigs when possible, and
+/// the misses of a batch travel to their owners in one aggregated round.
+/// Create one per phase with [`ContigStore::reader`]; it is not shared
+/// between ranks.
+pub struct ContigReader<'s> {
+    store: &'s ContigStore,
+    cache: SoftwareCache<ContigId, PackedSeq>,
+    owned_bytes: usize,
+}
+
+impl ContigReader<'_> {
+    /// The store this reader serves from.
+    pub fn store(&self) -> &ContigStore {
+        self.store
+    }
+
+    /// Resident bytes of this reader's rank right now: owned shard plus the
+    /// reader cache, packed.
+    pub fn resident_bytes(&self) -> usize {
+        self.owned_bytes + self.cache.resident_weight()
+    }
+
+    /// **Collective** batched fetch: cache hits are served locally and every
+    /// distinct miss of the batch travels in one aggregated request–response
+    /// round through [`DistMap::get_many`]. Returns packed sequences in id
+    /// order (duplicates and unknown ids are fine). Every rank must call this
+    /// in the same phase, even with an empty `ids` slice.
+    pub fn get_many(&mut self, ctx: &Ctx, ids: &[ContigId]) -> Vec<Option<PackedSeq>> {
+        self.get_many_with(ctx, ids, false)
+    }
+
+    /// One-sided batched fetch for dynamically scheduled loops (work
+    /// stealing) that cannot reach a collective in lockstep: misses are read
+    /// through [`DistMap::get_many_onesided`]. Not collective.
+    pub fn get_many_onesided(&mut self, ctx: &Ctx, ids: &[ContigId]) -> Vec<Option<PackedSeq>> {
+        self.get_many_with(ctx, ids, true)
+    }
+
+    fn get_many_with(
+        &mut self,
+        ctx: &Ctx,
+        ids: &[ContigId],
+        onesided: bool,
+    ) -> Vec<Option<PackedSeq>> {
+        let mut misses: Vec<ContigId> = Vec::new();
+        let mut miss_index: FxHashMap<ContigId, usize> = FxHashMap::default();
+        // Ok(value) = served from cache; Err(i) = misses[i].
+        let mut resolved: Vec<Result<Option<PackedSeq>, usize>> = Vec::with_capacity(ids.len());
+        let mut hits = 0u64;
+        for id in ids {
+            if let Some(cached) = self.cache.peek(id) {
+                hits += 1;
+                resolved.push(Ok(cached.clone()));
+            } else if let Some(&i) = miss_index.get(id) {
+                hits += 1; // duplicate of an in-flight fetch
+                resolved.push(Err(i));
+            } else {
+                let i = misses.len();
+                miss_index.insert(*id, i);
+                misses.push(*id);
+                resolved.push(Err(i));
+            }
+        }
+        ctx.stats().cache_hits.fetch_add(hits, Ordering::Relaxed);
+        ctx.stats()
+            .cache_misses
+            .fetch_add(misses.len() as u64, Ordering::Relaxed);
+        let fetched = if onesided {
+            self.store.map.get_many_onesided(ctx, &misses)
+        } else {
+            self.store.map.get_many(ctx, &misses, self.store.batch)
+        };
+        // Only *foreign* contigs go through the cache and the fetch-byte
+        // accounting: ids this rank owns are answered from its own shard
+        // with no wire traffic, and caching them would both waste the
+        // byte-bounded cache on data already resident and double-count
+        // those bytes in `resident_bytes`.
+        let mut fetched_bytes = 0usize;
+        for (id, value) in misses.iter().zip(&fetched) {
+            if self.store.map.owner_of(id) == ctx.rank() {
+                continue;
+            }
+            if let Some(p) = value {
+                fetched_bytes += p.packed_bytes();
+            }
+            self.cache.insert(ctx, *id, value.clone());
+        }
+        ctx.record_contig_fetch_bytes(fetched_bytes);
+        ctx.record_contig_resident(self.resident_bytes());
+        resolved
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(i) => fetched[i].clone(),
+            })
+            .collect()
+    }
+
+    /// Fine-grained single fetch through the cache (not collective): the
+    /// per-key baseline the aggregated paths are measured against.
+    pub fn get(&mut self, ctx: &Ctx, id: ContigId) -> Option<PackedSeq> {
+        if let Some(cached) = self.cache.peek(&id) {
+            ctx.stats().cache_hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        ctx.stats().cache_misses.fetch_add(1, Ordering::Relaxed);
+        let fetched = self.store.map.get_cloned(ctx, &id);
+        if self.store.map.owner_of(&id) != ctx.rank() {
+            if let Some(p) = &fetched {
+                ctx.record_contig_fetch_bytes(p.packed_bytes());
+            }
+            self.cache.insert(ctx, id, fetched.clone());
+            ctx.record_contig_resident(self.resident_bytes());
+        }
+        fetched
+    }
+}
+
+/// How a pipeline stage accesses contig sequences: a replicated [`ContigSet`]
+/// (the baseline, O(total) bytes on every rank) or the sharded
+/// [`ContigStore`] (O(total/ranks + cache) bytes per rank). Geometry queries
+/// (length, depth, count) are answered locally in both variants.
+#[derive(Clone, Copy)]
+pub enum ContigsRef<'a> {
+    /// Every rank holds the full set.
+    Local(&'a ContigSet),
+    /// Sequences are sharded; reads go through a [`ContigReader`].
+    Store(&'a ContigStore),
+}
+
+impl<'a> ContigsRef<'a> {
+    /// The k the contigs were assembled with.
+    pub fn k(&self) -> usize {
+        match self {
+            ContigsRef::Local(set) => set.k,
+            ContigsRef::Store(store) => store.k(),
+        }
+    }
+
+    /// Number of contigs.
+    pub fn num_contigs(&self) -> usize {
+        match self {
+            ContigsRef::Local(set) => set.len(),
+            ContigsRef::Store(store) => store.num_contigs(),
+        }
+    }
+
+    /// True if there are no contigs.
+    pub fn is_empty(&self) -> bool {
+        self.num_contigs() == 0
+    }
+
+    /// Length of one contig, if it exists.
+    pub fn len_of(&self, id: ContigId) -> Option<usize> {
+        match self {
+            ContigsRef::Local(set) => set.get(id).map(|c| c.len()),
+            ContigsRef::Store(store) => store.meta(id).map(|m| m.len as usize),
+        }
+    }
+
+    /// Mean k-mer depth of one contig, if it exists.
+    pub fn depth_of(&self, id: ContigId) -> Option<f64> {
+        match self {
+            ContigsRef::Local(set) => set.get(id).map(|c| c.depth),
+            ContigsRef::Store(store) => store.meta(id).map(|m| m.depth),
+        }
+    }
+
+    /// Total assembled bases.
+    pub fn total_bases(&self) -> usize {
+        match self {
+            ContigsRef::Local(set) => set.total_bases(),
+            ContigsRef::Store(store) => store.total_bases(),
+        }
+    }
+
+    /// The replicated set, when this is the baseline variant.
+    pub fn local(&self) -> Option<&'a ContigSet> {
+        match self {
+            ContigsRef::Local(set) => Some(set),
+            ContigsRef::Store(_) => None,
+        }
+    }
+
+    /// The distributed store, when this is the sharded variant.
+    pub fn store(&self) -> Option<&'a ContigStore> {
+        match self {
+            ContigsRef::Local(_) => None,
+            ContigsRef::Store(store) => Some(store),
+        }
+    }
+}
+
+impl<'a> From<&'a ContigSet> for ContigsRef<'a> {
+    fn from(set: &'a ContigSet) -> Self {
+        ContigsRef::Local(set)
+    }
+}
+
+impl<'a> From<&'a ContigStore> for ContigsRef<'a> {
+    fn from(store: &'a ContigStore) -> Self {
+        ContigsRef::Store(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgas::Team;
+
+    /// Deterministic pseudo-random sequence with occasional N bytes.
+    fn seq(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if state.is_multiple_of(31) {
+                    b'N'
+                } else {
+                    b"ACGT"[(state % 4) as usize]
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packed_seq_roundtrips_and_windows_clamp() {
+        for len in [0usize, 1, 3, 4, 5, 63, 64, 257] {
+            let s = seq(len, len as u64 + 1);
+            let p = PackedSeq::from_bytes(&s);
+            assert_eq!(p.len(), len);
+            assert_eq!(p.unpack(), s);
+            assert!(p.packed_bytes() <= len / 4 + 1 + 16 + 8 * len / 16);
+            // Random windows, including out-of-range starts and lengths.
+            let mut state = 7u64 + len as u64;
+            for _ in 0..50 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let start = (state >> 33) as usize % (len + 10);
+                let wlen = (state >> 13) as usize % (len + 10);
+                let expect = &s[start.min(len)..(start + wlen).min(len).max(start.min(len))];
+                assert_eq!(p.window(start, wlen), expect, "len={len} {start}+{wlen}");
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_owners_bound_the_heaviest_rank() {
+        let set = ContigSet::from_sequences(
+            21,
+            (0..40)
+                .map(|i| (seq(40 + (i * 37) % 400, i as u64), 1.0))
+                .collect(),
+        );
+        for ranks in [1usize, 2, 3, 5, 8] {
+            let owners = balanced_owners(&set, ranks);
+            let mut load = vec![0usize; ranks];
+            let mut max_item = 0usize;
+            for c in &set.contigs {
+                let w = c.len().div_ceil(4) + 4;
+                load[owners[c.id as usize] as usize] += w;
+                max_item = max_item.max(w);
+            }
+            let total: usize = load.iter().sum();
+            let bound = total / ranks + max_item;
+            assert!(
+                load.iter().all(|&l| l <= bound),
+                "ranks={ranks} load={load:?} bound={bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn store_serves_exact_sequences_through_every_path() {
+        let set = ContigSet::from_sequences(
+            21,
+            (0..12)
+                .map(|i| (seq(60 + i * 13, 100 + i as u64), 2.0))
+                .collect(),
+        );
+        for balanced in [false, true] {
+            for ranks in [1usize, 3, 4] {
+                let team = Team::single_node(ranks);
+                let set2 = set.clone();
+                team.run(|ctx| {
+                    let store = ContigStore::build(
+                        ctx,
+                        &set2,
+                        &ContigStoreParams {
+                            cache_bytes: 1 << 16,
+                            balanced,
+                            ..Default::default()
+                        },
+                    );
+                    assert_eq!(store.num_contigs(), set2.len());
+                    assert_eq!(store.total_bases(), set2.total_bases());
+                    let mut reader = store.reader(ctx);
+                    let ids: Vec<ContigId> = (0..set2.len() as u64).chain([999, 3, 3]).collect();
+                    let got = reader.get_many(ctx, &ids);
+                    for (id, p) in ids.iter().zip(&got) {
+                        match set2.get(*id) {
+                            Some(c) => assert_eq!(p.as_ref().unwrap().unpack(), c.seq),
+                            None => assert!(p.is_none()),
+                        }
+                    }
+                    let one = reader.get_many_onesided(ctx, &ids);
+                    assert_eq!(one, got);
+                    for id in &ids {
+                        let expect = set2.get(*id).map(|c| PackedSeq::from_bytes(&c.seq));
+                        assert_eq!(reader.get(ctx, *id), expect);
+                    }
+                    ctx.barrier();
+                    // Materialise reproduces the original set exactly.
+                    let back = store.materialize(ctx);
+                    assert_eq!(back, set2);
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn resident_accounting_stays_within_shard_plus_cache() {
+        let set = ContigSet::from_sequences(
+            21,
+            (0..20).map(|i| (seq(200, 500 + i as u64), 2.0)).collect(),
+        );
+        let ranks = 4usize;
+        let cache_bytes = 256usize;
+        let team = Team::single_node(ranks);
+        let total_packed: usize = set
+            .contigs
+            .iter()
+            .map(|c| PackedSeq::from_bytes(&c.seq).packed_bytes())
+            .sum();
+        let max_packed: usize = set
+            .contigs
+            .iter()
+            .map(|c| PackedSeq::from_bytes(&c.seq).packed_bytes())
+            .max()
+            .unwrap();
+        team.run(|ctx| {
+            ctx.stats().reset();
+            let store = ContigStore::build(
+                ctx,
+                &set,
+                &ContigStoreParams {
+                    cache_bytes,
+                    balanced: true,
+                    ..Default::default()
+                },
+            );
+            let mut reader = store.reader(ctx);
+            let ids: Vec<ContigId> = (0..set.len() as u64).collect();
+            let _ = reader.get_many(ctx, &ids);
+            let _ = reader.get_many_onesided(ctx, &ids);
+            ctx.barrier();
+            let peak = ctx.stats().snapshot().contig_bytes_resident as usize;
+            let bound = total_packed / ctx.ranks() + max_packed + cache_bytes;
+            assert!(peak > 0, "residency must be recorded");
+            assert!(peak <= bound, "peak {peak} > bound {bound}");
+            assert!(ctx.stats().snapshot().contig_fetch_bytes > 0);
+        });
+    }
+}

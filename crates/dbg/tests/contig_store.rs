@@ -1,0 +1,127 @@
+//! Property tests for the distributed contig store: window fetches must equal
+//! direct slicing of the replicated sequences for arbitrary (id, start, len)
+//! triples — including out-of-range ids, starts and lengths — at every rank
+//! count and under both owner-assignment strategies.
+
+use dbg::{ContigSet, ContigStore, ContigStoreParams, ContigsRef, PackedSeq};
+use pgas::Team;
+
+/// Deterministic xorshift sequence generator (avoids any RNG dependency).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+fn random_set(seed: u64, contigs: usize) -> ContigSet {
+    let mut rng = Rng(seed | 1);
+    let seqs = (0..contigs)
+        .map(|_| {
+            let len = 20 + (rng.next() % 600) as usize;
+            let seq: Vec<u8> = (0..len)
+                .map(|_| {
+                    // Occasional N so the exception path is exercised.
+                    if rng.next().is_multiple_of(53) {
+                        b'N'
+                    } else {
+                        b"ACGT"[(rng.next() % 4) as usize]
+                    }
+                })
+                .collect();
+            (seq, 1.0 + (rng.next() % 50) as f64)
+        })
+        .collect();
+    ContigSet::from_sequences(21, seqs)
+}
+
+#[test]
+fn window_fetches_equal_direct_slicing_for_random_triples() {
+    let set = random_set(20260729, 25);
+    for balanced in [false, true] {
+        for ranks in [1usize, 2, 5, 8] {
+            let set2 = set.clone();
+            let team = Team::single_node(ranks);
+            team.run(|ctx| {
+                let store = ContigStore::build(
+                    ctx,
+                    &set2,
+                    &ContigStoreParams {
+                        cache_bytes: 2048, // small: force evictions mid-test
+                        balanced,
+                        ..Default::default()
+                    },
+                );
+                let mut reader = store.reader(ctx);
+                // Different random triples on every rank.
+                let mut rng = Rng(0x9E37 + ctx.rank() as u64 * 77 + ranks as u64);
+                for round in 0..40 {
+                    // A batch of ids, some unknown; every rank keeps calling
+                    // the collective the same number of times.
+                    let ids: Vec<u64> = (0..8)
+                        .map(|_| rng.next() % (set2.len() as u64 + 4))
+                        .collect();
+                    let fetched = if round % 2 == 0 {
+                        reader.get_many(ctx, &ids)
+                    } else {
+                        reader.get_many_onesided(ctx, &ids)
+                    };
+                    for (id, packed) in ids.iter().zip(fetched) {
+                        match set2.get(*id) {
+                            None => assert!(packed.is_none(), "unknown id {id} yielded bytes"),
+                            Some(contig) => {
+                                let packed = packed.expect("known id");
+                                let n = contig.seq.len();
+                                assert_eq!(packed.len(), n);
+                                for _ in 0..4 {
+                                    let start = (rng.next() % (n as u64 + 20)) as usize;
+                                    let wlen = (rng.next() % (n as u64 + 20)) as usize;
+                                    let lo = start.min(n);
+                                    let hi = start.saturating_add(wlen).min(n).max(lo);
+                                    assert_eq!(
+                                        packed.window(start, wlen),
+                                        &contig.seq[lo..hi],
+                                        "id={id} start={start} len={wlen}"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                ctx.barrier();
+            });
+        }
+    }
+}
+
+#[test]
+fn store_metadata_matches_the_replicated_set() {
+    let set = random_set(42, 15);
+    let team = Team::single_node(3);
+    let set2 = set.clone();
+    team.run(|ctx| {
+        let store = ContigStore::build(ctx, &set2, &ContigStoreParams::default());
+        let as_ref = ContigsRef::Store(&store);
+        let local = ContigsRef::Local(&set2);
+        assert_eq!(as_ref.k(), local.k());
+        assert_eq!(as_ref.num_contigs(), local.num_contigs());
+        assert_eq!(as_ref.total_bases(), local.total_bases());
+        for id in 0..set2.len() as u64 + 3 {
+            assert_eq!(as_ref.len_of(id), local.len_of(id));
+            assert_eq!(as_ref.depth_of(id), local.depth_of(id));
+        }
+        // Packed size is close to a quarter of the raw bytes (plus the tiny
+        // per-contig and per-N overheads).
+        let owned_total = ctx.allreduce_sum_u64(store.owned_packed_bytes(ctx) as u64);
+        let raw_total = set2.total_bases() as u64;
+        assert!(owned_total < raw_total / 2, "{owned_total} vs {raw_total}");
+        // The packed type itself round-trips.
+        for c in &set2.contigs {
+            assert_eq!(PackedSeq::from_bytes(&c.seq).unpack(), c.seq);
+        }
+    });
+}

@@ -27,15 +27,28 @@ use std::collections::VecDeque;
 use std::hash::Hash;
 use std::sync::atomic::Ordering;
 
+/// The weight function of a weighted [`SoftwareCache`].
+type Weigher<V> = Box<dyn Fn(&V) -> usize + Send + Sync>;
+
 /// A per-rank, bounded, read-through cache over a [`DistMap`].
 ///
 /// Negative results (key absent) are cached too — repeated lookups of absent
 /// seeds are common when reads carry sequencing errors.
+///
+/// The bound is expressed in *weight units*: by default every entry weighs 1,
+/// so `capacity` is an entry count; [`SoftwareCache::new_weighted`] supplies a
+/// per-value weigher (e.g. packed bytes for the distributed contig store) and
+/// `capacity` then bounds the total resident weight instead.
 pub struct SoftwareCache<K, V> {
     entries: FxHashMap<K, Option<V>>,
     /// Insertion order, oldest first; drives FIFO eviction.
     order: VecDeque<K>,
+    /// Maximum total weight (entries for the default weigher).
     capacity: usize,
+    /// Weight of a cached value; `None` weighs every entry as 1.
+    weigher: Option<Weigher<V>>,
+    /// Current total weight of the cached entries.
+    weight: usize,
 }
 
 impl<K, V> SoftwareCache<K, V>
@@ -49,6 +62,22 @@ where
             entries: FxHashMap::default(),
             order: VecDeque::new(),
             capacity,
+            weigher: None,
+            weight: 0,
+        }
+    }
+
+    /// Creates a cache whose bound is the total *weight* of the cached values
+    /// as measured by `weigher` (cached absences weigh 1). Values heavier than
+    /// the whole capacity are never cached — they would evict everything else
+    /// and still break the bound.
+    pub fn new_weighted(
+        capacity: usize,
+        weigher: impl Fn(&V) -> usize + Send + Sync + 'static,
+    ) -> Self {
+        SoftwareCache {
+            weigher: Some(Box::new(weigher)),
+            ..SoftwareCache::new(capacity)
         }
     }
 
@@ -62,6 +91,20 @@ where
         self.entries.is_empty()
     }
 
+    /// Current total weight of the cached entries (equals [`Self::len`] for
+    /// the default entry-count weigher). The resident-bytes figure of a
+    /// byte-weighted cache.
+    pub fn resident_weight(&self) -> usize {
+        self.weight
+    }
+
+    fn weight_of(&self, value: &Option<V>) -> usize {
+        match (value, &self.weigher) {
+            (Some(v), Some(w)) => w(v).max(1),
+            _ => 1,
+        }
+    }
+
     /// Non-recording probe: `Some(&cached)` if the key is cached (the inner
     /// `Option` distinguishes a cached value from a cached absence), `None`
     /// if the cache holds nothing for it.
@@ -72,29 +115,52 @@ where
         self.entries.get(key)
     }
 
-    /// Inserts a fetched result, evicting the oldest entries while the cache
-    /// is at capacity (evictions are recorded in the rank's statistics).
+    /// Inserts a fetched result, evicting the oldest entries while the total
+    /// weight exceeds the capacity (evictions are recorded in the rank's
+    /// statistics). Re-inserting a cached key refreshes the value in place —
+    /// the key keeps its original queue position and no duplicate order entry
+    /// is enqueued (a duplicate would inflate `cache_evictions` and evict live
+    /// keys early).
     pub fn insert(&mut self, ctx: &Ctx, key: K, value: Option<V>) {
         if self.capacity == 0 {
             return;
         }
-        if let Some(slot) = self.entries.get_mut(&key) {
-            // Refresh in place; the key keeps its original queue position.
-            *slot = value;
+        let w = self.weight_of(&value);
+        if w > self.capacity {
+            // Oversized value: drop any cached copy and do not cache it. The
+            // key's order entry must go too — left behind, a later re-insert
+            // of the same key would enqueue a duplicate, and the stale front
+            // copy would then evict the live entry prematurely.
+            if let Some(old) = self.entries.remove(&key) {
+                self.weight -= self.weight_of(&old);
+                self.order.retain(|k| k != &key);
+            }
             return;
         }
-        while self.entries.len() >= self.capacity {
+        if let Some(slot) = self.entries.get_mut(&key) {
+            // Refresh in place; the key keeps its original queue position.
+            let old_w = match (slot.as_ref(), &self.weigher) {
+                (Some(v), Some(weigh)) => weigh(v).max(1),
+                _ => 1,
+            };
+            self.weight = self.weight - old_w + w;
+            *slot = value;
+        } else {
+            self.order.push_back(key.clone());
+            self.entries.insert(key, value);
+            self.weight += w;
+        }
+        while self.weight > self.capacity {
             match self.order.pop_front() {
                 Some(oldest) => {
-                    if self.entries.remove(&oldest).is_some() {
+                    if let Some(old) = self.entries.remove(&oldest) {
+                        self.weight -= self.weight_of(&old);
                         ctx.stats().cache_evictions.fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 None => break,
             }
         }
-        self.order.push_back(key.clone());
-        self.entries.insert(key, value);
     }
 
     /// Looks up `key`, serving from the cache when possible and falling back
@@ -305,6 +371,87 @@ mod tests {
             assert_eq!(cache.len(), 4);
             assert_eq!(ctx.stats().snapshot().cache_evictions, 0);
             assert_eq!(cache.peek(&3), Some(&Some(4)));
+        });
+    }
+
+    #[test]
+    fn reinserting_one_key_capacity_plus_one_times_never_evicts() {
+        // Regression guard for the FIFO order queue: re-inserting an
+        // already-present key must not enqueue a duplicate order entry, so
+        // hammering a single key `capacity + 1` times causes zero evictions
+        // and the cache holds exactly one entry.
+        let team = Team::single_node(1);
+        team.run(|ctx| {
+            let capacity = 8usize;
+            let mut cache: SoftwareCache<u64, u64> = SoftwareCache::new(capacity);
+            for round in 0..=capacity as u64 {
+                cache.insert(ctx, 42, Some(round));
+            }
+            assert_eq!(cache.len(), 1);
+            assert_eq!(cache.resident_weight(), 1);
+            assert_eq!(ctx.stats().snapshot().cache_evictions, 0);
+            assert_eq!(cache.peek(&42), Some(&Some(capacity as u64)));
+        });
+    }
+
+    #[test]
+    fn weighted_cache_bounds_total_weight_not_entries() {
+        let team = Team::single_node(1);
+        team.run(|ctx| {
+            // Weight = value itself; capacity 100 weight units.
+            let mut cache: SoftwareCache<u64, usize> =
+                SoftwareCache::new_weighted(100, |v: &usize| *v);
+            for k in 0..10u64 {
+                cache.insert(ctx, k, Some(30));
+            }
+            // Only three 30-unit values fit under 100.
+            assert!(
+                cache.resident_weight() <= 100,
+                "{}",
+                cache.resident_weight()
+            );
+            assert_eq!(cache.len(), 3);
+            // FIFO: the newest three survive.
+            assert!(cache.peek(&9).is_some());
+            assert!(cache.peek(&0).is_none());
+            assert_eq!(ctx.stats().snapshot().cache_evictions, 7);
+            // Cached absences weigh one unit.
+            cache.insert(ctx, 100, None);
+            assert_eq!(cache.resident_weight(), 91);
+            // A refresh to a heavier value adjusts the weight in place.
+            cache.insert(ctx, 9, Some(35));
+            assert!(cache.resident_weight() <= 100);
+            assert_eq!(cache.peek(&9), Some(&Some(35)));
+        });
+    }
+
+    #[test]
+    fn weighted_cache_skips_oversized_values() {
+        let team = Team::single_node(1);
+        team.run(|ctx| {
+            let mut cache: SoftwareCache<u64, usize> =
+                SoftwareCache::new_weighted(50, |v: &usize| *v);
+            cache.insert(ctx, 1, Some(10));
+            cache.insert(ctx, 2, Some(500)); // heavier than the whole cache
+            assert!(cache.peek(&2).is_none(), "oversized value must not cache");
+            assert_eq!(cache.peek(&1), Some(&Some(10)));
+            assert_eq!(cache.resident_weight(), 10);
+            // Refreshing a cached key with an oversized value drops it.
+            cache.insert(ctx, 1, Some(500));
+            assert!(cache.peek(&1).is_none());
+            assert_eq!(cache.resident_weight(), 0);
+            assert_eq!(cache.len(), 0);
+            // The drop also removed the key's order entry: re-inserting and
+            // then filling the cache must evict in true FIFO order with no
+            // phantom evictions from a stale duplicate.
+            ctx.stats().reset();
+            cache.insert(ctx, 1, Some(20));
+            cache.insert(ctx, 2, Some(20));
+            cache.insert(ctx, 3, Some(20)); // evicts 1 (60 > 50)
+            assert!(cache.peek(&1).is_none());
+            assert_eq!(ctx.stats().snapshot().cache_evictions, 1);
+            assert_eq!(cache.peek(&2), Some(&Some(20)));
+            assert_eq!(cache.peek(&3), Some(&Some(20)));
         });
     }
 

@@ -46,4 +46,4 @@ pub use dist_map::{bulk_merge, DistMap, LocalShardView};
 pub use fxhash::{fx_hash_one, FxHashMap, FxHashSet, FxHasher};
 pub use heavy::SpaceSaving;
 pub use histogram::DistHistogram;
-pub use partition::{HashPartitioner, Partitioner};
+pub use partition::{HashPartitioner, Partitioner, TablePartitioner};

@@ -52,6 +52,41 @@ impl<K: Hash> Partitioner<K> for HashPartitioner {
     }
 }
 
+/// An explicit owner table for dense `u64` key spaces (contig ids): key `i`
+/// is owned by `owners[i]`. Keys beyond the table fall back to hashing, so a
+/// map keyed this way still behaves for stray ids. The table is computed once
+/// (identically on every rank, e.g. size-balanced longest-first assignment of
+/// contigs) and shared; it costs O(#keys) small ints, not O(payload).
+#[derive(Debug, Clone)]
+pub struct TablePartitioner {
+    owners: std::sync::Arc<Vec<u32>>,
+}
+
+impl TablePartitioner {
+    /// Wraps an owner table. Every entry must be a valid rank of the team the
+    /// table is used with; `owner_of` clamps by modulo as a defence.
+    pub fn new(owners: Vec<u32>) -> Self {
+        TablePartitioner {
+            owners: std::sync::Arc::new(owners),
+        }
+    }
+
+    /// The owner table.
+    pub fn owners(&self) -> &[u32] {
+        &self.owners
+    }
+}
+
+impl Partitioner<u64> for TablePartitioner {
+    #[inline]
+    fn owner_of(&self, key: &u64, ranks: usize) -> usize {
+        match self.owners.get(*key as usize) {
+            Some(&o) => o as usize % ranks.max(1),
+            None => (fx_hash_one(key) % ranks as u64) as usize,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +114,24 @@ mod tests {
                 assert_eq!(p.owner_of(&key, ranks), p.owner_of_hashed(&key, h, ranks));
             }
         }
+    }
+
+    #[test]
+    fn table_partitioner_follows_the_table_and_falls_back_to_hash() {
+        let p = TablePartitioner::new(vec![2, 0, 1, 1]);
+        assert_eq!(p.owner_of(&0u64, 3), 2);
+        assert_eq!(p.owner_of(&1u64, 3), 0);
+        assert_eq!(p.owner_of(&2u64, 3), 1);
+        assert_eq!(p.owner_of(&3u64, 3), 1);
+        // Out-of-table keys route by hash, deterministically and in range.
+        for key in 4..100u64 {
+            let o = p.owner_of(&key, 3);
+            assert!(o < 3);
+            assert_eq!(o, HashPartitioner.owner_of(&key, 3));
+        }
+        // A table entry beyond the rank count is clamped, not out of range.
+        let clamped = TablePartitioner::new(vec![9]);
+        assert!(clamped.owner_of(&0u64, 4) < 4);
+        assert_eq!(clamped.owners(), &[9]);
     }
 }

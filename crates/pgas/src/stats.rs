@@ -48,6 +48,14 @@ pub struct CommStats {
     /// Payload bytes of segment-stitching exchanges during traversal (a
     /// subset of `bytes_sent`, recorded on the sender).
     pub stitch_bytes: AtomicU64,
+    /// Peak contig bytes resident on this rank: the owned shard of the
+    /// distributed contig store plus the rank's reader cache (packed bytes),
+    /// or the full replicated `ContigSet` (raw bytes) when the distributed
+    /// store is disabled. Updated with a running max, not a sum.
+    pub contig_bytes_resident: AtomicU64,
+    /// Packed contig bytes fetched from remote shards of the distributed
+    /// contig store (cache-miss fills; a measure of contig read traffic).
+    pub contig_fetch_bytes: AtomicU64,
 }
 
 impl CommStats {
@@ -67,6 +75,8 @@ impl CommStats {
         self.supermer_bytes.store(0, Ordering::Relaxed);
         self.traversal_rounds.store(0, Ordering::Relaxed);
         self.stitch_bytes.store(0, Ordering::Relaxed);
+        self.contig_bytes_resident.store(0, Ordering::Relaxed);
+        self.contig_fetch_bytes.store(0, Ordering::Relaxed);
     }
 
     /// Takes a plain-value snapshot of the counters.
@@ -86,6 +96,8 @@ impl CommStats {
             supermer_bytes: self.supermer_bytes.load(Ordering::Relaxed),
             traversal_rounds: self.traversal_rounds.load(Ordering::Relaxed),
             stitch_bytes: self.stitch_bytes.load(Ordering::Relaxed),
+            contig_bytes_resident: self.contig_bytes_resident.load(Ordering::Relaxed),
+            contig_fetch_bytes: self.contig_fetch_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -107,6 +119,8 @@ pub struct StatsSnapshot {
     pub supermer_bytes: u64,
     pub traversal_rounds: u64,
     pub stitch_bytes: u64,
+    pub contig_bytes_resident: u64,
+    pub contig_fetch_bytes: u64,
 }
 
 impl StatsSnapshot {
@@ -127,6 +141,10 @@ impl StatsSnapshot {
             supermer_bytes: self.supermer_bytes + other.supermer_bytes,
             traversal_rounds: self.traversal_rounds + other.traversal_rounds,
             stitch_bytes: self.stitch_bytes + other.stitch_bytes,
+            // Summing per-rank residency peaks gives the team-wide resident
+            // total (each rank's peak is its own shard + cache).
+            contig_bytes_resident: self.contig_bytes_resident + other.contig_bytes_resident,
+            contig_fetch_bytes: self.contig_fetch_bytes + other.contig_fetch_bytes,
         }
     }
 
@@ -150,6 +168,14 @@ impl StatsSnapshot {
                 .traversal_rounds
                 .saturating_sub(before.traversal_rounds),
             stitch_bytes: self.stitch_bytes.saturating_sub(before.stitch_bytes),
+            // A running-max gauge only grows between resets, so the delta is
+            // how much the peak rose during the phase.
+            contig_bytes_resident: self
+                .contig_bytes_resident
+                .saturating_sub(before.contig_bytes_resident),
+            contig_fetch_bytes: self
+                .contig_fetch_bytes
+                .saturating_sub(before.contig_fetch_bytes),
         }
     }
 
@@ -229,6 +255,8 @@ mod tests {
             supermer_bytes: 11,
             traversal_rounds: 12,
             stitch_bytes: 13,
+            contig_bytes_resident: 14,
+            contig_fetch_bytes: 15,
         };
         let b = a.add(&a);
         assert_eq!(b.msgs_sent, 2);

@@ -333,6 +333,26 @@ impl<'t> Ctx<'t> {
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Records the current contig bytes resident on this rank (owned shard of
+    /// the distributed contig store plus reader caches, or the replicated
+    /// `ContigSet` when the store is disabled). Keeps the running peak.
+    #[inline]
+    pub fn record_contig_resident(&self, bytes: usize) {
+        self.stats()
+            .contig_bytes_resident
+            .fetch_max(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records packed contig bytes fetched from remote shards of the
+    /// distributed contig store (cache-miss fills), in addition to the
+    /// ordinary aggregated-message accounting.
+    #[inline]
+    pub fn record_contig_fetch_bytes(&self, bytes: usize) {
+        self.stats()
+            .contig_fetch_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
     /// Blocks until every rank has reached the barrier.
     pub fn barrier(&self) {
         self.team.barrier.wait();

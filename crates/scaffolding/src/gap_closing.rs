@@ -19,7 +19,8 @@
 
 use crate::links::LinkSet;
 use crate::types::{Scaffold, ScaffoldSet};
-use dbg::ContigSet;
+use dbg::{ContigId, ContigSet, ContigsRef};
+use dht::FxHashMap;
 use pgas::Ctx;
 use seqio::alphabet::revcomp;
 
@@ -152,24 +153,25 @@ fn fuzzy_overlap_join(
     best.map(|(_, seq_keep, piece_start)| (seq_keep, piece_start))
 }
 
-/// Materialises one scaffold's sequence, closing its gaps.
+/// Materialises one scaffold's sequence, closing its gaps. `seq_of` yields a
+/// contig's stored sequence (from the local replica or from a prefetched
+/// batch of the distributed store).
 fn close_scaffold(
     scaffold: &mut Scaffold,
-    contigs: &ContigSet,
+    seq_of: &mut dyn FnMut(ContigId) -> Vec<u8>,
     params: &GapClosingParams,
     report: &mut GapClosingReport,
 ) {
-    let oriented = |contig: u64, forward: bool| -> Vec<u8> {
-        let seq = &contigs.get(contig).expect("contig exists").seq;
-        if forward {
-            seq.clone()
-        } else {
-            revcomp(seq)
-        }
-    };
     let mut seq: Vec<u8> = Vec::new();
     for (i, entry) in scaffold.entries.iter().enumerate() {
-        let piece = oriented(entry.contig, entry.forward);
+        let piece = {
+            let stored = seq_of(entry.contig);
+            if entry.forward {
+                stored
+            } else {
+                revcomp(&stored)
+            }
+        };
         if i == 0 {
             seq = piece;
             continue;
@@ -181,14 +183,14 @@ fn close_scaffold(
             // Method 1: the suspended repeat belongs in this gap. Its stored
             // orientation is unknown, so pick the orientation that overlaps
             // best with the flank (falling back to stored orientation).
-            let repeat = &contigs.get(suspended).expect("suspended contig exists").seq;
-            let fwd_overlap = best_overlap(&seq, repeat, params.min_overlap, params.max_overlap);
-            let rc = revcomp(repeat);
+            let repeat = seq_of(suspended);
+            let fwd_overlap = best_overlap(&seq, &repeat, params.min_overlap, params.max_overlap);
+            let rc = revcomp(&repeat);
             let rc_overlap = best_overlap(&seq, &rc, params.min_overlap, params.max_overlap);
             let repeat_oriented = if rc_overlap.unwrap_or(0) > fwd_overlap.unwrap_or(0) {
                 rc
             } else {
-                repeat.clone()
+                repeat
             };
             let trim = fwd_overlap.max(rc_overlap).unwrap_or(0);
             seq.extend_from_slice(&repeat_oriented[trim..]);
@@ -227,23 +229,68 @@ fn close_scaffold(
     scaffold.seq = seq;
 }
 
-/// Collectively closes the gaps of all scaffolds and materialises their
-/// sequences. Scaffolds are dealt round-robin over ranks; the finished set is
-/// identical on every rank.
+/// Collectively closes the gaps of all scaffolds of a replicated contig set.
 pub fn close_gaps(
     ctx: &Ctx,
     contigs: &ContigSet,
+    gapped: Vec<Scaffold>,
+    links: &LinkSet,
+    params: &GapClosingParams,
+) -> (ScaffoldSet, GapClosingReport) {
+    close_gaps_ref(ctx, ContigsRef::Local(contigs), gapped, links, params)
+}
+
+/// Collectively closes the gaps of all scaffolds and materialises their
+/// sequences. Scaffolds are dealt round-robin over ranks; the finished set is
+/// identical on every rank.
+///
+/// Against the distributed contig store, each rank fetches the contigs of
+/// one scaffold at a time with a *one-sided* aggregated batch
+/// ([`dbg::ContigReader::get_many_onesided`]) — ranks close different
+/// scaffold counts, so the two-sided collective fetch cannot be kept in
+/// lockstep here.
+pub fn close_gaps_ref(
+    ctx: &Ctx,
+    contigs: ContigsRef<'_>,
     gapped: Vec<Scaffold>,
     _links: &LinkSet,
     params: &GapClosingParams,
 ) -> (ScaffoldSet, GapClosingReport) {
     let mut local_report = GapClosingReport::default();
     let mut my_done: Vec<Scaffold> = Vec::new();
+    let mut reader = contigs.store().map(|s| s.reader(ctx));
     for (i, mut scaffold) in gapped.into_iter().enumerate() {
         if i % ctx.ranks() != ctx.rank() {
             continue;
         }
-        close_scaffold(&mut scaffold, contigs, params, &mut local_report);
+        match contigs {
+            ContigsRef::Local(set) => {
+                let mut seq_of =
+                    |id: ContigId| -> Vec<u8> { set.get(id).expect("contig exists").seq.clone() };
+                close_scaffold(&mut scaffold, &mut seq_of, params, &mut local_report);
+            }
+            ContigsRef::Store(_) => {
+                let reader = reader.as_mut().expect("reader exists for store sources");
+                // All contigs this scaffold touches: entries plus suspended
+                // repeats, fetched in one aggregated batch.
+                let mut ids: Vec<ContigId> = Vec::new();
+                for e in &scaffold.entries {
+                    ids.push(e.contig);
+                    ids.extend(e.suspended_after);
+                }
+                ids.sort_unstable();
+                ids.dedup();
+                let fetched = reader.get_many_onesided(ctx, &ids);
+                let seqs: FxHashMap<ContigId, Vec<u8>> = ids
+                    .iter()
+                    .zip(fetched)
+                    .filter_map(|(id, p)| p.map(|p| (*id, p.unpack())))
+                    .collect();
+                let mut seq_of =
+                    |id: ContigId| -> Vec<u8> { seqs.get(&id).expect("contig exists").clone() };
+                close_scaffold(&mut scaffold, &mut seq_of, params, &mut local_report);
+            }
+        }
         my_done.push(scaffold);
     }
     // Gather the finished scaffolds and the report.

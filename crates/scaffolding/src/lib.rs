@@ -25,13 +25,13 @@ pub mod links;
 pub mod traversal;
 pub mod types;
 
-pub use gap_closing::{close_gaps, GapClosingParams, GapClosingReport};
-pub use links::{build_links, ContigEndRef, End, LinkData, LinkKey, LinkSet};
-pub use traversal::{traverse_contig_graph, ScaffoldTraversalParams};
+pub use gap_closing::{close_gaps, close_gaps_ref, GapClosingParams, GapClosingReport};
+pub use links::{build_links, build_links_ref, ContigEndRef, End, LinkData, LinkKey, LinkSet};
+pub use traversal::{traverse_contig_graph, traverse_contig_graph_ref, ScaffoldTraversalParams};
 pub use types::{Scaffold, ScaffoldEntry, ScaffoldSet};
 
 use aligner::AlignmentSet;
-use dbg::ContigSet;
+use dbg::{ContigSet, ContigsRef};
 use pgas::Ctx;
 use rrna_hmm::RrnaDetector;
 use seqio::ReadLibrary;
@@ -44,8 +44,7 @@ pub struct ScaffoldParams {
     pub gap_closing: GapClosingParams,
 }
 
-/// Runs the full scaffolding stage. Collective. `alignments` are the calling
-/// rank's read-to-contig alignments (each rank aligned the reads it owns).
+/// Runs the full scaffolding stage on a replicated contig set. Collective.
 pub fn scaffold(
     ctx: &Ctx,
     contigs: &ContigSet,
@@ -54,7 +53,28 @@ pub fn scaffold(
     rrna: Option<&RrnaDetector>,
     params: &ScaffoldParams,
 ) -> (ScaffoldSet, GapClosingReport) {
-    let link_set = build_links(ctx, contigs, alignments, library, &params.links);
-    let gapped = traverse_contig_graph(ctx, contigs, &link_set, rrna, &params.traversal);
-    close_gaps(ctx, contigs, gapped, &link_set, &params.gap_closing)
+    scaffold_ref(
+        ctx,
+        ContigsRef::Local(contigs),
+        alignments,
+        library,
+        rrna,
+        params,
+    )
+}
+
+/// Runs the full scaffolding stage against either contig source. Collective.
+/// `alignments` are the calling rank's read-to-contig alignments (each rank
+/// aligned the reads it owns).
+pub fn scaffold_ref(
+    ctx: &Ctx,
+    contigs: ContigsRef<'_>,
+    alignments: &AlignmentSet,
+    library: &ReadLibrary,
+    rrna: Option<&RrnaDetector>,
+    params: &ScaffoldParams,
+) -> (ScaffoldSet, GapClosingReport) {
+    let link_set = build_links_ref(ctx, contigs, alignments, library, &params.links);
+    let gapped = traverse_contig_graph_ref(ctx, contigs, &link_set, rrna, &params.traversal);
+    close_gaps_ref(ctx, contigs, gapped, &link_set, &params.gap_closing)
 }

@@ -1,7 +1,7 @@
 //! Splint/span detection and contig-link aggregation (§III-B).
 
 use aligner::{Alignment, AlignmentSet};
-use dbg::{ContigId, ContigSet};
+use dbg::{ContigId, ContigSet, ContigsRef};
 use dht::{bulk_merge, DistMap};
 use pgas::Ctx;
 use seqio::ReadLibrary;
@@ -198,7 +198,8 @@ fn orient(a: &Alignment, contig_len: usize, read_len: usize) -> OrientedAlignmen
     }
 }
 
-/// Collectively builds the link set from this rank's alignments.
+/// Collectively builds the link set from this rank's alignments against a
+/// replicated contig set.
 pub fn build_links(
     ctx: &Ctx,
     contigs: &ContigSet,
@@ -206,9 +207,22 @@ pub fn build_links(
     library: &ReadLibrary,
     params: &LinkParams,
 ) -> LinkSet {
+    build_links_ref(ctx, ContigsRef::Local(contigs), alignments, library, params)
+}
+
+/// Collectively builds the link set from this rank's alignments. Link
+/// geometry only needs contig *lengths*, which both contig sources answer
+/// from replicated metadata — no sequence bytes are read here.
+pub fn build_links_ref(
+    ctx: &Ctx,
+    contigs: ContigsRef<'_>,
+    alignments: &AlignmentSet,
+    library: &ReadLibrary,
+    params: &LinkParams,
+) -> LinkSet {
     let insert = library.insert_size.max(1);
     let read_len_of = |id: seqio::ReadId| library.read(id).len();
-    let contig_len_of = |id: ContigId| contigs.get(id).map(|c| c.len()).unwrap_or(0);
+    let contig_len_of = |id: ContigId| contigs.len_of(id).unwrap_or(0);
 
     let mut local: Vec<(LinkKey, LinkData)> = Vec::new();
     let by_read = alignments.by_read();

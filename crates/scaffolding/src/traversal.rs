@@ -2,7 +2,7 @@
 
 use crate::links::{ContigEndRef, End, LinkData, LinkSet};
 use crate::types::{Scaffold, ScaffoldEntry};
-use dbg::{ContigId, ContigSet};
+use dbg::{ContigId, ContigSet, ContigsRef};
 use pgas::Ctx;
 use rrna_hmm::RrnaDetector;
 use std::collections::HashSet;
@@ -94,7 +94,7 @@ pub fn connected_components(
 /// One directed step choice out of a contig end.
 fn pick_next(
     from: ContigEndRef,
-    contigs: &ContigSet,
+    contigs: ContigsRef<'_>,
     links: &LinkSet,
     visited: &HashSet<ContigId>,
     rrna_hits: &HashSet<ContigId>,
@@ -120,7 +120,7 @@ fn pick_next(
             // over the repeat R — suspend R and follow the direct link to Y.
             for i in 0..candidates.len() {
                 let (r, _rd) = candidates[i];
-                let r_len = contigs.get(r.contig).map(|c| c.len()).unwrap_or(usize::MAX);
+                let r_len = contigs.len_of(r.contig).unwrap_or(usize::MAX);
                 if r_len > params.max_suspend_len {
                     continue;
                 }
@@ -140,10 +140,10 @@ fn pick_next(
             // rRNA rule: if the current contig is an HMM hit, extend anyway,
             // preferring a candidate that is also an HMM hit with similar depth.
             if rrna_hits.contains(&from.contig) {
-                let my_depth = contigs.get(from.contig).map(|c| c.depth).unwrap_or(0.0);
+                let my_depth = contigs.depth_of(from.contig).unwrap_or(0.0);
                 let mut best: Option<(ContigEndRef, LinkData, f64)> = None;
                 for (other, d) in &candidates {
-                    let od = contigs.get(other.contig).map(|c| c.depth).unwrap_or(0.0);
+                    let od = contigs.depth_of(other.contig).unwrap_or(0.0);
                     let rel = if my_depth > 0.0 {
                         (od - my_depth).abs() / my_depth
                     } else {
@@ -173,7 +173,7 @@ fn pick_next(
 fn walk(
     seed: ContigId,
     seed_exit: End,
-    contigs: &ContigSet,
+    contigs: ContigsRef<'_>,
     links: &LinkSet,
     visited: &mut HashSet<ContigId>,
     rrna_hits: &HashSet<ContigId>,
@@ -203,9 +203,7 @@ fn walk(
     out
 }
 
-/// Collectively traverses the contig graph and returns gapped scaffolds
-/// (entries only; sequences are materialised by gap closing). The result is
-/// identical on every rank.
+/// Collectively traverses the contig graph of a replicated contig set.
 pub fn traverse_contig_graph(
     ctx: &Ctx,
     contigs: &ContigSet,
@@ -213,15 +211,45 @@ pub fn traverse_contig_graph(
     rrna: Option<&RrnaDetector>,
     params: &ScaffoldTraversalParams,
 ) -> Vec<Scaffold> {
-    // rRNA classification of contigs (replicated, cheap relative to alignment).
-    let rrna_hits: HashSet<ContigId> = match rrna {
-        Some(detector) => contigs
+    traverse_contig_graph_ref(ctx, ContigsRef::Local(contigs), links, rrna, params)
+}
+
+/// Collectively traverses the contig graph and returns gapped scaffolds
+/// (entries only; sequences are materialised by gap closing). The result is
+/// identical on every rank.
+///
+/// The walk itself only consults contig lengths and depths (replicated
+/// metadata in both contig sources); the one sequence-reading step, rRNA
+/// classification, runs owner-locally over the distributed store's shards
+/// and allgathers the hit ids, so no contig bytes cross ranks here either.
+pub fn traverse_contig_graph_ref(
+    ctx: &Ctx,
+    contigs: ContigsRef<'_>,
+    links: &LinkSet,
+    rrna: Option<&RrnaDetector>,
+    params: &ScaffoldTraversalParams,
+) -> Vec<Scaffold> {
+    // rRNA classification of contigs.
+    let rrna_hits: HashSet<ContigId> = match (rrna, contigs) {
+        (Some(detector), ContigsRef::Local(set)) => set
             .contigs
             .iter()
             .filter(|c| c.len() >= params.rrna_min_len && detector.is_hit(&c.seq))
             .map(|c| c.id)
             .collect(),
-        None => HashSet::new(),
+        (Some(detector), ContigsRef::Store(store)) => {
+            // Owner-local scan of this rank's shard, then allgather the ids.
+            let mut local_hits: Vec<ContigId> = Vec::new();
+            store.map().for_each_local(ctx, |id, packed| {
+                if packed.len() >= params.rrna_min_len && detector.is_hit(&packed.unpack()) {
+                    local_hits.push(*id);
+                }
+            });
+            let outgoing: Vec<Vec<ContigId>> =
+                (0..ctx.ranks()).map(|_| local_hits.clone()).collect();
+            ctx.exchange(outgoing).into_iter().collect()
+        }
+        (None, _) => HashSet::new(),
     };
 
     // Connected components over sufficiently supported links.
@@ -231,7 +259,7 @@ pub fn traverse_contig_graph(
         .filter(|(_, d)| d.support() >= params.min_link_support)
         .map(|(k, _)| (k.a.contig, k.b.contig))
         .collect();
-    let labels = connected_components(ctx, contigs.len(), &edges);
+    let labels = connected_components(ctx, contigs.num_contigs(), &edges);
 
     // Each rank traverses the components assigned to it (component mod ranks).
     let my_rank = ctx.rank() as u64;
@@ -248,21 +276,20 @@ pub fn traverse_contig_graph(
     let mut local_scaffolds: Vec<Vec<ScaffoldEntry>> = Vec::new();
     for comp in my_components {
         // Contigs of this component, longest first (the traversal-seed order).
-        let mut members: Vec<&dbg::Contig> = contigs
-            .contigs
-            .iter()
-            .filter(|c| labels[c.id as usize] == comp)
+        let mut members: Vec<(ContigId, usize)> = (0..contigs.num_contigs() as ContigId)
+            .filter(|id| labels[*id as usize] == comp)
+            .map(|id| (id, contigs.len_of(id).unwrap_or(0)))
             .collect();
-        members.sort_by(|a, b| b.len().cmp(&a.len()).then(a.id.cmp(&b.id)));
+        members.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let mut visited: HashSet<ContigId> = HashSet::new();
-        for seed in &members {
-            if visited.contains(&seed.id) {
+        for &(seed, _len) in &members {
+            if visited.contains(&seed) {
                 continue;
             }
-            visited.insert(seed.id);
+            visited.insert(seed);
             // Extend right from the seed's Tail and left from its Head.
             let right = walk(
-                seed.id,
+                seed,
                 End::Tail,
                 contigs,
                 links,
@@ -271,7 +298,7 @@ pub fn traverse_contig_graph(
                 params,
             );
             let left = walk(
-                seed.id,
+                seed,
                 End::Head,
                 contigs,
                 links,
@@ -292,7 +319,7 @@ pub fn traverse_contig_graph(
                 });
             }
             entries.push(ScaffoldEntry {
-                contig: seed.id,
+                contig: seed,
                 forward: true,
                 gap_after: None,
                 suspended_after: None,

@@ -121,6 +121,28 @@ mod tests {
     }
 
     #[test]
+    fn crlf_and_missing_trailing_newline_parse_clean() {
+        // CRLF line endings (Windows-written FASTA) with no trailing newline
+        // on the final record: no `\r` may leak into sequences and the last
+        // record must not be dropped.
+        let text = ">a desc\r\nACGT\r\nGGTT\r\n>b\r\nTTAA";
+        let recs = parse_fasta(text).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq, b"ACGTGGTT".to_vec());
+        assert_eq!(recs[0].description, "desc");
+        assert_eq!(recs[1].id, "b");
+        assert_eq!(recs[1].seq, b"TTAA".to_vec());
+        assert!(recs.iter().all(|r| !r.seq.contains(&b'\r')));
+        // Round trip: re-written text (LF) parses back identically.
+        let back = parse_fasta(&write_fasta(&recs, 0)).unwrap();
+        assert_eq!(back, recs);
+        // Plain LF with a missing trailing newline keeps the last record too.
+        let recs2 = parse_fasta(">a\nACGT\n>b\nTTAA").unwrap();
+        assert_eq!(recs2.len(), 2);
+        assert_eq!(recs2[1].seq, b"TTAA".to_vec());
+    }
+
+    #[test]
     fn roundtrip_with_wrapping() {
         let recs = vec![
             FastaRecord {

@@ -26,8 +26,17 @@ impl From<FastqRecord> for Read {
 }
 
 /// Parses FASTQ text into records. Errors mention the 1-based record index.
+///
+/// CRLF line endings are accepted: `str::lines` strips `\r\n` pairs, but a
+/// CRLF file whose final record lacks a trailing newline leaves a bare `\r`
+/// on its last line (typically the quality string, whose length check would
+/// then fail and drop the record) — so every line is additionally stripped of
+/// a trailing `\r` here.
 pub fn parse_fastq(text: &str) -> Result<Vec<FastqRecord>, String> {
-    let mut lines = text.lines().filter(|l| !l.is_empty());
+    let mut lines = text
+        .lines()
+        .map(|l| l.strip_suffix('\r').unwrap_or(l))
+        .filter(|l| !l.is_empty());
     let mut records = Vec::new();
     let mut idx = 0usize;
     while let Some(header) = lines.next() {
@@ -160,6 +169,27 @@ mod tests {
         let text = write_fastq(&recs);
         let back = parse_fastq(&text).unwrap();
         assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn crlf_and_missing_trailing_newline_parse_clean() {
+        // CRLF line endings with no trailing newline on the final record:
+        // without explicit `\r` stripping the last quality line keeps a bare
+        // `\r`, fails the length check, and the record is lost.
+        let text = "@r1/1\r\nACGT\r\n+\r\nIIII\r\n@r1/2\r\nTTGG\r\n+\r\n!!II";
+        let recs = parse_fastq(text).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq, b"ACGT".to_vec());
+        assert_eq!(recs[1].seq, b"TTGG".to_vec());
+        assert_eq!(recs[1].qual, vec![0, 0, 40, 40]);
+        assert!(recs.iter().all(|r| !r.seq.contains(&b'\r')));
+        // Round trip through the (LF) writer is lossless.
+        let back = parse_fastq(&write_fastq(&recs)).unwrap();
+        assert_eq!(back, recs);
+        // And the same records parse identically from LF text without a
+        // trailing newline.
+        let lf = parse_fastq("@r1/1\nACGT\n+\nIIII\n@r1/2\nTTGG\n+\n!!II").unwrap();
+        assert_eq!(lf, recs);
     }
 
     #[test]
