@@ -15,9 +15,9 @@
 //! smoke check.
 
 use baselines::{Assembler, MetaHipMerAssembler};
-use mhm_bench::{fmt, print_table, scaled_eval_params};
+use mhm_bench::{fmt, print_table, scaled_eval_params, team};
 use mhm_core::AssemblyConfig;
-use pgas::{StatsSnapshot, Team};
+use pgas::StatsSnapshot;
 
 /// Events that cross (or would cross) the network for lookups: one per
 /// fine-grained access, one per aggregated message.
@@ -38,7 +38,7 @@ fn main() {
         ("aggregated (batch 4096)", 4096),
     ] {
         let cfg = AssemblyConfig::default().with_lookup_batch(batch);
-        let team = Team::single_node(ranks);
+        let team = team(ranks);
         let assembler = MetaHipMerAssembler { config: cfg };
         let output = assembler.assemble(&team, &ds.library, Some(&ds.rrna_consensus));
         let report = asm_metrics::evaluate(&output.sequences(), &ds.refs, &eval);

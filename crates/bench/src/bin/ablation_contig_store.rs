@@ -26,9 +26,8 @@
 //! CI drift guard on that file's contents.
 
 use baselines::{Assembler, MetaHipMerAssembler};
-use mhm_bench::{fmt, print_table, scaled_eval_params};
+use mhm_bench::{fmt, print_table, scaled_eval_params, team};
 use mhm_core::AssemblyConfig;
-use pgas::Team;
 use std::io::Write;
 
 /// Per-rank reader cache bound used for the run (small enough that the
@@ -64,7 +63,7 @@ fn main() {
                 contig_cache_bytes: CACHE_BYTES,
                 ..Default::default()
             };
-            let team = Team::single_node(ranks);
+            let team = team(ranks);
             let assembler = MetaHipMerAssembler { config: cfg };
             outputs.push(assembler.assemble(&team, &ds.library, Some(&ds.rrna_consensus)));
             per_rank_stats.push(team.stats_per_rank());

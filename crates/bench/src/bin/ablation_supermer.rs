@@ -17,9 +17,8 @@
 //! trajectory accumulates across commits.
 
 use baselines::{Assembler, MetaHipMerAssembler};
-use mhm_bench::{fmt, print_table, scaled_eval_params};
+use mhm_bench::{fmt, print_table, scaled_eval_params, team};
 use mhm_core::AssemblyConfig;
-use pgas::Team;
 use std::io::Write;
 
 fn main() {
@@ -35,7 +34,7 @@ fn main() {
             use_supermers,
             ..Default::default()
         };
-        let team = Team::single_node(ranks);
+        let team = team(ranks);
         let assembler = MetaHipMerAssembler { config: cfg };
         let output = assembler.assemble(&team, &ds.library, Some(&ds.rrna_consensus));
         let report = asm_metrics::evaluate(&output.sequences(), &ds.refs, &eval);

@@ -23,9 +23,9 @@
 //! the k-mer-analysis wire format cannot slip through CI unnoticed.
 
 use baselines::{Assembler, MetaHipMerAssembler};
-use mhm_bench::{fmt, print_table, scaled_eval_params};
+use mhm_bench::{fmt, print_table, scaled_eval_params, team};
 use mhm_core::AssemblyConfig;
-use pgas::{StatsSnapshot, Team};
+use pgas::StatsSnapshot;
 use std::io::Write;
 
 /// Events that cross (or would cross) the network: one per fine-grained
@@ -63,7 +63,7 @@ fn main() {
                 use_segment_traversal: segment,
                 ..Default::default()
             };
-            let team = Team::single_node(ranks);
+            let team = team(ranks);
             let assembler = MetaHipMerAssembler { config: cfg };
             outputs.push(assembler.assemble(&team, &ds.library, Some(&ds.rrna_consensus)));
         }
@@ -91,6 +91,19 @@ fn main() {
             ratio >= 5.0,
             "segment traversal must cut traversal-stage messages >= 5x at {ranks} ranks, \
              got {ratio:.1}x ({th} -> {ts})"
+        );
+        // The message win must never be bought with a byte regression: the
+        // stitch rounds only re-ship still-unresolved chain heads, so the
+        // segment path has to move *fewer* traversal-stage bytes than the
+        // per-hop baseline at every rank count (at 2+ ranks this once blew
+        // up to 36.9–86.5 MB vs the baseline's 33.8 MB because cross-rank
+        // cycles chased until the round cap).
+        assert!(
+            seg_stats.bytes_sent <= hop_stats.bytes_sent,
+            "traversal_bytes_segment must stay <= traversal_bytes_per_hop at {ranks} ranks, \
+             got {} vs {}",
+            seg_stats.bytes_sent,
+            hop_stats.bytes_sent
         );
         let report = asm_metrics::evaluate(&seg.sequences(), &ds.refs, &eval);
         println!(

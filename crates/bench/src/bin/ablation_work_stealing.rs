@@ -5,9 +5,9 @@
 //! balance of the shared-counter block dealer against a static block
 //! partition on a synthetic workload with heavily skewed per-item costs.
 
-use mhm_bench::{fmt, print_table};
+use mhm_bench::{fmt, print_table, team};
 use pgas::stats::load_balance_ratio;
-use pgas::{DynamicBlocks, Team};
+use pgas::DynamicBlocks;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -36,7 +36,7 @@ fn main() {
     let sink = Arc::new(AtomicU64::new(0));
     let mut rows = Vec::new();
     for (name, dynamic) in [("static blocks", false), ("dynamic work stealing", true)] {
-        let team = Team::single_node(ranks);
+        let team = team(ranks);
         let sink2 = Arc::clone(&sink);
         let start = std::time::Instant::now();
         let work = team.run(|ctx| {

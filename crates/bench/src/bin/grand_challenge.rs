@@ -8,15 +8,14 @@
 use aligner::{align_reads, build_seed_index, AlignParams};
 use baselines::MetaHipMerAssembler;
 use dbg::ContigSet;
-use mhm_bench::{fmt, print_table, run_assembler, scale, scaled_eval_params};
+use mhm_bench::{fmt, print_table, run_assembler, scale, scaled_eval_params, team};
 use mhm_core::AssemblyConfig;
-use pgas::Team;
 
 /// Fraction of reads with at least one alignment to the assembly.
 fn fraction_mapping_back(ds: &mgsim::SimDataset, assembly: &[Vec<u8>], ranks: usize) -> f64 {
     let contigs =
         ContigSet::from_sequences(31, assembly.iter().map(|s| (s.clone(), 1.0)).collect());
-    let team = Team::single_node(ranks);
+    let team = team(ranks);
     let mapped: u64 = team
         .run(|ctx| {
             let index = build_seed_index(ctx, &contigs, 15);

@@ -12,7 +12,8 @@ use asm_metrics::{evaluate, AssemblyReport, EvalParams};
 use baselines::Assembler;
 use mgsim::SimDataset;
 use mhm_core::AssemblyOutput;
-use pgas::Team;
+use pgas::{Team, Topology};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Scale factor for harness runs, read from `MHM_SCALE` (1 = default small).
@@ -23,6 +24,31 @@ pub fn scale() -> usize {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1)
         .max(1)
+}
+
+/// Ranks per simulated node for harness runs, read from `MHM_RANKS_PER_NODE`
+/// (0 = default = all ranks on one node, the historical harness behaviour).
+pub fn ranks_per_node() -> usize {
+    std::env::var("MHM_RANKS_PER_NODE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The topology for a harness run over `ranks` ranks, honouring
+/// [`ranks_per_node`]: `0` keeps everything on one node, any other value
+/// groups ranks that many to a node (the last node may be partial).
+pub fn topology(ranks: usize) -> Topology {
+    match ranks_per_node() {
+        0 => Topology::single_node(ranks),
+        rpn => Topology::new(ranks, rpn),
+    }
+}
+
+/// A team over [`topology`], so every harness exercises the node structure
+/// requested by the environment instead of hard-wiring a single node.
+pub fn team(ranks: usize) -> Arc<Team> {
+    Team::new(topology(ranks))
 }
 
 /// Rank counts to sweep for scaling experiments, bounded by the machine's
@@ -57,7 +83,7 @@ pub fn run_assembler(
     ranks: usize,
     eval: &EvalParams,
 ) -> RunResult {
-    let team = Team::single_node(ranks);
+    let team = team(ranks);
     let start = Instant::now();
     let output = assembler.assemble(&team, &dataset.library, Some(&dataset.rrna_consensus));
     let seconds = start.elapsed().as_secs_f64();

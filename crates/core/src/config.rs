@@ -48,6 +48,19 @@ pub struct AssemblyConfig {
     /// (bounding every rank's shard by total/ranks + one contig) instead of
     /// hashing contig ids.
     pub balanced_contig_partition: bool,
+    /// Ranks per simulated node (the paper runs 32 per Cori node). `0` — the
+    /// default — means "all ranks on one node", matching the historical
+    /// single-node harness behaviour; any other value must divide into the
+    /// rank count sensibly but need not evenly (the last node may be
+    /// partial). See [`AssemblyConfig::topology`].
+    pub ranks_per_node: usize,
+    /// Route aggregated exchanges through node leaders (gather at the source
+    /// node's leader, one combined message per destination node, scatter
+    /// on-node): up to `ranks_per_node`× fewer off-node messages per
+    /// direction, byte-identical assembly. `false` keeps the flat
+    /// rank-to-rank all-to-all — the ablation baseline of the
+    /// `ablation_topology` harness. No effect on a single-node topology.
+    pub use_hierarchical_exchange: bool,
     /// Extension-threshold policy (dynamic for MetaHipMer, global for HipMer).
     pub threshold: ThresholdPolicy,
     /// Run bubble merging and hair removal.
@@ -90,6 +103,8 @@ impl Default for AssemblyConfig {
             use_distributed_contigs: true,
             contig_cache_bytes: 1 << 20,
             balanced_contig_partition: true,
+            ranks_per_node: 0,
+            use_hierarchical_exchange: true,
             threshold: ThresholdPolicy::metahipmer_default(),
             bubble_merging: true,
             pruning: true,
@@ -144,6 +159,26 @@ impl AssemblyConfig {
             min_contig_len: self.min_contig_len,
             use_segment_traversal: self.use_segment_traversal,
         }
+    }
+
+    /// The machine topology for a run over `ranks` ranks:
+    /// `ranks_per_node == 0` puts every rank on one node, any other value
+    /// groups ranks `ranks_per_node` to a node (the last node may be
+    /// partial).
+    pub fn topology(&self, ranks: usize) -> pgas::Topology {
+        if self.ranks_per_node == 0 {
+            pgas::Topology::single_node(ranks)
+        } else {
+            pgas::Topology::new(ranks, self.ranks_per_node)
+        }
+    }
+
+    /// A team over [`AssemblyConfig::topology`] with the hierarchical-exchange
+    /// mode of this configuration already applied.
+    pub fn team(&self, ranks: usize) -> std::sync::Arc<pgas::Team> {
+        let team = pgas::Team::new(self.topology(ranks));
+        team.set_hierarchical_exchange(self.use_hierarchical_exchange);
+        team
     }
 
     /// Parameters for the distributed contig store.
@@ -243,6 +278,28 @@ mod tests {
         assert_eq!(cfg.local.lookup_batch, 64);
         let fine = AssemblyConfig::default().with_lookup_batch(1);
         assert_eq!(fine.align.lookup_batch, 1);
+    }
+
+    #[test]
+    fn topology_defaults_to_single_node_and_threads_ranks_per_node() {
+        let cfg = AssemblyConfig::default();
+        assert!(cfg.use_hierarchical_exchange);
+        assert_eq!(cfg.topology(8), pgas::Topology::single_node(8));
+        let multi = AssemblyConfig {
+            ranks_per_node: 2,
+            ..Default::default()
+        };
+        assert_eq!(multi.topology(8), pgas::Topology::new(8, 2));
+        assert_eq!(multi.topology(8).nodes(), 4);
+        let team = multi.team(8);
+        assert_eq!(team.topology(), pgas::Topology::new(8, 2));
+        assert!(team.hierarchical_exchange());
+        let flat = AssemblyConfig {
+            ranks_per_node: 2,
+            use_hierarchical_exchange: false,
+            ..Default::default()
+        };
+        assert!(!flat.team(4).hierarchical_exchange());
     }
 
     #[test]

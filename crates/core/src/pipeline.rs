@@ -140,6 +140,9 @@ impl MetaHipMer {
         let detector = rrna_consensus
             .filter(|c| !c.is_empty())
             .map(RrnaDetector::from_consensus);
+        // The exchange-routing mode is per-team state, set outside the SPMD
+        // region so every rank constructs its aggregators under it.
+        team.set_hierarchical_exchange(self.config.use_hierarchical_exchange);
         let outputs = team.run(|ctx| self.assemble_rank(ctx, library, detector.as_ref()));
         outputs.into_iter().next().expect("at least one rank")
     }
@@ -500,6 +503,44 @@ mod tests {
             "expected >=4x byte saving, got {on_bytes} vs {off_bytes}"
         );
         assert!(out_on.stage_stats("kmer_analysis").supermer_bytes > 0);
+    }
+
+    #[test]
+    fn hierarchical_exchange_does_not_change_the_assembly() {
+        // Two-level routing is a pure transport optimisation: same scaffolds,
+        // same off-node payload bytes (every byte crosses the interconnect
+        // exactly once either way), fewer off-node messages.
+        let (_refs, library, consensus) = small_dataset(59);
+        let mut cfg = AssemblyConfig::small_test();
+        cfg.local_assembly = false; // keep the comparison fast
+        cfg.ranks_per_node = 2;
+        cfg.use_hierarchical_exchange = true;
+        let mut flat_cfg = cfg.clone();
+        flat_cfg.use_hierarchical_exchange = false;
+        let hier_team = cfg.team(4);
+        let flat_team = flat_cfg.team(4);
+        let out_hier = MetaHipMer::new(cfg).assemble(&hier_team, &library, Some(&consensus));
+        let out_flat = MetaHipMer::new(flat_cfg).assemble(&flat_team, &library, Some(&consensus));
+        let mut seqs_hier = out_hier.sequences();
+        let mut seqs_flat = out_flat.sequences();
+        seqs_hier.sort();
+        seqs_flat.sort();
+        assert_eq!(
+            seqs_hier, seqs_flat,
+            "node-leader routing must be byte-identical to the flat exchange"
+        );
+        let hs = hier_team.stats_total();
+        let fs = flat_team.stats_total();
+        assert_eq!(
+            hs.off_node_bytes, fs.off_node_bytes,
+            "off-node payload bytes are mode-independent"
+        );
+        assert!(
+            hs.off_node_msgs < fs.off_node_msgs,
+            "expected fewer off-node messages: hier={} flat={}",
+            hs.off_node_msgs,
+            fs.off_node_msgs
+        );
     }
 
     #[test]

@@ -64,6 +64,10 @@ impl StageTimings {
             let sum = StatsSnapshot {
                 msgs_sent: ctx.allreduce_sum_u64(stats.msgs_sent),
                 bytes_sent: ctx.allreduce_sum_u64(stats.bytes_sent),
+                on_node_bytes: ctx.allreduce_sum_u64(stats.on_node_bytes),
+                off_node_bytes: ctx.allreduce_sum_u64(stats.off_node_bytes),
+                on_node_msgs: ctx.allreduce_sum_u64(stats.on_node_msgs),
+                off_node_msgs: ctx.allreduce_sum_u64(stats.off_node_msgs),
                 remote_ops: ctx.allreduce_sum_u64(stats.remote_ops),
                 local_ops: ctx.allreduce_sum_u64(stats.local_ops),
                 atomic_ops: ctx.allreduce_sum_u64(stats.atomic_ops),

@@ -23,13 +23,28 @@
 //!   mutually); then iterated pointer-jumping rounds over
 //!   [`pgas::Ctx::exchange_map`] double each segment's known distance to its
 //!   chain head every round, so any chain of `m` segments resolves in
-//!   `O(log m)` aggregated rounds. Chains still unresolved after
-//!   `ceil(log2(total segments)) + 2` rounds are cycles; by then every cycle
-//!   segment's jump window has wrapped the whole cycle, so the running
-//!   minimum carried alongside the jumps is the cycle's global minimum
-//!   vertex. A final aggregated exchange ships every segment to its chain
-//!   head (paths) or to the owner of the cycle-minimal vertex (cycles),
-//!   which splices the bases and emits.
+//!   `O(log m)` aggregated rounds. The byte volume of those rounds is kept
+//!   under the per-hop baseline by three measures the bench snapshots
+//!   forced:
+//!   - **Only still-unresolved chains probe**, and between probe rounds each
+//!     rank *compresses owner-local sub-chains in memory* (chase targets on
+//!     the probing rank are merged link-by-link with zero traffic), so only
+//!     cross-rank hops ever reach the wire.
+//!   - **Cycles self-terminate** instead of probing until the round cap
+//!     (which is exactly the multi-rank stitch-byte blowup the bench
+//!     snapshots caught): a chase window on a path contains no segment
+//!     twice, so a jump distance exceeding the global segment count proves
+//!     the chase wrapped a cycle. Such segments go dormant, and a dedicated
+//!     follow-up chase over just those few segments — carrying a
+//!     minimum-`SegId` accumulator whose overlap certificate identifies
+//!     each cycle's global minimum — picks every cycle's assembly site.
+//!   - **Wire structs stay minimal**: the jump reply is three words, and the
+//!     final shipping record carries no k-mer the receiver can recompute
+//!     from the shipped bases.
+//!
+//!   A final aggregated exchange ships every segment to its assembly site —
+//!   the chain head's rank for paths, the minimal segment's rank for cycles
+//!   — which splices the bases and emits.
 //!
 //! **Determinism / byte-identity.** The emitter rules reproduce the per-hop
 //! walker's output exactly, at any rank count:
@@ -52,7 +67,7 @@ use crate::traversal::{eligible, push_contig, TraversalParams};
 use dht::{DistMap, FxHashMap, FxHashSet};
 use kmers::{Ext, Kmer};
 use pgas::{Aggregator, Ctx};
-use seqio::alphabet::decode_base;
+use seqio::alphabet::{decode_base, encode_base};
 
 /// Per-owner batch size of the stitching request–response rounds.
 const STITCH_BATCH: usize = 4096;
@@ -60,24 +75,69 @@ const STITCH_BATCH: usize = 4096;
 const ASSEMBLE_BATCH: usize = 1024;
 
 /// Global identity of a segment: the rank that compacted it + its index in
-/// that rank's segment vector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// that rank's segment vector. The derived `(rank, idx)` order is the total
+/// order the cycle-detection accumulator minimises over — any total order
+/// works, because a `SegId` occurs exactly once per directed chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct SegId {
     rank: u32,
     idx: u32,
 }
 
-/// Pointer-jumping state of one segment.
+/// Pointer-jumping state of one segment. Kept deliberately small (16 bytes —
+/// no accumulator rides along): a `RpcReply<Link>` is shipped per
+/// still-chasing segment per round, so its size is the dominant factor of
+/// the stitch phase's byte volume.
 #[derive(Debug, Clone, Copy)]
 enum Link {
     /// Resolved: the chain head is `head` and this segment sits `pos` segments
     /// after it.
     Done { head: SegId, pos: u32 },
+    /// Resolved as a cross-rank cycle whose minimal `SegId` is `minseg` (the
+    /// cycle's assembly site is that segment's rank).
+    Cycle { minseg: SegId },
     /// Unresolved: the chain head is somewhere at or before `to`, which is
-    /// `d` predecessor hops away; `amin` is the minimal canonical vertex over
-    /// the `d` segments starting at this one (exclusive of `to`) — the
-    /// accumulator that yields the cycle minimum once `d` wraps a cycle.
-    Chase { to: SegId, d: u32, amin: Kmer },
+    /// `d` predecessor hops away. The window of `d` segments starting at this
+    /// one contains no segment twice while the chase stays on a path, so `d`
+    /// can only exceed the *global* segment count by wrapping a cycle —
+    /// which is how cycles are detected without shipping any accumulator:
+    /// a segment whose `d` overflows that bound goes dormant and resolves
+    /// its cycle minimum in the dedicated (tiny) chase of level 2b'.
+    Chase { to: SegId, d: u32 },
+}
+
+/// Merges a chasing segment's state (`d` hops covered) with the link of its
+/// current target — the single step both the remote probe rounds and the
+/// owner-local compression apply:
+///
+/// * target resolved → we sit `d` segments further down the same chain;
+/// * target on a known cycle → we are on that cycle;
+/// * target still chasing → jump over it: the target's window starts exactly
+///   where ours ends, so the windows concatenate and the distances add.
+fn merge_link(d: u32, target: Link) -> Link {
+    match target {
+        Link::Done { head, pos } => Link::Done { head, pos: pos + d },
+        Link::Cycle { minseg } => Link::Cycle { minseg },
+        Link::Chase { to: to2, d: d2 } => Link::Chase { to: to2, d: d + d2 },
+    }
+}
+
+/// Level 2b' state of one dormant (proven on-cycle) segment: the minimum-
+/// `SegId` chase that finds each cycle's canonical assembly site. `amin` is
+/// the minimal `SegId` over the `d` segments starting at the owner
+/// (exclusive of `to`); since every `SegId` occurs exactly once per directed
+/// chain, two jump windows reporting the *same* minimum must overlap, which
+/// for adjacent windows only happens once they wrap the cycle — and the
+/// shared minimum is then the cycle's global minimum. Only the handful of
+/// cross-rank cycle segments ever exchange this 24-byte state, so the
+/// accumulator's cost is negligible here, unlike on the hot path-resolution
+/// rounds.
+#[derive(Debug, Clone, Copy)]
+enum MiniLink {
+    /// Cycle minimum found.
+    Min { minseg: SegId },
+    /// Still chasing around the cycle.
+    Chase { to: SegId, d: u32, amin: SegId },
 }
 
 /// What lies beyond a segment's left (chain-predecessor) end.
@@ -91,26 +151,18 @@ enum LeftBoundary {
     Pending { nbr: Kmer, agree: u8 },
 }
 
-/// One owner-local maximal run, in a fixed walk direction.
+/// One owner-local maximal run, in a fixed walk direction. (The endpoint
+/// k-mers are not stored: the last vertex is the `by_last` index key, and
+/// everything else the stitcher ships is derivable from `bases`.)
 struct Segment {
-    /// First vertex, in walk orientation.
-    first: Kmer,
-    /// Last vertex, in walk orientation.
-    last: Kmer,
     left: LeftBoundary,
-    /// The right-extension base code of `last` (`None` when that side is a
-    /// dead end).
+    /// The right-extension base code of the last vertex (`None` when that
+    /// side is a dead end).
     right_code: Option<u8>,
     /// True when `right_code` points at a vertex owned by another rank.
     right_remote: bool,
     bases: Vec<u8>,
     depth_sum: u64,
-    vcount: u32,
-    /// Minimal canonical vertex of the segment, whether it was visited in
-    /// canonical orientation, and its vertex index within the segment.
-    min_vertex: Kmer,
-    min_is_canonical: bool,
-    min_offset: u32,
 }
 
 /// The request of the predecessor-resolution round: "which of your segments
@@ -121,26 +173,72 @@ struct PredQuery {
     agree: u8,
 }
 
-/// One segment shipped to its assembly site (chain head or cycle-min owner).
+/// One segment shipped to its assembly site (chain head's rank for paths,
+/// minimal segment's rank for cycles). Everything the splicer needs that is
+/// derivable from `bases` — the endpoint k-mers, their canonical forms, the
+/// vertex count — is *recomputed at the receiver* instead of shipped: the
+/// wire struct carries five fewer `Kmer`s (40 bytes each) than the obvious
+/// encoding, which is most of the final exchange's byte volume.
 struct AsmRecord {
     chain: Chain,
-    first: Kmer,
-    last: Kmer,
     right_code: u8,
-    first_canonical: Kmer,
-    first_is_canonical: bool,
-    last_canonical: Kmer,
-    min_vertex: Kmer,
-    min_is_canonical: bool,
-    min_offset: u32,
     bases: Vec<u8>,
     depth_sum: u64,
-    vcount: u32,
 }
 
 enum Chain {
-    Path { head_idx: u32, pos: u32 },
-    Cycle { min: Kmer },
+    Path {
+        head_idx: u32,
+        pos: u32,
+    },
+    /// `min_idx` is the cycle's minimal `SegId`'s index on the assembly rank
+    /// (which is that `SegId`'s rank, so the index alone identifies it).
+    Cycle {
+        min_idx: u32,
+    },
+}
+
+impl AsmRecord {
+    /// Number of graph vertices the segment covers.
+    fn vcount(&self, k: usize) -> u32 {
+        (self.bases.len() + 1 - k) as u32
+    }
+
+    /// First vertex in walk orientation, recomputed from the bases.
+    fn first(&self, k: usize) -> Kmer {
+        Kmer::from_bytes(&self.bases[..k]).expect("segment bases start with a k-mer")
+    }
+
+    /// Last vertex in walk orientation, recomputed from the bases.
+    fn last(&self, k: usize) -> Kmer {
+        Kmer::from_bytes(&self.bases[self.bases.len() - k..])
+            .expect("segment bases end with a k-mer")
+    }
+}
+
+/// Recomputes, from a segment's bases alone, what [`walk_local`] tracked
+/// while building it: the minimal canonical vertex, whether it was visited
+/// in canonical orientation, and its vertex index within the segment. Only
+/// the cycle emitter needs this triple, so it is derived at the assembly
+/// site instead of shipped with every record. The update rule must match
+/// [`walk_local`]'s exactly (first occurrence wins, upgraded only by a
+/// canonical-orientation visit of the same vertex) for byte-identity with
+/// the per-hop walker's cycle seeds.
+fn segment_min(bases: &[u8], k: usize) -> (Kmer, bool, u32) {
+    let mut kmer = Kmer::from_bytes(&bases[..k]).expect("segment bases start with a k-mer");
+    let (canon, was_rc) = kmer.canonical();
+    let (mut min_vertex, mut min_is_canonical, mut min_offset) = (canon, !was_rc, 0u32);
+    for (i, &b) in bases[k..].iter().enumerate() {
+        let code = encode_base(b).expect("segment bases are ACGT");
+        kmer = kmer.extended_right(code);
+        let (canon, was_rc) = kmer.canonical();
+        if canon < min_vertex || (canon == min_vertex && !was_rc && !min_is_canonical) {
+            min_vertex = canon;
+            min_is_canonical = !was_rc;
+            min_offset = (i + 1) as u32;
+        }
+    }
+    (min_vertex, min_is_canonical, min_offset)
 }
 
 /// A borrowed, zero-traffic view of this rank's own graph shard.
@@ -155,12 +253,8 @@ enum Probe {
     Remote,
     /// Owned here, but not in the graph.
     Absent,
-    /// Owned here; `canonical_oriented` is true when the probe orientation is
-    /// the canonical one.
-    Present {
-        v: OrientedVertex,
-        canonical_oriented: bool,
-    },
+    /// Owned here, in the probe orientation.
+    Present { v: OrientedVertex },
 }
 
 impl LocalGraph<'_> {
@@ -173,7 +267,6 @@ impl LocalGraph<'_> {
             None => Probe::Absent,
             Some(v) => Probe::Present {
                 v: orient(*v, canon, was_rc),
-                canonical_oriented: !was_rc,
             },
         }
     }
@@ -191,21 +284,12 @@ struct LocalWalk {
     right_remote: bool,
     /// The walk returned to its start (a fully-local cycle).
     closed: bool,
-    min_vertex: Kmer,
-    min_is_canonical: bool,
-    min_offset: u32,
 }
 
 /// Walks right from `start` while the next vertex is local, eligible and
 /// mutually agreeing — the same continuation rule as the per-hop walker, with
 /// remote ownership as an additional stop (it becomes a segment boundary).
-fn walk_local(
-    lg: &LocalGraph,
-    start: Kmer,
-    v0: &OrientedVertex,
-    start_canonical_oriented: bool,
-    limit: usize,
-) -> LocalWalk {
+fn walk_local(lg: &LocalGraph, start: Kmer, v0: &OrientedVertex, limit: usize) -> LocalWalk {
     let mut w = LocalWalk {
         bases: start.to_bytes(),
         depth_sum: v0.count as u64,
@@ -215,9 +299,6 @@ fn walk_local(
         right_code: None,
         right_remote: false,
         closed: false,
-        min_vertex: v0.canonical,
-        min_is_canonical: start_canonical_oriented,
-        min_offset: 0,
     };
     let mut current = start;
     let mut right = v0.right;
@@ -242,10 +323,7 @@ fn walk_local(
                 w.right_code = Some(c);
                 break;
             }
-            Probe::Present {
-                v: nv,
-                canonical_oriented,
-            } => {
+            Probe::Present { v: nv, .. } => {
                 if !eligible(nv.left, nv.right) {
                     w.right_code = Some(c);
                     break;
@@ -262,18 +340,6 @@ fn walk_local(
                 }
                 w.bases.push(decode_base(c));
                 w.depth_sum += nv.count as u64;
-                // Track the minimal canonical vertex, preferring its
-                // canonical-orientation occurrence: a walk through a
-                // palindromic junction can visit the same vertex in both
-                // orientations, and the cycle emitter starts at the
-                // canonical one (as the per-hop walker's cycle seed does).
-                if nv.canonical < w.min_vertex
-                    || (nv.canonical == w.min_vertex && canonical_oriented && !w.min_is_canonical)
-                {
-                    w.min_vertex = nv.canonical;
-                    w.min_is_canonical = canonical_oriented;
-                    w.min_offset = w.vcount;
-                }
                 w.vcount += 1;
                 w.visited.push(nv.canonical);
                 w.last = next;
@@ -353,23 +419,17 @@ pub(crate) fn segment_contigs(
                 let Some(left) = left_boundary(&lg, &okmer, &ov) else {
                     continue;
                 };
-                let w = walk_local(&lg, okmer, &ov, !was_rc, limit);
+                let w = walk_local(&lg, okmer, &ov, limit);
                 debug_assert!(!w.closed, "a segment start cannot close a cycle");
                 covered.extend(w.visited.iter().copied());
                 let idx = segs.len() as u32;
                 by_last.insert(w.last, idx);
                 segs.push(Segment {
-                    first: okmer,
-                    last: w.last,
                     left,
                     right_code: w.right_code,
                     right_remote: w.right_remote,
                     bases: w.bases,
                     depth_sum: w.depth_sum,
-                    vcount: w.vcount,
-                    min_vertex: w.min_vertex,
-                    min_is_canonical: w.min_is_canonical,
-                    min_offset: w.min_offset,
                 });
             }
         }
@@ -384,7 +444,7 @@ pub(crate) fn segment_contigs(
                 continue;
             }
             let ov = orient(*v, *key, false);
-            let w = walk_local(&lg, *key, &ov, true, limit);
+            let w = walk_local(&lg, *key, &ov, limit);
             debug_assert!(w.closed, "uncovered vertices must lie on local cycles");
             cycle_seen.extend(w.visited.iter().copied());
             let min = w.visited.iter().min().copied().unwrap_or(*key);
@@ -392,7 +452,7 @@ pub(crate) fn segment_contigs(
                 w
             } else {
                 let mv = *lg.view.get(&min).expect("cycle vertex is owned locally");
-                walk_local(&lg, min, &orient(mv, min, false), true, limit)
+                walk_local(&lg, min, &orient(mv, min, false), limit)
             };
             push_contig(
                 &mut local,
@@ -441,28 +501,49 @@ pub(crate) fn segment_contigs(
             pos: 0,
         })
         .collect();
+    // Direct predecessors are remembered past the jumping: the cycle chase of
+    // level 2b' restarts from them.
+    let mut pred_of: Vec<Option<SegId>> = vec![None; links.len()];
     for ((i, dest), resp) in pending.iter().zip(pred_resps) {
         if let Some(p_idx) = resp {
-            links[*i] = Link::Chase {
-                to: SegId {
-                    rank: *dest,
-                    idx: p_idx,
-                },
-                d: 1,
-                amin: segs[*i].min_vertex,
+            let pred = SegId {
+                rank: *dest,
+                idx: p_idx,
             };
+            pred_of[*i] = Some(pred);
+            links[*i] = Link::Chase { to: pred, d: 1 };
         }
     }
 
     // ---- Level 2b: pointer-jumping rounds (chain length halves per round) ---
     let total_segs = ctx.allreduce_sum_u64(segs.len() as u64);
     let max_rounds = (u64::BITS - total_segs.leading_zeros()) as usize + 2;
+    let dormant = |d: u32| d as u64 > total_segs;
     let mut rounds = 0usize;
     loop {
+        // Owner-local path compression: follow chase targets that live on
+        // this rank entirely in memory, repeatedly merging with their links,
+        // until the target is remote or the chase resolves. This is free
+        // (zero traffic) pointer jumping: only cross-rank hops go on the
+        // wire, which collapses both the round count and the probe volume —
+        // at 2 ranks a chain's even-position sub-chain links up locally
+        // after the first remote round and the whole chain resolves without
+        // further probes. The loop terminates: every merge either resolves
+        // the link or strictly grows `d`, and a `d` past the dormancy bound
+        // stops the walk (a self-targeting link doubles itself past any
+        // bound in logarithmically many merges).
+        for i in 0..links.len() {
+            while let Link::Chase { to, d } = links[i] {
+                if dormant(d) || to.rank as usize != rank {
+                    break;
+                }
+                links[i] = merge_link(d, links[to.idx as usize]);
+            }
+        }
         let chasing: Vec<usize> = links
             .iter()
             .enumerate()
-            .filter(|(_, l)| matches!(l, Link::Chase { .. }))
+            .filter(|(_, l)| matches!(l, Link::Chase { d, .. } if !dormant(*d)))
             .map(|(i, _)| i)
             .collect();
         let any = ctx.allreduce_any(!chasing.is_empty());
@@ -485,22 +566,107 @@ pub(crate) fn segment_contigs(
             .collect();
         let resps = ctx.exchange_map(jump_reqs, STITCH_BATCH, |idx: u32| links[idx as usize]);
         for (&i, resp) in chasing.iter().zip(resps) {
-            let Link::Chase { d, amin, .. } = links[i] else {
+            let Link::Chase { d, .. } = links[i] else {
                 unreachable!()
             };
-            links[i] = match resp {
-                // The target knows its head: we sit `d` segments after it.
-                Link::Done { head, pos } => Link::Done { head, pos: pos + d },
-                // Jump over the target: distance doubles, minima merge.
-                Link::Chase {
-                    to: to2,
-                    d: d2,
-                    amin: amin2,
-                } => Link::Chase {
-                    to: to2,
-                    d: d + d2,
-                    amin: amin.min(amin2),
-                },
+            links[i] = merge_link(d, resp);
+        }
+    }
+
+    // ---- Level 2b': cycle minima for the dormant (proven on-cycle) segments --
+    // Paths are all resolved by now; what is left chasing proved itself to be
+    // on a cross-rank cycle by overflowing the path-length bound. These are
+    // rare (a handful of circular replicons crossing rank boundaries), so a
+    // dedicated chase restarted from the direct predecessors — carrying the
+    // minimum-`SegId` accumulator the hot rounds deliberately do not ship —
+    // finds each cycle's global minimum in a few tiny exchange rounds.
+    let cycset: Vec<usize> = links
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| matches!(l, Link::Chase { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    if ctx.allreduce_any(!cycset.is_empty()) {
+        let mut mini: FxHashMap<u32, MiniLink> = cycset
+            .iter()
+            .map(|&i| {
+                let pred = pred_of[i].expect("an on-cycle segment has a remote predecessor");
+                (
+                    i as u32,
+                    MiniLink::Chase {
+                        to: pred,
+                        d: 1,
+                        amin: me(i),
+                    },
+                )
+            })
+            .collect();
+        let mut rounds2 = 0usize;
+        loop {
+            let chasing: Vec<u32> = cycset
+                .iter()
+                .filter(|&&i| matches!(mini[&(i as u32)], MiniLink::Chase { .. }))
+                .map(|&i| i as u32)
+                .collect();
+            let any = ctx.allreduce_any(!chasing.is_empty());
+            if !any || rounds2 >= max_rounds {
+                break;
+            }
+            rounds2 += 1;
+            if rank == 0 {
+                ctx.record_traversal_round();
+            }
+            let reqs: Vec<(usize, u32)> = chasing
+                .iter()
+                .map(|&i| {
+                    let MiniLink::Chase { to, .. } = mini[&i] else {
+                        unreachable!()
+                    };
+                    ctx.record_stitch_bytes(
+                        std::mem::size_of::<u32>() + std::mem::size_of::<MiniLink>(),
+                    );
+                    (to.rank as usize, to.idx)
+                })
+                .collect();
+            let resps = ctx.exchange_map(reqs, STITCH_BATCH, |idx: u32| {
+                *mini.get(&idx).expect("cycle chase targets stay on cycles")
+            });
+            for (&i, resp) in chasing.iter().zip(resps) {
+                let MiniLink::Chase { d, amin, .. } = mini[&i] else {
+                    unreachable!()
+                };
+                let merged = match resp {
+                    // The target already knows the cycle minimum.
+                    MiniLink::Min { minseg } => MiniLink::Min { minseg },
+                    MiniLink::Chase {
+                        to: to2,
+                        d: d2,
+                        amin: amin2,
+                    } => {
+                        if amin == amin2 {
+                            // The certificate: adjacent windows sharing their
+                            // minimal `SegId` overlap, so they wrap the cycle
+                            // and the shared minimum is its global minimum.
+                            MiniLink::Min { minseg: amin }
+                        } else {
+                            MiniLink::Chase {
+                                to: to2,
+                                d: d + d2,
+                                amin: amin.min(amin2),
+                            }
+                        }
+                    }
+                };
+                mini.insert(i, merged);
+            }
+        }
+        for &i in &cycset {
+            links[i] = match mini[&(i as u32)] {
+                MiniLink::Min { minseg } => Link::Cycle { minseg },
+                // Safety net at the round cap (the certificate normally fires
+                // well before it): by then the window has wrapped the whole
+                // cycle, so `amin` is its global minimum.
+                MiniLink::Chase { amin, .. } => Link::Cycle { minseg: amin },
             };
         }
     }
@@ -519,29 +685,25 @@ pub(crate) fn segment_contigs(
                     pos,
                 },
             ),
-            // Still chasing after the round cap: a cross-rank cycle; `amin`
-            // wrapped the whole cycle, so it is the cycle's global minimum.
-            Link::Chase { amin, .. } => (graph.owner_of(&amin), Chain::Cycle { min: amin }),
+            Link::Cycle { minseg } => (
+                minseg.rank as usize,
+                Chain::Cycle {
+                    min_idx: minseg.idx,
+                },
+            ),
+            // Levels 2b/2b' resolve every link: paths learn their head within
+            // the round cap, and everything else went dormant and was
+            // assigned its cycle minimum.
+            Link::Chase { .. } => unreachable!("stitch chase left unresolved"),
         };
-        let (first_canonical, f_was_rc) = seg.first.canonical();
-        let (last_canonical, _) = seg.last.canonical();
-        ctx.record_stitch_bytes(seg.bases.len() + 4 * std::mem::size_of::<Kmer>() + 32);
+        ctx.record_stitch_bytes(seg.bases.len() + std::mem::size_of::<AsmRecord>());
         agg.push(
             dest,
             AsmRecord {
                 chain,
-                first: seg.first,
-                last: seg.last,
                 right_code: seg.right_code.unwrap_or(0),
-                first_canonical,
-                first_is_canonical: !f_was_rc,
-                last_canonical,
-                min_vertex: seg.min_vertex,
-                min_is_canonical: seg.min_is_canonical,
-                min_offset: seg.min_offset,
                 bases: seg.bases,
                 depth_sum: seg.depth_sum,
-                vcount: seg.vcount,
             },
         );
     }
@@ -549,11 +711,11 @@ pub(crate) fn segment_contigs(
 
     // ---- Assembly: splice chains, apply the emitter rules -------------------
     let mut paths: FxHashMap<u32, Vec<AsmRecord>> = FxHashMap::default();
-    let mut cycles: FxHashMap<Kmer, Vec<AsmRecord>> = FxHashMap::default();
+    let mut cycles: FxHashMap<u32, Vec<AsmRecord>> = FxHashMap::default();
     for rec in records {
         match rec.chain {
             Chain::Path { head_idx, .. } => paths.entry(head_idx).or_default().push(rec),
-            Chain::Cycle { min } => cycles.entry(min).or_default().push(rec),
+            Chain::Cycle { min_idx } => cycles.entry(min_idx).or_default().push(rec),
         }
     }
     for (_, mut recs) in paths {
@@ -565,16 +727,17 @@ pub(crate) fn segment_contigs(
             .iter()
             .enumerate()
             .all(|(i, r)| matches!(r.chain, Chain::Path { pos, .. } if pos == i as u32)));
-        let fc = recs[0].first_canonical;
-        let lc = recs[recs.len() - 1].last_canonical;
-        let vtotal: usize = recs.iter().map(|r| r.vcount as usize).sum();
+        let first = recs[0].first(k);
+        let (fc, f_was_rc) = first.canonical();
+        let (lc, _) = recs[recs.len() - 1].last(k).canonical();
+        let vtotal: usize = recs.iter().map(|r| r.vcount(k) as usize).sum();
         // Mirror chains see (fc, lc) swapped: the smaller-first chain emits.
         // Equal endpoints happens in two self-mirror shapes: a single-vertex
         // path (both mirrors see it identically — only the canonical-
         // orientation chain emits) and a palindromic hairpin path, which
         // ends on the reverse complement of its first vertex and *is* its
         // own mirror (exactly one chain exists — always emit).
-        if fc < lc || (fc == lc && (vtotal > 1 || recs[0].first_is_canonical)) {
+        if fc < lc || (fc == lc && (vtotal > 1 || !f_was_rc)) {
             let mut bases = std::mem::take(&mut recs[0].bases);
             let mut depth_sum = recs[0].depth_sum;
             for r in &recs[1..] {
@@ -584,22 +747,34 @@ pub(crate) fn segment_contigs(
             push_contig(&mut local, bases, depth_sum as f64, vtotal, params);
         }
     }
-    for (min, recs) in cycles {
-        // Both directed cycles land here (same minimum). Emit the direction
-        // that visits the minimal vertex canonically, starting at it.
-        let Some(e) = recs
-            .iter()
-            .position(|r| r.min_vertex == min && r.min_is_canonical)
-        else {
-            debug_assert!(false, "cycle group without a canonical-min emitter");
+    for (_, recs) in cycles {
+        // One full directed cycle lands here (its mirror assembles at its own
+        // minimal segment's rank). The group's minimal canonical vertex is
+        // the cycle's global minimum; emit only if this direction visits it
+        // in canonical orientation — exactly one of the two mirror directions
+        // does (for odd k each (vertex, orientation) pair occurs at most once
+        // per directed chain), so the cycle is emitted exactly once, by the
+        // same rule the per-hop walker applies from its canonical seed. A
+        // self-mirror cycle contains both directions in one chain and lands
+        // here whole, with a unique canonical-min record — it also emits
+        // exactly once.
+        let mins: Vec<(Kmer, bool, u32)> = recs.iter().map(|r| segment_min(&r.bases, k)).collect();
+        let Some(e) = (0..recs.len()).min_by_key(|&i| (mins[i].0, !mins[i].1)) else {
+            debug_assert!(false, "empty cycle group");
             continue;
         };
-        let by_first: FxHashMap<Kmer, usize> =
-            recs.iter().enumerate().map(|(i, r)| (r.first, i)).collect();
+        if !mins[e].1 {
+            continue; // the mirror direction sees the minimum canonically
+        }
+        let by_first: FxHashMap<Kmer, usize> = recs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.first(k), i))
+            .collect();
         let mut order = vec![e];
         loop {
             let r = &recs[*order.last().expect("order is non-empty")];
-            let next_first = r.last.extended_right(r.right_code);
+            let next_first = r.last(k).extended_right(r.right_code);
             let Some(&j) = by_first.get(&next_first) else {
                 debug_assert!(false, "broken cycle chain");
                 break;
@@ -609,7 +784,7 @@ pub(crate) fn segment_contigs(
             }
             order.push(j);
         }
-        let total: usize = order.iter().map(|&j| recs[j].vcount as usize).sum();
+        let total: usize = order.iter().map(|&j| recs[j].vcount(k) as usize).sum();
         let mut circle = recs[e].bases.clone();
         for &j in &order[1..] {
             circle.extend_from_slice(&recs[j].bases[k - 1..]);
@@ -617,7 +792,7 @@ pub(crate) fn segment_contigs(
         debug_assert_eq!(circle.len(), total + k - 1);
         // Rotate so the contig starts at the minimal vertex: base i of the
         // output is base (min_offset + i) of the underlying base cycle.
-        let p = recs[e].min_offset as usize;
+        let p = mins[e].2 as usize;
         let out: Vec<u8> = (0..total + k - 1)
             .map(|i| circle[(p + i) % total])
             .collect();

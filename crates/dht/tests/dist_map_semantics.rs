@@ -146,4 +146,79 @@ fn on_node_and_off_node_traffic_is_accounted_in_comm_stats() {
     });
     assert_eq!(single.stats_total().remote_ops, 0);
     assert!(single.stats_total().local_ops > 0);
+
+    // The aggregated phases additionally split *bytes* and *messages* by the
+    // node boundary, in both exchange modes.
+    let run_bulk = |hier: bool| {
+        let team = Team::new(Topology::new(ranks, 2));
+        team.set_hierarchical_exchange(hier);
+        team.run(|ctx| {
+            let map: Arc<DistMap<u64, u64>> = DistMap::shared(ctx);
+            bulk_merge(ctx, &map, (0..1000u64).map(|k| (k, 1u64)), 17, |a, b| {
+                *a += b
+            });
+            for k in 0..1000u64 {
+                assert_eq!(map.get_cloned(ctx, &k), Some(ranks as u64));
+            }
+        });
+        team.stats_total()
+    };
+    let flat = run_bulk(false);
+    let hier = run_bulk(true);
+    for s in [&flat, &hier] {
+        assert!(s.on_node_bytes > 0 && s.off_node_bytes > 0);
+        assert_eq!(s.on_node_bytes + s.off_node_bytes, s.bytes_sent);
+        assert_eq!(s.on_node_msgs + s.off_node_msgs, s.msgs_sent);
+    }
+    // Node-leader routing moves the same payload across the interconnect in
+    // fewer, larger messages; it never changes the off-node byte volume.
+    assert_eq!(flat.off_node_bytes, hier.off_node_bytes);
+    assert!(
+        hier.off_node_msgs < flat.off_node_msgs,
+        "expected fewer off-node messages: hier={} flat={}",
+        hier.off_node_msgs,
+        flat.off_node_msgs
+    );
+}
+
+#[test]
+fn dist_map_results_are_invariant_on_non_uniform_topologies() {
+    // Topologies where the last node is partial (ranks % ranks_per_node != 0)
+    // must produce the same map contents as the single-node baseline, in both
+    // exchange modes.
+    let ranks = 5;
+    let reference = {
+        let team = Team::single_node(ranks);
+        team.run(|ctx| {
+            let map: Arc<DistMap<u64, u64>> = DistMap::shared(ctx);
+            bulk_merge(ctx, &map, (0..600u64).map(|k| (k, 1u64)), 13, |a, b| {
+                *a += b
+            });
+            (0..600u64)
+                .map(|k| map.get_cloned(ctx, &k))
+                .collect::<Vec<_>>()
+        })
+    };
+    for ranks_per_node in [2, 3] {
+        for hier in [false, true] {
+            let team = Team::new(Topology::new(ranks, ranks_per_node));
+            team.set_hierarchical_exchange(hier);
+            let got = team.run(|ctx| {
+                let map: Arc<DistMap<u64, u64>> = DistMap::shared(ctx);
+                bulk_merge(ctx, &map, (0..600u64).map(|k| (k, 1u64)), 13, |a, b| {
+                    *a += b
+                });
+                (0..600u64)
+                    .map(|k| map.get_cloned(ctx, &k))
+                    .collect::<Vec<_>>()
+            });
+            assert_eq!(
+                got, reference,
+                "topology ({ranks}, {ranks_per_node}) hier={hier} changed the map contents"
+            );
+            let s = team.stats_total();
+            assert_eq!(s.on_node_bytes + s.off_node_bytes, s.bytes_sent);
+            assert_eq!(s.on_node_msgs + s.off_node_msgs, s.msgs_sent);
+        }
+    }
 }

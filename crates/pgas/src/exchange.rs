@@ -33,6 +33,43 @@
 //! an inbox its owner has not yet drained, and the owner's late drain would
 //! swallow them. (`RpcAggregator::finish` needs no trailing barrier; see the
 //! reasoning where its drains happen.)
+//!
+//! # Two-level (node-leader) routing
+//!
+//! On a multi-node topology the paper's machines pay very different costs for
+//! on-node and off-node transfers, and HipMer-style aggregation therefore
+//! routes hierarchically: instead of every rank sending one message per
+//! remote *rank*, the ranks of a node combine their traffic so that only one
+//! message per remote *node* crosses the interconnect. When
+//! [`Team::set_hierarchical_exchange`](crate::team::Team::set_hierarchical_exchange)
+//! is on, every aggregated collective in this module routes its off-node
+//! batches through a node-leader router (`NodeRouter`):
+//!
+//! 1. **gather** — a rank's flushed batch for an off-node destination is
+//!    deposited at its own node leader (accounted as an on-node message,
+//!    unless the rank *is* the leader);
+//! 2. **ship** — after a barrier, each leader combines everything addressed
+//!    to the same destination node and sends it as **one** off-node message
+//!    per destination node (the payload bytes are unchanged — exactly the
+//!    sum of the gathered batches);
+//! 3. **scatter** — after a second barrier, the receiving leader deposits
+//!    each packet into the final owner's ordinary inbox (an on-node message,
+//!    unless the owner is the leader itself).
+//!
+//! On-node destinations bypass the router entirely and use the same direct
+//! deposit as the flat path. Off-node *bytes* are identical in both modes
+//! (each payload crosses the interconnect exactly once either way); the win
+//! is the off-node *message* count, which drops by up to a factor of
+//! `ranks_per_node` per direction. The extra gather/scatter legs appear,
+//! correctly, as additional on-node traffic.
+//!
+//! The router's two barriers slot into the mailbox-reuse protocol above: the
+//! gather inbox is drained by leaders strictly between the router's two
+//! barriers, the ship inbox strictly between the second router barrier and
+//! the caller's own pre-drain barrier, and no rank can reach a later phase's
+//! first deposit without passing the caller's phase-final barrier — so every
+//! drain is still separated from the next phase's deposits by a barrier all
+//! ranks participate in.
 
 use crate::team::{Ctx, SlotLease};
 use parking_lot::Mutex;
@@ -65,6 +102,111 @@ impl<T: Send> AllToAll<T> {
     pub fn take_inbox(&self, ctx: &Ctx) -> Vec<T> {
         std::mem::take(&mut *self.inboxes[ctx.rank()].lock())
     }
+
+    /// Raw deposit into `dest`'s inbox with **no** accounting: the two-level
+    /// router records each transport leg itself, so the final hand-off must
+    /// not be double-counted.
+    fn deposit(&self, dest: usize, mut items: Vec<T>) {
+        if items.is_empty() {
+            return;
+        }
+        self.inboxes[dest].lock().append(&mut items);
+    }
+}
+
+/// One rank's flushed batch for a single final destination rank, travelling
+/// through the two-level (node-leader) exchange.
+struct NodePacket<T> {
+    /// Final owner rank.
+    dest: u32,
+    /// Accounted payload bytes of `items`: exact blob length for byte
+    /// records, `len * size_of::<T>()` for fixed-size items — exactly what
+    /// the flat path would have recorded for the same batch.
+    bytes: usize,
+    items: Vec<T>,
+}
+
+/// The two-level router behind every aggregated collective when hierarchical
+/// exchange is enabled: gather at the source node's leader, ship one combined
+/// message per destination node, scatter on-node to the final owners. See the
+/// module docs for the protocol and its barrier/reuse reasoning.
+struct NodeRouter<T: Send + Sync + 'static> {
+    gather: SlotLease<AllToAll<NodePacket<T>>>,
+    ship: SlotLease<AllToAll<NodePacket<T>>>,
+}
+
+impl<T: Send + Sync + 'static> NodeRouter<T> {
+    fn new(ctx: &Ctx) -> Self {
+        NodeRouter {
+            gather: ctx.mailboxes(),
+            ship: ctx.mailboxes(),
+        }
+    }
+
+    /// Routes one flushed batch for the **off-node** rank `dest` into the
+    /// two-level path: the packet is deposited at this node's leader, as an
+    /// on-node message unless this rank *is* the leader.
+    fn send_remote(&self, ctx: &Ctx, dest: usize, items: Vec<T>, bytes: usize) {
+        if items.is_empty() {
+            return;
+        }
+        debug_assert!(
+            !ctx.topology().same_node(ctx.rank(), dest),
+            "on-node batches take the direct path"
+        );
+        let leader = ctx.topology().leader_of(ctx.rank());
+        if leader != ctx.rank() {
+            ctx.record_message(leader, bytes);
+        }
+        self.gather.deposit(
+            leader,
+            vec![NodePacket {
+                dest: dest as u32,
+                bytes,
+                items,
+            }],
+        );
+    }
+
+    /// Collective: completes the gather → ship → scatter protocol, leaving
+    /// every routed batch in the final owner's inbox of `direct`. The caller
+    /// must follow with its ordinary pre-drain barrier (which doubles as the
+    /// publication point for the scattered items); no trailing barrier is
+    /// needed here — see the module docs.
+    fn deliver(self, ctx: &Ctx, direct: &AllToAll<T>) {
+        let topo = ctx.topology();
+        // Every rank's `send_remote` deposits are visible after this barrier.
+        ctx.barrier();
+        if topo.is_leader(ctx.rank()) {
+            // Ship: one combined off-node message per destination node.
+            let mut per_node: Vec<Vec<NodePacket<T>>> =
+                (0..topo.nodes()).map(|_| Vec::new()).collect();
+            for packet in self.gather.take_inbox(ctx) {
+                per_node[topo.node_of(packet.dest as usize)].push(packet);
+            }
+            for (node, packets) in per_node.into_iter().enumerate() {
+                if packets.is_empty() {
+                    continue;
+                }
+                let bytes: usize = packets.iter().map(|p| p.bytes).sum();
+                let dest_leader = topo.leader_of_node(node);
+                ctx.record_message(dest_leader, bytes);
+                self.ship.deposit(dest_leader, packets);
+            }
+        }
+        // Every leader's ship deposits are visible after this barrier.
+        ctx.barrier();
+        if topo.is_leader(ctx.rank()) {
+            // Scatter: hand each packet to its final owner on-node.
+            for packet in self.ship.take_inbox(ctx) {
+                let dest = packet.dest as usize;
+                if dest != ctx.rank() {
+                    ctx.record_message(dest, packet.bytes);
+                }
+                direct.deposit(dest, packet.items);
+            }
+        }
+    }
 }
 
 impl<'t> Ctx<'t> {
@@ -73,6 +215,15 @@ impl<'t> Ctx<'t> {
     fn mailboxes<T: Send + Sync + 'static>(&self) -> SlotLease<AllToAll<T>> {
         let ranks = self.ranks();
         self.team().reusable_slot(|| AllToAll::<T>::new(ranks))
+    }
+
+    /// True when aggregated sends should take the node-leader path: the team
+    /// flag is on *and* the topology actually has more than one node. On a
+    /// single node every destination is local, the router could never carry a
+    /// packet, and its extra barriers would buy nothing — so single-node
+    /// teams behave identically in both modes.
+    fn node_routing(&self) -> bool {
+        self.hierarchical_exchange() && self.topology().nodes() > 1
     }
 
     /// Collective all-to-all exchange: `outgoing[d]` is the batch destined for
@@ -88,8 +239,18 @@ impl<'t> Ctx<'t> {
             "exchange requires one outgoing batch per rank"
         );
         let a2a: SlotLease<AllToAll<T>> = self.mailboxes();
+        let router = self.node_routing().then(|| NodeRouter::new(self));
         for (dest, batch) in outgoing.into_iter().enumerate() {
-            a2a.send_batch(self, dest, batch);
+            match &router {
+                Some(r) if !self.topology().same_node(self.rank(), dest) => {
+                    let bytes = batch.len() * std::mem::size_of::<T>();
+                    r.send_remote(self, dest, batch, bytes);
+                }
+                _ => a2a.send_batch(self, dest, batch),
+            }
+        }
+        if let Some(r) = router {
+            r.deliver(self, &a2a);
         }
         self.barrier();
         let mine = a2a.take_inbox(self);
@@ -137,6 +298,7 @@ impl<'t> Ctx<'t> {
 pub struct Aggregator<'c, 't, T: Send + Sync + 'static> {
     ctx: &'c Ctx<'t>,
     a2a: SlotLease<AllToAll<T>>,
+    router: Option<NodeRouter<T>>,
     bufs: Vec<Vec<T>>,
     batch: usize,
 }
@@ -147,13 +309,25 @@ impl<'c, 't, T: Send + Sync + 'static> Aggregator<'c, 't, T> {
     pub fn new(ctx: &'c Ctx<'t>, batch: usize) -> Self {
         assert!(batch > 0, "batch size must be positive");
         let a2a = ctx.mailboxes();
+        let router = ctx.node_routing().then(|| NodeRouter::new(ctx));
         Aggregator {
             ctx,
             a2a,
+            router,
             bufs: (0..ctx.ranks())
                 .map(|_| Vec::with_capacity(batch))
                 .collect(),
             batch,
+        }
+    }
+
+    fn send(&self, dest: usize, batch: Vec<T>) {
+        match &self.router {
+            Some(r) if !self.ctx.topology().same_node(self.ctx.rank(), dest) => {
+                let bytes = batch.len() * std::mem::size_of::<T>();
+                r.send_remote(self.ctx, dest, batch, bytes);
+            }
+            _ => self.a2a.send_batch(self.ctx, dest, batch),
         }
     }
 
@@ -163,7 +337,7 @@ impl<'c, 't, T: Send + Sync + 'static> Aggregator<'c, 't, T> {
         self.bufs[dest].push(item);
         if self.bufs[dest].len() >= self.batch {
             let full = std::mem::replace(&mut self.bufs[dest], Vec::with_capacity(self.batch));
-            self.a2a.send_batch(self.ctx, dest, full);
+            self.send(dest, full);
         }
     }
 
@@ -172,7 +346,7 @@ impl<'c, 't, T: Send + Sync + 'static> Aggregator<'c, 't, T> {
         for dest in 0..self.bufs.len() {
             if !self.bufs[dest].is_empty() {
                 let full = std::mem::take(&mut self.bufs[dest]);
-                self.a2a.send_batch(self.ctx, dest, full);
+                self.send(dest, full);
             }
         }
     }
@@ -181,6 +355,9 @@ impl<'c, 't, T: Send + Sync + 'static> Aggregator<'c, 't, T> {
     /// calling rank. Collective.
     pub fn finish(mut self) -> Vec<T> {
         self.flush();
+        if let Some(router) = self.router.take() {
+            router.deliver(self.ctx, &self.a2a);
+        }
         self.ctx.barrier();
         let mine = self.a2a.take_inbox(self.ctx);
         // Required for mailbox reuse; see the module docs.
@@ -227,6 +404,7 @@ impl AllToAll<Blob> {
 pub struct BlobAggregator<'c, 't> {
     ctx: &'c Ctx<'t>,
     a2a: SlotLease<AllToAll<Blob>>,
+    router: Option<NodeRouter<Blob>>,
     bufs: Vec<Vec<u8>>,
     batch_bytes: usize,
 }
@@ -236,11 +414,27 @@ impl<'c, 't> BlobAggregator<'c, 't> {
     /// at least `batch_bytes` bytes.
     pub fn new(ctx: &'c Ctx<'t>, batch_bytes: usize) -> Self {
         assert!(batch_bytes > 0, "batch size must be positive");
+        let a2a = ctx.mailboxes();
+        let router = ctx.node_routing().then(|| NodeRouter::new(ctx));
         BlobAggregator {
             ctx,
-            a2a: ctx.mailboxes(),
+            a2a,
+            router,
             bufs: (0..ctx.ranks()).map(|_| Vec::new()).collect(),
             batch_bytes,
+        }
+    }
+
+    fn send(&self, dest: usize, blob: Vec<u8>) {
+        if blob.is_empty() {
+            return;
+        }
+        match &self.router {
+            Some(r) if !self.ctx.topology().same_node(self.ctx.rank(), dest) => {
+                let bytes = blob.len();
+                r.send_remote(self.ctx, dest, vec![Blob(blob)], bytes);
+            }
+            _ => self.a2a.send_blob(self.ctx, dest, blob),
         }
     }
 
@@ -262,7 +456,7 @@ impl<'c, 't> BlobAggregator<'c, 't> {
     fn maybe_flush(&mut self, dest: usize) {
         if self.bufs[dest].len() >= self.batch_bytes {
             let full = std::mem::take(&mut self.bufs[dest]);
-            self.a2a.send_blob(self.ctx, dest, full);
+            self.send(dest, full);
         }
     }
 
@@ -272,8 +466,11 @@ impl<'c, 't> BlobAggregator<'c, 't> {
         for dest in 0..self.bufs.len() {
             if !self.bufs[dest].is_empty() {
                 let full = std::mem::take(&mut self.bufs[dest]);
-                self.a2a.send_blob(self.ctx, dest, full);
+                self.send(dest, full);
             }
+        }
+        if let Some(router) = self.router.take() {
+            router.deliver(self.ctx, &self.a2a);
         }
         self.ctx.barrier();
         let mine = self.a2a.take_inbox(self.ctx);
@@ -320,6 +517,8 @@ where
     ctx: &'c Ctx<'t>,
     requests: SlotLease<AllToAll<RpcRequest<Req>>>,
     replies: SlotLease<AllToAll<RpcReply<Resp>>>,
+    req_router: Option<NodeRouter<RpcRequest<Req>>>,
+    reply_router: Option<NodeRouter<RpcReply<Resp>>>,
     bufs: Vec<Vec<RpcRequest<Req>>>,
     batch: usize,
     next_seq: u32,
@@ -334,13 +533,28 @@ where
     /// size. Cheap and barrier-free; the mailboxes are reused team slots.
     pub fn new(ctx: &'c Ctx<'t>, batch: usize) -> Self {
         assert!(batch > 0, "batch size must be positive");
+        let requests = ctx.mailboxes();
+        let replies = ctx.mailboxes();
+        let hier = ctx.node_routing();
         RpcAggregator {
             ctx,
-            requests: ctx.mailboxes(),
-            replies: ctx.mailboxes(),
+            requests,
+            replies,
+            req_router: hier.then(|| NodeRouter::new(ctx)),
+            reply_router: hier.then(|| NodeRouter::new(ctx)),
             bufs: (0..ctx.ranks()).map(|_| Vec::new()).collect(),
             batch,
             next_seq: 0,
+        }
+    }
+
+    fn send_requests(&self, dest: usize, batch: Vec<RpcRequest<Req>>) {
+        match &self.req_router {
+            Some(r) if !self.ctx.topology().same_node(self.ctx.rank(), dest) => {
+                let bytes = batch.len() * std::mem::size_of::<RpcRequest<Req>>();
+                r.send_remote(self.ctx, dest, batch, bytes);
+            }
+            _ => self.requests.send_batch(self.ctx, dest, batch),
         }
     }
 
@@ -371,7 +585,7 @@ where
         self.bufs[dest].push(envelope);
         if self.bufs[dest].len() >= self.batch {
             let full = std::mem::take(&mut self.bufs[dest]);
-            self.requests.send_batch(self.ctx, dest, full);
+            self.send_requests(dest, full);
         }
     }
 
@@ -384,8 +598,11 @@ where
         for dest in 0..self.bufs.len() {
             if !self.bufs[dest].is_empty() {
                 let full = std::mem::take(&mut self.bufs[dest]);
-                self.requests.send_batch(ctx, dest, full);
+                self.send_requests(dest, full);
             }
+        }
+        if let Some(router) = self.req_router.take() {
+            router.deliver(ctx, &self.requests);
         }
         ctx.barrier();
         // Owner side: answer every request received, grouped per requester so
@@ -405,9 +622,20 @@ where
         }
         for (dest, batch) in replies.into_iter().enumerate() {
             if !batch.is_empty() {
-                ctx.record_rpc_response_bytes(batch.len() * std::mem::size_of::<RpcReply<Resp>>());
-                self.replies.send_batch(ctx, dest, batch);
+                // The owner produced the response payload either way, so
+                // `rpc_resp_bytes` is identical in flat and hierarchical mode.
+                let bytes = batch.len() * std::mem::size_of::<RpcReply<Resp>>();
+                ctx.record_rpc_response_bytes(bytes);
+                match &self.reply_router {
+                    Some(r) if !ctx.topology().same_node(ctx.rank(), dest) => {
+                        r.send_remote(ctx, dest, batch, bytes);
+                    }
+                    _ => self.replies.send_batch(ctx, dest, batch),
+                }
             }
+        }
+        if let Some(router) = self.reply_router.take() {
+            router.deliver(ctx, &self.replies);
         }
         ctx.barrier();
         let mut mine = self.replies.take_inbox(ctx);
@@ -695,6 +923,179 @@ mod tests {
             coarse * 10 < fine,
             "aggregated requests should send far fewer messages: fine={fine} coarse={coarse}"
         );
+    }
+
+    /// Runs `f` on a fresh team over `topo` with hierarchical exchange on or
+    /// off, returning the per-rank results and the team-summed statistics.
+    fn run_mode<R, F>(topo: Topology, hier: bool, f: F) -> (Vec<R>, crate::stats::StatsSnapshot)
+    where
+        R: Send,
+        F: Fn(&Ctx) -> R + Send + Sync,
+    {
+        let team = Team::new(topo);
+        team.set_hierarchical_exchange(hier);
+        let out = team.run(f);
+        (out, team.stats_total())
+    }
+
+    #[test]
+    fn hierarchical_exchange_delivers_identically_with_fewer_off_node_messages() {
+        let topo = Topology::new(8, 2);
+        let body = |ctx: &Ctx| {
+            let n = ctx.ranks();
+            let outgoing: Vec<Vec<u64>> = (0..n)
+                .map(|d| {
+                    (0..5)
+                        .map(|i| (100 * ctx.rank() + 10 * d + i) as u64)
+                        .collect()
+                })
+                .collect();
+            let mut got = ctx.exchange(outgoing);
+            got.sort_unstable();
+            got
+        };
+        let (flat, fs) = run_mode(topo, false, body);
+        let (hier, hs) = run_mode(topo, true, body);
+        assert_eq!(
+            flat, hier,
+            "routing must not change what each rank receives"
+        );
+        // The payload crosses the interconnect exactly once either way…
+        assert_eq!(fs.off_node_bytes, hs.off_node_bytes);
+        // …but as one combined message per (source node, destination node)
+        // pair instead of one per (rank, rank) pair: 4 nodes × 3 remote nodes
+        // versus 8 ranks × 6 remote ranks.
+        assert_eq!(fs.off_node_msgs, 8 * 6);
+        assert_eq!(hs.off_node_msgs, 4 * 3);
+        // The byte/message splits stay exhaustive in both modes.
+        for s in [&fs, &hs] {
+            assert_eq!(s.on_node_bytes + s.off_node_bytes, s.bytes_sent);
+            assert_eq!(s.on_node_msgs + s.off_node_msgs, s.msgs_sent);
+        }
+        // The gather/scatter legs surface as extra on-node traffic.
+        assert!(hs.on_node_bytes > fs.on_node_bytes);
+    }
+
+    #[test]
+    fn hierarchical_aggregator_matches_flat_delivery() {
+        let topo = Topology::new(8, 2);
+        let body = |ctx: &Ctx| {
+            let n = ctx.ranks();
+            let mut agg: Aggregator<(usize, usize)> = Aggregator::new(ctx, 7);
+            for i in 0..100usize {
+                agg.push((ctx.rank() + i) % n, (ctx.rank(), i));
+            }
+            let mut got = agg.finish();
+            got.sort_unstable();
+            got
+        };
+        let (flat, fs) = run_mode(topo, false, body);
+        let (hier, hs) = run_mode(topo, true, body);
+        assert_eq!(flat, hier);
+        assert_eq!(fs.off_node_bytes, hs.off_node_bytes);
+        assert!(
+            hs.off_node_msgs * 2 <= fs.off_node_msgs,
+            "expected ≥2× fewer off-node messages at 2 ranks/node: flat={} hier={}",
+            fs.off_node_msgs,
+            hs.off_node_msgs
+        );
+    }
+
+    #[test]
+    fn hierarchical_blob_aggregator_keeps_exact_byte_accounting() {
+        let topo = Topology::new(4, 2);
+        let body = |ctx: &Ctx| {
+            let n = ctx.ranks();
+            let mut agg = BlobAggregator::new(ctx, 16);
+            for i in 0..30usize {
+                let dest = i % n;
+                let len = 3 + (i % 5);
+                let mut rec = vec![dest as u8, ctx.rank() as u8, len as u8];
+                rec.resize(len, 0xCD);
+                agg.push_record(dest, &rec);
+            }
+            let mut blobs = agg.finish();
+            blobs.sort_unstable();
+            blobs
+        };
+        let (flat, fs) = run_mode(topo, false, body);
+        let (hier, hs) = run_mode(topo, true, body);
+        assert_eq!(flat, hier, "blobs must arrive whole and identical");
+        assert_eq!(
+            fs.off_node_bytes, hs.off_node_bytes,
+            "off-node payload bytes are mode-independent"
+        );
+        assert!(hs.off_node_msgs < fs.off_node_msgs);
+    }
+
+    #[test]
+    fn hierarchical_rpc_matches_flat_responses() {
+        let topo = Topology::new(8, 2);
+        let body = |ctx: &Ctx| {
+            let n = ctx.ranks();
+            let mut rpc: RpcAggregator<u64, u64> = RpcAggregator::new(ctx, 3);
+            let reqs: Vec<(usize, u64)> = (0..50u64)
+                .map(|i| ((i as usize * 7 + ctx.rank()) % n, i))
+                .collect();
+            for &(dest, req) in &reqs {
+                rpc.push(dest, req);
+            }
+            let rank = ctx.rank() as u64;
+            let resps = rpc.finish(|req| 1000 * rank + req);
+            for ((dest, req), resp) in reqs.iter().zip(&resps) {
+                assert_eq!(*resp, 1000 * *dest as u64 + req);
+            }
+            resps
+        };
+        let (flat, fs) = run_mode(topo, false, body);
+        let (hier, hs) = run_mode(topo, true, body);
+        assert_eq!(flat, hier, "responses must be identical and in push order");
+        assert_eq!(fs.rpc_resp_bytes, hs.rpc_resp_bytes);
+        assert_eq!(fs.off_node_bytes, hs.off_node_bytes);
+        assert!(hs.off_node_msgs < fs.off_node_msgs);
+        assert_eq!(fs.rpc_round_trips, hs.rpc_round_trips);
+    }
+
+    #[test]
+    fn hierarchical_routing_on_non_uniform_topologies() {
+        // 5 ranks at 2 per node: nodes {0,1}, {2,3}, {4} — the last node is
+        // partial and its leader is also its only member.
+        for topo in [Topology::new(5, 2), Topology::new(7, 3)] {
+            let body = |ctx: &Ctx| {
+                let n = ctx.ranks();
+                let outgoing: Vec<Vec<u32>> =
+                    (0..n).map(|d| vec![(ctx.rank() * n + d) as u32]).collect();
+                let mut got = ctx.exchange(outgoing);
+                got.sort_unstable();
+                let resps =
+                    ctx.exchange_map((0..n).map(|d| (d, ctx.rank() as u32)), 4, |r: u32| r + 1);
+                (got, resps)
+            };
+            let (flat, fs) = run_mode(topo, false, body);
+            let (hier, hs) = run_mode(topo, true, body);
+            assert_eq!(flat, hier, "topology {topo:?}");
+            assert_eq!(fs.off_node_bytes, hs.off_node_bytes, "topology {topo:?}");
+        }
+    }
+
+    #[test]
+    fn single_node_hierarchical_mode_is_byte_identical_to_flat() {
+        // With one node the router is bypassed entirely; the flag must not
+        // change any accounting (existing benchmarks rely on this).
+        let body = |ctx: &Ctx| {
+            let n = ctx.ranks();
+            let mut agg: Aggregator<u64> = Aggregator::new(ctx, 4);
+            for i in 0..40u64 {
+                agg.push((i as usize) % n, i);
+            }
+            let mut got = agg.finish();
+            got.sort_unstable();
+            got
+        };
+        let (flat, fs) = run_mode(Topology::single_node(4), false, body);
+        let (hier, hs) = run_mode(Topology::single_node(4), true, body);
+        assert_eq!(flat, hier);
+        assert_eq!(fs, hs);
     }
 
     #[test]

@@ -17,6 +17,18 @@ pub struct CommStats {
     pub msgs_sent: AtomicU64,
     /// Payload bytes across all sent messages.
     pub bytes_sent: AtomicU64,
+    /// Payload bytes of messages whose destination rank shares the sender's
+    /// simulated node (shared-memory transfers; a subset of `bytes_sent`).
+    pub on_node_bytes: AtomicU64,
+    /// Payload bytes of messages that crossed a node boundary (interconnect
+    /// transfers; `on_node_bytes + off_node_bytes == bytes_sent`).
+    pub off_node_bytes: AtomicU64,
+    /// Aggregated messages whose destination shares the sender's node
+    /// (`on_node_msgs + off_node_msgs == msgs_sent`).
+    pub on_node_msgs: AtomicU64,
+    /// Aggregated messages that crossed a node boundary — the interconnect
+    /// injection count the two-level exchange reduces.
+    pub off_node_msgs: AtomicU64,
     /// Fine-grained operations that targeted data owned by a rank on another
     /// simulated node.
     pub remote_ops: AtomicU64,
@@ -63,6 +75,10 @@ impl CommStats {
     pub fn reset(&self) {
         self.msgs_sent.store(0, Ordering::Relaxed);
         self.bytes_sent.store(0, Ordering::Relaxed);
+        self.on_node_bytes.store(0, Ordering::Relaxed);
+        self.off_node_bytes.store(0, Ordering::Relaxed);
+        self.on_node_msgs.store(0, Ordering::Relaxed);
+        self.off_node_msgs.store(0, Ordering::Relaxed);
         self.remote_ops.store(0, Ordering::Relaxed);
         self.local_ops.store(0, Ordering::Relaxed);
         self.atomic_ops.store(0, Ordering::Relaxed);
@@ -84,6 +100,10 @@ impl CommStats {
         StatsSnapshot {
             msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            on_node_bytes: self.on_node_bytes.load(Ordering::Relaxed),
+            off_node_bytes: self.off_node_bytes.load(Ordering::Relaxed),
+            on_node_msgs: self.on_node_msgs.load(Ordering::Relaxed),
+            off_node_msgs: self.off_node_msgs.load(Ordering::Relaxed),
             remote_ops: self.remote_ops.load(Ordering::Relaxed),
             local_ops: self.local_ops.load(Ordering::Relaxed),
             atomic_ops: self.atomic_ops.load(Ordering::Relaxed),
@@ -107,6 +127,10 @@ impl CommStats {
 pub struct StatsSnapshot {
     pub msgs_sent: u64,
     pub bytes_sent: u64,
+    pub on_node_bytes: u64,
+    pub off_node_bytes: u64,
+    pub on_node_msgs: u64,
+    pub off_node_msgs: u64,
     pub remote_ops: u64,
     pub local_ops: u64,
     pub atomic_ops: u64,
@@ -129,6 +153,10 @@ impl StatsSnapshot {
         StatsSnapshot {
             msgs_sent: self.msgs_sent + other.msgs_sent,
             bytes_sent: self.bytes_sent + other.bytes_sent,
+            on_node_bytes: self.on_node_bytes + other.on_node_bytes,
+            off_node_bytes: self.off_node_bytes + other.off_node_bytes,
+            on_node_msgs: self.on_node_msgs + other.on_node_msgs,
+            off_node_msgs: self.off_node_msgs + other.off_node_msgs,
             remote_ops: self.remote_ops + other.remote_ops,
             local_ops: self.local_ops + other.local_ops,
             atomic_ops: self.atomic_ops + other.atomic_ops,
@@ -154,6 +182,10 @@ impl StatsSnapshot {
         StatsSnapshot {
             msgs_sent: self.msgs_sent.saturating_sub(before.msgs_sent),
             bytes_sent: self.bytes_sent.saturating_sub(before.bytes_sent),
+            on_node_bytes: self.on_node_bytes.saturating_sub(before.on_node_bytes),
+            off_node_bytes: self.off_node_bytes.saturating_sub(before.off_node_bytes),
+            on_node_msgs: self.on_node_msgs.saturating_sub(before.on_node_msgs),
+            off_node_msgs: self.off_node_msgs.saturating_sub(before.off_node_msgs),
             remote_ops: self.remote_ops.saturating_sub(before.remote_ops),
             local_ops: self.local_ops.saturating_sub(before.local_ops),
             atomic_ops: self.atomic_ops.saturating_sub(before.atomic_ops),
@@ -192,6 +224,17 @@ impl StatsSnapshot {
             0.0
         } else {
             self.remote_ops as f64 / total as f64
+        }
+    }
+
+    /// Fraction of sent payload bytes that crossed a node boundary — the
+    /// quantity the topology ablation tracks (interconnect pressure).
+    pub fn off_node_byte_fraction(&self) -> f64 {
+        let total = self.on_node_bytes + self.off_node_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.off_node_bytes as f64 / total as f64
         }
     }
 
@@ -243,6 +286,10 @@ mod tests {
         let a = StatsSnapshot {
             msgs_sent: 1,
             bytes_sent: 10,
+            on_node_bytes: 4,
+            off_node_bytes: 6,
+            on_node_msgs: 1,
+            off_node_msgs: 0,
             remote_ops: 2,
             local_ops: 3,
             atomic_ops: 4,
@@ -278,6 +325,13 @@ mod tests {
         assert!((s.cache_hit_rate() - 0.9).abs() < 1e-12);
         assert_eq!(StatsSnapshot::default().remote_fraction(), 0.0);
         assert_eq!(StatsSnapshot::default().cache_hit_rate(), 0.0);
+        let b = StatsSnapshot {
+            on_node_bytes: 300,
+            off_node_bytes: 100,
+            ..Default::default()
+        };
+        assert!((b.off_node_byte_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(StatsSnapshot::default().off_node_byte_fraction(), 0.0);
     }
 
     #[test]

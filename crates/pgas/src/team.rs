@@ -11,7 +11,7 @@ use crate::topology::Topology;
 use parking_lot::Mutex;
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
 /// Shared SPMD team state.
@@ -32,6 +32,11 @@ pub struct Team {
     /// The lease index distinguishes collectives of the same item type that
     /// are live simultaneously (see [`Team::reusable_slot`]).
     reusable_slots: Mutex<HashMap<(TypeId, usize), Arc<dyn Any + Send + Sync>>>,
+    /// Route aggregated exchanges through node leaders (two-level gather /
+    /// ship / scatter) instead of flat rank-to-rank all-to-alls. Set before
+    /// an SPMD region via [`Team::set_hierarchical_exchange`]; read by the
+    /// exchange primitives at construction time.
+    hierarchical_exchange: AtomicBool,
 }
 
 thread_local! {
@@ -85,7 +90,24 @@ impl Team {
             reduce_u64: (0..n).map(|_| AtomicU64::new(0)).collect(),
             reduce_f64: (0..n).map(|_| AtomicU64::new(0)).collect(),
             reusable_slots: Mutex::new(HashMap::new()),
+            hierarchical_exchange: AtomicBool::new(false),
         })
+    }
+
+    /// Switches the exchange layer between the flat rank-to-rank all-to-all
+    /// (`false`, the default and ablation baseline) and two-level node-leader
+    /// routing (`true`). Must not be flipped from inside an SPMD region:
+    /// every rank of a collective phase has to construct its aggregators
+    /// under the same mode. On a single-node topology the two modes behave
+    /// identically (every destination is on-node, so no payload ever takes
+    /// the leader path).
+    pub fn set_hierarchical_exchange(&self, on: bool) {
+        self.hierarchical_exchange.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether aggregated exchanges currently route through node leaders.
+    pub fn hierarchical_exchange(&self) -> bool {
+        self.hierarchical_exchange.load(Ordering::Relaxed)
     }
 
     /// Leases the team's reusable shared value of type `T`, creating it with
@@ -253,14 +275,31 @@ impl<'t> Ctx<'t> {
         }
     }
 
-    /// Records an aggregated message of `bytes` payload to `dest`.
+    /// Records an aggregated message of `bytes` payload to `dest`, splitting
+    /// the payload into on-node and off-node bytes according to the topology.
+    /// Under hierarchical routing each leg (gather, ship, scatter) is a
+    /// message of its own, so the legs' byte classes add up correctly.
     #[inline]
     pub fn record_message(&self, dest: usize, bytes: usize) {
         let s = self.stats();
         s.msgs_sent.fetch_add(1, Ordering::Relaxed);
         s.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        if self.team.topo.same_node(self.rank, dest) {
+            s.on_node_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+            s.on_node_msgs.fetch_add(1, Ordering::Relaxed);
+        } else {
+            s.off_node_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+            s.off_node_msgs.fetch_add(1, Ordering::Relaxed);
+        }
         // The message itself also counts as a (single) remote or local access.
         self.record_access(dest);
+    }
+
+    /// Whether this team routes aggregated exchanges through node leaders
+    /// (see [`Team::set_hierarchical_exchange`]).
+    #[inline]
+    pub fn hierarchical_exchange(&self) -> bool {
+        self.team.hierarchical_exchange()
     }
 
     /// Records a global atomic operation.
@@ -290,8 +329,12 @@ impl<'t> Ctx<'t> {
         s.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
         s.rpc_resp_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
         if self.team.topo.same_node(src, self.rank) {
+            s.on_node_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+            s.on_node_msgs.fetch_add(1, Ordering::Relaxed);
             s.local_ops.fetch_add(1, Ordering::Relaxed);
         } else {
+            s.off_node_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+            s.off_node_msgs.fetch_add(1, Ordering::Relaxed);
             s.remote_ops.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -606,5 +649,41 @@ mod tests {
         let t = team.stats_total();
         assert_eq!(t.msgs_sent, 1);
         assert_eq!(t.bytes_sent, 256);
+        assert_eq!(t.on_node_bytes, 256);
+        assert_eq!(t.off_node_bytes, 0);
+    }
+
+    #[test]
+    fn message_bytes_split_by_node_boundary() {
+        let team = Team::new(Topology::new(4, 2));
+        team.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.record_message(1, 100); // same node
+                ctx.record_message(2, 10); // crosses nodes
+            }
+            if ctx.rank() == 3 {
+                // One-sided response leg served by rank 1 (off-node from 3).
+                ctx.record_rpc_response_from(1, 7);
+            }
+        });
+        let t = team.stats_total();
+        assert_eq!(t.bytes_sent, 117);
+        assert_eq!(t.on_node_bytes, 100);
+        assert_eq!(t.off_node_bytes, 17);
+        // The response leg is charged to the serving rank.
+        let serving = team.stats(1).snapshot();
+        assert_eq!(serving.off_node_bytes, 7);
+        assert_eq!(serving.rpc_resp_bytes, 7);
+    }
+
+    #[test]
+    fn hierarchical_exchange_flag_defaults_off() {
+        let team = Team::new(Topology::new(4, 2));
+        assert!(!team.hierarchical_exchange());
+        team.set_hierarchical_exchange(true);
+        assert!(team.hierarchical_exchange());
+        team.run(|ctx| assert!(ctx.hierarchical_exchange()));
+        team.set_hierarchical_exchange(false);
+        assert!(!team.hierarchical_exchange());
     }
 }

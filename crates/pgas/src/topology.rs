@@ -27,8 +27,11 @@ impl Topology {
     }
 
     /// A single-node topology (every rank is "local" to every other).
+    ///
+    /// # Panics
+    /// Panics if `ranks` is zero, exactly like [`Topology::new`].
     pub fn single_node(ranks: usize) -> Self {
-        Topology::new(ranks, ranks.max(1))
+        Topology::new(ranks, ranks)
     }
 
     /// Total number of ranks.
@@ -61,6 +64,26 @@ impl Topology {
     pub fn same_node(&self, a: usize, b: usize) -> bool {
         self.node_of(a) == self.node_of(b)
     }
+
+    /// The leader rank of a node: its lowest-numbered rank. Node leaders are
+    /// the gather/scatter endpoints of the hierarchical two-level exchange.
+    #[inline]
+    pub fn leader_of_node(&self, node: usize) -> usize {
+        debug_assert!(node < self.nodes());
+        node * self.ranks_per_node
+    }
+
+    /// The leader rank of the node `rank` belongs to.
+    #[inline]
+    pub fn leader_of(&self, rank: usize) -> usize {
+        self.leader_of_node(self.node_of(rank))
+    }
+
+    /// True if `rank` is its node's leader.
+    #[inline]
+    pub fn is_leader(&self, rank: usize) -> bool {
+        self.leader_of(rank) == rank
+    }
 }
 
 #[cfg(test)]
@@ -92,8 +115,30 @@ mod tests {
     }
 
     #[test]
+    fn leaders_are_lowest_ranks_of_each_node() {
+        let t = Topology::new(10, 4); // nodes {0..4}, {4..8}, {8, 9}
+        assert_eq!(t.leader_of_node(0), 0);
+        assert_eq!(t.leader_of_node(1), 4);
+        assert_eq!(t.leader_of_node(2), 8);
+        assert_eq!(t.leader_of(3), 0);
+        assert_eq!(t.leader_of(7), 4);
+        assert_eq!(t.leader_of(9), 8);
+        for r in 0..10 {
+            assert_eq!(t.is_leader(r), r == 0 || r == 4 || r == 8);
+        }
+    }
+
+    #[test]
     #[should_panic]
     fn zero_ranks_rejected() {
         let _ = Topology::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_node_zero_ranks_rejected() {
+        // `single_node` must agree with `new` instead of silently clamping
+        // `ranks == 0` to a one-rank-per-node topology.
+        let _ = Topology::single_node(0);
     }
 }
