@@ -508,14 +508,13 @@ fn verify_window(
     if end <= start {
         return (0, 0);
     }
-    let mut matches = 0usize;
-    for pos in start..end {
-        let rpos = (pos - offset) as usize;
-        let c = window[(pos - window_start) as usize];
-        if c == oriented_read[rpos] && c != b'N' {
-            matches += 1;
-        }
-    }
+    // Both sides of the overlap are contiguous slices, so the per-base loop
+    // reduces to the vectorised equal-and-not-N byte count. (A byte equal to
+    // an excluded `N` implies both are `N`, so excluding on one side only is
+    // exact.)
+    let contig = &window[(start - window_start) as usize..(end - window_start) as usize];
+    let read = &oriented_read[(start - offset) as usize..(end - offset) as usize];
+    let matches = mhm_simd::match_count_except(contig, read, b'N');
     ((end - start) as usize, matches)
 }
 

@@ -131,6 +131,62 @@ fn bench_extraction_hot_loops(c: &mut Criterion) {
     });
 }
 
+fn bench_compute_kernels(c: &mut Criterion) {
+    // 1 Mb pseudo-random sequence for the bulk codecs, plus a sprinkling of
+    // Ns so the pack path exercises its exception handling.
+    let seq: Vec<u8> = {
+        let mut x = 0xD1B54A32D192ED03u64;
+        (0..1 << 20)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                [b'A', b'C', b'G', b'T'][(x & 3) as usize]
+            })
+            .collect()
+    };
+    let mut noisy = seq.clone();
+    for i in (0..noisy.len()).step_by(997) {
+        noisy[i] = b'N';
+    }
+    let packed = dbg::PackedSeq::from_bytes(&seq);
+    c.bench_function("kernels/pack_1mb", |b| {
+        b.iter(|| dbg::PackedSeq::from_bytes(&noisy).packed_bytes())
+    });
+    c.bench_function("kernels/unpack_1mb", |b| b.iter(|| packed.unpack().len()));
+
+    // k=95 spans three words of the packed representation.
+    let kmers_95: Vec<Kmer> = (0..2_000)
+        .map(|i| Kmer::from_bytes(&seq[i * 97..i * 97 + 95]).unwrap())
+        .collect();
+    c.bench_function("kernels/revcomp_2k_k95", |b| {
+        b.iter(|| {
+            kmers_95
+                .iter()
+                .map(|km| km.revcomp().first_code() as u64)
+                .sum::<u64>()
+        })
+    });
+    c.bench_function("kernels/canonical_2k_k95", |b| {
+        b.iter(|| {
+            kmers_95
+                .iter()
+                .map(|km| km.canonical().0.first_code() as u64)
+                .sum::<u64>()
+        })
+    });
+
+    // The aligner's ungapped verification rule over a correlated pair.
+    let read_side: Vec<u8> = noisy
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| if i % 7 == 0 { b'A' } else { b })
+        .collect();
+    c.bench_function("kernels/verify_match_count_1mb", |b| {
+        b.iter(|| mhm_simd::match_count_except(&noisy, &read_side, b'N'))
+    });
+}
+
 fn bench_pipeline_stages(c: &mut Criterion) {
     let (reads, contigs) = dataset();
     let team = Team::single_node(4);
@@ -225,6 +281,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_dht_phases, bench_extraction_hot_loops, bench_pipeline_stages
+    targets = bench_dht_phases, bench_extraction_hot_loops, bench_compute_kernels, bench_pipeline_stages
 }
 criterion_main!(benches);

@@ -34,7 +34,6 @@
 use crate::types::{Contig, ContigId, ContigSet};
 use dht::{DistMap, FxHashMap, SoftwareCache, TablePartitioner};
 use pgas::Ctx;
-use seqio::alphabet::{decode_base, encode_base};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -50,21 +49,14 @@ pub struct PackedSeq {
 }
 
 impl PackedSeq {
-    /// Packs a raw sequence.
+    /// Packs a raw sequence via the bulk 2-bit encode kernel; the exception
+    /// callback keeps the list sorted because invalid bytes are reported in
+    /// position order.
     pub fn from_bytes(seq: &[u8]) -> Self {
         assert!(seq.len() <= u32::MAX as usize, "sequence too long to pack");
         let mut data = vec![0u8; seq.len().div_ceil(4)];
         let mut exceptions = Vec::new();
-        for (i, &b) in seq.iter().enumerate() {
-            let code = match encode_base(b) {
-                Some(c) => c,
-                None => {
-                    exceptions.push((i as u32, b));
-                    0
-                }
-            };
-            data[i / 4] |= code << ((i % 4) * 2);
-        }
+        kmers::kernels::pack_ascii(seq, &mut data, |i, b| exceptions.push((i as u32, b)));
         PackedSeq {
             data,
             len: seq.len() as u32,
@@ -97,9 +89,7 @@ impl PackedSeq {
         let start = start.min(n);
         let end = start.saturating_add(len).min(n);
         let mut out = Vec::with_capacity(end - start);
-        for i in start..end {
-            out.push(decode_base((self.data[i / 4] >> ((i % 4) * 2)) & 3));
-        }
+        kmers::kernels::unpack_ascii(&self.data, start, end, &mut out);
         for &(pos, b) in &self.exceptions {
             let pos = pos as usize;
             if pos >= start && pos < end {

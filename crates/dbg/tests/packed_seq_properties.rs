@@ -1,0 +1,83 @@
+//! Randomized round-trip properties of [`dbg::PackedSeq`] on top of the bulk
+//! pack/unpack kernels, including non-ACGT exception handling and clamped
+//! windows. CI runs this in both dispatch modes (`MHM_FORCE_SCALAR=1` and
+//! default), so the kernel and its scalar twin are both held to the same
+//! lossless contract.
+
+use dbg::PackedSeq;
+use rand::{Rng, SeedableRng};
+
+type StdRng = rand::rngs::StdRng;
+
+/// Bases with lower-case, `N` runs and junk bytes mixed in.
+fn noisy_bases(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    let mut seq: Vec<u8> = (0..len)
+        .map(|_| b"ACGT"[rng.gen_range(0..4usize)])
+        .collect();
+    for b in seq.iter_mut() {
+        match rng.gen_range(0..20usize) {
+            0 => *b = b'N',
+            1 => *b = b.to_ascii_lowercase(),
+            2 => *b = b'x',
+            _ => {}
+        }
+    }
+    if len >= 8 {
+        let at = rng.gen_range(0..len - 4);
+        seq[at..at + 4].fill(b'N');
+    }
+    seq
+}
+
+/// What lossless packing preserves: exception bytes verbatim, valid bases
+/// case-folded to upper case (the 2-bit codes have no case).
+fn normalized(seq: &[u8]) -> Vec<u8> {
+    seq.iter()
+        .map(|&b| {
+            if matches!(b.to_ascii_uppercase(), b'A' | b'C' | b'G' | b'T') {
+                b.to_ascii_uppercase()
+            } else {
+                b
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn packed_seq_roundtrips_with_exceptions_and_clamped_windows() {
+    let mut rng = StdRng::seed_from_u64(0xFACADE);
+    for len in [0usize, 1, 3, 7, 8, 9, 40, 63, 64, 65, 500] {
+        for _ in 0..10 {
+            let seq = noisy_bases(&mut rng, len);
+            let ps = PackedSeq::from_bytes(&seq);
+            let expect = normalized(&seq);
+            assert_eq!(ps.unpack(), expect, "len={len}");
+            // Clamped and interior windows, including past-the-end starts.
+            for _ in 0..8 {
+                let start = rng.gen_range(0..len + 3);
+                let wlen = rng.gen_range(0..len + 3);
+                let lo = start.min(len);
+                let hi = (start + wlen).min(len);
+                assert_eq!(
+                    ps.window(start, wlen),
+                    expect[lo..hi],
+                    "len={len} window={start}+{wlen}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn packing_is_identical_in_both_dispatch_modes() {
+    let mut rng = StdRng::seed_from_u64(0x0DDC0DE);
+    for len in [5usize, 33, 128, 301] {
+        let seq = noisy_bases(&mut rng, len);
+        let fast = PackedSeq::from_bytes(&seq);
+        let was_forced = mhm_simd::force_scalar();
+        mhm_simd::set_force_scalar(true);
+        let scalar = PackedSeq::from_bytes(&seq);
+        mhm_simd::set_force_scalar(was_forced);
+        assert_eq!(fast, scalar, "len={len}");
+    }
+}

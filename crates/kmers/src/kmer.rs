@@ -5,7 +5,9 @@
 //! significant) through `words[3]`. All bits beyond `2*k` are kept at zero so
 //! that equality and hashing can operate directly on the words.
 
-use seqio::alphabet::{decode_base, encode_base};
+use crate::kernels;
+use seqio::alphabet::decode_base;
+use std::cmp::Ordering;
 use std::fmt;
 use std::str::FromStr;
 
@@ -40,12 +42,38 @@ impl Kmer {
         if seq.is_empty() || seq.len() > MAX_K {
             return None;
         }
-        let mut km = Kmer::zero(seq.len());
-        for (i, &b) in seq.iter().enumerate() {
-            let code = encode_base(b)?;
-            km.set_code(i, code);
+        let words = kernels::encode_words(seq)?;
+        Some(Kmer {
+            words,
+            k: seq.len() as u16,
+        })
+    }
+
+    /// Builds a k-mer from the first `k` bases of a little-endian 2-bit
+    /// packed stream (base `i` in bits `2*(i%4)` of byte `i/4`). This is the
+    /// exact in-memory layout of `words`, shared with `dbg::PackedSeq` data
+    /// and the supermer wire records, so the conversion is a copy plus mask.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `k > MAX_K`, or `data` holds fewer than
+    /// `k.div_ceil(4)` bytes.
+    pub fn from_packed(data: &[u8], k: usize) -> Self {
+        assert!(k > 0 && k <= MAX_K, "k must be in 1..={MAX_K}, got {k}");
+        let nbytes = k.div_ceil(4);
+        assert!(
+            data.len() >= nbytes,
+            "packed stream holds {} bytes, k={k} needs {nbytes}",
+            data.len()
+        );
+        let mut bytes = [0u8; 32];
+        bytes[..nbytes].copy_from_slice(&data[..nbytes]);
+        let mut words = [0u64; 4];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("8-byte chunk"));
         }
-        Some(km)
+        let mut km = Kmer { words, k: k as u16 };
+        km.mask_to_k();
+        km
     }
 
     /// The k of this k-mer.
@@ -150,41 +178,54 @@ impl Kmer {
 
     /// Reverse complement of this k-mer.
     pub fn revcomp(&self) -> Kmer {
-        let k = self.k();
-        let mut out = Kmer::zero(k);
-        for i in 0..k {
-            out.set_code(k - 1 - i, 3 - self.code_at(i));
+        Kmer {
+            words: kernels::revcomp_words(&self.words, self.k()),
+            k: self.k,
         }
-        out
     }
 
     /// Lexicographic comparison by base sequence (A < C < G < T).
-    fn lex_cmp(&self, other: &Kmer) -> std::cmp::Ordering {
+    fn lex_cmp(&self, other: &Kmer) -> Ordering {
         debug_assert_eq!(self.k, other.k);
-        for i in 0..self.k() {
-            match self.code_at(i).cmp(&other.code_at(i)) {
-                std::cmp::Ordering::Equal => continue,
-                ord => return ord,
-            }
-        }
-        std::cmp::Ordering::Equal
+        kernels::lex_cmp_words(&self.words, &other.words, self.k())
+    }
+
+    /// Compares the first base against the first base of the (unbuilt)
+    /// reverse complement, which is the complement of the last base. For
+    /// random k-mers this single comparison decides canonicity ~75% of the
+    /// time, skipping the reverse-complement construction entirely.
+    #[inline]
+    fn first_base_vs_rc(&self) -> Ordering {
+        self.first_code().cmp(&(3 - self.last_code()))
     }
 
     /// Returns the canonical form (the lexicographically smaller of the k-mer
     /// and its reverse complement) and whether the reverse complement was
     /// chosen.
     pub fn canonical(&self) -> (Kmer, bool) {
-        let rc = self.revcomp();
-        if rc.lex_cmp(self) == std::cmp::Ordering::Less {
-            (rc, true)
-        } else {
-            (*self, false)
+        match self.first_base_vs_rc() {
+            Ordering::Less => (*self, false),
+            Ordering::Greater => (self.revcomp(), true),
+            Ordering::Equal => {
+                let rc = self.revcomp();
+                if rc.lex_cmp(self) == Ordering::Less {
+                    (rc, true)
+                } else {
+                    (*self, false)
+                }
+            }
         }
     }
 
-    /// True if this k-mer is its own canonical representative.
+    /// True if this k-mer is its own canonical representative. Uses the same
+    /// first-base early exit as [`Kmer::canonical`] without materialising the
+    /// winner.
     pub fn is_canonical(&self) -> bool {
-        !self.canonical().1
+        match self.first_base_vs_rc() {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => self.revcomp().lex_cmp(self) != Ordering::Less,
+        }
     }
 
     /// True if the k-mer is a palindrome (equal to its reverse complement);
@@ -193,28 +234,50 @@ impl Kmer {
         *self == self.revcomp()
     }
 
-    /// Writes the ASCII representation into a new vector.
+    /// Writes the ASCII representation into a new vector via the bulk decode
+    /// kernel (the words' little-endian bytes *are* the packed stream).
     pub fn to_bytes(&self) -> Vec<u8> {
-        (0..self.k()).map(|i| self.base_at(i)).collect()
-    }
-
-    /// The (k-1)-base suffix as a new (k-1)-mer; used to key contig-end joins.
-    pub fn suffix(&self) -> Kmer {
-        assert!(self.k() > 1);
-        let mut out = Kmer::zero(self.k() - 1);
-        for i in 1..self.k() {
-            out.set_code(i - 1, self.code_at(i));
-        }
+        let mut out = Vec::with_capacity(self.k());
+        kernels::unpack_ascii(&self.packed_le_bytes(), 0, self.k(), &mut out);
         out
     }
 
-    /// The (k-1)-base prefix as a new (k-1)-mer.
+    /// The words as a little-endian packed 2-bit stream (base `i` in bits
+    /// `2*(i%4)` of byte `i/4`) — the same layout `from_packed` consumes.
+    #[inline]
+    pub(crate) fn packed_le_bytes(&self) -> [u8; 32] {
+        let mut bytes = [0u8; 32];
+        for (i, w) in self.words.iter().enumerate() {
+            bytes[i * 8..(i + 1) * 8].copy_from_slice(&w.to_le_bytes());
+        }
+        bytes
+    }
+
+    /// The packed words (bits beyond `2k` zero), for kernel-level callers.
+    #[inline]
+    pub(crate) fn words(&self) -> &[u64; 4] {
+        &self.words
+    }
+
+    /// The (k-1)-base suffix as a new (k-1)-mer; used to key contig-end
+    /// joins. A whole-value base shift — no per-base loop.
+    pub fn suffix(&self) -> Kmer {
+        assert!(self.k() > 1);
+        Kmer {
+            words: kernels::shift_right_bases(&self.words, 1),
+            k: self.k - 1,
+        }
+    }
+
+    /// The (k-1)-base prefix as a new (k-1)-mer: same words, one base fewer,
+    /// re-masked — O(1) in the base count.
     pub fn prefix(&self) -> Kmer {
         assert!(self.k() > 1);
-        let mut out = Kmer::zero(self.k() - 1);
-        for i in 0..self.k() - 1 {
-            out.set_code(i, self.code_at(i));
-        }
+        let mut out = Kmer {
+            words: self.words,
+            k: self.k - 1,
+        };
+        out.mask_to_k();
         out
     }
 
@@ -266,6 +329,7 @@ impl FromStr for Kmer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use seqio::alphabet::encode_base;
 
     #[test]
     fn from_bytes_and_display_roundtrip() {
@@ -370,6 +434,25 @@ mod tests {
         let b: Kmer = "ACGTACGTACGTACGTACGTC".parse().unwrap();
         assert_ne!(a.owner_hash(), b.owner_hash());
         assert_eq!(a.owner_hash(), a.owner_hash());
+    }
+
+    #[test]
+    fn from_packed_matches_from_bytes() {
+        let s: Vec<u8> = (0..100).map(|i| b"ACGT"[(i * 5 + 2) % 4]).collect();
+        for k in [1usize, 3, 4, 31, 32, 33, 64, 65, 96, 100] {
+            let km = Kmer::from_bytes(&s[..k]).unwrap();
+            let packed = km.packed_le_bytes();
+            assert_eq!(Kmer::from_packed(&packed, k), km, "k={k}");
+            // Garbage beyond the k-th base must be masked away.
+            let mut noisy = packed;
+            for b in noisy.iter_mut().skip(k.div_ceil(4)) {
+                *b = 0xFF;
+            }
+            if k % 4 != 0 {
+                noisy[k / 4] |= 0xFF << (2 * (k % 4));
+            }
+            assert_eq!(Kmer::from_packed(&noisy, k), km, "masked k={k}");
+        }
     }
 
     #[test]

@@ -17,10 +17,15 @@
 //! * [`minimizer`] — canonical m-mer minimizers, the streaming supermer
 //!   iterator and the packed supermer wire codec that k-mer analysis uses to
 //!   ship whole runs of overlapping k-mers in ~(s+k−1)/4 bytes instead of
-//!   ~32 bytes per k-mer.
+//!   ~32 bytes per k-mer;
+//! * [`kernels`] — the word-parallel/SIMD compute kernels behind the hot
+//!   loops of all of the above (reverse complement, canonical comparison and
+//!   the bulk ASCII↔2-bit codecs), runtime-dispatched via [`mhm_simd`] with
+//!   per-base scalar twins as property-test oracles.
 
 pub mod ext;
 pub mod extract;
+pub mod kernels;
 pub mod kmer;
 pub mod minimizer;
 

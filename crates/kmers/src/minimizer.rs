@@ -37,7 +37,9 @@
 
 use crate::ext::ExtPair;
 use crate::extract::CanonicalKmerExt;
+use crate::kernels;
 use crate::kmer::Kmer;
+use mhm_simd::{encode_codes, find_non_acgt};
 use seqio::alphabet::encode_base;
 use std::collections::VecDeque;
 
@@ -124,9 +126,21 @@ pub fn kmer_minimizer(kmer: &Kmer, m: usize) -> u64 {
     assert!(m <= k, "minimizer length {m} exceeds k {k}");
     let mut roller = MmerRoller::new(m);
     let mut best = u64::MAX;
-    for i in 0..k {
-        if let Some(v) = roller.push(kmer.code_at(i)) {
-            best = best.min(v);
+    // Feed the roller straight from the packed words — a local 2-bit shift
+    // per base instead of the div/mod addressing of `code_at`.
+    let mut remaining = k;
+    for &w in kmer.words() {
+        let mut v = w;
+        let n = remaining.min(32);
+        for _ in 0..n {
+            if let Some(val) = roller.push((v & 0b11) as u8) {
+                best = best.min(val);
+            }
+            v >>= 2;
+        }
+        remaining -= n;
+        if remaining == 0 {
+            break;
         }
     }
     best
@@ -157,9 +171,15 @@ pub struct SupermerIter<'a> {
     m: usize,
     /// Next read position to scan for the current ambiguity-free stretch.
     cursor: usize,
+    /// Start of the current ambiguity-free stretch (the origin of `codes`).
+    stretch_start: usize,
     /// Exclusive end of the current ambiguity-free stretch (cursor..stretch_end
     /// is all-ACGT once a stretch is entered).
     stretch_end: usize,
+    /// Bulk-encoded 2-bit codes of the current stretch, one byte per base
+    /// (`codes[i]` is read position `stretch_start + i`), filled once per
+    /// stretch by the vectorised encoder.
+    codes: Vec<u8>,
     /// Next k-mer window position to emit within the stretch.
     window: usize,
     /// Monotonic deque of `(m-window position, canonical value)`, values
@@ -181,7 +201,9 @@ impl<'a> SupermerIter<'a> {
             k,
             m,
             cursor: 0,
+            stretch_start: 0,
             stretch_end: 0,
+            codes: Vec::new(),
             window: 0,
             deque: VecDeque::new(),
             roller: MmerRoller::new(m),
@@ -190,11 +212,14 @@ impl<'a> SupermerIter<'a> {
     }
 
     /// Advances to the next ambiguity-free stretch of at least k bases.
-    /// Returns false when the read is exhausted.
+    /// Returns false when the read is exhausted. The stretch boundary is
+    /// located with the vectorised non-ACGT probe and its bases are
+    /// bulk-translated to 2-bit codes in one pass, so the per-base work of
+    /// the scan loop reduces to a table-free byte load.
     fn enter_stretch(&mut self) -> bool {
         let n = self.seq.len();
         loop {
-            // Skip invalid bases.
+            // Skip invalid bases (invalid runs are rare and short).
             while self.cursor < n && encode_base(self.seq[self.cursor]).is_none() {
                 self.cursor += 1;
             }
@@ -202,12 +227,16 @@ impl<'a> SupermerIter<'a> {
                 return false;
             }
             let start = self.cursor;
-            let mut end = start;
-            while end < n && encode_base(self.seq[end]).is_some() {
-                end += 1;
-            }
+            let end = match find_non_acgt(&self.seq[start..]) {
+                Some(i) => start + i,
+                None => n,
+            };
             if end - start >= self.k {
+                self.stretch_start = start;
                 self.stretch_end = end;
+                self.codes.clear();
+                self.codes.resize(end - start, 0);
+                encode_codes(&self.seq[start..end], &mut self.codes);
                 self.window = start;
                 self.deque.clear();
                 self.roller = MmerRoller::new(self.m);
@@ -225,7 +254,7 @@ impl<'a> SupermerIter<'a> {
     /// Feeds base at `pos` into the roller; when an m-window completes, pushes
     /// its canonical value onto the monotonic deque.
     fn push_mmer(&mut self, pos: usize) {
-        let code = encode_base(self.seq[pos]).expect("stretch is ambiguity-free");
+        let code = self.codes[pos - self.stretch_start];
         if let Some(value) = self.roller.push(code) {
             let mpos = pos + 1 - self.m;
             while matches!(self.deque.back(), Some(&(_, v)) if v >= value) {
@@ -364,11 +393,22 @@ pub fn encode_supermer(
     let base = out.len();
     out.resize(base + sm.len.div_ceil(4) + sm.len.div_ceil(8), 0);
     let (packed, hq_bits) = out[base..].split_at_mut(sm.len.div_ceil(4));
-    for i in 0..sm.len {
-        let code = encode_base(seq[sm.start + i]).expect("supermer bases are unambiguous");
-        packed[i / 4] |= code << (2 * (i % 4));
-        if hq_at(sm.start + i) {
-            hq_bits[i / 8] |= 1 << (i % 8);
+    kernels::pack_ascii(&seq[sm.start..sm.start + sm.len], packed, |_, b| {
+        panic!("supermer bases are unambiguous, got {:?}", b as char)
+    });
+    if qual.is_empty() {
+        // All bases high quality: whole bytes of ones, tail bits masked.
+        hq_bits.fill(0xFF);
+        if !sm.len.is_multiple_of(8) {
+            *hq_bits.last_mut().expect("len > 0") = (1u8 << (sm.len % 8)) - 1;
+        }
+    } else {
+        for (i, hb) in hq_bits.iter_mut().enumerate() {
+            let mut bits = 0u8;
+            for j in 0..8.min(sm.len - i * 8) {
+                bits |= u8::from(qual[sm.start + i * 8 + j] >= hq_threshold) << j;
+            }
+            *hb = bits;
         }
     }
     out.len() - before
@@ -455,10 +495,9 @@ pub fn expand_supermer(
     mut emit: impl FnMut(CanonicalKmerExt),
 ) {
     assert!(record.len >= k, "supermer shorter than k");
-    let mut km = Kmer::zero(k);
-    for i in 0..k {
-        km.set_code(i, record.code_at(i));
-    }
+    // The wire's packed layout is the k-mer word layout, so the first window
+    // is a straight copy + mask instead of k `set_code` calls.
+    let mut km = Kmer::from_packed(record.packed, k);
     let windows = record.len - k + 1;
     for w in 0..windows {
         if w > 0 {

@@ -1,0 +1,562 @@
+//! `std::arch` facade: runtime-dispatched byte kernels for the compute hot
+//! loops (no crates.io access, so this plays the role a `memchr`/`simdutf`
+//! style dependency would).
+//!
+//! The facade owns two things:
+//!
+//! * **Dispatch.** [`level`] detects the best available instruction set once
+//!   (AVX2 → SSE2 → word-parallel SWAR) and caches it. Setting
+//!   `MHM_FORCE_SCALAR=1` in the environment — or calling
+//!   [`set_force_scalar`] from an ablation harness — pins every kernel to its
+//!   scalar twin, which is what CI uses to prove the fast paths are
+//!   bit-for-bit equivalent.
+//! * **Byte primitives.** The three operations the assembler's inner loops
+//!   reduce to: validating/locating non-ACGT bytes ([`find_non_acgt`]),
+//!   translating ASCII bases to 2-bit codes ([`encode_codes`]), and counting
+//!   matching bytes under the aligner's "`N` never matches" rule
+//!   ([`match_count_except`]). Higher-level kernels (packed k-mer arithmetic,
+//!   the 2-bit wire codecs) live in `kmers::kernels` and build on these.
+//!
+//! Every dispatched function has a `_scalar` twin that is part of the public
+//! API: the property tests use it as the oracle, and the `ablation_simd`
+//! harness times the pair to produce the scalar-vs-kernel ratios in
+//! `BENCH_simd.json`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// The instruction set a dispatched kernel will use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Per-byte scalar loops (the oracle twins).
+    Scalar,
+    /// Word-parallel SWAR on `u64` (8 bytes per step, any target).
+    Word,
+    /// SSE2 128-bit vectors (16 bytes per step; baseline on `x86_64`).
+    Sse2,
+    /// AVX2 256-bit vectors (32 bytes per step; runtime-detected).
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Short human-readable name, used by benches and harness output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Word => "word",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// `MHM_FORCE_SCALAR=1` pins every kernel to its scalar twin; initialised
+/// from the environment on first use, overridable by [`set_force_scalar`].
+fn force_flag() -> &'static AtomicBool {
+    static FORCE: OnceLock<AtomicBool> = OnceLock::new();
+    FORCE.get_or_init(|| {
+        let on = std::env::var("MHM_FORCE_SCALAR")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false);
+        AtomicBool::new(on)
+    })
+}
+
+/// True when kernels are pinned to their scalar twins (ablation mode).
+#[inline]
+pub fn force_scalar() -> bool {
+    force_flag().load(Ordering::Relaxed)
+}
+
+/// Overrides the `MHM_FORCE_SCALAR` environment setting at runtime. Used by
+/// the ablation harnesses and the equivalence tests to exercise both dispatch
+/// modes inside one process; kernels are pure functions of their inputs, so
+/// flipping this mid-run only changes speed, never results.
+pub fn set_force_scalar(on: bool) {
+    force_flag().store(on, Ordering::Relaxed);
+}
+
+/// The best instruction set available on this machine, detected once.
+/// [`level`] degrades it to [`SimdLevel::Scalar`] while ablation mode is on.
+fn detected_level() -> SimdLevel {
+    static DETECTED: OnceLock<SimdLevel> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return SimdLevel::Avx2;
+            }
+            // SSE2 is part of the x86_64 baseline, but keep the check so the
+            // selection logic reads uniformly.
+            if std::arch::is_x86_feature_detected!("sse2") {
+                return SimdLevel::Sse2;
+            }
+        }
+        SimdLevel::Word
+    })
+}
+
+/// The dispatch level kernels run at right now.
+#[inline]
+pub fn level() -> SimdLevel {
+    if force_scalar() {
+        SimdLevel::Scalar
+    } else {
+        detected_level()
+    }
+}
+
+// --- SWAR helpers ----------------------------------------------------------
+
+const LO7: u64 = 0x7F7F_7F7F_7F7F_7F7F;
+const HI1: u64 = 0x8080_8080_8080_8080;
+
+/// High bit of each byte set iff that byte of `v` is non-zero. Exact per
+/// byte: `(v & 0x7f) + 0x7f` never carries across byte lanes.
+#[inline]
+fn nonzero_high(v: u64) -> u64 {
+    (((v & LO7) + LO7) | v) & HI1
+}
+
+/// High bit of each byte set iff that byte of `v` is zero.
+#[inline]
+fn zero_high(v: u64) -> u64 {
+    !nonzero_high(v) & HI1
+}
+
+#[inline]
+fn splat(b: u8) -> u64 {
+    u64::from_ne_bytes([b; 8])
+}
+
+/// High bit of each byte set iff that byte is an upper- or lower-case
+/// A/C/G/T.
+#[inline]
+fn valid_acgt_high(w: u64) -> u64 {
+    // Clearing bit 5 maps lower-case onto upper-case for ASCII letters.
+    let up = w & splat(0xDF);
+    zero_high(up ^ splat(b'A'))
+        | zero_high(up ^ splat(b'C'))
+        | zero_high(up ^ splat(b'G'))
+        | zero_high(up ^ splat(b'T'))
+}
+
+/// Bit `i` set iff byte `i` of `w` is an upper- or lower-case A/C/G/T.
+/// Lets packers locate exception positions chunk by chunk. The multiply
+/// gathers the 8 per-byte high bits into bits 56..64: with the i-th set bit
+/// of the constant at `7i`, the byte-`j` flag (bit `8j+7`) lands on bit
+/// `56+j` exactly once, and no two partial products collide below bit 64.
+#[inline]
+pub fn valid_acgt_mask8(w: u64) -> u8 {
+    (valid_acgt_high(w).wrapping_mul(0x0002_0408_1020_4081) >> 56) as u8
+}
+
+/// Per-byte 2-bit codes of 8 ASCII bases packed in a little-endian `u64`:
+/// `x = (b >> 1) & 3` maps A→0 C→1 G→3 T→2 case-insensitively, and
+/// `x ^ ((x >> 1) & 1)` swaps G/T into the canonical `A=0 C=1 G=2 T=3`
+/// coding. **Unchecked** — same caveat as [`encode_codes`].
+#[inline]
+pub fn encode8(w: u64) -> u64 {
+    let x = (w >> 1) & splat(0x03);
+    x ^ ((x >> 1) & splat(0x01))
+}
+
+// --- find_non_acgt ---------------------------------------------------------
+
+/// Scalar twin of [`find_non_acgt`]: index of the first byte that is not an
+/// unambiguous base (case-insensitive), or `None` if the slice is clean.
+pub fn find_non_acgt_scalar(seq: &[u8]) -> Option<usize> {
+    seq.iter()
+        .position(|&b| !matches!(b, b'A' | b'C' | b'G' | b'T' | b'a' | b'c' | b'g' | b't'))
+}
+
+fn find_non_acgt_word(seq: &[u8]) -> Option<usize> {
+    let mut chunks = seq.chunks_exact(8);
+    for (ci, chunk) in chunks.by_ref().enumerate() {
+        let w = u64::from_le_bytes(chunk.try_into().expect("exact chunk"));
+        let invalid = !valid_acgt_high(w) & HI1;
+        if invalid != 0 {
+            return Some(ci * 8 + invalid.trailing_zeros() as usize / 8);
+        }
+    }
+    let tail_at = seq.len() - chunks.remainder().len();
+    find_non_acgt_scalar(chunks.remainder()).map(|i| tail_at + i)
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must ensure SSE2 is available (x86_64 baseline).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn find_non_acgt_sse2(seq: &[u8]) -> Option<usize> {
+        let n = seq.len();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let v = _mm_loadu_si128(seq.as_ptr().add(i) as *const __m128i);
+            let up = _mm_and_si128(v, _mm_set1_epi8(0xDFu8 as i8));
+            let valid = _mm_or_si128(
+                _mm_or_si128(
+                    _mm_cmpeq_epi8(up, _mm_set1_epi8(b'A' as i8)),
+                    _mm_cmpeq_epi8(up, _mm_set1_epi8(b'C' as i8)),
+                ),
+                _mm_or_si128(
+                    _mm_cmpeq_epi8(up, _mm_set1_epi8(b'G' as i8)),
+                    _mm_cmpeq_epi8(up, _mm_set1_epi8(b'T' as i8)),
+                ),
+            );
+            let invalid = !_mm_movemask_epi8(valid) & 0xFFFF;
+            if invalid != 0 {
+                return Some(i + invalid.trailing_zeros() as usize);
+            }
+            i += 16;
+        }
+        super::find_non_acgt_scalar(&seq[i..]).map(|j| i + j)
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn find_non_acgt_avx2(seq: &[u8]) -> Option<usize> {
+        let n = seq.len();
+        let mut i = 0usize;
+        while i + 32 <= n {
+            let v = _mm256_loadu_si256(seq.as_ptr().add(i) as *const __m256i);
+            let up = _mm256_and_si256(v, _mm256_set1_epi8(0xDFu8 as i8));
+            let valid = _mm256_or_si256(
+                _mm256_or_si256(
+                    _mm256_cmpeq_epi8(up, _mm256_set1_epi8(b'A' as i8)),
+                    _mm256_cmpeq_epi8(up, _mm256_set1_epi8(b'C' as i8)),
+                ),
+                _mm256_or_si256(
+                    _mm256_cmpeq_epi8(up, _mm256_set1_epi8(b'G' as i8)),
+                    _mm256_cmpeq_epi8(up, _mm256_set1_epi8(b'T' as i8)),
+                ),
+            );
+            let invalid = !_mm256_movemask_epi8(valid) as u32;
+            if invalid != 0 {
+                return Some(i + invalid.trailing_zeros() as usize);
+            }
+            i += 32;
+        }
+        find_non_acgt_sse2(&seq[i..]).map(|j| i + j)
+    }
+
+    /// # Safety
+    /// Caller must ensure SSE2 is available (x86_64 baseline).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn match_count_except_sse2(a: &[u8], b: &[u8], except: u8) -> usize {
+        let n = a.len();
+        let exc = _mm_set1_epi8(except as i8);
+        let mut count = 0usize;
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let va = _mm_loadu_si128(a.as_ptr().add(i) as *const __m128i);
+            let vb = _mm_loadu_si128(b.as_ptr().add(i) as *const __m128i);
+            let eq = _mm_cmpeq_epi8(va, vb);
+            let is_exc = _mm_cmpeq_epi8(va, exc);
+            let hit = _mm_andnot_si128(is_exc, eq);
+            count += (_mm_movemask_epi8(hit) as u32).count_ones() as usize;
+            i += 16;
+        }
+        count + super::match_count_except_scalar(&a[i..], &b[i..], except)
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn match_count_except_avx2(a: &[u8], b: &[u8], except: u8) -> usize {
+        let n = a.len();
+        let exc = _mm256_set1_epi8(except as i8);
+        let mut count = 0usize;
+        let mut i = 0usize;
+        while i + 32 <= n {
+            let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+            let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+            let eq = _mm256_cmpeq_epi8(va, vb);
+            let is_exc = _mm256_cmpeq_epi8(va, exc);
+            let hit = _mm256_andnot_si256(is_exc, eq);
+            count += (_mm256_movemask_epi8(hit) as u32).count_ones() as usize;
+            i += 32;
+        }
+        count + match_count_except_sse2(&a[i..], &b[i..], except)
+    }
+
+    /// # Safety
+    /// Caller must ensure SSE2 is available (x86_64 baseline).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn encode_codes_sse2(seq: &[u8], out: &mut [u8]) {
+        let n = seq.len();
+        let mask3 = _mm_set1_epi8(0x03);
+        let mask1 = _mm_set1_epi8(0x01);
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let v = _mm_loadu_si128(seq.as_ptr().add(i) as *const __m128i);
+            // x = (b >> 1) & 3 maps A→0 C→1 G→3 T→2 (case-insensitively);
+            // x ^ (x >> 1) swaps G/T into the A=0 C=1 G=2 T=3 coding.
+            let x = _mm_and_si128(_mm_srli_epi64(v, 1), mask3);
+            let code = _mm_xor_si128(x, _mm_and_si128(_mm_srli_epi64(x, 1), mask1));
+            _mm_storeu_si128(out.as_mut_ptr().add(i) as *mut __m128i, code);
+            i += 16;
+        }
+        super::encode_codes_scalar(&seq[i..], &mut out[i..]);
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn encode_codes_avx2(seq: &[u8], out: &mut [u8]) {
+        let n = seq.len();
+        let mask3 = _mm256_set1_epi8(0x03);
+        let mask1 = _mm256_set1_epi8(0x01);
+        let mut i = 0usize;
+        while i + 32 <= n {
+            let v = _mm256_loadu_si256(seq.as_ptr().add(i) as *const __m256i);
+            let x = _mm256_and_si256(_mm256_srli_epi64(v, 1), mask3);
+            let code = _mm256_xor_si256(x, _mm256_and_si256(_mm256_srli_epi64(x, 1), mask1));
+            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, code);
+            i += 32;
+        }
+        encode_codes_sse2(&seq[i..], &mut out[i..]);
+    }
+}
+
+/// Index of the first byte that is not an unambiguous A/C/G/T base
+/// (case-insensitive), or `None` if the whole slice is clean. The stretch
+/// scanner of supermer extraction and the bulk 2-bit encoders use this to
+/// find their ambiguity boundaries without a per-byte match.
+pub fn find_non_acgt(seq: &[u8]) -> Option<usize> {
+    match level() {
+        SimdLevel::Scalar => find_non_acgt_scalar(seq),
+        SimdLevel::Word => find_non_acgt_word(seq),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { x86::find_non_acgt_sse2(seq) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::find_non_acgt_avx2(seq) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => find_non_acgt_word(seq),
+    }
+}
+
+// --- encode_codes ----------------------------------------------------------
+
+/// Scalar twin of [`encode_codes`].
+pub fn encode_codes_scalar(seq: &[u8], out: &mut [u8]) {
+    assert_eq!(seq.len(), out.len());
+    for (b, o) in seq.iter().zip(out.iter_mut()) {
+        let x = (b >> 1) & 3;
+        *o = x ^ ((x >> 1) & 1);
+    }
+}
+
+fn encode_codes_word(seq: &[u8], out: &mut [u8]) {
+    assert_eq!(seq.len(), out.len());
+    let mut chunks = seq.chunks_exact(8);
+    let mut oi = 0usize;
+    for chunk in chunks.by_ref() {
+        let w = u64::from_le_bytes(chunk.try_into().expect("exact chunk"));
+        out[oi..oi + 8].copy_from_slice(&encode8(w).to_le_bytes());
+        oi += 8;
+    }
+    encode_codes_scalar(chunks.remainder(), &mut out[oi..]);
+}
+
+/// Translates ASCII bases into their 2-bit codes (`A=0 C=1 G=2 T=3`,
+/// case-insensitive), one output byte per input byte. **Unchecked**: bytes
+/// outside ACGT produce unspecified codes — validate with [`find_non_acgt`]
+/// first (the callers all operate on pre-validated stretches).
+pub fn encode_codes(seq: &[u8], out: &mut [u8]) {
+    match level() {
+        SimdLevel::Scalar => encode_codes_scalar(seq, out),
+        SimdLevel::Word => encode_codes_word(seq, out),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { x86::encode_codes_sse2(seq, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::encode_codes_avx2(seq, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => encode_codes_word(seq, out),
+    }
+}
+
+// --- match_count_except ----------------------------------------------------
+
+/// Scalar twin of [`match_count_except`].
+pub fn match_count_except_scalar(a: &[u8], b: &[u8], except: u8) -> usize {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .filter(|&(&x, &y)| x == y && x != except)
+        .count()
+}
+
+fn match_count_except_word(a: &[u8], b: &[u8], except: u8) -> usize {
+    assert_eq!(a.len(), b.len());
+    let exc = splat(except);
+    let mut count = 0usize;
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        let wa = u64::from_le_bytes(xa.try_into().expect("exact chunk"));
+        let wb = u64::from_le_bytes(xb.try_into().expect("exact chunk"));
+        let eq = zero_high(wa ^ wb);
+        let not_exc = nonzero_high(wa ^ exc);
+        count += (eq & not_exc).count_ones() as usize;
+    }
+    count + match_count_except_scalar(ca.remainder(), cb.remainder(), except)
+}
+
+/// Counts positions where `a[i] == b[i]` and the byte is not `except` — the
+/// aligner's ungapped verification rule with `except = b'N'` (an `N` never
+/// matches, not even another `N`). Both slices must have the same length.
+pub fn match_count_except(a: &[u8], b: &[u8], except: u8) -> usize {
+    assert_eq!(a.len(), b.len());
+    match level() {
+        SimdLevel::Scalar => match_count_except_scalar(a, b, except),
+        SimdLevel::Word => match_count_except_word(a, b, except),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { x86::match_count_except_sse2(a, b, except) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::match_count_except_avx2(a, b, except) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => match_count_except_word(a, b, except),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic byte stream mixing bases, Ns and junk.
+    fn noisy_seq(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                match state % 23 {
+                    0 => b'N',
+                    1 => b'x',
+                    2..=5 => b"acgt"[(state >> 8) as usize % 4],
+                    _ => b"ACGT"[(state >> 8) as usize % 4],
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn find_non_acgt_agrees_with_scalar_at_every_length() {
+        for len in 0..70 {
+            for seed in 1..8u64 {
+                let s = noisy_seq(len, seed * 977);
+                let expect = find_non_acgt_scalar(&s);
+                assert_eq!(find_non_acgt_word(&s), expect, "word len={len} seed={seed}");
+                assert_eq!(find_non_acgt(&s), expect, "dispatch len={len} seed={seed}");
+                #[cfg(target_arch = "x86_64")]
+                unsafe {
+                    assert_eq!(x86::find_non_acgt_sse2(&s), expect, "sse2 len={len}");
+                    if std::arch::is_x86_feature_detected!("avx2") {
+                        assert_eq!(x86::find_non_acgt_avx2(&s), expect, "avx2 len={len}");
+                    }
+                }
+            }
+        }
+        assert_eq!(find_non_acgt(b"ACGTacgt"), None);
+        assert_eq!(find_non_acgt(b"ACGTNCGT"), Some(4));
+    }
+
+    #[test]
+    fn encode_codes_agrees_with_scalar_and_alphabet() {
+        for len in 0..70 {
+            let s: Vec<u8> = (0..len).map(|i| b"ACGTacgt"[(i * 13 + 5) % 8]).collect();
+            let mut expect = vec![0u8; len];
+            encode_codes_scalar(&s, &mut expect);
+            // The scalar twin must agree with the canonical mapping.
+            for (&b, &c) in s.iter().zip(&expect) {
+                let canonical = match b.to_ascii_uppercase() {
+                    b'A' => 0,
+                    b'C' => 1,
+                    b'G' => 2,
+                    _ => 3,
+                };
+                assert_eq!(c, canonical, "byte {b}");
+            }
+            let mut got = vec![0u8; len];
+            encode_codes_word(&s, &mut got);
+            assert_eq!(got, expect, "word len={len}");
+            let mut got2 = vec![0u8; len];
+            encode_codes(&s, &mut got2);
+            assert_eq!(got2, expect, "dispatch len={len}");
+            #[cfg(target_arch = "x86_64")]
+            unsafe {
+                let mut got3 = vec![0u8; len];
+                x86::encode_codes_sse2(&s, &mut got3);
+                assert_eq!(got3, expect, "sse2 len={len}");
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    let mut got4 = vec![0u8; len];
+                    x86::encode_codes_avx2(&s, &mut got4);
+                    assert_eq!(got4, expect, "avx2 len={len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn match_count_agrees_with_scalar_including_n_rule() {
+        for len in 0..70 {
+            for seed in 1..6u64 {
+                let a = noisy_seq(len, seed * 31);
+                // Correlated second sequence: copy with sprinkled edits.
+                let mut b = a.clone();
+                let mut state = seed * 77 + 1;
+                for x in b.iter_mut() {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    if state % 5 == 0 {
+                        *x = b"ACGTN"[(state >> 33) as usize % 5];
+                    }
+                }
+                let expect = match_count_except_scalar(&a, &b, b'N');
+                assert_eq!(match_count_except_word(&a, &b, b'N'), expect, "word");
+                assert_eq!(match_count_except(&a, &b, b'N'), expect, "dispatch");
+                #[cfg(target_arch = "x86_64")]
+                unsafe {
+                    assert_eq!(x86::match_count_except_sse2(&a, &b, b'N'), expect, "sse2");
+                    if std::arch::is_x86_feature_detected!("avx2") {
+                        assert_eq!(x86::match_count_except_avx2(&a, &b, b'N'), expect, "avx2");
+                    }
+                }
+            }
+        }
+        // Ns never match, even aligned with each other.
+        assert_eq!(match_count_except(b"NNNN", b"NNNN", b'N'), 0);
+        assert_eq!(match_count_except(b"ANCA", b"ANCA", b'N'), 3);
+    }
+
+    #[test]
+    fn valid_acgt_mask8_matches_per_byte_check() {
+        for seed in 1..200u64 {
+            let s = noisy_seq(8, seed * 131);
+            let w = u64::from_le_bytes(s.clone().try_into().expect("8 bytes"));
+            let mut expect = 0u8;
+            for (j, &b) in s.iter().enumerate() {
+                if matches!(b.to_ascii_uppercase(), b'A' | b'C' | b'G' | b'T') {
+                    expect |= 1 << j;
+                }
+            }
+            assert_eq!(valid_acgt_mask8(w), expect, "seed={seed} seq={s:?}");
+        }
+        assert_eq!(valid_acgt_mask8(u64::from_le_bytes(*b"ACGTacgt")), 0xFF);
+        assert_eq!(valid_acgt_mask8(u64::from_le_bytes(*b"NNNNNNNN")), 0x00);
+    }
+
+    #[test]
+    fn force_scalar_pins_the_level() {
+        let before = force_scalar();
+        set_force_scalar(true);
+        assert_eq!(level(), SimdLevel::Scalar);
+        set_force_scalar(false);
+        assert_ne!(level(), SimdLevel::Scalar);
+        set_force_scalar(before);
+    }
+}
