@@ -138,9 +138,9 @@ impl AlignmentSet {
 /// Aligns the reads `(read_id, read)` of this rank against a replicated
 /// contig set using the shared seed index. Returns this rank's alignments.
 /// See [`align_reads_ref`] for the collectivity contract.
-pub fn align_reads(
+pub fn align_reads<R: std::borrow::Borrow<Read>>(
     ctx: &Ctx,
-    reads: impl IntoIterator<Item = (ReadId, Read)>,
+    reads: impl IntoIterator<Item = (ReadId, R)>,
     contigs: &ContigSet,
     index: &SeedIndex,
     params: &AlignParams,
@@ -162,9 +162,13 @@ pub fn align_reads(
 /// The alignments are byte-identical across all four combinations: seed
 /// voting never touches sequence bytes, and verification reads exactly the
 /// candidate windows whichever transport delivered them.
-pub fn align_reads_ref(
+///
+/// Reads arrive as any borrowable form (`Read`, `&Read`, or the values an
+/// on-demand read-store stream unpacks), so neither the replicated baseline
+/// nor the distributed read store has to clone sequences to align them.
+pub fn align_reads_ref<R: std::borrow::Borrow<Read>>(
     ctx: &Ctx,
-    reads: impl IntoIterator<Item = (ReadId, Read)>,
+    reads: impl IntoIterator<Item = (ReadId, R)>,
     contigs: ContigsRef<'_>,
     index: &SeedIndex,
     params: &AlignParams,
@@ -179,9 +183,9 @@ pub fn align_reads_ref(
 /// The unaggregated baseline: one synchronous index probe per seed and one
 /// fine-grained contig fetch per candidate, through the per-rank software
 /// caches.
-fn align_reads_fine_grained(
+fn align_reads_fine_grained<R: std::borrow::Borrow<Read>>(
     ctx: &Ctx,
-    reads: impl IntoIterator<Item = (ReadId, Read)>,
+    reads: impl IntoIterator<Item = (ReadId, R)>,
     contigs: ContigsRef<'_>,
     index: &SeedIndex,
     params: &AlignParams,
@@ -190,6 +194,7 @@ fn align_reads_fine_grained(
     let mut reader = contigs.store().map(|s| s.reader(ctx));
     let mut out = AlignmentSet::default();
     for (read_id, read) in reads {
+        let read = read.borrow();
         let seeds = collect_seeds(&read.seq, index.seed_len, params.stride);
         let hits: Vec<Option<Vec<SeedHit>>> = seeds
             .iter()
@@ -198,7 +203,7 @@ fn align_reads_fine_grained(
         let candidates = vote_candidates(&read.seq, index.seed_len, &seeds, &hits);
         match contigs {
             ContigsRef::Local(set) => {
-                verify_candidates_local(read_id, &read, set, params, candidates, &mut out)
+                verify_candidates_local(read_id, read, set, params, candidates, &mut out)
             }
             ContigsRef::Store(_) => {
                 let reader = reader.as_mut().expect("reader exists for store sources");
@@ -208,7 +213,7 @@ fn align_reads_fine_grained(
                         .entry(cand.contig)
                         .or_insert_with(|| reader.get(ctx, cand.contig));
                 }
-                verify_candidates_fetched(read_id, &read, &fetched, params, candidates, &mut out);
+                verify_candidates_fetched(read_id, read, &fetched, params, candidates, &mut out);
             }
         }
     }
@@ -221,9 +226,9 @@ fn align_reads_fine_grained(
 /// contig windows named by the block's surviving candidates are fetched in a
 /// second aggregated round. Collective; ranks with fewer reads keep
 /// participating in the remaining rounds with empty batches.
-fn align_reads_batched(
+fn align_reads_batched<R: std::borrow::Borrow<Read>>(
     ctx: &Ctx,
-    reads: impl IntoIterator<Item = (ReadId, Read)>,
+    reads: impl IntoIterator<Item = (ReadId, R)>,
     contigs: ContigsRef<'_>,
     index: &SeedIndex,
     params: &AlignParams,
@@ -236,7 +241,7 @@ fn align_reads_batched(
     loop {
         // Pull one block of reads from the stream: enough to fill roughly one
         // batch of seed lookups. Only the current block is held in memory.
-        let mut block: Vec<(ReadId, Read)> = Vec::new();
+        let mut block: Vec<(ReadId, R)> = Vec::new();
         let mut seeds: Vec<Seed> = Vec::new();
         let mut spans: Vec<(usize, usize)> = Vec::new();
         while seeds.len() < params.lookup_batch {
@@ -244,7 +249,12 @@ fn align_reads_batched(
                 break;
             };
             let lo = seeds.len();
-            collect_seeds_into(&read.seq, index.seed_len, params.stride, &mut seeds);
+            collect_seeds_into(
+                &read.borrow().seq,
+                index.seed_len,
+                params.stride,
+                &mut seeds,
+            );
             spans.push((lo, seeds.len()));
             block.push((read_id, read));
         }
@@ -259,13 +269,18 @@ fn align_reads_batched(
             .iter()
             .zip(&spans)
             .map(|((_, read), &(lo, hi))| {
-                vote_candidates(&read.seq, index.seed_len, &seeds[lo..hi], &resolved[lo..hi])
+                vote_candidates(
+                    &read.borrow().seq,
+                    index.seed_len,
+                    &seeds[lo..hi],
+                    &resolved[lo..hi],
+                )
             })
             .collect();
         match contigs {
             ContigsRef::Local(set) => {
                 for ((read_id, read), cands) in block.iter().zip(candidates) {
-                    verify_candidates_local(*read_id, read, set, params, cands, &mut out);
+                    verify_candidates_local(*read_id, read.borrow(), set, params, cands, &mut out);
                 }
             }
             ContigsRef::Store(_) => {
@@ -287,7 +302,14 @@ fn align_reads_batched(
                 let fetched: FxHashMap<ContigId, Option<PackedSeq>> =
                     ids.into_iter().zip(values).collect();
                 for ((read_id, read), cands) in block.iter().zip(candidates) {
-                    verify_candidates_fetched(*read_id, read, &fetched, params, cands, &mut out);
+                    verify_candidates_fetched(
+                        *read_id,
+                        read.borrow(),
+                        &fetched,
+                        params,
+                        cands,
+                        &mut out,
+                    );
                 }
             }
         }

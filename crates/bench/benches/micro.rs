@@ -187,6 +187,49 @@ fn bench_compute_kernels(c: &mut Criterion) {
     });
 }
 
+fn bench_read_store(c: &mut Criterion) {
+    let (reads, _) = dataset();
+    let lib = {
+        let mut lib = seqio::ReadLibrary::new_unpaired("bench");
+        lib.reads = reads.clone();
+        lib
+    };
+    // The ingestion hot loop: 2-bit packing + quality run-length encoding.
+    c.bench_function("readstore/pack_reads", |b| {
+        b.iter(|| {
+            reads
+                .iter()
+                .map(|r| readstore::PackedRead::from_read(r).packed_bytes())
+                .sum::<usize>()
+        })
+    });
+    // The consumer hot loop: unpacking sequence + qualities back out.
+    let packed: Vec<readstore::PackedRead> =
+        reads.iter().map(readstore::PackedRead::from_read).collect();
+    c.bench_function("readstore/unpack_reads", |b| {
+        b.iter(|| packed.iter().map(|p| p.unpack().seq.len()).sum::<usize>())
+    });
+    // A full cold-cache fill: every rank fetches every foreign block once
+    // through the aggregated collective path.
+    let team = Team::single_node(4);
+    c.bench_function("readstore/block_fetch_fill_4ranks", |b| {
+        b.iter(|| {
+            team.run(|ctx| {
+                let store =
+                    readstore::ReadStore::build(ctx, &lib, &readstore::ReadStoreParams::default());
+                let mut reader = store.reader(ctx);
+                let ids: Vec<u64> = (0..store.num_blocks() as u64).collect();
+                reader
+                    .get_many(ctx, &ids)
+                    .iter()
+                    .flatten()
+                    .map(|blk| blk.packed_bytes())
+                    .sum::<usize>()
+            })
+        })
+    });
+}
+
 fn bench_pipeline_stages(c: &mut Criterion) {
     let (reads, contigs) = dataset();
     let team = Team::single_node(4);
@@ -281,6 +324,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_dht_phases, bench_extraction_hot_loops, bench_compute_kernels, bench_pipeline_stages
+    targets = bench_dht_phases, bench_extraction_hot_loops, bench_compute_kernels, bench_read_store, bench_pipeline_stages
 }
 criterion_main!(benches);

@@ -48,6 +48,18 @@ pub struct AssemblyConfig {
     /// (bounding every rank's shard by total/ranks + one contig) instead of
     /// hashing contig ids.
     pub balanced_contig_partition: bool,
+    /// Serve read sequences from the sharded `readstore::ReadStore` (2-bit
+    /// packed with run-length-encoded qualities, block-sharded by owner rank,
+    /// streamed through per-rank byte-bounded caches) instead of replicating
+    /// the full `ReadLibrary` on every rank. `false` keeps the replicated
+    /// baseline — byte-identical scaffolds, O(total input) read bytes per
+    /// rank — used by the `ablation_read_store` harness.
+    pub use_distributed_reads: bool,
+    /// Per-rank bound (packed bytes) of each read reader's software cache.
+    pub read_cache_bytes: usize,
+    /// Reads per packed block in the distributed read store (rounded down to
+    /// even for paired libraries so mates always share a block).
+    pub read_block_reads: usize,
     /// Ranks per simulated node (the paper runs 32 per Cori node). `0` — the
     /// default — means "all ranks on one node", matching the historical
     /// single-node harness behaviour; any other value must divide into the
@@ -103,6 +115,9 @@ impl Default for AssemblyConfig {
             use_distributed_contigs: true,
             contig_cache_bytes: 1 << 20,
             balanced_contig_partition: true,
+            use_distributed_reads: true,
+            read_cache_bytes: 1 << 20,
+            read_block_reads: 64,
             ranks_per_node: 0,
             use_hierarchical_exchange: true,
             threshold: ThresholdPolicy::metahipmer_default(),
@@ -186,6 +201,15 @@ impl AssemblyConfig {
         dbg::ContigStoreParams {
             cache_bytes: self.contig_cache_bytes,
             balanced: self.balanced_contig_partition,
+            ..Default::default()
+        }
+    }
+
+    /// Parameters for the distributed read store.
+    pub fn read_store_params(&self) -> readstore::ReadStoreParams {
+        readstore::ReadStoreParams {
+            block_reads: self.read_block_reads,
+            cache_bytes: self.read_cache_bytes,
             ..Default::default()
         }
     }
@@ -300,6 +324,19 @@ mod tests {
             ..Default::default()
         };
         assert!(!flat.team(4).hierarchical_exchange());
+    }
+
+    #[test]
+    fn read_store_params_inherit_config() {
+        assert!(AssemblyConfig::default().use_distributed_reads);
+        let cfg = AssemblyConfig {
+            read_cache_bytes: 4096,
+            read_block_reads: 32,
+            ..Default::default()
+        };
+        let p = cfg.read_store_params();
+        assert_eq!(p.cache_bytes, 4096);
+        assert_eq!(p.block_reads, 32);
     }
 
     #[test]

@@ -19,8 +19,9 @@ use aligner::AlignmentSet;
 use dbg::{ContigSet, ContigsRef};
 use dht::{bulk_merge, DistMap, FxHashMap};
 use pgas::{Ctx, DynamicBlocks};
+use readstore::ReadsRef;
 use seqio::alphabet::revcomp;
-use seqio::{Read, ReadLibrary};
+use seqio::{ReadId, ReadLibrary};
 use std::sync::Arc;
 
 /// Parameters of local assembly.
@@ -76,7 +77,13 @@ pub fn extend_contigs_locally(
     library: &ReadLibrary,
     params: &LocalAssemblyParams,
 ) -> (ContigSet, usize) {
-    extend_contigs_locally_ref(ctx, ContigsRef::Local(contigs), alignments, library, params)
+    extend_contigs_locally_ref(
+        ctx,
+        ContigsRef::Local(contigs),
+        alignments,
+        ReadsRef::Local(library),
+        params,
+    )
 }
 
 /// Extends every contig at both ends using locally gathered reads. Collective.
@@ -87,50 +94,82 @@ pub fn extend_contigs_locally(
 /// travel in the same kind of *one-sided* aggregated batch as its read pools
 /// ([`dbg::ContigReader::get_many_onesided`]) — the steal loop cannot reach a
 /// collective in lockstep — so the walks themselves stay communication-free.
+///
+/// Against the distributed *read* store, pool membership is decided from the
+/// replicated length table alone; the sequences of pool members (aligned
+/// reads near contig ends plus their projected mates) are then fetched in one
+/// collective aggregated round before the steal loop starts, so the loop
+/// itself touches no read storage.
 pub fn extend_contigs_locally_ref(
     ctx: &Ctx,
     contigs: ContigsRef<'_>,
     alignments: &AlignmentSet,
-    library: &ReadLibrary,
+    reads: ReadsRef<'_>,
     params: &LocalAssemblyParams,
 ) -> (ContigSet, usize) {
-    // ---- Gather each contig's end read pools (from this rank's alignments) --
-    // pools[contig] = reads (oriented to the contig's forward strand).
-    let mut pools: FxHashMap<u64, Vec<Vec<u8>>> = FxHashMap::default();
+    // ---- Decide pool membership from metadata only --------------------------
+    // Each entry is one pool push: (contig, read id, orientation). Pool order
+    // must be deterministic and identical to the replicated baseline's, so
+    // decisions are recorded in alignment order before any sequence bytes
+    // move.
+    let mut entries: Vec<(u64, ReadId, bool)> = Vec::new();
     for a in &alignments.alignments {
         let Some(contig_len) = contigs.len_of(a.contig) else {
             continue;
         };
-        let read = library.read(a.read_id);
-        let read_len = read.len();
+        let read_len = reads.len_of(a.read_id);
         let near_head = a.contig_offset < params.end_window as i64;
         let near_tail =
             a.contig_offset + read_len as i64 > contig_len as i64 - params.end_window as i64;
         if !(near_head || near_tail) {
             continue;
         }
-        let oriented = oriented_read(read, a.forward);
-        pools.entry(a.contig).or_default().push(oriented);
+        entries.push((a.contig, a.read_id, a.forward));
         // Project the unaligned mate outward: if the mate did not align to this
         // contig it likely lies in the unassembled flank, so add it (in the
         // orientation implied by the library) to the pool as well.
-        if library.paired {
-            if let Some(mate_id) = library.mate_of(a.read_id) {
+        if reads.paired() {
+            if let Some(mate_id) = reads.mate_of(a.read_id) {
                 if !alignments
                     .alignments
                     .iter()
                     .any(|m| m.read_id == mate_id && m.contig == a.contig)
                 {
-                    let mate = library.read(mate_id);
                     // FR library: the mate points back toward the read, so in
                     // contig orientation it appears reverse-complemented
                     // relative to the aligned read's orientation.
-                    let mate_oriented = oriented_read(mate, !a.forward);
-                    pools.entry(a.contig).or_default().push(mate_oriented);
+                    entries.push((a.contig, mate_id, !a.forward));
                 }
             }
         }
     }
+
+    // ---- Fetch pool member sequences, then build the pools ------------------
+    // Distributed read store: one collective aggregated fetch for every pool
+    // member this rank named (block-deduplicated); the replicated baseline
+    // borrows straight from the library. Collective — every rank reaches this
+    // point with its own (possibly empty) id set.
+    let fetched: FxHashMap<ReadId, seqio::Read> = match reads {
+        ReadsRef::Local(_) => FxHashMap::default(),
+        ReadsRef::Store(store) => {
+            let ids: Vec<ReadId> = entries.iter().map(|&(_, id, _)| id).collect();
+            store.reader(ctx).fetch_reads(ctx, &ids, false)
+        }
+    };
+    let seq_of = |id: ReadId| -> &[u8] {
+        match reads {
+            ReadsRef::Local(lib) => &lib.read(id).seq,
+            ReadsRef::Store(_) => &fetched.get(&id).expect("pool read fetched").seq,
+        }
+    };
+    let mut pools: FxHashMap<u64, Vec<Vec<u8>>> = FxHashMap::default();
+    for &(contig, id, forward) in &entries {
+        pools
+            .entry(contig)
+            .or_default()
+            .push(oriented_seq(seq_of(id), forward));
+    }
+    drop(entries);
 
     // ---- Store each contig's read pool in a global hash table ----------------
     // "Each thread reads a portion of the reads file, and stores the reads into
@@ -213,11 +252,11 @@ pub fn extend_contigs_locally_ref(
     (ctx.broadcast(|| set), processed)
 }
 
-fn oriented_read(read: &Read, forward: bool) -> Vec<u8> {
+fn oriented_seq(seq: &[u8], forward: bool) -> Vec<u8> {
     if forward {
-        read.seq.clone()
+        seq.to_vec()
     } else {
-        revcomp(&read.seq)
+        revcomp(seq)
     }
 }
 
@@ -324,6 +363,7 @@ mod tests {
     use super::*;
     use aligner::Alignment;
     use pgas::Team;
+    use seqio::Read;
 
     fn genome(len: usize, seed: u64) -> Vec<u8> {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;

@@ -7,13 +7,14 @@ use aligner::{
     align_reads_ref, build_seed_index_ref, localize_pairs, AlignmentSet, ReadDistribution,
 };
 use dbg::{
-    build_graph, inject_contig_kmers_ref, kmer_analysis, merge_bubbles_and_remove_hair,
+    build_graph, inject_contig_kmers_ref, kmer_analysis_from, merge_bubbles_and_remove_hair,
     prune_iteratively, traverse_contigs, ContigSet, ContigStore, ContigsRef, ThresholdPolicy,
 };
 use pgas::{Ctx, StatsSnapshot, Team};
+use readstore::{ReadStore, ReadsRef};
 use rrna_hmm::RrnaDetector;
 use scaffolding::{scaffold_ref, Scaffold, ScaffoldEntry, ScaffoldSet};
-use seqio::{Read, ReadId, ReadLibrary};
+use seqio::{LibraryReads, ReadId, ReadLibrary};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -60,6 +61,66 @@ impl ContigsHolder {
         match self {
             ContigsHolder::Local(set) => set.clone(),
             ContigsHolder::Store(store) => store.materialize(ctx),
+        }
+    }
+}
+
+/// How the pipeline holds the input reads for the whole run: the replicated
+/// baseline borrows the caller's full [`ReadLibrary`] on every rank; the
+/// distributed mode packs it once into a block-sharded
+/// [`readstore::ReadStore`] and every stage streams or fetches read blocks on
+/// demand, bounding per-rank read residency by O(total/ranks + cache).
+enum ReadsHolder<'a> {
+    Local(&'a ReadLibrary),
+    Store(Arc<ReadStore>),
+}
+
+impl<'a> ReadsHolder<'a> {
+    /// Collective: wraps the input library according to the configuration,
+    /// recording the per-rank read residency either way.
+    fn wrap(ctx: &Ctx, cfg: &AssemblyConfig, library: &'a ReadLibrary) -> ReadsHolder<'a> {
+        if cfg.use_distributed_reads {
+            ReadsHolder::Store(ReadStore::build(ctx, library, &cfg.read_store_params()))
+        } else {
+            // The replicated baseline keeps every raw sequence, quality and
+            // name byte of the input resident on every rank.
+            let bytes: usize = library
+                .reads
+                .iter()
+                .map(|r| r.seq.len() + r.qual.len() + r.name.len())
+                .sum();
+            ctx.record_read_resident(bytes);
+            ReadsHolder::Local(library)
+        }
+    }
+
+    fn as_ref(&self) -> ReadsRef<'_> {
+        match self {
+            ReadsHolder::Local(lib) => ReadsRef::Local(lib),
+            ReadsHolder::Store(store) => ReadsRef::Store(store),
+        }
+    }
+
+    /// Aligns `ids` (in order) against the current contigs, reading sequences
+    /// by borrow from the replica or as a one-sided block stream from the
+    /// store — no per-read clone either way.
+    fn align(
+        &self,
+        ctx: &Ctx,
+        ids: Vec<ReadId>,
+        contigs: ContigsRef<'_>,
+        params: &aligner::AlignParams,
+    ) -> AlignmentSet {
+        let index = build_seed_index_ref(ctx, contigs, params.seed_len);
+        ctx.barrier();
+        match self {
+            ReadsHolder::Local(lib) => {
+                let reads = ids.into_iter().map(|id| (id, lib.read(id)));
+                align_reads_ref(ctx, reads, contigs, &index, params)
+            }
+            ReadsHolder::Store(store) => {
+                align_reads_ref(ctx, store.stream(ctx, ids), contigs, &index, params)
+            }
         }
     }
 }
@@ -168,14 +229,31 @@ impl MetaHipMer {
         let mut last_alignments = AlignmentSet::default();
         let mut local_work = 0usize;
 
+        // The input library is wrapped exactly once for the whole run: either
+        // packed into the block-sharded read store (dropping per-rank
+        // residency to O(total/ranks + cache)) or borrowed as the replicated
+        // baseline.
+        let reads = timings.time(ctx, "read_ingestion", || {
+            ReadsHolder::wrap(ctx, cfg, library)
+        });
+
         let k_values = cfg.k_values();
         for (iter, &k) in k_values.iter().enumerate() {
-            let my_reads: Vec<Read> = self.reads_of(ctx, library, &distribution);
             let my_read_ids: Vec<ReadId> = self.read_ids_of(ctx, library, &distribution);
 
             // --- 1. k-mer analysis ------------------------------------------
-            let analysis = timings.time(ctx, "kmer_analysis", || {
-                kmer_analysis(ctx, &my_reads, &cfg.analysis_params(k))
+            // The store streams this rank's *owned* packed blocks (zero read
+            // communication); the baseline streams id-keyed borrows. Either
+            // partition yields the same global k-mer counts.
+            let analysis = timings.time(ctx, "kmer_analysis", || match &reads {
+                ReadsHolder::Local(lib) => {
+                    let mut source = LibraryReads::new(lib, &my_read_ids);
+                    kmer_analysis_from(ctx, &mut source, &cfg.analysis_params(k))
+                }
+                ReadsHolder::Store(store) => {
+                    let mut source = store.owned_reads(ctx);
+                    kmer_analysis_from(ctx, &mut source, &cfg.analysis_params(k))
+                }
             });
 
             // --- 2. merge k-mers extracted from the previous iteration -------
@@ -216,10 +294,7 @@ impl MetaHipMer {
 
             // --- 5. read-to-contig alignment ----------------------------------
             let alignments = timings.time(ctx, "alignment", || {
-                let index = build_seed_index_ref(ctx, cleaned.as_ref(), cfg.align.seed_len);
-                ctx.barrier();
-                let reads = my_read_ids.iter().map(|&id| (id, library.read(id).clone()));
-                align_reads_ref(ctx, reads, cleaned.as_ref(), &index, &cfg.align)
+                reads.align(ctx, my_read_ids, cleaned.as_ref(), &cfg.align)
             });
 
             // --- 6. local assembly (mer-walking) -------------------------------
@@ -230,7 +305,7 @@ impl MetaHipMer {
                         ctx,
                         cleaned.as_ref(),
                         &alignments,
-                        library,
+                        reads.as_ref(),
                         &cfg.local,
                     );
                     (ContigsHolder::wrap(ctx, cfg, set), work)
@@ -264,14 +339,8 @@ impl MetaHipMer {
                 // the last alignment round only if local assembly is disabled
                 // (otherwise the contigs changed and must be re-aligned).
                 let alignments = if cfg.local_assembly {
-                    let index =
-                        build_seed_index_ref(ctx, final_contigs.as_ref(), cfg.align.seed_len);
-                    ctx.barrier();
-                    let reads = self
-                        .read_ids_of(ctx, library, &distribution)
-                        .into_iter()
-                        .map(|id| (id, library.read(id).clone()));
-                    align_reads_ref(ctx, reads, final_contigs.as_ref(), &index, &cfg.align)
+                    let ids = self.read_ids_of(ctx, library, &distribution);
+                    reads.align(ctx, ids, final_contigs.as_ref(), &cfg.align)
                 } else {
                     last_alignments.clone()
                 };
@@ -279,7 +348,7 @@ impl MetaHipMer {
                     ctx,
                     final_contigs.as_ref(),
                     &alignments,
-                    library,
+                    reads.as_ref(),
                     rrna,
                     &cfg.scaffold,
                 )
@@ -345,18 +414,6 @@ impl MetaHipMer {
         } else {
             distribution.pairs_of(ctx.rank()).to_vec()
         }
-    }
-
-    fn reads_of(
-        &self,
-        ctx: &Ctx,
-        library: &ReadLibrary,
-        distribution: &ReadDistribution,
-    ) -> Vec<Read> {
-        self.read_ids_of(ctx, library, distribution)
-            .into_iter()
-            .map(|id| library.read(id).clone())
-            .collect()
     }
 }
 
@@ -503,6 +560,48 @@ mod tests {
             "expected >=4x byte saving, got {on_bytes} vs {off_bytes}"
         );
         assert!(out_on.stage_stats("kmer_analysis").supermer_bytes > 0);
+    }
+
+    #[test]
+    fn distributed_read_store_does_not_change_the_assembly() {
+        // The block-sharded read store is a pure memory optimisation: the
+        // same reads reach every stage (streamed, fetched one-sided, or
+        // pooled collectively instead of borrowed from a replica), so the
+        // scaffolds must be byte-identical to the replicated baseline at any
+        // rank count.
+        let (_refs, library, consensus) = small_dataset(61);
+        let on = AssemblyConfig::small_test();
+        assert!(on.use_distributed_reads, "store must be the default");
+        let mut off = on.clone();
+        off.use_distributed_reads = false;
+        for ranks in [1usize, 3] {
+            let team_on = Team::single_node(ranks);
+            let team_off = Team::single_node(ranks);
+            let out_on = MetaHipMer::new(on.clone()).assemble(&team_on, &library, Some(&consensus));
+            let out_off =
+                MetaHipMer::new(off.clone()).assemble(&team_off, &library, Some(&consensus));
+            let mut seqs_on = out_on.sequences();
+            let mut seqs_off = out_off.sequences();
+            seqs_on.sort();
+            seqs_off.sort();
+            assert_eq!(
+                seqs_on, seqs_off,
+                "read-store mode must not change the assembly at {ranks} ranks"
+            );
+            // Residency is recorded in both modes; the store only ever holds
+            // packed bytes, so it must come in under the replica.
+            let stats_on = team_on.stats_total();
+            let stats_off = team_off.stats_total();
+            assert!(stats_on.read_bytes_resident > 0);
+            assert!(stats_off.read_bytes_resident > 0);
+            assert!(stats_on.read_bytes_resident < stats_off.read_bytes_resident);
+            if ranks > 1 {
+                assert!(
+                    stats_on.read_fetch_bytes > 0,
+                    "a multi-rank store run must fetch foreign read blocks"
+                );
+            }
+        }
     }
 
     #[test]

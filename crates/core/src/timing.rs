@@ -82,6 +82,8 @@ impl StageTimings {
                 stitch_bytes: ctx.allreduce_sum_u64(stats.stitch_bytes),
                 contig_bytes_resident: ctx.allreduce_sum_u64(stats.contig_bytes_resident),
                 contig_fetch_bytes: ctx.allreduce_sum_u64(stats.contig_fetch_bytes),
+                read_bytes_resident: ctx.allreduce_sum_u64(stats.read_bytes_resident),
+                read_fetch_bytes: ctx.allreduce_sum_u64(stats.read_fetch_bytes),
             };
             out.push((name.clone(), max_secs, sum));
         }

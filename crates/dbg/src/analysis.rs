@@ -40,14 +40,14 @@
 //! singletons depends on Bloom false positives, which differ between the two
 //! partitionings.)
 
-use dht::{bulk_merge, DistBloom, DistMap, FxHashMap, Partitioner, SpaceSaving};
+use dht::{DistBloom, DistMap, FxHashMap, Partitioner, SpaceSaving};
 use kmers::minimizer::{
     encode_supermer, expand_supermer, kmer_minimizer, minimizer_shard, SupermerBlobIter,
     SupermerIter, MAX_MINIMIZER_LEN,
 };
 use kmers::{kmers_with_exts_iter, Kmer, KmerCounts};
 use pgas::{BlobAggregator, Ctx};
-use seqio::Read;
+use seqio::{Read, ReadSource};
 use std::sync::Arc;
 
 /// The distributed k-mer → counts table produced by analysis.
@@ -148,6 +148,23 @@ pub struct KmerAnalysis {
 /// rank must call with its own `reads` slice. Returns the shared distributed
 /// counts table (identical `Arc` on every rank).
 pub fn kmer_analysis(ctx: &Ctx, reads: &[Read], params: &KmerAnalysisParams) -> KmerAnalysis {
+    let mut source: &[Read] = reads;
+    kmer_analysis_from(ctx, &mut source, params)
+}
+
+/// Runs k-mer analysis over a streaming [`ReadSource`] — the distributed
+/// read store's ingest path, where this rank's reads are unpacked one at a
+/// time from owned packed blocks instead of living in a replicated slice.
+/// Collective: every rank must call with its own source. The result is
+/// independent of how reads are distributed over ranks (counts are global
+/// sums and Bloom admission triggers on the second occurrence wherever it
+/// arrives), which is what keeps distributed-read assemblies byte-identical
+/// to the replicated baseline.
+pub fn kmer_analysis_from(
+    ctx: &Ctx,
+    source: &mut dyn ReadSource,
+    params: &KmerAnalysisParams,
+) -> KmerAnalysis {
     assert!(params.k >= 3, "k must be at least 3");
     assert!(
         params.k % 2 == 1,
@@ -155,9 +172,9 @@ pub fn kmer_analysis(ctx: &Ctx, reads: &[Read], params: &KmerAnalysisParams) -> 
     );
     assert!(params.min_count >= 1);
     if params.use_supermers {
-        supermer_analysis(ctx, reads, params)
+        supermer_analysis(ctx, source, params)
     } else {
-        per_kmer_analysis(ctx, reads, params)
+        per_kmer_analysis(ctx, source, params)
     }
 }
 
@@ -166,9 +183,8 @@ pub fn kmer_analysis(ctx: &Ctx, reads: &[Read], params: &KmerAnalysisParams) -> 
 /// shards is provisioned for an equal split of the total. Sizing from one
 /// rank's local estimate (as the seed did) under-provisions every shard when
 /// reads are unevenly distributed, inflating the false-positive rate.
-fn shared_bloom(ctx: &Ctx, reads: &[Read], k: usize) -> Arc<DistBloom> {
-    let local = estimate_kmers(reads, k) as u64;
-    let global = ctx.allreduce_sum_u64(local) as usize;
+fn shared_bloom(ctx: &Ctx, local_estimate: usize) -> Arc<DistBloom> {
+    let global = ctx.allreduce_sum_u64(local_estimate as u64) as usize;
     let expected_per_shard = global / ctx.ranks() + 16;
     ctx.share(|| DistBloom::new(ctx.ranks(), expected_per_shard * 2, 0.01))
 }
@@ -176,13 +192,19 @@ fn shared_bloom(ctx: &Ctx, reads: &[Read], k: usize) -> Arc<DistBloom> {
 /// The supermer-routed single-pass analysis: one extraction pass per read,
 /// one aggregated shipment per owner, and all per-k-mer work (Bloom
 /// admission, exact counting, heavy-hitter sketching) on the receive side.
-fn supermer_analysis(ctx: &Ctx, reads: &[Read], params: &KmerAnalysisParams) -> KmerAnalysis {
+fn supermer_analysis(
+    ctx: &Ctx,
+    source: &mut dyn ReadSource,
+    params: &KmerAnalysisParams,
+) -> KmerAnalysis {
     let k = params.k;
     let m = params.effective_minimizer_len();
     let ranks = ctx.ranks();
     let counts: KmerCountsMap =
         ctx.share(|| DistMap::with_partitioner(ranks, Arc::new(MinimizerPartitioner::new(m))));
-    let bloom = params.use_bloom.then(|| shared_bloom(ctx, reads, k));
+    let bloom = params
+        .use_bloom
+        .then(|| shared_bloom(ctx, source.estimate_kmers(k)));
 
     // --- Send side: one streaming supermer pass over this rank's reads ------
     // The byte batch matches the per-k-mer path's message size (batch items of
@@ -192,7 +214,7 @@ fn supermer_analysis(ctx: &Ctx, reads: &[Read], params: &KmerAnalysisParams) -> 
         .saturating_mul(std::mem::size_of::<Kmer>())
         .max(64);
     let mut agg = BlobAggregator::new(ctx, batch_bytes);
-    for read in reads {
+    source.for_each_read(&mut |read| {
         for sm in SupermerIter::new(&read.seq, k, m) {
             let dest = minimizer_shard(sm.minimizer, ranks);
             let wrote = agg.push_with(dest, |buf| {
@@ -200,7 +222,7 @@ fn supermer_analysis(ctx: &Ctx, reads: &[Read], params: &KmerAnalysisParams) -> 
             });
             ctx.record_supermer_bytes(wrote);
         }
-    }
+    });
     let blobs = agg.finish();
 
     // --- Receive side: expansion, admission, counting, sketching ------------
@@ -265,21 +287,25 @@ fn supermer_analysis(ctx: &Ctx, reads: &[Read], params: &KmerAnalysisParams) -> 
 /// pass and a counting exchange, each re-extracting the reads. Kept (behind
 /// `use_supermers = false`) as the measurable baseline of the supermer
 /// ablation.
-fn per_kmer_analysis(ctx: &Ctx, reads: &[Read], params: &KmerAnalysisParams) -> KmerAnalysis {
+fn per_kmer_analysis(
+    ctx: &Ctx,
+    source: &mut dyn ReadSource,
+    params: &KmerAnalysisParams,
+) -> KmerAnalysis {
     let counts: KmerCountsMap = DistMap::shared(ctx);
 
     // --- Optional pass 1: Bloom admission ------------------------------------
     // The admission set lives on the owner rank: a k-mer is admitted once the
     // Bloom filter has seen it before, i.e. from its second occurrence on.
     let admitted: Option<Arc<DistMap<Kmer, ()>>> = if params.use_bloom {
-        let bloom = shared_bloom(ctx, reads, params.k);
+        let bloom = shared_bloom(ctx, source.estimate_kmers(params.k));
         let admitted: Arc<DistMap<Kmer, ()>> = DistMap::shared(ctx);
         let mut agg: pgas::Aggregator<Kmer> = pgas::Aggregator::new(ctx, params.batch);
-        for read in reads {
+        source.for_each_read(&mut |read| {
             for obs in kmers_with_exts_iter(&read.seq, &read.qual, params.k, params.hq_threshold) {
                 agg.push(counts.owner_of(&obs.kmer), obs.kmer);
             }
-        }
+        });
         let mine = agg.finish();
         for kmer in mine {
             if bloom.insert_and_check(ctx, &kmer) {
@@ -295,25 +321,30 @@ fn per_kmer_analysis(ctx: &Ctx, reads: &[Read], params: &KmerAnalysisParams) -> 
     // --- Heavy-hitter sketch over the local stream ---------------------------
     let heavy_hitters = if params.heavy_hitter_capacity > 0 {
         let mut sketch: SpaceSaving<Kmer> = SpaceSaving::new(params.heavy_hitter_capacity);
-        for read in reads {
+        source.for_each_read(&mut |read| {
             for obs in kmers_with_exts_iter(&read.seq, &read.qual, params.k, params.hq_threshold) {
                 sketch.offer(obs.kmer, 1);
             }
-        }
+        });
         merge_heavy_hitters(ctx, sketch, params)
     } else {
         Vec::new()
     };
 
     // --- Pass 2: exact counting with extensions ------------------------------
-    let items = reads.iter().flat_map(|read| {
-        kmers_with_exts_iter(&read.seq, &read.qual, params.k, params.hq_threshold).map(|obs| {
+    // `dht::bulk_merge` inlined around the streaming source (the callback
+    // contract cannot hand it a by-value iterator without buffering reads).
+    let mut agg: pgas::Aggregator<(Kmer, KmerCounts)> = pgas::Aggregator::new(ctx, params.batch);
+    source.for_each_read(&mut |read| {
+        for obs in kmers_with_exts_iter(&read.seq, &read.qual, params.k, params.hq_threshold) {
             let mut c = KmerCounts::default();
             c.observe(obs.exts);
-            (obs.kmer, c)
-        })
+            agg.push(counts.owner_of(&obs.kmer), (obs.kmer, c));
+        }
     });
-    bulk_merge(ctx, &counts, items, params.batch, |a, b| a.merge(&b));
+    let mine = agg.finish();
+    counts.apply_local_batch(ctx, mine, |v| v, |a, b| a.merge(&b));
+    ctx.barrier();
 
     // --- Filtering: Bloom admission and the ε depth cutoff -------------------
     if let Some(admitted) = &admitted {
@@ -329,14 +360,6 @@ fn per_kmer_analysis(ctx: &Ctx, reads: &[Read], params: &KmerAnalysisParams) -> 
         counts,
         heavy_hitters,
     }
-}
-
-/// Rough number of k-mers this rank will contribute (for Bloom sizing).
-fn estimate_kmers(reads: &[Read], k: usize) -> usize {
-    reads
-        .iter()
-        .map(|r| r.seq.len().saturating_sub(k - 1))
-        .sum()
 }
 
 /// Combines the per-rank sketches with a deterministic binomial-tree

@@ -35,7 +35,8 @@ pub mod traversal;
 pub mod types;
 
 pub use analysis::{
-    kmer_analysis, KmerAnalysis, KmerAnalysisParams, KmerCountsMap, MinimizerPartitioner,
+    kmer_analysis, kmer_analysis_from, KmerAnalysis, KmerAnalysisParams, KmerCountsMap,
+    MinimizerPartitioner,
 };
 pub use bubble::{merge_bubbles_and_remove_hair, BubbleParams, BubbleReport};
 pub use contig_graph::ContigAdjacency;

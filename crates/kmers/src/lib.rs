@@ -28,6 +28,7 @@ pub mod extract;
 pub mod kernels;
 pub mod kmer;
 pub mod minimizer;
+pub mod packed_seq;
 
 pub use ext::{Ext, ExtCounts, ExtPair, KmerCounts};
 pub use extract::{
@@ -39,3 +40,4 @@ pub use minimizer::{
     encode_supermer, expand_supermer, kmer_minimizer, minimizer_shard, supermer_wire_bytes,
     supermers, Supermer, SupermerBlobIter, SupermerIter, SupermerRecord, MAX_MINIMIZER_LEN,
 };
+pub use packed_seq::PackedSeq;

@@ -1,0 +1,118 @@
+//! A 2-bit-packed DNA sequence with an exception list for rare non-ACGT
+//! bytes, built on the bulk [`crate::kernels`] codecs.
+//!
+//! This is the shared packed representation of both distributed sequence
+//! stores: the contig store (`dbg::ContigStore`) packs assembled contigs with
+//! it, and the read store (`readstore::ReadStore`) packs read sequences. It
+//! lives here — below both — because packing and unpacking go through the
+//! word-parallel/SIMD-dispatch kernels of this crate.
+
+/// A 2-bit-packed DNA sequence with an exception list for rare non-ACGT
+/// bytes, so packing is lossless for any input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedSeq {
+    /// 2-bit codes, four bases per byte, least-significant pair first.
+    data: Vec<u8>,
+    len: u32,
+    /// `(position, raw byte)` of bases that are not A/C/G/T (sorted).
+    exceptions: Vec<(u32, u8)>,
+}
+
+impl PackedSeq {
+    /// Packs a raw sequence via the bulk 2-bit encode kernel; the exception
+    /// callback keeps the list sorted because invalid bytes are reported in
+    /// position order.
+    pub fn from_bytes(seq: &[u8]) -> Self {
+        assert!(seq.len() <= u32::MAX as usize, "sequence too long to pack");
+        let mut data = vec![0u8; seq.len().div_ceil(4)];
+        let mut exceptions = Vec::new();
+        crate::kernels::pack_ascii(seq, &mut data, |i, b| exceptions.push((i as u32, b)));
+        PackedSeq {
+            data,
+            len: seq.len() as u32,
+            exceptions,
+        }
+    }
+
+    /// Unpacked length in bases.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if the sequence holds no bases.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Resident size of the packed representation in bytes (the unit of the
+    /// stores' memory accounting and of the reader cache bounds).
+    pub fn packed_bytes(&self) -> usize {
+        self.data.len() + self.exceptions.len() * std::mem::size_of::<(u32, u8)>() + 4
+    }
+
+    /// Unpacks the window `[start, start + len)`, clamped to the sequence
+    /// bounds: a start at or past the end yields an empty vector, and a
+    /// window reaching past the end is truncated. Equals
+    /// `&seq[start.min(n)..(start + len).min(n)]` on the raw sequence.
+    pub fn window(&self, start: usize, len: usize) -> Vec<u8> {
+        let n = self.len();
+        let start = start.min(n);
+        let end = start.saturating_add(len).min(n);
+        let mut out = Vec::with_capacity(end - start);
+        crate::kernels::unpack_ascii(&self.data, start, end, &mut out);
+        for &(pos, b) in &self.exceptions {
+            let pos = pos as usize;
+            if pos >= start && pos < end {
+                out[pos - start] = b;
+            }
+        }
+        out
+    }
+
+    /// Unpacks the whole sequence.
+    pub fn unpack(&self) -> Vec<u8> {
+        self.window(0, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random sequence with occasional N bytes.
+    fn seq(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if state.is_multiple_of(31) {
+                    b'N'
+                } else {
+                    b"ACGT"[(state % 4) as usize]
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packed_seq_roundtrips_and_windows_clamp() {
+        for len in [0usize, 1, 3, 4, 5, 63, 64, 257] {
+            let s = seq(len, len as u64 + 1);
+            let p = PackedSeq::from_bytes(&s);
+            assert_eq!(p.len(), len);
+            assert_eq!(p.unpack(), s);
+            assert!(p.packed_bytes() <= len / 4 + 1 + 16 + 8 * len / 16);
+            // Random windows, including out-of-range starts and lengths.
+            let mut state = 7u64 + len as u64;
+            for _ in 0..50 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let start = (state >> 33) as usize % (len + 10);
+                let wlen = (state >> 13) as usize % (len + 10);
+                let expect = &s[start.min(len)..(start + wlen).min(len).max(start.min(len))];
+                assert_eq!(p.window(start, wlen), expect, "len={len} {start}+{wlen}");
+            }
+        }
+    }
+}

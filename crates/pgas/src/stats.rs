@@ -68,6 +68,14 @@ pub struct CommStats {
     /// Packed contig bytes fetched from remote shards of the distributed
     /// contig store (cache-miss fills; a measure of contig read traffic).
     pub contig_fetch_bytes: AtomicU64,
+    /// Peak read bytes resident on this rank: the owned shard of the
+    /// distributed read store plus the rank's reader cache (packed bytes), or
+    /// the full replicated `ReadLibrary` (raw seq+qual bytes) when the
+    /// distributed store is disabled. Updated with a running max, not a sum.
+    pub read_bytes_resident: AtomicU64,
+    /// Packed read-block bytes fetched from remote shards of the distributed
+    /// read store (cache-miss fills; a measure of read fetch traffic).
+    pub read_fetch_bytes: AtomicU64,
 }
 
 impl CommStats {
@@ -93,6 +101,8 @@ impl CommStats {
         self.stitch_bytes.store(0, Ordering::Relaxed);
         self.contig_bytes_resident.store(0, Ordering::Relaxed);
         self.contig_fetch_bytes.store(0, Ordering::Relaxed);
+        self.read_bytes_resident.store(0, Ordering::Relaxed);
+        self.read_fetch_bytes.store(0, Ordering::Relaxed);
     }
 
     /// Takes a plain-value snapshot of the counters.
@@ -118,6 +128,8 @@ impl CommStats {
             stitch_bytes: self.stitch_bytes.load(Ordering::Relaxed),
             contig_bytes_resident: self.contig_bytes_resident.load(Ordering::Relaxed),
             contig_fetch_bytes: self.contig_fetch_bytes.load(Ordering::Relaxed),
+            read_bytes_resident: self.read_bytes_resident.load(Ordering::Relaxed),
+            read_fetch_bytes: self.read_fetch_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -145,6 +157,8 @@ pub struct StatsSnapshot {
     pub stitch_bytes: u64,
     pub contig_bytes_resident: u64,
     pub contig_fetch_bytes: u64,
+    pub read_bytes_resident: u64,
+    pub read_fetch_bytes: u64,
 }
 
 impl StatsSnapshot {
@@ -173,6 +187,8 @@ impl StatsSnapshot {
             // total (each rank's peak is its own shard + cache).
             contig_bytes_resident: self.contig_bytes_resident + other.contig_bytes_resident,
             contig_fetch_bytes: self.contig_fetch_bytes + other.contig_fetch_bytes,
+            read_bytes_resident: self.read_bytes_resident + other.read_bytes_resident,
+            read_fetch_bytes: self.read_fetch_bytes + other.read_fetch_bytes,
         }
     }
 
@@ -208,6 +224,12 @@ impl StatsSnapshot {
             contig_fetch_bytes: self
                 .contig_fetch_bytes
                 .saturating_sub(before.contig_fetch_bytes),
+            read_bytes_resident: self
+                .read_bytes_resident
+                .saturating_sub(before.read_bytes_resident),
+            read_fetch_bytes: self
+                .read_fetch_bytes
+                .saturating_sub(before.read_fetch_bytes),
         }
     }
 
@@ -304,6 +326,8 @@ mod tests {
             stitch_bytes: 13,
             contig_bytes_resident: 14,
             contig_fetch_bytes: 15,
+            read_bytes_resident: 16,
+            read_fetch_bytes: 17,
         };
         let b = a.add(&a);
         assert_eq!(b.msgs_sent, 2);

@@ -396,6 +396,26 @@ impl<'t> Ctx<'t> {
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Records the current read bytes resident on this rank (owned shard of
+    /// the distributed read store plus reader caches, or the replicated
+    /// `ReadLibrary` when the store is disabled). Keeps the running peak.
+    #[inline]
+    pub fn record_read_resident(&self, bytes: usize) {
+        self.stats()
+            .read_bytes_resident
+            .fetch_max(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records packed read-block bytes fetched from remote shards of the
+    /// distributed read store (cache-miss fills), in addition to the ordinary
+    /// aggregated-message accounting.
+    #[inline]
+    pub fn record_read_fetch_bytes(&self, bytes: usize) {
+        self.stats()
+            .read_fetch_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
     /// Blocks until every rank has reached the barrier.
     pub fn barrier(&self) {
         self.team.barrier.wait();

@@ -1,0 +1,1117 @@
+//! The distributed read store (§II-B of the paper, memory side).
+//!
+//! MetaHipMer never holds the whole input on one node: reads are streamed
+//! from FASTQ in bounded blocks, packed, and cached in the PGAS global
+//! address space so that each rank's resident footprint is its fair share of
+//! the input plus a bounded cache — the property that lets the pipeline
+//! ingest datasets larger than any single node's memory. This crate is that
+//! layer, mirroring the distributed contig store (`dbg::store`) one level
+//! upstream:
+//!
+//! * [`PackedRead`] — one read, 2-bit-packed sequence ([`kmers::PackedSeq`],
+//!   non-ACGT bytes in an exception list) plus run-length-encoded Phred
+//!   scores; read names are dropped in favour of positional [`ReadId`]s;
+//! * [`PackedReadBlock`] — a fixed-count run of consecutive reads (pair
+//!   boundaries respected), the unit of sharding and transfer;
+//! * [`ReadStore`] — block id → [`PackedReadBlock`], sharded over the ranks
+//!   by a [`dht::DistMap`], plus a replicated O(#reads) length table that
+//!   answers every geometry query (read length, mate id, k-mer estimates)
+//!   without touching sequence bytes;
+//! * [`ReadStore::ingest_fastq`] — streaming ingestion through
+//!   [`seqio::FastqBlockIter`]: each rank scans the input in bounded chunks
+//!   and packs only the blocks it owns, so the full record set is never
+//!   materialised anywhere;
+//! * [`ReadReader`] — a per-rank read-through view with a byte-bounded FIFO
+//!   [`dht::SoftwareCache`]; collective batch fills via
+//!   [`dht::DistMap::get_many`] and one-sided fills via
+//!   [`dht::DistMap::get_many_onesided`] for dynamically scheduled loops;
+//! * [`ReadStream`] — an in-order `(ReadId, Read)` iterator that unpacks one
+//!   block at a time (the alignment ingest path), fetching foreign blocks
+//!   one-sided so per-rank progress never has to line up collectively;
+//! * [`OwnedReads`] — a [`seqio::ReadSource`] over the calling rank's owned
+//!   blocks (the k-mer analysis ingest path);
+//! * [`ReadsRef`] — the handle consumers take: either a replicated
+//!   [`ReadLibrary`] (the ablation baseline) or a [`ReadStore`].
+//!
+//! Residency accounting: the store records each rank's peak resident read
+//! bytes (owned shard + reader caches, packed) in
+//! `CommStats::read_bytes_resident` and every cache-miss fill in
+//! `CommStats::read_fetch_bytes`, which is what the `ablation_read_store`
+//! harness asserts the `total/ranks + cache bound` memory ceiling on.
+
+use dht::{DistMap, FxHashMap, SoftwareCache};
+use kmers::PackedSeq;
+use pgas::Ctx;
+use seqio::{FastqBlockIter, PairOrientation, Read, ReadId, ReadLibrary};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Identifier of a packed read block: `read_id / block_reads`.
+pub type BlockId = u64;
+
+/// In-memory byte bound of one streaming FASTQ parse chunk during ingestion
+/// (records materialised at once per rank, before packing; independent of the
+/// store's block size).
+const INGEST_CHUNK_BYTES: usize = 1 << 20;
+
+/// Construction parameters of a [`ReadStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReadStoreParams {
+    /// Reads per block (rounded down to even for paired libraries so mates
+    /// always share a block).
+    pub block_reads: usize,
+    /// Per-rank reader cache bound in *packed* bytes (0 disables caching).
+    pub cache_bytes: usize,
+    /// Per-owner request batch handed to the aggregated lookup layer.
+    pub batch: usize,
+}
+
+impl Default for ReadStoreParams {
+    fn default() -> Self {
+        ReadStoreParams {
+            block_reads: 64,
+            cache_bytes: 1 << 20,
+            batch: 1024,
+        }
+    }
+}
+
+/// One read in packed form: 2-bit sequence plus run-length-encoded Phred
+/// scores. The name is dropped — reads are addressed by positional
+/// [`ReadId`] everywhere downstream of ingestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedRead {
+    seq: PackedSeq,
+    /// `(score, run)` pairs; runs longer than 255 repeat the pair. Short-read
+    /// quality strings are long same-score runs, so this is far below one
+    /// byte per base in practice and at most two bytes per base ever.
+    qual_runs: Vec<(u8, u8)>,
+}
+
+impl PackedRead {
+    /// Packs a read (name discarded).
+    pub fn from_read(read: &Read) -> Self {
+        debug_assert_eq!(read.seq.len(), read.qual.len());
+        let mut qual_runs: Vec<(u8, u8)> = Vec::new();
+        for &q in &read.qual {
+            match qual_runs.last_mut() {
+                Some((lq, run)) if *lq == q && *run < u8::MAX => *run += 1,
+                _ => qual_runs.push((q, 1)),
+            }
+        }
+        PackedRead {
+            seq: PackedSeq::from_bytes(&read.seq),
+            qual_runs,
+        }
+    }
+
+    /// Read length in bases.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// True if the read holds no bases.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Packed footprint in bytes (sequence + exception list + quality runs).
+    pub fn packed_bytes(&self) -> usize {
+        self.seq.packed_bytes() + 2 * self.qual_runs.len()
+    }
+
+    /// Unpacks the sequence bytes only.
+    pub fn unpack_seq(&self) -> Vec<u8> {
+        self.seq.unpack()
+    }
+
+    /// Unpacks to a full [`Read`] (empty name).
+    pub fn unpack(&self) -> Read {
+        let seq = self.seq.unpack();
+        let mut qual = Vec::with_capacity(seq.len());
+        for &(q, run) in &self.qual_runs {
+            qual.resize(qual.len() + run as usize, q);
+        }
+        debug_assert_eq!(qual.len(), seq.len());
+        Read {
+            name: String::new(),
+            seq,
+            qual,
+        }
+    }
+}
+
+/// A run of up to `block_reads` consecutive reads starting at `first_id`:
+/// the unit of sharding, transfer and caching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedReadBlock {
+    /// Read id of `reads[0]`.
+    pub first_id: ReadId,
+    /// The packed reads, in id order.
+    pub reads: Vec<PackedRead>,
+}
+
+impl PackedReadBlock {
+    /// Packed footprint in bytes.
+    pub fn packed_bytes(&self) -> usize {
+        8 + self.reads.iter().map(|r| r.packed_bytes()).sum::<usize>()
+    }
+
+    /// The packed read with the given id, if it falls in this block.
+    pub fn get(&self, id: ReadId) -> Option<&PackedRead> {
+        id.checked_sub(self.first_id)
+            .and_then(|i| self.reads.get(i as usize))
+    }
+}
+
+/// The distributed read store: packed read blocks sharded by owner rank plus
+/// a replicated per-read length table. Built collectively; shared by the
+/// team.
+pub struct ReadStore {
+    map: Arc<DistMap<BlockId, PackedReadBlock>>,
+    /// Replicated per-read lengths — O(#reads) and cheap next to sequence
+    /// bytes; answers geometry queries (scaffold link spans, k-mer
+    /// estimates) with zero communication.
+    lens: Vec<u32>,
+    name: String,
+    paired: bool,
+    insert_size: usize,
+    insert_sd: usize,
+    orientation: PairOrientation,
+    block_reads: usize,
+    cache_bytes: usize,
+    batch: usize,
+}
+
+/// Pair-safe block size: even for paired libraries so mates colocate.
+fn effective_block_reads(params: &ReadStoreParams, paired: bool) -> usize {
+    if paired {
+        (params.block_reads & !1).max(2)
+    } else {
+        params.block_reads.max(1)
+    }
+}
+
+impl ReadStore {
+    /// Collectively builds the store from a (transiently replicated)
+    /// library: every rank packs and stores exactly the blocks it owns — an
+    /// owner-local update phase with no wire traffic — then records its
+    /// owned packed bytes in the residency accounting. Callers in
+    /// distributed mode drop the replicated library right after this
+    /// returns; [`ReadStore::ingest_fastq`] never materialises it at all.
+    pub fn build(ctx: &Ctx, library: &ReadLibrary, params: &ReadStoreParams) -> Arc<ReadStore> {
+        let block_reads = effective_block_reads(params, library.paired);
+        let map: Arc<DistMap<BlockId, PackedReadBlock>> = DistMap::shared(ctx);
+        let mut mine: Vec<(BlockId, PackedReadBlock)> = Vec::new();
+        let num_blocks = library.reads.len().div_ceil(block_reads);
+        for b in 0..num_blocks as BlockId {
+            if map.owner_of(&b) != ctx.rank() {
+                continue;
+            }
+            let first = b as usize * block_reads;
+            let end = (first + block_reads).min(library.reads.len());
+            mine.push((
+                b,
+                PackedReadBlock {
+                    first_id: first as ReadId,
+                    reads: library.reads[first..end]
+                        .iter()
+                        .map(PackedRead::from_read)
+                        .collect(),
+                },
+            ));
+        }
+        map.apply_local_batch(ctx, mine, |v| v, |a, b| *a = b);
+        ctx.barrier();
+        let lens: Vec<u32> = library.reads.iter().map(|r| r.len() as u32).collect();
+        let name = library.name.clone();
+        let (paired, insert_size, insert_sd, orientation) = (
+            library.paired,
+            library.insert_size,
+            library.insert_sd,
+            library.orientation,
+        );
+        let store = ctx.share(|| ReadStore {
+            map: Arc::clone(&map),
+            lens,
+            name,
+            paired,
+            insert_size,
+            insert_sd,
+            orientation,
+            block_reads,
+            cache_bytes: params.cache_bytes,
+            batch: params.batch,
+        });
+        ctx.record_read_resident(store.owned_packed_bytes(ctx));
+        ctx.barrier();
+        store
+    }
+
+    /// Collectively ingests interleaved paired FASTQ text *streamingly*:
+    /// every rank scans the input through [`FastqBlockIter`] in bounded
+    /// chunks, appends to the replicated length table, and packs only the
+    /// blocks it owns — at no point does any rank hold more than one parse
+    /// chunk of unpacked records plus its own shard. Errors (malformed
+    /// records, odd record count) are deterministic and identical on every
+    /// rank, so the collective error path stays aligned.
+    pub fn ingest_fastq(
+        ctx: &Ctx,
+        name: &str,
+        text: &str,
+        insert_size: usize,
+        insert_sd: usize,
+        params: &ReadStoreParams,
+    ) -> Result<Arc<ReadStore>, String> {
+        let paired = true;
+        let block_reads = effective_block_reads(params, paired);
+        let map: Arc<DistMap<BlockId, PackedReadBlock>> = DistMap::shared(ctx);
+        let mut lens: Vec<u32> = Vec::new();
+        let mut mine: Vec<(BlockId, PackedReadBlock)> = Vec::new();
+        let mut cur: Vec<PackedRead> = Vec::new();
+        let mut cur_block: BlockId = 0;
+        let flush =
+            |mine: &mut Vec<(BlockId, PackedReadBlock)>, cur: &mut Vec<PackedRead>, b: BlockId| {
+                if !cur.is_empty() {
+                    mine.push((
+                        b,
+                        PackedReadBlock {
+                            first_id: b * block_reads as u64,
+                            reads: std::mem::take(cur),
+                        },
+                    ));
+                }
+            };
+        for chunk in FastqBlockIter::new(text, INGEST_CHUNK_BYTES, paired) {
+            let records = chunk?;
+            for rec in records {
+                let id = lens.len() as ReadId;
+                let b = id / block_reads as u64;
+                lens.push(rec.seq.len() as u32);
+                if b != cur_block {
+                    flush(&mut mine, &mut cur, cur_block);
+                    cur_block = b;
+                }
+                if map.owner_of(&b) == ctx.rank() {
+                    cur.push(PackedRead::from_read(&rec.into()));
+                }
+            }
+        }
+        flush(&mut mine, &mut cur, cur_block);
+        if !lens.len().is_multiple_of(2) {
+            return Err(format!(
+                "interleaved FASTQ must hold an even number of records, got {}",
+                lens.len()
+            ));
+        }
+        map.apply_local_batch(ctx, mine, |v| v, |a, b| *a = b);
+        ctx.barrier();
+        let name = name.to_string();
+        let store = ctx.share(|| ReadStore {
+            map: Arc::clone(&map),
+            lens,
+            name,
+            paired,
+            insert_size,
+            insert_sd,
+            orientation: PairOrientation::ForwardReverse,
+            block_reads,
+            cache_bytes: params.cache_bytes,
+            batch: params.batch,
+        });
+        ctx.record_read_resident(store.owned_packed_bytes(ctx));
+        ctx.barrier();
+        Ok(store)
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether reads are pair-interleaved.
+    pub fn paired(&self) -> bool {
+        self.paired
+    }
+
+    /// Mean insert size of the library.
+    pub fn insert_size(&self) -> usize {
+        self.insert_size
+    }
+
+    /// Insert-size standard deviation.
+    pub fn insert_sd(&self) -> usize {
+        self.insert_sd
+    }
+
+    /// Pair orientation.
+    pub fn orientation(&self) -> PairOrientation {
+        self.orientation
+    }
+
+    /// Number of reads in the store.
+    pub fn num_reads(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// Number of pairs (0 for unpaired).
+    pub fn num_pairs(&self) -> usize {
+        if self.paired {
+            self.lens.len() / 2
+        } else {
+            0
+        }
+    }
+
+    /// Total bases across all reads (from the replicated length table).
+    pub fn total_bases(&self) -> usize {
+        self.lens.iter().map(|&l| l as usize).sum()
+    }
+
+    /// Length of one read, if it exists. Zero communication.
+    pub fn len_of(&self, id: ReadId) -> Option<usize> {
+        self.lens.get(id as usize).map(|&l| l as usize)
+    }
+
+    /// The mate's read id, or `None` for unpaired stores.
+    pub fn mate_of(&self, id: ReadId) -> Option<ReadId> {
+        if !self.paired {
+            return None;
+        }
+        Some(id ^ 1)
+    }
+
+    /// Reads per block.
+    pub fn block_reads(&self) -> usize {
+        self.block_reads
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.lens.len().div_ceil(self.block_reads)
+    }
+
+    /// The block holding a read id.
+    pub fn block_of(&self, id: ReadId) -> BlockId {
+        id / self.block_reads as u64
+    }
+
+    /// The sharded block table (for owner-local passes).
+    pub fn map(&self) -> &Arc<DistMap<BlockId, PackedReadBlock>> {
+        &self.map
+    }
+
+    /// Block ids owned by the calling rank, ascending.
+    pub fn owned_block_ids(&self, ctx: &Ctx) -> Vec<BlockId> {
+        (0..self.num_blocks() as BlockId)
+            .filter(|b| self.map.owner_of(b) == ctx.rank())
+            .collect()
+    }
+
+    /// Packed bytes of the calling rank's owned shard.
+    pub fn owned_packed_bytes(&self, ctx: &Ctx) -> usize {
+        let mut owned = 0usize;
+        self.map
+            .for_each_local(ctx, |_, v| owned += v.packed_bytes());
+        owned
+    }
+
+    /// Creates this rank's cached read-through view.
+    pub fn reader(&self, ctx: &Ctx) -> ReadReader<'_> {
+        ReadReader {
+            store: self,
+            cache: SoftwareCache::new_weighted(self.cache_bytes, |v: &PackedReadBlock| {
+                v.packed_bytes()
+            }),
+            owned_bytes: self.owned_packed_bytes(ctx),
+        }
+    }
+
+    /// A [`seqio::ReadSource`] over the calling rank's owned blocks: streams
+    /// each owned read exactly once, in id order, unpacking one read at a
+    /// time. This is how k-mer analysis consumes the store.
+    pub fn owned_reads<'s, 'c, 't>(&'s self, ctx: &'c Ctx<'t>) -> OwnedReads<'s, 'c, 't> {
+        OwnedReads { store: self, ctx }
+    }
+
+    /// An in-order `(ReadId, Read)` stream over `ids` that fetches foreign
+    /// blocks one-sided and keeps at most one unpacked block live. This is
+    /// how alignment consumes the store; one-sided fetches mean per-rank
+    /// progress never has to line up collectively.
+    pub fn stream<'s, 'c, 't>(
+        &'s self,
+        ctx: &'c Ctx<'t>,
+        ids: Vec<ReadId>,
+    ) -> ReadStream<'s, 'c, 't> {
+        ReadStream {
+            ctx,
+            reader: self.reader(ctx),
+            ids: ids.into_iter(),
+            current: None,
+        }
+    }
+
+    /// Collectively regathers the full replicated [`ReadLibrary`] (rank 0
+    /// collects the owned shards, orders by id, broadcast). Read names are
+    /// gone — they were dropped at pack time — so the result carries empty
+    /// names. Tests and ablation baselines only; the hot paths never call
+    /// it.
+    pub fn materialize(&self, ctx: &Ctx) -> ReadLibrary {
+        let mut outgoing: Vec<Vec<(BlockId, PackedReadBlock)>> = vec![Vec::new(); ctx.ranks()];
+        let mut local: Vec<(BlockId, PackedReadBlock)> = Vec::new();
+        self.map
+            .for_each_local(ctx, |id, v| local.push((*id, v.clone())));
+        outgoing[0] = local;
+        let gathered = ctx.exchange(outgoing);
+        let lib = if ctx.rank() == 0 {
+            let mut gathered = gathered;
+            gathered.sort_by_key(|(id, _)| *id);
+            ReadLibrary {
+                name: self.name.clone(),
+                reads: gathered
+                    .iter()
+                    .flat_map(|(_, block)| block.reads.iter().map(|r| r.unpack()))
+                    .collect(),
+                paired: self.paired,
+                insert_size: self.insert_size,
+                insert_sd: self.insert_sd,
+                orientation: self.orientation,
+            }
+        } else {
+            ReadLibrary::new_unpaired("")
+        };
+        ctx.broadcast(|| lib)
+    }
+}
+
+/// A per-rank cached read-through view of a [`ReadStore`]: block lookups are
+/// served from a byte-bounded FIFO cache when possible, and the misses of a
+/// batch travel to their owners in one aggregated round. Create one per
+/// phase with [`ReadStore::reader`]; it is not shared between ranks.
+pub struct ReadReader<'s> {
+    store: &'s ReadStore,
+    cache: SoftwareCache<BlockId, PackedReadBlock>,
+    owned_bytes: usize,
+}
+
+impl ReadReader<'_> {
+    /// The store this reader serves from.
+    pub fn store(&self) -> &ReadStore {
+        self.store
+    }
+
+    /// Resident bytes of this reader's rank right now: owned shard plus the
+    /// reader cache, packed.
+    pub fn resident_bytes(&self) -> usize {
+        self.owned_bytes + self.cache.resident_weight()
+    }
+
+    /// **Collective** batched block fetch: cache hits are served locally and
+    /// every distinct miss travels in one aggregated request–response round
+    /// through [`DistMap::get_many`]. Every rank must call this in the same
+    /// phase, even with an empty `ids` slice.
+    pub fn get_many(&mut self, ctx: &Ctx, ids: &[BlockId]) -> Vec<Option<PackedReadBlock>> {
+        self.get_many_with(ctx, ids, false)
+    }
+
+    /// One-sided batched block fetch for dynamically scheduled loops (work
+    /// stealing, per-rank streams) that cannot reach a collective in
+    /// lockstep. Not collective.
+    pub fn get_many_onesided(
+        &mut self,
+        ctx: &Ctx,
+        ids: &[BlockId],
+    ) -> Vec<Option<PackedReadBlock>> {
+        self.get_many_with(ctx, ids, true)
+    }
+
+    fn get_many_with(
+        &mut self,
+        ctx: &Ctx,
+        ids: &[BlockId],
+        onesided: bool,
+    ) -> Vec<Option<PackedReadBlock>> {
+        let mut misses: Vec<BlockId> = Vec::new();
+        let mut miss_index: FxHashMap<BlockId, usize> = FxHashMap::default();
+        // Ok(value) = served from cache; Err(i) = misses[i].
+        let mut resolved: Vec<Result<Option<PackedReadBlock>, usize>> =
+            Vec::with_capacity(ids.len());
+        let mut hits = 0u64;
+        for id in ids {
+            if let Some(cached) = self.cache.peek(id) {
+                hits += 1;
+                resolved.push(Ok(cached.clone()));
+            } else if let Some(&i) = miss_index.get(id) {
+                hits += 1; // duplicate of an in-flight fetch
+                resolved.push(Err(i));
+            } else {
+                let i = misses.len();
+                miss_index.insert(*id, i);
+                misses.push(*id);
+                resolved.push(Err(i));
+            }
+        }
+        ctx.stats().cache_hits.fetch_add(hits, Ordering::Relaxed);
+        ctx.stats()
+            .cache_misses
+            .fetch_add(misses.len() as u64, Ordering::Relaxed);
+        let fetched = if onesided {
+            self.store.map.get_many_onesided(ctx, &misses)
+        } else {
+            self.store.map.get_many(ctx, &misses, self.store.batch)
+        };
+        // Only *foreign* blocks go through the cache and the fetch-byte
+        // accounting: ids this rank owns are answered from its own shard
+        // with no wire traffic, and caching them would both waste the
+        // byte-bounded cache on data already resident and double-count
+        // those bytes in `resident_bytes`.
+        let mut fetched_bytes = 0usize;
+        for (id, value) in misses.iter().zip(&fetched) {
+            if self.store.map.owner_of(id) == ctx.rank() {
+                continue;
+            }
+            if let Some(p) = value {
+                fetched_bytes += p.packed_bytes();
+            }
+            self.cache.insert(ctx, *id, value.clone());
+        }
+        ctx.record_read_fetch_bytes(fetched_bytes);
+        ctx.record_read_resident(self.resident_bytes());
+        resolved
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(i) => fetched[i].clone(),
+            })
+            .collect()
+    }
+
+    /// Fetches (and unpacks) the reads named by `ids`, deduplicating the
+    /// underlying block fetches. Collective when `onesided` is false (every
+    /// rank must call, even with no ids); one-sided otherwise. Ids absent
+    /// from the store are absent from the result.
+    pub fn fetch_reads(
+        &mut self,
+        ctx: &Ctx,
+        ids: &[ReadId],
+        onesided: bool,
+    ) -> FxHashMap<ReadId, Read> {
+        let mut blocks: Vec<BlockId> = ids.iter().map(|&id| self.store.block_of(id)).collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        let fetched = self.get_many_with(ctx, &blocks, onesided);
+        let by_block: FxHashMap<BlockId, PackedReadBlock> = blocks
+            .into_iter()
+            .zip(fetched)
+            .filter_map(|(b, v)| v.map(|v| (b, v)))
+            .collect();
+        let mut out = FxHashMap::default();
+        for &id in ids {
+            if let Some(read) = by_block
+                .get(&self.store.block_of(id))
+                .and_then(|blk| blk.get(id))
+            {
+                out.entry(id).or_insert_with(|| read.unpack());
+            }
+        }
+        out
+    }
+}
+
+/// An in-order `(ReadId, Read)` iterator over a list of read ids, unpacking
+/// one block at a time. Foreign blocks are fetched one-sided through a
+/// [`ReadReader`] (so the stream composes with per-rank, non-collective
+/// loops) and cached; ascending id lists touch each block once.
+pub struct ReadStream<'s, 'c, 't> {
+    ctx: &'c Ctx<'t>,
+    reader: ReadReader<'s>,
+    ids: std::vec::IntoIter<ReadId>,
+    current: Option<(BlockId, PackedReadBlock)>,
+}
+
+impl Iterator for ReadStream<'_, '_, '_> {
+    type Item = (ReadId, Read);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let id = self.ids.next()?;
+        let b = self.reader.store.block_of(id);
+        if self.current.as_ref().map(|(cb, _)| *cb) != Some(b) {
+            let block = self
+                .reader
+                .get_many_onesided(self.ctx, &[b])
+                .pop()
+                .flatten()
+                .unwrap_or_else(|| panic!("read block {b} missing from store"));
+            self.current = Some((b, block));
+        }
+        let (_, block) = self.current.as_ref().unwrap();
+        let read = block
+            .get(id)
+            .unwrap_or_else(|| panic!("read {id} missing from block {b}"))
+            .unpack();
+        Some((id, read))
+    }
+}
+
+/// A [`seqio::ReadSource`] over the calling rank's owned blocks: every pass
+/// replays the same reads in ascending id order, unpacking one read at a
+/// time. K-mer estimates come from the replicated length table without
+/// touching sequence bytes. Owner-local: iteration holds this rank's shard
+/// locks, so it must not overlap foreign fetches into this rank's read shard
+/// (the k-mer analysis phase never does).
+pub struct OwnedReads<'s, 'c, 't> {
+    store: &'s ReadStore,
+    ctx: &'c Ctx<'t>,
+}
+
+impl OwnedReads<'_, '_, '_> {
+    /// Read ids of this rank's owned blocks, ascending.
+    pub fn ids(&self) -> Vec<ReadId> {
+        let mut out = Vec::new();
+        for b in self.store.owned_block_ids(self.ctx) {
+            let first = b as usize * self.store.block_reads;
+            let end = (first + self.store.block_reads).min(self.store.num_reads());
+            out.extend((first as ReadId)..(end as ReadId));
+        }
+        out
+    }
+}
+
+impl seqio::ReadSource for OwnedReads<'_, '_, '_> {
+    fn for_each_read(&mut self, f: &mut dyn FnMut(&Read)) {
+        let owned = self.store.owned_block_ids(self.ctx);
+        let view = self.store.map.local_view(self.ctx);
+        for b in owned {
+            if let Some(block) = view.get(&b) {
+                for packed in &block.reads {
+                    let read = packed.unpack();
+                    f(&read);
+                }
+            }
+        }
+    }
+
+    fn estimate_kmers(&self, k: usize) -> usize {
+        let mut total = 0usize;
+        for b in self.store.owned_block_ids(self.ctx) {
+            let first = b as usize * self.store.block_reads;
+            let end = (first + self.store.block_reads).min(self.store.num_reads());
+            total += self.store.lens[first..end]
+                .iter()
+                .map(|&l| (l as usize).saturating_sub(k - 1))
+                .sum::<usize>();
+        }
+        total
+    }
+}
+
+/// How a pipeline stage accesses reads: a replicated [`ReadLibrary`] (the
+/// baseline, O(total) bytes on every rank) or the sharded [`ReadStore`]
+/// (O(total/ranks + cache) bytes per rank). Geometry queries (length, mate
+/// id, counts, insert-size model) are answered locally in both variants.
+#[derive(Clone, Copy)]
+pub enum ReadsRef<'a> {
+    /// Every rank holds the full library.
+    Local(&'a ReadLibrary),
+    /// Read blocks are sharded; sequence reads go through a [`ReadReader`].
+    Store(&'a ReadStore),
+}
+
+impl<'a> ReadsRef<'a> {
+    /// Whether reads are pair-interleaved.
+    pub fn paired(&self) -> bool {
+        match self {
+            ReadsRef::Local(lib) => lib.paired,
+            ReadsRef::Store(store) => store.paired(),
+        }
+    }
+
+    /// Mean insert size of the library.
+    pub fn insert_size(&self) -> usize {
+        match self {
+            ReadsRef::Local(lib) => lib.insert_size,
+            ReadsRef::Store(store) => store.insert_size(),
+        }
+    }
+
+    /// Insert-size standard deviation.
+    pub fn insert_sd(&self) -> usize {
+        match self {
+            ReadsRef::Local(lib) => lib.insert_sd,
+            ReadsRef::Store(store) => store.insert_sd(),
+        }
+    }
+
+    /// Pair orientation.
+    pub fn orientation(&self) -> PairOrientation {
+        match self {
+            ReadsRef::Local(lib) => lib.orientation,
+            ReadsRef::Store(store) => store.orientation(),
+        }
+    }
+
+    /// Number of reads.
+    pub fn num_reads(&self) -> usize {
+        match self {
+            ReadsRef::Local(lib) => lib.num_reads(),
+            ReadsRef::Store(store) => store.num_reads(),
+        }
+    }
+
+    /// Number of pairs (0 for unpaired).
+    pub fn num_pairs(&self) -> usize {
+        match self {
+            ReadsRef::Local(lib) => lib.num_pairs(),
+            ReadsRef::Store(store) => store.num_pairs(),
+        }
+    }
+
+    /// Total bases across all reads.
+    pub fn total_bases(&self) -> usize {
+        match self {
+            ReadsRef::Local(lib) => lib.total_bases(),
+            ReadsRef::Store(store) => store.total_bases(),
+        }
+    }
+
+    /// Length of one read. Panics if the id is out of range (mirrors
+    /// [`ReadLibrary::read`]). Zero communication in both variants.
+    pub fn len_of(&self, id: ReadId) -> usize {
+        match self {
+            ReadsRef::Local(lib) => lib.read(id).len(),
+            ReadsRef::Store(store) => store
+                .len_of(id)
+                .unwrap_or_else(|| panic!("read {id} out of range")),
+        }
+    }
+
+    /// The mate's read id, or `None` for unpaired libraries.
+    pub fn mate_of(&self, id: ReadId) -> Option<ReadId> {
+        match self {
+            ReadsRef::Local(lib) => lib.mate_of(id),
+            ReadsRef::Store(store) => store.mate_of(id),
+        }
+    }
+
+    /// The replicated library, when this is the baseline variant.
+    pub fn local(&self) -> Option<&'a ReadLibrary> {
+        match self {
+            ReadsRef::Local(lib) => Some(lib),
+            ReadsRef::Store(_) => None,
+        }
+    }
+
+    /// The distributed store, when this is the sharded variant.
+    pub fn store(&self) -> Option<&'a ReadStore> {
+        match self {
+            ReadsRef::Local(_) => None,
+            ReadsRef::Store(store) => Some(store),
+        }
+    }
+}
+
+impl<'a> From<&'a ReadLibrary> for ReadsRef<'a> {
+    fn from(lib: &'a ReadLibrary) -> Self {
+        ReadsRef::Local(lib)
+    }
+}
+
+impl<'a> From<&'a ReadStore> for ReadsRef<'a> {
+    fn from(store: &'a ReadStore) -> Self {
+        ReadsRef::Store(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgas::Team;
+    use seqio::ReadSource;
+
+    /// Deterministic pseudo-random sequence with occasional N bytes.
+    fn seq(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if state.is_multiple_of(31) {
+                    b'N'
+                } else {
+                    b"ACGT"[(state % 4) as usize]
+                }
+            })
+            .collect()
+    }
+
+    /// Deterministic pseudo-random quality string with runs and spikes.
+    fn qual(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0xD1B54A32D192ED03) | 1;
+        (0..len)
+            .map(|i| {
+                if i % 7 == 0 {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                }
+                (2 + state % 40) as u8
+            })
+            .collect()
+    }
+
+    fn library(pairs: usize) -> ReadLibrary {
+        let mut lib = ReadLibrary::new_paired("t", 200, 20);
+        for i in 0..pairs as u64 {
+            let l1 = 40 + (i as usize * 13) % 80;
+            let l2 = 40 + (i as usize * 29) % 80;
+            lib.push_pair(
+                Read::new(format!("{i}/1"), &seq(l1, 2 * i), &qual(l1, 2 * i)),
+                Read::new(format!("{i}/2"), &seq(l2, 2 * i + 1), &qual(l2, 2 * i + 1)),
+            );
+        }
+        lib
+    }
+
+    #[test]
+    fn packed_read_roundtrips_across_dispatch_modes() {
+        // Word-boundary lengths (32/64/96 bases = 1/2/3 packed words) plus
+        // stragglers, with N runs and spiky quality strings, identical under
+        // both the SIMD and forced-scalar kernels.
+        let lens = [0usize, 1, 31, 32, 33, 63, 64, 65, 96, 150];
+        for forced in [false, true] {
+            let was = mhm_simd::force_scalar();
+            mhm_simd::set_force_scalar(forced);
+            for (i, &len) in lens.iter().enumerate() {
+                let read = Read::new("name-dropped", &seq(len, i as u64), &qual(len, i as u64));
+                let packed = PackedRead::from_read(&read);
+                assert_eq!(packed.len(), len);
+                let back = packed.unpack();
+                assert_eq!(back.seq, read.seq, "len {len} forced {forced}");
+                assert_eq!(back.qual, read.qual, "len {len} forced {forced}");
+                assert!(back.name.is_empty());
+                assert_eq!(packed.unpack_seq(), read.seq);
+            }
+            mhm_simd::set_force_scalar(was);
+        }
+    }
+
+    #[test]
+    fn qual_rle_handles_long_runs_and_bounds_bytes() {
+        let mut q = vec![35u8; 700];
+        q.extend([1, 2, 2, 3]);
+        let s: Vec<u8> = vec![b'A'; q.len()];
+        let read = Read::new("r", &s, &q);
+        let packed = PackedRead::from_read(&read);
+        assert_eq!(packed.unpack().qual, q);
+        // 700 equal scores = 3 runs (255+255+190); worst case is 2B/base.
+        assert!(packed.packed_bytes() <= s.len().div_ceil(4) + 4 + 2 * 7);
+    }
+
+    #[test]
+    fn store_serves_exact_reads_through_every_path() {
+        let lib = library(40);
+        for ranks in [1usize, 3, 4] {
+            let team = Team::single_node(ranks);
+            let lib2 = lib.clone();
+            team.run(|ctx| {
+                let store = ReadStore::build(
+                    ctx,
+                    &lib2,
+                    &ReadStoreParams {
+                        block_reads: 6,
+                        cache_bytes: 1 << 16,
+                        batch: 64,
+                    },
+                );
+                assert_eq!(store.num_reads(), lib2.num_reads());
+                assert_eq!(store.num_pairs(), lib2.num_pairs());
+                assert_eq!(store.total_bases(), lib2.total_bases());
+                // block_reads forced even for paired libraries.
+                assert_eq!(store.block_reads(), 6);
+                for (id, read) in lib2.iter() {
+                    assert_eq!(store.len_of(id), Some(read.len()));
+                    assert_eq!(store.mate_of(id), Some(id ^ 1));
+                }
+                // Collective bulk fetch of every read, including misses.
+                let mut reader = store.reader(ctx);
+                let ids: Vec<ReadId> = (0..lib2.num_reads() as ReadId).collect();
+                let got = reader.fetch_reads(ctx, &ids, false);
+                assert_eq!(got.len(), ids.len());
+                for (id, read) in lib2.iter() {
+                    assert_eq!(got[&id].seq, read.seq);
+                    assert_eq!(got[&id].qual, read.qual);
+                }
+                assert!(reader.fetch_reads(ctx, &[99999], true).is_empty());
+                // One-sided stream over this rank's share, in order.
+                let share = ctx.block_range(lib2.num_reads());
+                let my_ids: Vec<ReadId> = (share.start as ReadId..share.end as ReadId).collect();
+                let streamed: Vec<(ReadId, Read)> = store.stream(ctx, my_ids.clone()).collect();
+                assert_eq!(streamed.len(), my_ids.len());
+                for ((id, read), want) in streamed.iter().zip(&my_ids) {
+                    assert_eq!(id, want);
+                    assert_eq!(read.seq, lib2.read(*want).seq);
+                    assert_eq!(read.qual, lib2.read(*want).qual);
+                }
+                ctx.barrier();
+                // Materialise reproduces the library minus names.
+                let back = store.materialize(ctx);
+                assert_eq!(back.num_reads(), lib2.num_reads());
+                for (id, read) in lib2.iter() {
+                    assert_eq!(back.read(id).seq, read.seq);
+                    assert_eq!(back.read(id).qual, read.qual);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn owned_reads_cover_every_read_exactly_once() {
+        let lib = library(25);
+        for ranks in [1usize, 2, 5] {
+            let team = Team::single_node(ranks);
+            let lib2 = lib.clone();
+            team.run(|ctx| {
+                let store = ReadStore::build(
+                    ctx,
+                    &lib2,
+                    &ReadStoreParams {
+                        block_reads: 4,
+                        ..Default::default()
+                    },
+                );
+                let mut source = store.owned_reads(ctx);
+                assert_eq!(
+                    source.estimate_kmers(21),
+                    source
+                        .ids()
+                        .iter()
+                        .map(|&id| lib2.read(id).len().saturating_sub(20))
+                        .sum::<usize>()
+                );
+                let mut seqs: Vec<Vec<u8>> = Vec::new();
+                source.for_each_read(&mut |r| seqs.push(r.seq.clone()));
+                // Replay is identical (multi-pass contract).
+                let mut again: Vec<Vec<u8>> = Vec::new();
+                source.for_each_read(&mut |r| again.push(r.seq.clone()));
+                assert_eq!(seqs, again);
+                assert_eq!(
+                    seqs,
+                    source
+                        .ids()
+                        .iter()
+                        .map(|&id| lib2.read(id).seq.clone())
+                        .collect::<Vec<_>>()
+                );
+                // Union over ranks covers the library exactly once.
+                let mut outgoing: Vec<Vec<ReadId>> = vec![Vec::new(); ctx.ranks()];
+                outgoing[0] = source.ids();
+                let mut all = ctx.exchange(outgoing);
+                if ctx.rank() == 0 {
+                    all.sort_unstable();
+                    assert_eq!(all, (0..lib2.num_reads() as ReadId).collect::<Vec<_>>());
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn ingest_fastq_matches_build_and_streams_in_blocks() {
+        let lib = library(30);
+        let text = seqio::fastq::library_to_fastq(&lib);
+        for ranks in [1usize, 4] {
+            let team = Team::single_node(ranks);
+            let lib2 = lib.clone();
+            let text2 = text.clone();
+            team.run(|ctx| {
+                let store = ReadStore::ingest_fastq(
+                    ctx,
+                    "t",
+                    &text2,
+                    200,
+                    20,
+                    &ReadStoreParams {
+                        block_reads: 8,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(store.num_reads(), lib2.num_reads());
+                assert!(store.paired());
+                assert_eq!(store.insert_size(), 200);
+                let back = store.materialize(ctx);
+                for (id, read) in lib2.iter() {
+                    assert_eq!(back.read(id).seq, read.seq);
+                    assert_eq!(back.read(id).qual, read.qual);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn ingest_fastq_rejects_odd_and_malformed_input() {
+        let team = Team::single_node(2);
+        team.run(|ctx| {
+            let odd = "@r1\nACGT\n+\nIIII\n";
+            assert!(
+                ReadStore::ingest_fastq(ctx, "t", odd, 200, 20, &ReadStoreParams::default())
+                    .is_err()
+            );
+            ctx.barrier();
+            let bad = "@r1\nACGT\n+\nII\n@r2\nAC\n+\nII\n";
+            assert!(
+                ReadStore::ingest_fastq(ctx, "t", bad, 200, 20, &ReadStoreParams::default())
+                    .is_err()
+            );
+        });
+    }
+
+    #[test]
+    fn resident_accounting_stays_within_shard_plus_cache() {
+        let lib = library(60);
+        let ranks = 4usize;
+        let cache_bytes = 512usize;
+        let total_packed: usize = lib
+            .reads
+            .iter()
+            .map(|r| PackedRead::from_read(r).packed_bytes())
+            .sum();
+        let team = Team::single_node(ranks);
+        team.run(|ctx| {
+            ctx.stats().reset();
+            let store = ReadStore::build(
+                ctx,
+                &lib,
+                &ReadStoreParams {
+                    block_reads: 4,
+                    cache_bytes,
+                    batch: 64,
+                },
+            );
+            let mut reader = store.reader(ctx);
+            let ids: Vec<ReadId> = (0..lib.num_reads() as ReadId).collect();
+            let _ = reader.fetch_reads(ctx, &ids, false);
+            let _ = reader.fetch_reads(ctx, &ids, true);
+            ctx.barrier();
+            let peak = ctx.stats().snapshot().read_bytes_resident as usize;
+            // Hash partitioning over many small blocks is balanced to within
+            // a few blocks; one block of slack covers the cache's
+            // admit-then-evict overshoot too.
+            let max_block = (0..store.num_blocks() as BlockId)
+                .map(|b| {
+                    let first = b as usize * store.block_reads();
+                    let end = (first + store.block_reads()).min(lib.num_reads());
+                    8 + lib.reads[first..end]
+                        .iter()
+                        .map(|r| PackedRead::from_read(r).packed_bytes())
+                        .sum::<usize>()
+                })
+                .max()
+                .unwrap();
+            let bound = total_packed / ranks + 4 * max_block + cache_bytes;
+            assert!(peak > 0, "residency must be recorded");
+            assert!(peak <= bound, "peak {peak} > bound {bound}");
+            assert!(ctx.stats().snapshot().read_fetch_bytes > 0);
+        });
+    }
+}

@@ -33,6 +33,7 @@ pub use types::{Scaffold, ScaffoldEntry, ScaffoldSet};
 use aligner::AlignmentSet;
 use dbg::{ContigSet, ContigsRef};
 use pgas::Ctx;
+use readstore::ReadsRef;
 use rrna_hmm::RrnaDetector;
 use seqio::ReadLibrary;
 
@@ -57,7 +58,7 @@ pub fn scaffold(
         ctx,
         ContigsRef::Local(contigs),
         alignments,
-        library,
+        ReadsRef::Local(library),
         rrna,
         params,
     )
@@ -70,11 +71,11 @@ pub fn scaffold_ref(
     ctx: &Ctx,
     contigs: ContigsRef<'_>,
     alignments: &AlignmentSet,
-    library: &ReadLibrary,
+    reads: ReadsRef<'_>,
     rrna: Option<&RrnaDetector>,
     params: &ScaffoldParams,
 ) -> (ScaffoldSet, GapClosingReport) {
-    let link_set = build_links_ref(ctx, contigs, alignments, library, &params.links);
+    let link_set = build_links_ref(ctx, contigs, alignments, reads, &params.links);
     let gapped = traverse_contig_graph_ref(ctx, contigs, &link_set, rrna, &params.traversal);
     close_gaps_ref(ctx, contigs, gapped, &link_set, &params.gap_closing)
 }

@@ -4,6 +4,7 @@ use aligner::{Alignment, AlignmentSet};
 use dbg::{ContigId, ContigSet, ContigsRef};
 use dht::{bulk_merge, DistMap};
 use pgas::Ctx;
+use readstore::ReadsRef;
 use seqio::ReadLibrary;
 use std::sync::Arc;
 
@@ -207,21 +208,29 @@ pub fn build_links(
     library: &ReadLibrary,
     params: &LinkParams,
 ) -> LinkSet {
-    build_links_ref(ctx, ContigsRef::Local(contigs), alignments, library, params)
+    build_links_ref(
+        ctx,
+        ContigsRef::Local(contigs),
+        alignments,
+        ReadsRef::Local(library),
+        params,
+    )
 }
 
 /// Collectively builds the link set from this rank's alignments. Link
-/// geometry only needs contig *lengths*, which both contig sources answer
-/// from replicated metadata — no sequence bytes are read here.
+/// geometry only needs contig and read *lengths*, which both contig sources
+/// and both read sources answer from replicated metadata — no sequence bytes
+/// are read here, so the distributed read store adds zero communication to
+/// this stage.
 pub fn build_links_ref(
     ctx: &Ctx,
     contigs: ContigsRef<'_>,
     alignments: &AlignmentSet,
-    library: &ReadLibrary,
+    reads: ReadsRef<'_>,
     params: &LinkParams,
 ) -> LinkSet {
-    let insert = library.insert_size.max(1);
-    let read_len_of = |id: seqio::ReadId| library.read(id).len();
+    let insert = reads.insert_size().max(1);
+    let read_len_of = |id: seqio::ReadId| reads.len_of(id);
     let contig_len_of = |id: ContigId| contigs.len_of(id).unwrap_or(0);
 
     let mut local: Vec<(LinkKey, LinkData)> = Vec::new();
@@ -290,7 +299,7 @@ pub fn build_links_ref(
     }
 
     // ---- Spans ---------------------------------------------------------------
-    if library.paired {
+    if reads.paired() {
         let best = alignments.best_per_read();
         for (&read_id, a1) in &best {
             if read_id % 2 != 0 {

@@ -25,39 +25,63 @@ impl From<FastqRecord> for Read {
     }
 }
 
-/// Parses FASTQ text into records. Errors mention the 1-based record index.
+/// Streaming one-record-at-a-time FASTQ cursor over borrowed text.
 ///
 /// CRLF line endings are accepted: `str::lines` strips `\r\n` pairs, but a
 /// CRLF file whose final record lacks a trailing newline leaves a bare `\r`
 /// on its last line (typically the quality string, whose length check would
 /// then fail and drop the record) — so every line is additionally stripped of
 /// a trailing `\r` here.
-pub fn parse_fastq(text: &str) -> Result<Vec<FastqRecord>, String> {
-    let mut lines = text
-        .lines()
-        .map(|l| l.strip_suffix('\r').unwrap_or(l))
-        .filter(|l| !l.is_empty());
-    let mut records = Vec::new();
-    let mut idx = 0usize;
-    while let Some(header) = lines.next() {
-        idx += 1;
+struct RecordParser<'a> {
+    lines: std::str::Lines<'a>,
+    idx: usize,
+}
+
+impl<'a> RecordParser<'a> {
+    fn new(text: &'a str) -> Self {
+        RecordParser {
+            lines: text.lines(),
+            idx: 0,
+        }
+    }
+
+    fn next_line(&mut self) -> Option<&'a str> {
+        for l in self.lines.by_ref() {
+            let l = l.strip_suffix('\r').unwrap_or(l);
+            if !l.is_empty() {
+                return Some(l);
+            }
+        }
+        None
+    }
+
+    /// Parses the next record, or `None` at end of input. Errors mention the
+    /// 1-based record index.
+    fn next_record(&mut self) -> Option<Result<FastqRecord, String>> {
+        let header = self.next_line()?;
+        self.idx += 1;
+        Some(self.finish_record(header))
+    }
+
+    fn finish_record(&mut self, header: &str) -> Result<FastqRecord, String> {
+        let idx = self.idx;
         let name = header
             .strip_prefix('@')
             .ok_or_else(|| format!("record {idx}: header does not start with '@'"))?
             .to_string();
-        let seq = lines
-            .next()
+        let seq = self
+            .next_line()
             .ok_or_else(|| format!("record {idx}: missing sequence line"))?;
-        let plus = lines
-            .next()
+        let plus = self
+            .next_line()
             .ok_or_else(|| format!("record {idx}: missing '+' line"))?;
         if !plus.starts_with('+') {
             return Err(format!(
                 "record {idx}: separator line does not start with '+'"
             ));
         }
-        let qual = lines
-            .next()
+        let qual = self
+            .next_line()
             .ok_or_else(|| format!("record {idx}: missing quality line"))?;
         if qual.len() != seq.len() {
             return Err(format!(
@@ -76,13 +100,86 @@ pub fn parse_fastq(text: &str) -> Result<Vec<FastqRecord>, String> {
                 }
             })
             .collect::<Result<_, _>>()?;
-        records.push(FastqRecord {
+        Ok(FastqRecord {
             name,
             seq: crate::alphabet::normalize(seq.as_bytes()),
             qual,
-        });
+        })
+    }
+}
+
+/// Parses FASTQ text into records. Errors mention the 1-based record index.
+/// CRLF line endings and a missing trailing newline are accepted (see
+/// [`FastqBlockIter`] for the streaming, bounded-memory variant).
+pub fn parse_fastq(text: &str) -> Result<Vec<FastqRecord>, String> {
+    let mut parser = RecordParser::new(text);
+    let mut records = Vec::new();
+    while let Some(rec) = parser.next_record() {
+        records.push(rec?);
     }
     Ok(records)
+}
+
+/// Streaming FASTQ block iterator: yields records in chunks whose in-memory
+/// size (name + seq + qual bytes) is bounded by `max_block_bytes`, without
+/// ever materialising the whole file's records at once. With `paired` set
+/// (interleaved pair files) a block never splits a read pair: the cut point
+/// is deferred to the next even record count, so a pair whose first mate
+/// lands exactly on the byte bound is kept whole. This is the ingestion path
+/// of the distributed read store: each block is packed and shipped to its
+/// owner rank, then dropped.
+pub struct FastqBlockIter<'a> {
+    parser: RecordParser<'a>,
+    max_block_bytes: usize,
+    paired: bool,
+    done: bool,
+}
+
+impl<'a> FastqBlockIter<'a> {
+    pub fn new(text: &'a str, max_block_bytes: usize, paired: bool) -> Self {
+        FastqBlockIter {
+            parser: RecordParser::new(text),
+            max_block_bytes,
+            paired,
+            done: false,
+        }
+    }
+}
+
+impl Iterator for FastqBlockIter<'_> {
+    type Item = Result<Vec<FastqRecord>, String>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut block = Vec::new();
+        let mut bytes = 0usize;
+        loop {
+            match self.parser.next_record() {
+                None => {
+                    self.done = true;
+                    break;
+                }
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+                Some(Ok(rec)) => {
+                    bytes += rec.name.len() + rec.seq.len() + rec.qual.len();
+                    block.push(rec);
+                }
+            }
+            if bytes >= self.max_block_bytes && (!self.paired || block.len() % 2 == 0) {
+                break;
+            }
+        }
+        if block.is_empty() {
+            None
+        } else {
+            Some(Ok(block))
+        }
+    }
 }
 
 /// Writes records as FASTQ text.
@@ -206,5 +303,77 @@ mod tests {
     fn odd_record_count_rejected_for_pairs() {
         let text = "@only\nACGT\n+\nIIII\n";
         assert!(library_from_fastq("l", text, 1, 1).is_err());
+    }
+
+    /// Builds interleaved FASTQ text for `n` records with distinct seqs.
+    fn interleaved(n: usize) -> String {
+        let mut text = String::new();
+        for i in 0..n {
+            let base = [b'A', b'C', b'G', b'T'][i % 4] as char;
+            let seq: String = std::iter::repeat_n(base, 10 + i % 3).collect();
+            let qual: String = std::iter::repeat_n('I', seq.len()).collect();
+            let _ = writeln!(text, "@r{}/{}\n{}\n+\n{}", i / 2, 1 + i % 2, seq, qual);
+        }
+        text
+    }
+
+    #[test]
+    fn block_iter_matches_whole_parse() {
+        let text = interleaved(14);
+        let whole = parse_fastq(&text).unwrap();
+        for max_bytes in [1, 40, 120, 10_000] {
+            let blocks: Vec<Vec<FastqRecord>> = FastqBlockIter::new(&text, max_bytes, true)
+                .collect::<Result<_, _>>()
+                .unwrap();
+            let flat: Vec<FastqRecord> = blocks.iter().flatten().cloned().collect();
+            assert_eq!(flat, whole, "max_bytes={max_bytes}");
+            for b in &blocks {
+                assert!(!b.is_empty());
+                assert_eq!(b.len() % 2, 0, "pair split at max_bytes={max_bytes}");
+            }
+            if max_bytes == 1 {
+                assert!(blocks.iter().all(|b| b.len() == 2));
+            }
+        }
+    }
+
+    #[test]
+    fn block_iter_defers_cut_to_pair_boundary() {
+        // Record 0 alone is ~24 bytes in memory, past a 20-byte bound; the
+        // block must still carry its mate before cutting.
+        let text = interleaved(6);
+        let blocks: Vec<Vec<FastqRecord>> = FastqBlockIter::new(&text, 20, true)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert!(blocks.len() >= 2);
+        assert!(blocks.iter().all(|b| b.len() % 2 == 0));
+        // Unpaired mode cuts immediately after the bound instead.
+        let single: Vec<Vec<FastqRecord>> = FastqBlockIter::new(&text, 20, false)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert!(single.iter().any(|b| b.len() % 2 == 1));
+        let flat: Vec<FastqRecord> = single.into_iter().flatten().collect();
+        assert_eq!(flat, parse_fastq(&text).unwrap());
+    }
+
+    #[test]
+    fn block_iter_crlf_and_missing_trailing_newline() {
+        let text = "@r0/1\r\nACGTACGT\r\n+\r\nIIIIIIII\r\n@r0/2\r\nTTGGTTGG\r\n+\r\n!!IIII!!";
+        let blocks: Vec<Vec<FastqRecord>> = FastqBlockIter::new(text, 4, true)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].len(), 2);
+        assert_eq!(blocks[0], parse_fastq(text).unwrap());
+        assert_eq!(blocks[0][1].qual, vec![0, 0, 40, 40, 40, 40, 0, 0]);
+    }
+
+    #[test]
+    fn block_iter_propagates_errors_and_stops() {
+        let text = "@r0\nACGT\n+\nIIII\n@bad\nACGT\nplus\nIIII\n@r2\nACGT\n+\nIIII\n";
+        let mut it = FastqBlockIter::new(text, 1, false);
+        assert_eq!(it.next().unwrap().unwrap().len(), 1);
+        assert!(it.next().unwrap().is_err());
+        assert!(it.next().is_none());
     }
 }

@@ -7,7 +7,8 @@
 //!   local assembly, scaffolding) — the paper's primary contribution;
 //! * [`pgas`] / [`dht`] — the UPC-substitute SPMD runtime and distributed
 //!   hash tables it runs on;
-//! * [`seqio`] / [`kmers`] — sequences, reads and packed k-mers;
+//! * [`seqio`] / [`kmers`] / [`readstore`] — sequences, reads and packed
+//!   k-mers, plus the block-sharded distributed read store;
 //! * [`mgsim`] — the synthetic community and read simulator (the paper's
 //!   MGSim / WGSim);
 //! * [`mod@dbg`] / [`aligner`] / [`scaffolding`] / [`rrna_hmm`] — the pipeline
@@ -26,6 +27,7 @@ pub use kmers;
 pub use mgsim;
 pub use mhm_core;
 pub use pgas;
+pub use readstore;
 pub use rrna_hmm;
 pub use scaffolding;
 pub use seqio;
