@@ -19,6 +19,13 @@ use seqio::ReadId;
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ReadDistribution {
     pub per_rank: Vec<Vec<u64>>,
+    /// The rank-count-independent form of a localised distribution:
+    /// `targets[pair]` is the contig the pair follows (`u64::MAX` for
+    /// unaligned pairs, which take a hash home). Empty for the initial
+    /// block distribution. A checkpoint persists this vector instead of
+    /// `per_rank` so a resume at a different rank count can rebuild the
+    /// placement with [`ReadDistribution::from_targets`].
+    pub targets: Vec<u64>,
 }
 
 impl ReadDistribution {
@@ -30,7 +37,29 @@ impl ReadDistribution {
             let range = pgas::team::block_range_for(r, ranks, num_pairs);
             *pairs = range.map(|p| p as u64).collect();
         }
-        ReadDistribution { per_rank }
+        ReadDistribution {
+            per_rank,
+            targets: Vec::new(),
+        }
+    }
+
+    /// Rebuilds the localised placement from its rank-count-independent
+    /// form: pair `p` goes to rank `targets[p] % ranks`, or to a
+    /// deterministic hash home when `targets[p]` is `u64::MAX`. For a
+    /// given `targets` vector the result is a pure function of `ranks`,
+    /// which is what makes checkpoint resume elastic.
+    pub fn from_targets(targets: Vec<u64>, ranks: usize) -> Self {
+        let mut per_rank = vec![Vec::new(); ranks];
+        for (pair, contig) in targets.iter().enumerate() {
+            let rank = if *contig == u64::MAX {
+                // Unaligned pair: deterministic hash home.
+                (fx_hash_one(&(pair as u64)) % ranks as u64) as usize
+            } else {
+                (*contig % ranks as u64) as usize
+            };
+            per_rank[rank].push(pair as u64);
+        }
+        ReadDistribution { per_rank, targets }
     }
 
     /// Total number of pairs across all ranks.
@@ -89,23 +118,13 @@ pub fn localize_pairs(
     outgoing[0] = assignments;
     let gathered = ctx.exchange(outgoing);
     let dist = if ctx.rank() == 0 {
-        let mut target = vec![u64::MAX; num_pairs];
+        let mut targets = vec![u64::MAX; num_pairs];
         for (pair, contig) in gathered {
             if (pair as usize) < num_pairs {
-                target[pair as usize] = contig;
+                targets[pair as usize] = contig;
             }
         }
-        let mut per_rank = vec![Vec::new(); ranks];
-        for (pair, contig) in target.iter().enumerate() {
-            let rank = if *contig == u64::MAX {
-                // Unaligned pair: deterministic hash home.
-                (fx_hash_one(&(pair as u64)) % ranks as u64) as usize
-            } else {
-                (*contig % ranks as u64) as usize
-            };
-            per_rank[rank].push(pair as u64);
-        }
-        ReadDistribution { per_rank }
+        ReadDistribution::from_targets(targets, ranks)
     } else {
         ReadDistribution::default()
     };
@@ -163,6 +182,50 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn from_targets_is_elastic_across_rank_counts() {
+        // targets is the rank-count-independent form: rebuilding it at any
+        // rank count covers every pair exactly once, keeps same-contig pairs
+        // together, and a localised distribution round-trips through it.
+        let targets: Vec<u64> = (0..24u64)
+            .map(|p| if p % 7 == 0 { u64::MAX } else { p % 5 })
+            .collect();
+        for ranks in [1usize, 2, 3, 4, 8] {
+            let dist = ReadDistribution::from_targets(targets.clone(), ranks);
+            assert_eq!(dist.total_pairs(), 24, "ranks={ranks}");
+            assert_eq!(dist.per_rank.len(), ranks);
+            for c in 0..5u64 {
+                let home = (c % ranks as u64) as usize;
+                for (p, t) in targets.iter().enumerate() {
+                    if *t == c {
+                        assert!(dist.per_rank[home].contains(&(p as u64)));
+                    }
+                }
+            }
+        }
+        // The team-computed distribution carries the same targets vector it
+        // was built from.
+        let team = Team::single_node(3);
+        let dists = team.run(|ctx| {
+            let alignments: Vec<Alignment> = ctx
+                .block_range(12)
+                .map(|p| Alignment {
+                    read_id: 2 * p as u64,
+                    contig: (p % 5) as u64,
+                    forward: true,
+                    contig_offset: 0,
+                    aligned_len: 100,
+                    matches: 100,
+                })
+                .collect();
+            localize_pairs(ctx, 12, &alignments)
+        });
+        let rebuilt = ReadDistribution::from_targets(dists[0].targets.clone(), 3);
+        assert_eq!(rebuilt, dists[0]);
+        let widened = ReadDistribution::from_targets(dists[0].targets.clone(), 6);
+        assert_eq!(widened.total_pairs(), 12);
     }
 
     #[test]

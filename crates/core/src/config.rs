@@ -60,11 +60,14 @@ pub struct AssemblyConfig {
     /// Reads per packed block in the distributed read store (rounded down to
     /// even for paired libraries so mates always share a block).
     pub read_block_reads: usize,
-    /// Ranks per simulated node (the paper runs 32 per Cori node). `0` — the
-    /// default — means "all ranks on one node", matching the historical
-    /// single-node harness behaviour; any other value must divide into the
-    /// rank count sensibly but need not evenly (the last node may be
-    /// partial). See [`AssemblyConfig::topology`].
+    /// Ranks per simulated node (the paper runs 32 per Cori node). The
+    /// default, `usize::MAX`, means "all ranks on one node" (the value is
+    /// clamped to the rank count when the topology is built), matching the
+    /// historical single-node harness behaviour; any other value groups
+    /// ranks that many to a node but need not divide evenly (the last node
+    /// may be partial). `0` is invalid — [`AssemblyConfig::validate`]
+    /// rejects it up front instead of letting the topology layer panic.
+    /// See [`AssemblyConfig::topology`].
     pub ranks_per_node: usize,
     /// Route aggregated exchanges through node leaders (gather at the source
     /// node's leader, one combined message per destination node, scatter
@@ -99,6 +102,19 @@ pub struct AssemblyConfig {
     pub local: LocalAssemblyParams,
     /// Scaffolding parameters.
     pub scaffold: ScaffoldParams,
+    /// Directory for checkpoints written at each k-iteration boundary
+    /// (`None` — the default — disables checkpointing). Commits are atomic
+    /// (staged in a temp dir, then renamed in), so a run killed mid-write
+    /// never leaves a loadable-but-torn checkpoint behind. See
+    /// `core::checkpoint`.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Resume from the latest valid checkpoint in `checkpoint_dir` whose
+    /// configuration fingerprint matches, skipping the already-completed
+    /// k iterations. The resuming team may have a *different* rank count
+    /// than the writer: every shard is re-partitioned through the tables'
+    /// partitioners on load (elastic resume), and the final scaffolds are
+    /// byte-identical to an uninterrupted run.
+    pub resume: bool,
 }
 
 impl Default for AssemblyConfig {
@@ -118,7 +134,7 @@ impl Default for AssemblyConfig {
             use_distributed_reads: true,
             read_cache_bytes: 1 << 20,
             read_block_reads: 64,
-            ranks_per_node: 0,
+            ranks_per_node: usize::MAX,
             use_hierarchical_exchange: true,
             threshold: ThresholdPolicy::metahipmer_default(),
             bubble_merging: true,
@@ -137,11 +153,72 @@ impl Default for AssemblyConfig {
             prune: PruningParams::default(),
             local: LocalAssemblyParams::default(),
             scaffold: ScaffoldParams::default(),
+            checkpoint_dir: None,
+            resume: false,
         }
     }
 }
 
 impl AssemblyConfig {
+    /// Checks the cross-field invariants that would otherwise surface as
+    /// obscure panics deep inside the pipeline (an empty k schedule, a read
+    /// block that splits pairs, a zero-rank node). Called by
+    /// [`crate::MetaHipMer::new`], so a bad configuration fails at
+    /// construction with a message naming the field, not mid-assembly.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k_min < 3 || self.k_min.is_multiple_of(2) {
+            return Err(format!(
+                "k_min must be odd and >= 3, got {} (even k makes a k-mer its own reverse complement)",
+                self.k_min
+            ));
+        }
+        if self.k_step < 2 || !self.k_step.is_multiple_of(2) {
+            return Err(format!(
+                "k_step must be even and >= 2 so every k stays odd, got {}",
+                self.k_step
+            ));
+        }
+        if self.k_max < self.k_min {
+            return Err(format!(
+                "k schedule is non-increasing: k_max {} < k_min {} leaves no iterations to run",
+                self.k_max, self.k_min
+            ));
+        }
+        if self.read_block_reads == 0 || !self.read_block_reads.is_multiple_of(2) {
+            return Err(format!(
+                "read_block_reads must be even and positive so paired mates always share a \
+                 read-store block, got {}",
+                self.read_block_reads
+            ));
+        }
+        if self.ranks_per_node == 0 {
+            return Err(
+                "ranks_per_node must be >= 1 (the default usize::MAX means all ranks on one \
+                 node), got 0"
+                    .to_string(),
+            );
+        }
+        Ok(())
+    }
+
+    /// A 64-bit fingerprint of every result-affecting field (FNV-1a over the
+    /// `Debug` rendering, with the checkpoint bookkeeping fields normalised
+    /// away). A checkpoint records the writer's fingerprint and a resume
+    /// refuses to load state produced under a different configuration —
+    /// mixing, say, different k schedules would silently corrupt the run.
+    pub fn fingerprint(&self) -> u64 {
+        let mut normalized = self.clone();
+        normalized.checkpoint_dir = None;
+        normalized.resume = false;
+        let text = format!("{normalized:?}");
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in text.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
     /// The sequence of k values the pipeline will iterate over.
     pub fn k_values(&self) -> Vec<usize> {
         assert!(
@@ -176,16 +253,12 @@ impl AssemblyConfig {
         }
     }
 
-    /// The machine topology for a run over `ranks` ranks:
-    /// `ranks_per_node == 0` puts every rank on one node, any other value
-    /// groups ranks `ranks_per_node` to a node (the last node may be
-    /// partial).
+    /// The machine topology for a run over `ranks` ranks: `ranks_per_node`
+    /// is clamped to the rank count (so the `usize::MAX` default puts every
+    /// rank on one node) and any smaller value groups ranks that many to a
+    /// node (the last node may be partial).
     pub fn topology(&self, ranks: usize) -> pgas::Topology {
-        if self.ranks_per_node == 0 {
-            pgas::Topology::single_node(ranks)
-        } else {
-            pgas::Topology::new(ranks, self.ranks_per_node)
-        }
+        pgas::Topology::new(ranks, self.ranks_per_node.min(ranks).max(1))
     }
 
     /// A team over [`AssemblyConfig::topology`] with the hierarchical-exchange
@@ -291,6 +364,80 @@ mod tests {
             ..Default::default()
         };
         let _ = cfg.k_values();
+    }
+
+    #[test]
+    fn validate_accepts_the_defaults_and_names_the_broken_field() {
+        assert_eq!(AssemblyConfig::default().validate(), Ok(()));
+        assert_eq!(AssemblyConfig::small_test().validate(), Ok(()));
+        let cases = [
+            (
+                AssemblyConfig {
+                    k_min: 20,
+                    ..Default::default()
+                },
+                "k_min",
+            ),
+            (
+                AssemblyConfig {
+                    k_step: 5,
+                    ..Default::default()
+                },
+                "k_step",
+            ),
+            (
+                AssemblyConfig {
+                    k_min: 31,
+                    k_max: 21,
+                    ..Default::default()
+                },
+                "non-increasing",
+            ),
+            (
+                AssemblyConfig {
+                    read_block_reads: 63,
+                    ..Default::default()
+                },
+                "read_block_reads",
+            ),
+            (
+                AssemblyConfig {
+                    read_block_reads: 0,
+                    ..Default::default()
+                },
+                "read_block_reads",
+            ),
+            (
+                AssemblyConfig {
+                    ranks_per_node: 0,
+                    ..Default::default()
+                },
+                "ranks_per_node",
+            ),
+        ];
+        for (cfg, needle) in cases {
+            let err = cfg.validate().expect_err(needle);
+            assert!(err.contains(needle), "error {err:?} must name {needle:?}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_checkpoint_bookkeeping_but_not_results_fields() {
+        let base = AssemblyConfig::default();
+        let mut with_ckpt = base.clone();
+        with_ckpt.checkpoint_dir = Some(std::path::PathBuf::from("/tmp/somewhere"));
+        with_ckpt.resume = true;
+        assert_eq!(
+            base.fingerprint(),
+            with_ckpt.fingerprint(),
+            "where a run checkpoints must not change what it computes"
+        );
+        let mut other_k = base.clone();
+        other_k.k_max = 21;
+        assert_ne!(base.fingerprint(), other_k.fingerprint());
+        let mut other_eps = base.clone();
+        other_eps.min_kmer_count = 3;
+        assert_ne!(base.fingerprint(), other_eps.fingerprint());
     }
 
     #[test]

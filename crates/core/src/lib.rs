@@ -26,6 +26,7 @@
 //! (single k, global extension threshold, no metagenome-specific passes) used
 //! as the HipMer comparison row of Table I.
 
+pub mod checkpoint;
 pub mod config;
 pub mod local_assembly;
 pub mod pipeline;

@@ -1,5 +1,6 @@
 //! The MetaHipMer pipeline: iterative contig generation + scaffolding.
 
+use crate::checkpoint;
 use crate::config::AssemblyConfig;
 use crate::local_assembly::extend_contigs_locally_ref;
 use crate::timing::StageTimings;
@@ -8,9 +9,10 @@ use aligner::{
 };
 use dbg::{
     build_graph, inject_contig_kmers_ref, kmer_analysis_from, merge_bubbles_and_remove_hair,
-    prune_iteratively, traverse_contigs, ContigSet, ContigStore, ContigsRef, ThresholdPolicy,
+    prune_iteratively, traverse_contigs, ContigMeta, ContigSet, ContigStore, ContigsRef, PackedSeq,
+    ThresholdPolicy,
 };
-use pgas::{Ctx, StatsSnapshot, Team};
+use pgas::{Ctx, RankFault, StatsSnapshot, Team};
 use readstore::{ReadStore, ReadsRef};
 use rrna_hmm::RrnaDetector;
 use scaffolding::{scaffold_ref, Scaffold, ScaffoldEntry, ScaffoldSet};
@@ -173,7 +175,15 @@ pub struct MetaHipMer {
 
 impl MetaHipMer {
     /// Creates an assembler with the given configuration.
+    ///
+    /// # Panics
+    /// Panics with the [`AssemblyConfig::validate`] message if the
+    /// configuration is inconsistent, so a bad field fails here by name
+    /// instead of as an obscure panic mid-assembly.
     pub fn new(config: AssemblyConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid assembly configuration: {msg}");
+        }
         MetaHipMer { config }
     }
 
@@ -186,7 +196,7 @@ impl MetaHipMer {
         config.bubble_merging = false;
         config.pruning = false;
         config.read_localization = false;
-        MetaHipMer { config }
+        MetaHipMer::new(config)
     }
 
     /// Assembles a read library on a team of ranks. This is the library-level
@@ -198,14 +208,32 @@ impl MetaHipMer {
         library: &ReadLibrary,
         rrna_consensus: Option<&[u8]>,
     ) -> AssemblyOutput {
+        match self.try_assemble(team, library, rrna_consensus) {
+            Ok(out) => out,
+            Err(fault) => panic!("SPMD rank panicked: {fault}"),
+        }
+    }
+
+    /// [`MetaHipMer::assemble`], but an injected rank fault (a
+    /// [`pgas::FaultPlan`] armed on the team) surfaces as `Err` instead of a
+    /// panic. With `checkpoint_dir` set, the state committed before the
+    /// fault survives on disk, and a follow-up run with `resume` — on a team
+    /// of *any* rank count — completes the assembly with byte-identical
+    /// scaffolds. This is the entry point of the fault-injection harness.
+    pub fn try_assemble(
+        &self,
+        team: &Arc<Team>,
+        library: &ReadLibrary,
+        rrna_consensus: Option<&[u8]>,
+    ) -> Result<AssemblyOutput, RankFault> {
         let detector = rrna_consensus
             .filter(|c| !c.is_empty())
             .map(RrnaDetector::from_consensus);
         // The exchange-routing mode is per-team state, set outside the SPMD
         // region so every rank constructs its aggregators under it.
         team.set_hierarchical_exchange(self.config.use_hierarchical_exchange);
-        let outputs = team.run(|ctx| self.assemble_rank(ctx, library, detector.as_ref()));
-        outputs.into_iter().next().expect("at least one rank")
+        let outputs = team.try_run(|ctx| self.assemble_rank(ctx, library, detector.as_ref()))?;
+        Ok(outputs.into_iter().next().expect("at least one rank"))
     }
 
     /// The SPMD body: every rank calls this with its own context. Returns the
@@ -228,17 +256,41 @@ impl MetaHipMer {
         let mut contigs: Option<ContigsHolder> = None;
         let mut last_alignments = AlignmentSet::default();
         let mut local_work = 0usize;
+        let mut start_iter = 0usize;
 
-        // The input library is wrapped exactly once for the whole run: either
-        // packed into the block-sharded read store (dropping per-rank
-        // residency to O(total/ranks + cache)) or borrowed as the replicated
-        // baseline.
-        let reads = timings.time(ctx, "read_ingestion", || {
-            ReadsHolder::wrap(ctx, cfg, library)
-        });
+        // With `resume` set, pick up from the newest checkpoint whose
+        // configuration fingerprint matches. Discovery is per-rank but
+        // deterministic (no writer runs concurrently), so every rank agrees
+        // on the checkpoint before any collective call.
+        let resume_from = if cfg.resume {
+            cfg.checkpoint_dir
+                .as_deref()
+                .and_then(|dir| checkpoint::find_latest(dir, cfg.fingerprint()))
+        } else {
+            None
+        };
+
+        // The input reads are materialised exactly once for the whole run:
+        // restored from checkpoint shards on resume, otherwise either packed
+        // into the block-sharded read store (dropping per-rank residency to
+        // O(total/ranks + cache)) or borrowed as the replicated baseline.
+        let reads = if let Some((manifest, path)) = resume_from {
+            let (reads, restored_contigs, restored_distribution) =
+                timings.time(ctx, "checkpoint_restore", || {
+                    self.restore_checkpoint(ctx, library, num_pairs, manifest, &path)
+                });
+            start_iter = restored_contigs.1;
+            contigs = Some(restored_contigs.0);
+            distribution = restored_distribution;
+            reads
+        } else {
+            timings.time(ctx, "read_ingestion", || {
+                ReadsHolder::wrap(ctx, cfg, library)
+            })
+        };
 
         let k_values = cfg.k_values();
-        for (iter, &k) in k_values.iter().enumerate() {
+        for (iter, &k) in k_values.iter().enumerate().skip(start_iter) {
             let my_read_ids: Vec<ReadId> = self.read_ids_of(ctx, library, &distribution);
 
             // --- 1. k-mer analysis ------------------------------------------
@@ -324,6 +376,25 @@ impl MetaHipMer {
             }
             last_alignments = alignments;
             contigs = Some(extended);
+
+            // --- 8. checkpoint at the k-iteration boundary ---------------------
+            // Everything the next iteration consumes is on disk after this:
+            // a kill any time later loses at most the current iteration.
+            if !is_last {
+                if let Some(dir) = cfg.checkpoint_dir.clone() {
+                    timings.time(ctx, "checkpoint_write", || {
+                        self.write_checkpoint(
+                            ctx,
+                            &dir,
+                            iter + 1,
+                            num_pairs,
+                            &reads,
+                            contigs.as_ref().expect("contigs set this iteration"),
+                            &distribution,
+                        );
+                    });
+                }
+            }
         }
 
         let final_contigs =
@@ -401,6 +472,137 @@ impl MetaHipMer {
             total_seconds,
             local_assembly_work: work_per_rank,
         }
+    }
+
+    /// **Collective**: exports this rank's slice of the cross-iteration
+    /// state and commits checkpoint `ckpt_<next_iter>` atomically. Sharded
+    /// holders export their owned table entries; the replicated baselines
+    /// export this rank's block slice (reads are not checkpointed at all in
+    /// replicated mode — they are the caller's input).
+    #[allow(clippy::too_many_arguments)]
+    fn write_checkpoint(
+        &self,
+        ctx: &Ctx,
+        dir: &std::path::Path,
+        next_iter: usize,
+        num_pairs: usize,
+        reads: &ReadsHolder<'_>,
+        contigs: &ContigsHolder,
+        distribution: &ReadDistribution,
+    ) {
+        let cfg = &self.config;
+        let (contig_k, contig_meta, contig_entries) = match contigs {
+            ContigsHolder::Store(store) => {
+                let meta: Vec<ContigMeta> = (0..store.num_contigs() as u64)
+                    .map(|id| store.meta(id).expect("meta table covers every id"))
+                    .collect();
+                (store.k(), meta, store.map().local_entries(ctx))
+            }
+            ContigsHolder::Local(set) => {
+                let meta = set
+                    .contigs
+                    .iter()
+                    .map(|c| ContigMeta {
+                        len: c.len() as u32,
+                        depth: c.depth,
+                    })
+                    .collect();
+                let entries = set.contigs[ctx.block_range(set.contigs.len())]
+                    .iter()
+                    .map(|c| (c.id, PackedSeq::from_bytes(&c.seq)))
+                    .collect();
+                (set.k, meta, entries)
+            }
+        };
+        let (read_header, read_blocks) = match reads {
+            ReadsHolder::Store(store) => (Some(store.header()), store.map().local_entries(ctx)),
+            ReadsHolder::Local(_) => (None, Vec::new()),
+        };
+        let manifest = checkpoint::Manifest {
+            fingerprint: cfg.fingerprint(),
+            ranks: ctx.ranks(),
+            next_iter,
+            num_pairs,
+            barriers_at_commit: 0, // stamped by commit
+            contig_k,
+            contig_meta,
+            targets: (!distribution.targets.is_empty()).then(|| distribution.targets.clone()),
+            read_header,
+        };
+        let shard = checkpoint::ShardData {
+            contigs: contig_entries,
+            read_blocks,
+        };
+        checkpoint::commit(ctx, dir, manifest, &shard);
+    }
+
+    /// **Collective**: rebuilds the cross-iteration state from a committed
+    /// checkpoint, re-partitioning every shard for this team's rank count.
+    /// Returns the reads holder, `(contigs, next_iter)` and the read
+    /// distribution — everything `assemble_rank`'s loop needs to continue
+    /// exactly where the writer stopped.
+    fn restore_checkpoint<'a>(
+        &self,
+        ctx: &Ctx,
+        library: &'a ReadLibrary,
+        num_pairs: usize,
+        manifest: checkpoint::Manifest,
+        path: &std::path::Path,
+    ) -> (ReadsHolder<'a>, (ContigsHolder, usize), ReadDistribution) {
+        let cfg = &self.config;
+        assert_eq!(
+            manifest.num_pairs,
+            num_pairs,
+            "checkpoint at {} was written for a different input library",
+            path.display()
+        );
+        let shard = checkpoint::load_shards_for_rank(path, ctx.rank(), ctx.ranks(), manifest.ranks)
+            .unwrap_or_else(|e| panic!("checkpoint restore from {}: {e}", path.display()));
+
+        let reads = match manifest.read_header {
+            Some(header) => ReadsHolder::Store(ReadStore::restore(
+                ctx,
+                header,
+                &cfg.read_store_params(),
+                shard.read_blocks,
+            )),
+            // Replicated baseline: the reads are the caller's input.
+            None => ReadsHolder::wrap(ctx, cfg, library),
+        };
+
+        let contigs = if cfg.use_distributed_contigs {
+            ContigsHolder::Store(ContigStore::restore(
+                ctx,
+                manifest.contig_k,
+                manifest.contig_meta,
+                &cfg.contig_store_params(),
+                shard.contigs,
+            ))
+        } else {
+            // Replicated baseline: route the shard entries through a
+            // transient hash-partitioned store, regather the full set on
+            // every rank, and drop the store.
+            let params = dbg::ContigStoreParams {
+                balanced: false,
+                ..cfg.contig_store_params()
+            };
+            let store = ContigStore::restore(
+                ctx,
+                manifest.contig_k,
+                manifest.contig_meta,
+                &params,
+                shard.contigs,
+            );
+            let set = store.materialize(ctx);
+            ctx.record_contig_resident(set.total_bases());
+            ContigsHolder::Local(set)
+        };
+
+        let distribution = match manifest.targets {
+            Some(targets) => ReadDistribution::from_targets(targets, ctx.ranks()),
+            None => ReadDistribution::block(num_pairs, ctx.ranks()),
+        };
+        (reads, (contigs, manifest.next_iter), distribution)
     }
 
     fn read_ids_of(

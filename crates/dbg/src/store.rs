@@ -78,14 +78,23 @@ impl Default for ContigStoreParams {
 /// with the least packed bytes so far (ties to the lowest rank). Deterministic
 /// given the set, so every rank computes the same table.
 fn balanced_owners(set: &ContigSet, ranks: usize) -> Vec<u32> {
-    let mut owners = vec![0u32; set.len()];
-    let mut load = vec![0usize; ranks];
     // Contig ids are assigned longest-first by `ContigSet::from_sequences`,
     // so iterating in id order is the greedy longest-first order.
-    for c in &set.contigs {
+    balanced_owners_from_lens(set.contigs.iter().map(|c| c.len() as u32), ranks)
+}
+
+/// The owner-table computation behind [`ContigStore`]'s balanced partition,
+/// keyed only by contig lengths in id order. Exposed so a checkpoint restore
+/// on a *different* rank count can recompute, from the replicated metadata
+/// alone, exactly the table `ContigStore::build` would have produced there —
+/// the property elastic resume's byte-identical guarantee rests on.
+pub fn balanced_owners_from_lens(lens: impl IntoIterator<Item = u32>, ranks: usize) -> Vec<u32> {
+    let mut owners = Vec::new();
+    let mut load = vec![0usize; ranks];
+    for len in lens {
         let owner = (0..ranks).min_by_key(|&r| (load[r], r)).unwrap_or(0);
-        owners[c.id as usize] = owner as u32;
-        load[owner] += c.len().div_ceil(4) + 4;
+        owners.push(owner as u32);
+        load[owner] += (len as usize).div_ceil(4) + 4;
     }
     owners
 }
@@ -140,6 +149,66 @@ impl ContigStore {
             cache_bytes: params.cache_bytes,
             batch: params.batch,
         });
+        ctx.record_contig_resident(store.owned_packed_bytes(ctx));
+        ctx.barrier();
+        store
+    }
+
+    /// Collectively rebuilds a store from checkpointed state: the replicated
+    /// metadata table plus whatever slice of the packed entries each rank
+    /// recovered from the shard files of the *writing* run. The entries are
+    /// re-routed to their new owners through the freshly computed partitioner
+    /// (`bulk_merge`), so the rank count may differ from the writer's — the
+    /// resulting store is identical to one `build` would have produced on
+    /// this team, because the balanced owner table depends only on the
+    /// lengths in id order. Each rank then verifies its restored shard
+    /// against the metadata and clears the verification reader's cache so
+    /// the resumed run starts as cold as a fresh build.
+    pub fn restore(
+        ctx: &Ctx,
+        k: usize,
+        meta: Vec<ContigMeta>,
+        params: &ContigStoreParams,
+        entries: Vec<(ContigId, PackedSeq)>,
+    ) -> Arc<ContigStore> {
+        let ranks = ctx.ranks();
+        let map: Arc<DistMap<ContigId, PackedSeq>> = if params.balanced {
+            let lens = meta.iter().map(|m| m.len).collect::<Vec<u32>>();
+            ctx.share(|| {
+                DistMap::with_partitioner(
+                    ranks,
+                    Arc::new(TablePartitioner::new(balanced_owners_from_lens(
+                        lens, ranks,
+                    ))),
+                )
+            })
+        } else {
+            DistMap::shared(ctx)
+        };
+        dht::bulk_merge(ctx, &map, entries, params.batch, |a, b| *a = b);
+        let store = ctx.share(|| ContigStore {
+            map: Arc::clone(&map),
+            meta,
+            k,
+            cache_bytes: params.cache_bytes,
+            batch: params.batch,
+        });
+        // Verify the restored shards: every contig must be present with the
+        // length the manifest promised (a shard file swapped between
+        // checkpoints would pass its own CRC but fail here).
+        let mut reader = store.reader(ctx);
+        let my = ctx.block_range(store.num_contigs());
+        let ids: Vec<ContigId> = (my.start as u64..my.end as u64).collect();
+        let got = reader.get_many(ctx, &ids);
+        for (id, p) in ids.iter().zip(&got) {
+            let expect = store.meta(*id).map(|m| m.len as usize);
+            assert_eq!(
+                p.as_ref().map(|p| p.len()),
+                expect,
+                "restored contig {id} does not match checkpoint metadata"
+            );
+        }
+        reader.clear_cache();
         ctx.record_contig_resident(store.owned_packed_bytes(ctx));
         ctx.barrier();
         store
@@ -244,6 +313,13 @@ impl ContigReader<'_> {
     /// reader cache, packed.
     pub fn resident_bytes(&self) -> usize {
         self.owned_bytes + self.cache.resident_weight()
+    }
+
+    /// Drops every cached foreign contig (capacity and eviction accounting
+    /// are untouched). Used after restore-time verification reads so a
+    /// resumed run starts with the same cold cache a fresh build would.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
     }
 
     /// **Collective** batched fetch: cache hits are served locally and every
@@ -522,6 +598,58 @@ mod tests {
                     assert_eq!(back, set2);
                 });
             }
+        }
+    }
+
+    #[test]
+    fn restore_on_a_different_rank_count_matches_a_fresh_build() {
+        let set = ContigSet::from_sequences(
+            21,
+            (0..15)
+                .map(|i| (seq(50 + i * 17, 900 + i as u64), 1.5))
+                .collect(),
+        );
+        let params = ContigStoreParams::default();
+        // "Write" at 3 ranks: export each rank's owned shard entries.
+        let writer = Team::single_node(3);
+        let set2 = set.clone();
+        let shards: Vec<Vec<(ContigId, PackedSeq)>> = writer.run(|ctx| {
+            let store = ContigStore::build(ctx, &set2, &params);
+            store.map().local_entries(ctx)
+        });
+        let meta: Vec<ContigMeta> = set
+            .contigs
+            .iter()
+            .map(|c| ContigMeta {
+                len: c.len() as u32,
+                depth: c.depth,
+            })
+            .collect();
+        // Restore at 2x and 1/3 the writer's rank count: each new rank takes
+        // a block of the old shard files; entries re-route to the new owners.
+        for new_ranks in [6usize, 1, 3] {
+            let team = Team::single_node(new_ranks);
+            let meta = meta.clone();
+            let shards = &shards;
+            let set = &set;
+            team.run(|ctx| {
+                let mut mine = Vec::new();
+                for old in ctx.block_range(shards.len()) {
+                    mine.extend(shards[old].iter().cloned());
+                }
+                let restored = ContigStore::restore(ctx, 21, meta.clone(), &params, mine);
+                // Same owner table a fresh build would compute on this team...
+                let fresh = ContigStore::build(ctx, set, &params);
+                for id in 0..set.len() as u64 {
+                    assert_eq!(restored.map().owner_of(&id), fresh.map().owner_of(&id));
+                }
+                assert_eq!(
+                    restored.owned_packed_bytes(ctx),
+                    fresh.owned_packed_bytes(ctx)
+                );
+                // ...and the same sequences.
+                assert_eq!(restored.materialize(ctx), *set);
+            });
         }
     }
 

@@ -105,6 +105,18 @@ where
         }
     }
 
+    /// Empties the cache: every entry (values and cached absences) is
+    /// dropped and the resident weight returns to zero, while the capacity,
+    /// the weigher and the rank's eviction/hit/miss counters are untouched —
+    /// a clear is a deliberate reset (e.g. after checkpoint-restore
+    /// verification reads), not an eviction, so it must not inflate the
+    /// eviction statistics the ablation harnesses compare.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+        self.weight = 0;
+    }
+
     /// Non-recording probe: `Some(&cached)` if the key is cached (the inner
     /// `Option` distinguishes a cached value from a cached absence), `None`
     /// if the cache holds nothing for it.
@@ -391,6 +403,37 @@ mod tests {
             assert_eq!(cache.resident_weight(), 1);
             assert_eq!(ctx.stats().snapshot().cache_evictions, 0);
             assert_eq!(cache.peek(&42), Some(&Some(capacity as u64)));
+        });
+    }
+
+    #[test]
+    fn clear_empties_the_cache_but_leaves_eviction_counters_alone() {
+        let team = Team::single_node(1);
+        team.run(|ctx| {
+            let mut cache: SoftwareCache<u64, usize> =
+                SoftwareCache::new_weighted(100, |v: &usize| *v);
+            for k in 0..10u64 {
+                cache.insert(ctx, k, Some(30)); // only three fit; seven evict
+            }
+            let evictions_before = ctx.stats().snapshot().cache_evictions;
+            assert_eq!(evictions_before, 7);
+            cache.clear();
+            assert_eq!(cache.len(), 0);
+            assert!(cache.is_empty());
+            assert_eq!(cache.resident_weight(), 0);
+            assert!(cache.peek(&9).is_none(), "cleared entries must be gone");
+            // The regression this guards: a clear is not an eviction, so the
+            // counter must survive unchanged...
+            assert_eq!(ctx.stats().snapshot().cache_evictions, evictions_before);
+            // ...and the cache must behave exactly like a fresh one after:
+            // full capacity available, FIFO order rebuilt from scratch.
+            for k in 100..110u64 {
+                cache.insert(ctx, k, Some(30));
+            }
+            assert_eq!(cache.len(), 3);
+            assert!(cache.peek(&109).is_some());
+            assert!(cache.peek(&100).is_none());
+            assert_eq!(ctx.stats().snapshot().cache_evictions, evictions_before + 7);
         });
     }
 

@@ -73,6 +73,33 @@ impl PackedSeq {
     pub fn unpack(&self) -> Vec<u8> {
         self.window(0, self.len())
     }
+
+    /// The raw representation — `(length in bases, 2-bit code bytes,
+    /// sorted exception list)` — for serializers (e.g. checkpoint shard
+    /// files). Round-trips through [`PackedSeq::from_parts`].
+    pub fn to_parts(&self) -> (usize, &[u8], &[(u32, u8)]) {
+        (self.len as usize, &self.data, &self.exceptions)
+    }
+
+    /// Rebuilds a sequence from the raw representation produced by
+    /// [`PackedSeq::to_parts`]. Validates the invariants a deserializer
+    /// could violate (code-byte count, exception positions in bounds and
+    /// sorted) so a corrupt input fails loudly here rather than as garbage
+    /// bases downstream.
+    pub fn from_parts(len: usize, data: Vec<u8>, exceptions: Vec<(u32, u8)>) -> Self {
+        assert!(len <= u32::MAX as usize, "sequence too long to pack");
+        assert_eq!(data.len(), len.div_ceil(4), "packed byte count mismatch");
+        assert!(
+            exceptions.windows(2).all(|w| w[0].0 < w[1].0)
+                && exceptions.last().is_none_or(|&(p, _)| (p as usize) < len),
+            "exception list must be sorted and in bounds"
+        );
+        PackedSeq {
+            data,
+            len: len as u32,
+            exceptions,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -114,5 +141,29 @@ mod tests {
                 assert_eq!(p.window(start, wlen), expect, "len={len} {start}+{wlen}");
             }
         }
+    }
+
+    #[test]
+    fn parts_round_trip_is_lossless() {
+        for len in [0usize, 1, 4, 63, 257] {
+            let s = seq(len, len as u64 + 11);
+            let p = PackedSeq::from_bytes(&s);
+            let (n, data, exceptions) = p.to_parts();
+            let q = PackedSeq::from_parts(n, data.to_vec(), exceptions.to_vec());
+            assert_eq!(q, p);
+            assert_eq!(q.unpack(), s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "packed byte count mismatch")]
+    fn from_parts_rejects_wrong_byte_count() {
+        PackedSeq::from_parts(10, vec![0u8; 2], Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and in bounds")]
+    fn from_parts_rejects_out_of_bounds_exception() {
+        PackedSeq::from_parts(4, vec![0u8; 1], vec![(9, b'N')]);
     }
 }

@@ -38,6 +38,6 @@ pub mod work;
 
 pub use exchange::{Aggregator, AllToAll, Blob, BlobAggregator, RpcAggregator};
 pub use stats::{CommStats, StatsSnapshot};
-pub use team::{Ctx, SlotLease, Team};
+pub use team::{Ctx, FaultPlan, RankFault, SlotLease, Team};
 pub use topology::Topology;
 pub use work::DynamicBlocks;

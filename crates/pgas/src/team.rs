@@ -11,13 +11,150 @@ use crate::topology::Topology;
 use parking_lot::Mutex;
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A kill instruction for fault-injection runs (see [`Team::set_fault_plan`]):
+/// rank `rank` aborts the moment it *enters* its `(after_barriers + 1)`-th
+/// barrier, i.e. after having completed `after_barriers` barriers. Because all
+/// ranks execute the same collective sequence, a barrier index addresses a
+/// deterministic point of the program, which is what lets a harness kill a run
+/// "just after checkpoint i committed".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The rank to kill.
+    pub rank: usize,
+    /// How many barriers the rank completes before dying at the next one.
+    pub after_barriers: u64,
+}
+
+/// The outcome of an injected fault: returned by [`Team::try_run`] when a
+/// [`FaultPlan`] fired (also used as the killed rank's panic payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankFault {
+    /// The rank that was killed.
+    pub rank: usize,
+    /// Barriers the rank had completed when it died.
+    pub barriers_entered: u64,
+}
+
+impl std::fmt::Display for RankFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {} killed by fault plan after {} barriers",
+            self.rank, self.barriers_entered
+        )
+    }
+}
+
+/// Panic payload of ranks collaterally aborted by a poisoned barrier (they
+/// were blocked in, or later reached, a barrier another rank will never
+/// enter). Distinguished from [`RankFault`] so `try_run` can tell the injected
+/// kill from its shockwave.
+struct BarrierPoisoned;
+
+/// A `std::sync::Barrier` look-alike that can be *poisoned*: once any rank
+/// dies, every current and future waiter unblocks by panicking (with a
+/// [`BarrierPoisoned`] payload) instead of deadlocking on the missing rank.
+struct AbortableBarrier {
+    n: usize,
+    state: std::sync::Mutex<BarrierState>,
+    cvar: std::sync::Condvar,
+}
+
+struct BarrierState {
+    count: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+impl AbortableBarrier {
+    fn new(n: usize) -> Self {
+        AbortableBarrier {
+            n,
+            state: std::sync::Mutex::new(BarrierState {
+                count: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cvar: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Locks the state, shedding std's lock poisoning: our own `poisoned`
+    /// flag is the fault protocol, and the flag-setting panics below would
+    /// otherwise poison the std mutex for every later waiter.
+    fn lock(&self) -> std::sync::MutexGuard<'_, BarrierState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait(&self) {
+        let mut s = self.lock();
+        if s.poisoned {
+            drop(s);
+            std::panic::panic_any(BarrierPoisoned);
+        }
+        s.count += 1;
+        if s.count == self.n {
+            s.count = 0;
+            s.generation = s.generation.wrapping_add(1);
+            self.cvar.notify_all();
+            return;
+        }
+        let gen = s.generation;
+        while s.generation == gen && !s.poisoned {
+            s = self.cvar.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        let aborted = s.poisoned && s.generation == gen;
+        drop(s);
+        if aborted {
+            std::panic::panic_any(BarrierPoisoned);
+        }
+    }
+
+    fn poison(&self) {
+        let mut s = self.lock();
+        s.poisoned = true;
+        self.cvar.notify_all();
+    }
+}
+
+/// Installs (once, process-wide) a delegating panic hook that silences the
+/// expected fault-propagation payloads — an injected [`RankFault`] and its
+/// [`BarrierPoisoned`] shockwave — so a fault-injection run doesn't spray
+/// "thread panicked" noise for panics the harness is about to catch. All
+/// other panics delegate to the previously installed hook unchanged.
+fn install_fault_panic_hook() {
+    static HOOK: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<RankFault>().is_some()
+                || info.payload().downcast_ref::<BarrierPoisoned>().is_some()
+            {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Rank sentinel meaning "no fault planned".
+const NO_FAULT: usize = usize::MAX;
 
 /// Shared SPMD team state.
 pub struct Team {
     topo: Topology,
-    barrier: Barrier,
+    barrier: AbortableBarrier,
+    /// Per-rank count of barriers entered, driving [`FaultPlan`] placement
+    /// and exposed via [`Ctx::barriers_entered`].
+    barrier_counts: Vec<AtomicU64>,
+    /// Fault plan, split into atomics so the barrier hot path pays two
+    /// relaxed loads: the rank to kill ([`NO_FAULT`] when none) and the
+    /// barrier count after which it dies.
+    fault_rank: AtomicUsize,
+    fault_after: AtomicU64,
     stats: Vec<CommStats>,
     /// Slot used by `share`/`broadcast` collectives (rank 0 publishes a value,
     /// everyone clones it). Protected by the surrounding barrier protocol.
@@ -84,7 +221,10 @@ impl Team {
         let n = topo.ranks();
         Arc::new(Team {
             topo,
-            barrier: Barrier::new(n),
+            barrier: AbortableBarrier::new(n),
+            barrier_counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            fault_rank: AtomicUsize::new(NO_FAULT),
+            fault_after: AtomicU64::new(0),
             stats: (0..n).map(|_| CommStats::default()).collect(),
             share_slot: Mutex::new(None),
             reduce_u64: (0..n).map(|_| AtomicU64::new(0)).collect(),
@@ -195,30 +335,98 @@ impl Team {
         }
     }
 
+    /// Arms (or with `None`, disarms) a [`FaultPlan`] for the next SPMD run.
+    /// Must not be flipped from inside an SPMD region. Barrier counts are
+    /// team-lifetime, so a plan's `after_barriers` is relative to the team's
+    /// creation, not to the next `run` call; fault harnesses use a fresh team
+    /// per run. Once a fault fires the team's barrier stays poisoned — the
+    /// team must be discarded, mirroring a real job whose process died.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        match plan {
+            Some(p) => {
+                self.fault_after.store(p.after_barriers, Ordering::Relaxed);
+                self.fault_rank.store(p.rank, Ordering::Relaxed);
+            }
+            None => self.fault_rank.store(NO_FAULT, Ordering::Relaxed),
+        }
+    }
+
+    /// Barriers entered so far by `rank` (team-lifetime count).
+    pub fn barriers_entered(&self, rank: usize) -> u64 {
+        self.barrier_counts[rank].load(Ordering::Relaxed)
+    }
+
     /// Runs `f` SPMD-style: one thread per rank, all executing the same
     /// closure with their own [`Ctx`]. Returns the per-rank results in rank
-    /// order. Panics in any rank propagate.
+    /// order. Panics in any rank propagate (including injected faults).
     pub fn run<R, F>(self: &Arc<Self>, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(&Ctx) -> R + Send + Sync,
     {
+        match self.try_run(f) {
+            Ok(out) => out,
+            Err(fault) => panic!("SPMD rank panicked: {fault}"),
+        }
+    }
+
+    /// Like [`Team::run`], but an injected [`FaultPlan`] kill is returned as
+    /// `Err(RankFault)` instead of panicking, so a harness can observe the
+    /// crash and drive a restart. Any rank panic (injected or not) poisons
+    /// the team barrier, so the surviving ranks abort instead of deadlocking
+    /// on a collective the dead rank will never join; their collateral aborts
+    /// are swallowed. A genuine (non-injected) panic still propagates with
+    /// its original payload.
+    pub fn try_run<R, F>(self: &Arc<Self>, f: F) -> Result<Vec<R>, RankFault>
+    where
+        R: Send,
+        F: Fn(&Ctx) -> R + Send + Sync,
+    {
+        install_fault_panic_hook();
         let n = self.ranks();
         let f = &f;
-        std::thread::scope(|scope| {
+        let results: Vec<std::thread::Result<R>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for rank in 0..n {
                 let team = Arc::clone(self);
                 handles.push(scope.spawn(move || {
                     let ctx = Ctx { rank, team: &team };
-                    f(&ctx)
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&ctx)));
+                    match out {
+                        Ok(v) => v,
+                        Err(payload) => {
+                            // Unblock everyone stuck waiting for this rank.
+                            team.barrier.poison();
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
                 }));
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("SPMD rank panicked"))
-                .collect()
-        })
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+        let mut fault: Option<RankFault> = None;
+        let mut other: Option<Box<dyn Any + Send>> = None;
+        let mut ok = Vec::with_capacity(n);
+        for result in results {
+            match result {
+                Ok(v) => ok.push(v),
+                Err(payload) => {
+                    if let Some(rf) = payload.downcast_ref::<RankFault>() {
+                        fault.get_or_insert_with(|| rf.clone());
+                    } else if payload.downcast_ref::<BarrierPoisoned>().is_none() {
+                        other.get_or_insert(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = other {
+            // A real bug outranks an injected fault: re-raise it.
+            std::panic::resume_unwind(payload);
+        }
+        match fault {
+            Some(rf) => Err(rf),
+            None => Ok(ok),
+        }
     }
 }
 
@@ -416,9 +624,31 @@ impl<'t> Ctx<'t> {
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
-    /// Blocks until every rank has reached the barrier.
+    /// Blocks until every rank has reached the barrier. If a [`FaultPlan`]
+    /// names this rank and its barrier count is up, the rank dies here
+    /// instead (poisoning the barrier so the other ranks abort rather than
+    /// wait forever). Panics with the internal `BarrierPoisoned` payload if
+    /// another rank has already died.
     pub fn barrier(&self) {
+        let entered = self.team.barrier_counts[self.rank].fetch_add(1, Ordering::Relaxed) + 1;
+        if self.team.fault_rank.load(Ordering::Relaxed) == self.rank
+            && entered > self.team.fault_after.load(Ordering::Relaxed)
+        {
+            self.team.barrier.poison();
+            std::panic::panic_any(RankFault {
+                rank: self.rank,
+                barriers_entered: entered - 1,
+            });
+        }
         self.team.barrier.wait();
+    }
+
+    /// Barriers this rank has entered so far (team-lifetime count). All ranks
+    /// execute the same collective sequence, so at any collective point every
+    /// rank reports the same number — making it a deterministic address for
+    /// [`FaultPlan`] placement.
+    pub fn barriers_entered(&self) -> u64 {
+        self.team.barrier_counts[self.rank].load(Ordering::Relaxed)
     }
 
     /// Collective: rank 0 evaluates `make` once, every rank receives a clone
@@ -694,6 +924,87 @@ mod tests {
         let serving = team.stats(1).snapshot();
         assert_eq!(serving.off_node_bytes, 7);
         assert_eq!(serving.rpc_resp_bytes, 7);
+    }
+
+    #[test]
+    fn fault_plan_kills_the_chosen_rank_at_the_chosen_barrier() {
+        let team = Team::single_node(4);
+        team.set_fault_plan(Some(FaultPlan {
+            rank: 2,
+            after_barriers: 3,
+        }));
+        let out = team.try_run(|ctx| {
+            for _ in 0..10 {
+                ctx.barrier();
+            }
+            ctx.barriers_entered()
+        });
+        assert_eq!(
+            out,
+            Err(RankFault {
+                rank: 2,
+                barriers_entered: 3
+            })
+        );
+    }
+
+    #[test]
+    fn poisoned_barrier_unblocks_ranks_stuck_in_collectives() {
+        // Rank 1 dies before its first barrier; the other ranks are blocked
+        // inside `share` (which contains barriers) and must abort, not hang.
+        let team = Team::single_node(3);
+        team.set_fault_plan(Some(FaultPlan {
+            rank: 1,
+            after_barriers: 0,
+        }));
+        let out = team.try_run(|ctx| {
+            let v = ctx.share(|| 7u32);
+            *v
+        });
+        assert_eq!(
+            out,
+            Err(RankFault {
+                rank: 1,
+                barriers_entered: 0
+            })
+        );
+    }
+
+    #[test]
+    fn try_run_without_fault_matches_run() {
+        let team = Team::single_node(4);
+        let out = team.try_run(|ctx| {
+            ctx.barrier();
+            ctx.rank() * 10
+        });
+        assert_eq!(out, Ok(vec![0, 10, 20, 30]));
+        assert_eq!(team.barriers_entered(0), 1);
+        assert_eq!(team.barriers_entered(3), 1);
+    }
+
+    #[test]
+    fn barrier_counts_stay_rank_uniform() {
+        let team = Team::single_node(3);
+        let counts = team.run(|ctx| {
+            ctx.allreduce_sum_u64(1);
+            ctx.share(|| 0u8);
+            ctx.barrier();
+            ctx.barriers_entered()
+        });
+        assert!(counts.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(counts[0], 5); // 2 (reduce) + 2 (share) + 1 (explicit)
+    }
+
+    #[test]
+    #[should_panic(expected = "genuine bug")]
+    fn genuine_panics_still_propagate_through_try_run() {
+        let team = Team::single_node(2);
+        let _ = team.try_run(|ctx| {
+            if ctx.rank() == 1 {
+                panic!("genuine bug");
+            }
+            ctx.barrier();
+        });
     }
 
     #[test]

@@ -125,6 +125,27 @@ impl PackedRead {
         self.seq.unpack()
     }
 
+    /// The raw representation — packed sequence plus quality runs — for
+    /// serializers (e.g. checkpoint shard files). Round-trips through
+    /// [`PackedRead::from_parts`].
+    pub fn to_parts(&self) -> (&PackedSeq, &[(u8, u8)]) {
+        (&self.seq, &self.qual_runs)
+    }
+
+    /// Rebuilds a packed read from the raw representation produced by
+    /// [`PackedRead::to_parts`]. Validates that the quality runs cover
+    /// exactly the sequence length, so a corrupt input fails loudly here
+    /// rather than as a malformed [`Read`] downstream.
+    pub fn from_parts(seq: PackedSeq, qual_runs: Vec<(u8, u8)>) -> Self {
+        let covered: usize = qual_runs.iter().map(|&(_, run)| run as usize).sum();
+        assert_eq!(
+            covered,
+            seq.len(),
+            "quality runs must cover the sequence exactly"
+        );
+        PackedRead { seq, qual_runs }
+    }
+
     /// Unpacks to a full [`Read`] (empty name).
     pub fn unpack(&self) -> Read {
         let seq = self.seq.unpack();
@@ -181,6 +202,29 @@ pub struct ReadStore {
     block_reads: usize,
     cache_bytes: usize,
     batch: usize,
+}
+
+/// The replicated, O(#reads) half of a [`ReadStore`] — everything except the
+/// sharded blocks themselves. Exported by [`ReadStore::header`] for
+/// checkpoint manifests and fed back to [`ReadStore::restore`]; `block_reads`
+/// travels with it (rather than being re-derived from restore-time params)
+/// because the block geometry must match the shard entries being reloaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadStoreHeader {
+    /// Library name.
+    pub name: String,
+    /// Whether reads are pair-interleaved.
+    pub paired: bool,
+    /// Library mean insert size.
+    pub insert_size: usize,
+    /// Library insert-size standard deviation.
+    pub insert_sd: usize,
+    /// Pair orientation.
+    pub orientation: PairOrientation,
+    /// Reads per block of the store that exported this header.
+    pub block_reads: usize,
+    /// Replicated per-read length table.
+    pub lens: Vec<u32>,
 }
 
 /// Pair-safe block size: even for paired libraries so mates colocate.
@@ -322,6 +366,78 @@ impl ReadStore {
         ctx.record_read_resident(store.owned_packed_bytes(ctx));
         ctx.barrier();
         Ok(store)
+    }
+
+    /// Collectively rebuilds a store from checkpointed state: the replicated
+    /// header plus whatever slice of the packed blocks each rank recovered
+    /// from the shard files of the *writing* run. Blocks are re-routed to
+    /// their new owners through the hash partitioner (`bulk_merge`), so the
+    /// rank count may differ from the writer's — block ownership depends
+    /// only on the block id and the rank count, making the restored store
+    /// identical to one `build` would have produced on this team. Each rank
+    /// then verifies its shard against the length table, and the team checks
+    /// that no block went missing in transit.
+    pub fn restore(
+        ctx: &Ctx,
+        header: ReadStoreHeader,
+        params: &ReadStoreParams,
+        entries: Vec<(BlockId, PackedReadBlock)>,
+    ) -> Arc<ReadStore> {
+        let map: Arc<DistMap<BlockId, PackedReadBlock>> = DistMap::shared(ctx);
+        dht::bulk_merge(ctx, &map, entries, params.batch, |a, b| *a = b);
+        let store = ctx.share(|| ReadStore {
+            map: Arc::clone(&map),
+            lens: header.lens,
+            name: header.name,
+            paired: header.paired,
+            insert_size: header.insert_size,
+            insert_sd: header.insert_sd,
+            orientation: header.orientation,
+            block_reads: header.block_reads,
+            cache_bytes: params.cache_bytes,
+            batch: params.batch,
+        });
+        // Verify the restored shard: block geometry and every read length
+        // must match the replicated table (a shard file swapped between
+        // checkpoints would pass its own CRC but fail here).
+        store.map.for_each_local(ctx, |b, block| {
+            assert_eq!(
+                block.first_id,
+                b * store.block_reads as u64,
+                "restored block {b} starts at the wrong read id"
+            );
+            for (i, read) in block.reads.iter().enumerate() {
+                let id = block.first_id + i as u64;
+                assert_eq!(
+                    Some(read.len() as u32),
+                    store.lens.get(id as usize).copied(),
+                    "restored read {id} does not match checkpoint metadata"
+                );
+            }
+        });
+        let total_blocks = ctx.allreduce_sum_u64(store.map.local_len(ctx) as u64);
+        assert_eq!(
+            total_blocks as usize,
+            store.num_blocks(),
+            "checkpoint restore lost read blocks"
+        );
+        ctx.record_read_resident(store.owned_packed_bytes(ctx));
+        ctx.barrier();
+        store
+    }
+
+    /// The replicated half of the store, for checkpointing (see
+    /// [`ReadStoreHeader`]).
+    pub fn header(&self) -> ReadStoreHeader {
+        ReadStoreHeader {
+            name: self.name.clone(),
+            paired: self.paired,
+            insert_size: self.insert_size,
+            insert_sd: self.insert_sd,
+            orientation: self.orientation,
+            block_reads: self.block_reads,
+            lens: self.lens.clone(),
+        }
     }
 
     /// Library name.
@@ -504,6 +620,13 @@ impl ReadReader<'_> {
     /// reader cache, packed.
     pub fn resident_bytes(&self) -> usize {
         self.owned_bytes + self.cache.resident_weight()
+    }
+
+    /// Drops every cached foreign block (capacity and eviction accounting
+    /// are untouched), returning the reader to the cold state a fresh
+    /// [`ReadStore::reader`] starts in.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
     }
 
     /// **Collective** batched block fetch: cache hits are served locally and
@@ -958,6 +1081,55 @@ mod tests {
                 let back = store.materialize(ctx);
                 assert_eq!(back.num_reads(), lib2.num_reads());
                 for (id, read) in lib2.iter() {
+                    assert_eq!(back.read(id).seq, read.seq);
+                    assert_eq!(back.read(id).qual, read.qual);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn restore_on_a_different_rank_count_matches_a_fresh_build() {
+        let lib = library(30);
+        let params = ReadStoreParams {
+            block_reads: 6,
+            cache_bytes: 1 << 16,
+            batch: 64,
+        };
+        // "Write" at 3 ranks: export the header and each rank's owned shard.
+        let writer = Team::single_node(3);
+        let lib2 = lib.clone();
+        let exported: Vec<(ReadStoreHeader, Vec<(BlockId, PackedReadBlock)>)> = writer.run(|ctx| {
+            let store = ReadStore::build(ctx, &lib2, &params);
+            (store.header(), store.map().local_entries(ctx))
+        });
+        let header = exported[0].0.clone();
+        let shards: Vec<Vec<(BlockId, PackedReadBlock)>> =
+            exported.into_iter().map(|(_, s)| s).collect();
+        // Restore at 2x and 1/3 the writer's rank count.
+        for new_ranks in [6usize, 1, 3] {
+            let team = Team::single_node(new_ranks);
+            let header = header.clone();
+            let shards = &shards;
+            let lib = &lib;
+            team.run(|ctx| {
+                let mut mine = Vec::new();
+                for old in ctx.block_range(shards.len()) {
+                    mine.extend(shards[old].iter().cloned());
+                }
+                let restored = ReadStore::restore(ctx, header.clone(), &params, mine);
+                // Same ownership and shard bytes a fresh build computes here.
+                let fresh = ReadStore::build(ctx, lib, &params);
+                assert_eq!(restored.num_blocks(), fresh.num_blocks());
+                assert_eq!(restored.owned_block_ids(ctx), fresh.owned_block_ids(ctx));
+                assert_eq!(
+                    restored.owned_packed_bytes(ctx),
+                    fresh.owned_packed_bytes(ctx)
+                );
+                // Same reads.
+                let back = restored.materialize(ctx);
+                assert_eq!(back.num_reads(), lib.num_reads());
+                for (id, read) in lib.iter() {
                     assert_eq!(back.read(id).seq, read.seq);
                     assert_eq!(back.read(id).qual, read.qual);
                 }

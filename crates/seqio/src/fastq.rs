@@ -19,6 +19,97 @@ pub struct FastqRecord {
     pub qual: Vec<u8>,
 }
 
+/// A structural defect in FASTQ input — truncated mid-record, malformed
+/// lines, quality/sequence disagreement. Typed so callers can match on the
+/// failure mode (a streaming ingester may want to distinguish "file cut off
+/// mid-record" from "corrupt record") instead of grepping a message; the
+/// `Display` form carries the 1-based record index for human consumption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FastqError {
+    /// The header line does not start with `@`.
+    BadHeader { record: usize },
+    /// Input ended (or went blank) before the record's sequence line.
+    MissingSequence { record: usize },
+    /// Input ended before the record's `+` separator line.
+    MissingSeparator { record: usize },
+    /// The separator line does not start with `+`.
+    BadSeparator { record: usize },
+    /// Input ended before the record's quality line.
+    MissingQuality { record: usize },
+    /// The quality line length differs from the sequence length.
+    QualityLengthMismatch {
+        record: usize,
+        qual: usize,
+        seq: usize,
+    },
+    /// A quality character below `!` (not a Phred+33 score).
+    QualityOutOfRange { record: usize },
+    /// Interleaved pair input held an odd number of records.
+    OddRecordCount { records: usize },
+}
+
+impl FastqError {
+    /// The 1-based index of the offending record (`None` for whole-input
+    /// errors such as an odd record count).
+    pub fn record(&self) -> Option<usize> {
+        match *self {
+            FastqError::BadHeader { record }
+            | FastqError::MissingSequence { record }
+            | FastqError::MissingSeparator { record }
+            | FastqError::BadSeparator { record }
+            | FastqError::MissingQuality { record }
+            | FastqError::QualityLengthMismatch { record, .. }
+            | FastqError::QualityOutOfRange { record } => Some(record),
+            FastqError::OddRecordCount { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FastqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FastqError::BadHeader { record } => {
+                write!(f, "record {record}: header does not start with '@'")
+            }
+            FastqError::MissingSequence { record } => {
+                write!(f, "record {record}: missing sequence line")
+            }
+            FastqError::MissingSeparator { record } => {
+                write!(f, "record {record}: missing '+' line")
+            }
+            FastqError::BadSeparator { record } => {
+                write!(f, "record {record}: separator line does not start with '+'")
+            }
+            FastqError::MissingQuality { record } => {
+                write!(f, "record {record}: missing quality line")
+            }
+            FastqError::QualityLengthMismatch { record, qual, seq } => {
+                write!(
+                    f,
+                    "record {record}: quality length {qual} != sequence length {seq}"
+                )
+            }
+            FastqError::QualityOutOfRange { record } => {
+                write!(f, "record {record}: quality character below '!'")
+            }
+            FastqError::OddRecordCount { records } => {
+                write!(
+                    f,
+                    "interleaved FASTQ must hold an even number of records, got {records}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastqError {}
+
+impl From<FastqError> for String {
+    fn from(e: FastqError) -> String {
+        e.to_string()
+    }
+}
+
 impl From<FastqRecord> for Read {
     fn from(r: FastqRecord) -> Self {
         Read::new(r.name, &r.seq, &r.qual)
@@ -55,46 +146,44 @@ impl<'a> RecordParser<'a> {
         None
     }
 
-    /// Parses the next record, or `None` at end of input. Errors mention the
+    /// Parses the next record, or `None` at end of input. Errors carry the
     /// 1-based record index.
-    fn next_record(&mut self) -> Option<Result<FastqRecord, String>> {
+    fn next_record(&mut self) -> Option<Result<FastqRecord, FastqError>> {
         let header = self.next_line()?;
         self.idx += 1;
         Some(self.finish_record(header))
     }
 
-    fn finish_record(&mut self, header: &str) -> Result<FastqRecord, String> {
-        let idx = self.idx;
+    fn finish_record(&mut self, header: &str) -> Result<FastqRecord, FastqError> {
+        let record = self.idx;
         let name = header
             .strip_prefix('@')
-            .ok_or_else(|| format!("record {idx}: header does not start with '@'"))?
+            .ok_or(FastqError::BadHeader { record })?
             .to_string();
         let seq = self
             .next_line()
-            .ok_or_else(|| format!("record {idx}: missing sequence line"))?;
+            .ok_or(FastqError::MissingSequence { record })?;
         let plus = self
             .next_line()
-            .ok_or_else(|| format!("record {idx}: missing '+' line"))?;
+            .ok_or(FastqError::MissingSeparator { record })?;
         if !plus.starts_with('+') {
-            return Err(format!(
-                "record {idx}: separator line does not start with '+'"
-            ));
+            return Err(FastqError::BadSeparator { record });
         }
         let qual = self
             .next_line()
-            .ok_or_else(|| format!("record {idx}: missing quality line"))?;
+            .ok_or(FastqError::MissingQuality { record })?;
         if qual.len() != seq.len() {
-            return Err(format!(
-                "record {idx}: quality length {} != sequence length {}",
-                qual.len(),
-                seq.len()
-            ));
+            return Err(FastqError::QualityLengthMismatch {
+                record,
+                qual: qual.len(),
+                seq: seq.len(),
+            });
         }
         let qual: Vec<u8> = qual
             .bytes()
             .map(|b| {
                 if b < PHRED_OFFSET {
-                    Err(format!("record {idx}: quality character below '!'"))
+                    Err(FastqError::QualityOutOfRange { record })
                 } else {
                     Ok(b - PHRED_OFFSET)
                 }
@@ -108,10 +197,10 @@ impl<'a> RecordParser<'a> {
     }
 }
 
-/// Parses FASTQ text into records. Errors mention the 1-based record index.
+/// Parses FASTQ text into records. Errors carry the 1-based record index.
 /// CRLF line endings and a missing trailing newline are accepted (see
 /// [`FastqBlockIter`] for the streaming, bounded-memory variant).
-pub fn parse_fastq(text: &str) -> Result<Vec<FastqRecord>, String> {
+pub fn parse_fastq(text: &str) -> Result<Vec<FastqRecord>, FastqError> {
     let mut parser = RecordParser::new(text);
     let mut records = Vec::new();
     while let Some(rec) = parser.next_record() {
@@ -147,7 +236,7 @@ impl<'a> FastqBlockIter<'a> {
 }
 
 impl Iterator for FastqBlockIter<'_> {
-    type Item = Result<Vec<FastqRecord>, String>;
+    type Item = Result<Vec<FastqRecord>, FastqError>;
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.done {
@@ -220,13 +309,12 @@ pub fn library_from_fastq(
     text: &str,
     insert_size: usize,
     insert_sd: usize,
-) -> Result<ReadLibrary, String> {
+) -> Result<ReadLibrary, FastqError> {
     let recs = parse_fastq(text)?;
     if recs.len() % 2 != 0 {
-        return Err(format!(
-            "interleaved FASTQ must hold an even number of records, got {}",
-            recs.len()
-        ));
+        return Err(FastqError::OddRecordCount {
+            records: recs.len(),
+        });
     }
     let mut lib = ReadLibrary::new_paired(name, insert_size, insert_sd);
     let mut it = recs.into_iter();
@@ -258,6 +346,88 @@ mod tests {
         assert!(parse_fastq("@r1\nACGT\nplus\nIIII\n").is_err());
         assert!(parse_fastq("@r1\nACGT\n+\nIII\n").is_err());
         assert!(parse_fastq("@r1\nACGT\n+\n").is_err());
+    }
+
+    #[test]
+    fn truncated_input_yields_typed_errors() {
+        // Mid-record EOF at every possible cut point maps to the precise
+        // missing-line variant, with the 1-based record index.
+        assert_eq!(
+            parse_fastq("@r1\nACGT\n+\nIIII\n@r2"),
+            Err(FastqError::MissingSequence { record: 2 })
+        );
+        assert_eq!(
+            parse_fastq("@r1\nACGT"),
+            Err(FastqError::MissingSeparator { record: 1 })
+        );
+        assert_eq!(
+            parse_fastq("@r1\nACGT\n+"),
+            Err(FastqError::MissingQuality { record: 1 })
+        );
+        assert_eq!(parse_fastq("@r1\nACGT\n+").unwrap_err().record(), Some(1));
+    }
+
+    #[test]
+    fn corrupt_record_yields_typed_errors() {
+        assert_eq!(
+            parse_fastq("r1\nACGT\n+\nIIII\n"),
+            Err(FastqError::BadHeader { record: 1 })
+        );
+        assert_eq!(
+            parse_fastq("@r1\nACGT\nplus\nIIII\n"),
+            Err(FastqError::BadSeparator { record: 1 })
+        );
+        assert_eq!(
+            parse_fastq("@r1\nACGT\n+\nIII\n"),
+            Err(FastqError::QualityLengthMismatch {
+                record: 1,
+                qual: 3,
+                seq: 4
+            })
+        );
+        assert_eq!(
+            parse_fastq("@r1\nACGT\n+\nII \u{8}\n"),
+            Err(FastqError::QualityOutOfRange { record: 1 })
+        );
+        assert_eq!(
+            library_from_fastq("l", "@only\nACGT\n+\nIIII\n", 1, 1).unwrap_err(),
+            FastqError::OddRecordCount { records: 1 }
+        );
+        // Display keeps the human-readable form (and the String bridge used
+        // by ingestion pipelines carries it verbatim).
+        let msg: String = FastqError::QualityLengthMismatch {
+            record: 7,
+            qual: 3,
+            seq: 4,
+        }
+        .into();
+        assert_eq!(msg, "record 7: quality length 3 != sequence length 4");
+    }
+
+    #[test]
+    fn block_iter_truncated_input_yields_typed_error() {
+        // The good leading records stream out as blocks; the truncated tail
+        // record surfaces as a typed error, then iteration stops.
+        let text = "@r0/1\nACGT\n+\nIIII\n@r0/2\nTTGG\n+\n!!II\n@r1/1\nACGT\n+\n";
+        let mut it = FastqBlockIter::new(text, 1, true);
+        assert_eq!(it.next().unwrap().unwrap().len(), 2);
+        assert_eq!(
+            it.next().unwrap(),
+            Err(FastqError::MissingQuality { record: 3 })
+        );
+        assert!(it.next().is_none());
+        // Bad quality-line length mid-stream, same shape.
+        let text = "@r0/1\nACGT\n+\nIIII\n@r0/2\nTTGG\n+\n!!I\n";
+        let mut it = FastqBlockIter::new(text, usize::MAX, true);
+        assert_eq!(
+            it.next().unwrap(),
+            Err(FastqError::QualityLengthMismatch {
+                record: 2,
+                qual: 3,
+                seq: 4
+            })
+        );
+        assert!(it.next().is_none());
     }
 
     #[test]
