@@ -25,7 +25,7 @@ fn lookup_traffic(s: &StatsSnapshot) -> u64 {
     s.fine_grained_ops() + s.msgs_sent
 }
 
-fn main() {
+fn run() {
     let ranks = std::thread::available_parallelism()
         .map(|n| n.get().min(4))
         .unwrap_or(4);
@@ -96,4 +96,10 @@ fn main() {
         seq_agg.len(),
         seq_agg.iter().map(|s| s.len()).sum::<usize>()
     );
+}
+
+fn main() {
+    // Exit non-zero even when a failure happens on a spawned rank thread
+    // whose join result nobody inspects (see mhm_bench::harness_exit_code).
+    mhm_bench::run_harness(run);
 }

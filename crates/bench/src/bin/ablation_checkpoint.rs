@@ -81,7 +81,7 @@ fn scratch(tag: &str) -> std::path::PathBuf {
 
 const WRITER_RANKS: usize = 2;
 
-fn main() {
+fn run() {
     let ds = mgsim::mg64_sim(mgsim::Mg64Scale::Tiny, 20260809);
     let eval = scaled_eval_params();
     let cfg = AssemblyConfig {
@@ -227,4 +227,10 @@ fn main() {
     }
     let _ = std::fs::remove_dir_all(&clean_dir);
     let _ = std::fs::remove_dir_all(&fault_dir);
+}
+
+fn main() {
+    // Exit non-zero even when a failure happens on a spawned rank thread
+    // whose join result nobody inspects (see mhm_bench::harness_exit_code).
+    mhm_bench::run_harness(run);
 }

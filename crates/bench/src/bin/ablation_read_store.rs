@@ -53,7 +53,7 @@ fn scaffold_digest(seqs: &[Vec<u8>]) -> u64 {
     h
 }
 
-fn main() {
+fn run() {
     let ds = mgsim::mg64_sim(mgsim::Mg64Scale::Tiny, 20260809);
     let eval = scaled_eval_params();
 
@@ -155,4 +155,10 @@ fn main() {
         Ok(()) => println!("Wrote {path}"),
         Err(e) => eprintln!("Could not write {path}: {e}"),
     }
+}
+
+fn main() {
+    // Exit non-zero even when a failure happens on a spawned rank thread
+    // whose join result nobody inspects (see mhm_bench::harness_exit_code).
+    mhm_bench::run_harness(run);
 }

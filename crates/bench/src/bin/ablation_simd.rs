@@ -101,7 +101,7 @@ fn scaffold_digest(seqs: &[Vec<u8>]) -> u64 {
     h
 }
 
-fn main() {
+fn run() {
     mhm_simd::set_force_scalar(false);
     let level = mhm_simd::level().name();
     println!("dispatch level: {level}");
@@ -290,4 +290,10 @@ fn main() {
         Ok(()) => println!("wrote {path}"),
         Err(e) => println!("could not write {path}: {e}"),
     }
+}
+
+fn main() {
+    // Exit non-zero even when a failure happens on a spawned rank thread
+    // whose join result nobody inspects (see mhm_bench::harness_exit_code).
+    mhm_bench::run_harness(run);
 }

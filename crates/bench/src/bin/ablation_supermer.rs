@@ -21,7 +21,7 @@ use mhm_bench::{fmt, print_table, scaled_eval_params, team};
 use mhm_core::AssemblyConfig;
 use std::io::Write;
 
-fn main() {
+fn run() {
     let ranks = std::thread::available_parallelism()
         .map(|n| n.get().min(4))
         .unwrap_or(4);
@@ -107,4 +107,10 @@ fn main() {
         Ok(()) => println!("Wrote {path}"),
         Err(e) => eprintln!("Could not write {path}: {e}"),
     }
+}
+
+fn main() {
+    // Exit non-zero even when a failure happens on a spawned rank thread
+    // whose join result nobody inspects (see mhm_bench::harness_exit_code).
+    mhm_bench::run_harness(run);
 }

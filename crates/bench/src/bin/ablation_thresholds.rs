@@ -11,7 +11,7 @@ use dbg::ThresholdPolicy;
 use mhm_bench::{fmt, print_table, run_assembler, scaled_eval_params};
 use mhm_core::AssemblyConfig;
 
-fn main() {
+fn run() {
     let ds = mgsim::two_species_skewed(20260614);
     let eval = scaled_eval_params();
     let ranks = 4usize.min(
@@ -59,4 +59,10 @@ fn main() {
         ],
         &rows,
     );
+}
+
+fn main() {
+    // Exit non-zero even when a failure happens on a spawned rank thread
+    // whose join result nobody inspects (see mhm_bench::harness_exit_code).
+    mhm_bench::run_harness(run);
 }

@@ -50,7 +50,7 @@ fn scaffold_digest(seqs: &[Vec<u8>]) -> u64 {
     h
 }
 
-fn main() {
+fn run() {
     let ds = mgsim::mg64_sim(mgsim::Mg64Scale::Tiny, 20260614);
     let eval = scaled_eval_params();
 
@@ -137,9 +137,44 @@ fn main() {
         &rows,
     );
 
+    // ---- Conformance-checking overhead guard --------------------------------
+    // The collective-conformance checker must stay cheap enough to leave on
+    // in every debug/test run: budget <5% wall-clock on a 4-rank assembly
+    // (plus a small absolute slack — these runs finish in well under a
+    // second, where scheduler noise dwarfs percentages). Min-of-repeats on
+    // both sides cancels warm-up effects.
+    let timed_run = |conformance: bool| {
+        let cfg = AssemblyConfig {
+            use_segment_traversal: true,
+            ..Default::default()
+        };
+        let team = team(4);
+        team.set_conformance_checking(conformance);
+        let assembler = MetaHipMerAssembler { config: cfg };
+        let start = std::time::Instant::now();
+        let out = assembler.assemble(&team, &ds.library, Some(&ds.rrna_consensus));
+        let secs = start.elapsed().as_secs_f64();
+        assert!(!out.sequences().is_empty());
+        secs
+    };
+    const REPS: usize = 3;
+    let off = (0..REPS).map(|_| timed_run(false)).fold(f64::MAX, f64::min);
+    let on = (0..REPS).map(|_| timed_run(true)).fold(f64::MAX, f64::min);
+    let overhead_pct = (on / off - 1.0) * 100.0;
+    println!(
+        "Conformance checking at 4 ranks: off {off:.3}s, on {on:.3}s ({overhead_pct:+.1}% \
+         wall-clock)"
+    );
+    assert!(
+        on <= off * 1.05 + 0.050,
+        "conformance checking costs more than 5% wall-clock at 4 ranks: \
+         off {off:.3}s vs on {on:.3}s ({overhead_pct:+.1}%)"
+    );
+
     // ---- Snapshot for the perf trajectory -----------------------------------
     let snapshot = format!(
         "{{\n  \"bench\": \"ablation_traversal\",\n  \"dataset\": \"mg64_tiny\",\n  \
+         \"conformance_overhead_pct\": {overhead_pct:.2},\n  \
          \"runs\": [\n{}\n  ]\n}}\n",
         snapshots.join(",\n")
     );
@@ -166,4 +201,10 @@ fn main() {
         }
         Err(e) => eprintln!("Drift guard skipped: BENCH_kmer_comm.json not readable ({e})"),
     }
+}
+
+fn main() {
+    // Exit non-zero even when a failure happens on a spawned rank thread
+    // whose join result nobody inspects (see mhm_bench::harness_exit_code).
+    mhm_bench::run_harness(run);
 }

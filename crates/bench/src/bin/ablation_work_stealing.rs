@@ -28,7 +28,7 @@ fn busy(units: u64, sink: &AtomicU64) {
     sink.fetch_add(acc, Ordering::Relaxed);
 }
 
-fn main() {
+fn run() {
     let items = 2_000usize;
     let ranks = std::thread::available_parallelism()
         .map(|n| n.get().min(8))
@@ -76,4 +76,10 @@ fn main() {
         ],
         &rows,
     );
+}
+
+fn main() {
+    // Exit non-zero even when a failure happens on a spawned rank thread
+    // whose join result nobody inspects (see mhm_bench::harness_exit_code).
+    mhm_bench::run_harness(run);
 }

@@ -126,6 +126,36 @@ pub fn fmt(v: f64, digits: usize) -> String {
     format!("{v:.digits$}")
 }
 
+/// Runs a harness body and computes the exit code it earned: `0` when it
+/// completed cleanly, `1` when it panicked **or** when any thread panicked
+/// with an unclaimed payload while it ran. The second clause is the
+/// important one: an assertion failing inside a spawned rank thread whose
+/// `join()` result is discarded would otherwise print a backtrace and let
+/// the process exit `0`, turning a red harness green in CI. The
+/// process-global counter behind [`pgas::unexpected_panics`] is bumped by
+/// the panic hook itself, so no join-result plumbing can mask it.
+pub fn harness_exit_code(body: impl FnOnce()) -> i32 {
+    pgas::install_panic_accounting();
+    let masked_before = pgas::unexpected_panics();
+    let direct_panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)).is_err();
+    let masked = pgas::unexpected_panics() - masked_before;
+    if direct_panic {
+        eprintln!("harness: FAILED (panic propagated to main)");
+        1
+    } else if masked > 0 {
+        eprintln!("harness: FAILED ({masked} rank-thread panic(s) were not propagated to main)");
+        1
+    } else {
+        0
+    }
+}
+
+/// Entry point wrapper for the `ablation_*`/figure binaries: runs `body`
+/// via [`harness_exit_code`] and exits with the earned code.
+pub fn run_harness(body: impl FnOnce()) -> ! {
+    std::process::exit(harness_exit_code(body))
+}
+
 /// Parallel efficiency of a timing series relative to its first entry.
 pub fn efficiency(ranks: &[usize], seconds: &[f64]) -> Vec<f64> {
     assert_eq!(ranks.len(), seconds.len());
@@ -170,5 +200,24 @@ mod tests {
     #[test]
     fn fmt_helper() {
         assert_eq!(fmt(1.23456, 2), "1.23");
+    }
+
+    /// The three cases run sequentially inside one test because the masked
+    /// case bumps a process-global counter: interleaving them across test
+    /// threads would let one case's panic land in another's delta window.
+    #[test]
+    fn harness_exit_code_propagates_masked_rank_thread_panics() {
+        assert_eq!(harness_exit_code(|| {}), 0, "clean body must exit 0");
+
+        // A worker panic whose join result is deliberately discarded — the
+        // regression this guards against: the process used to exit 0 here.
+        let masked = harness_exit_code(|| {
+            let handle = std::thread::spawn(|| panic!("worker assertion failed"));
+            let _ = handle.join();
+        });
+        assert_eq!(masked, 1, "masked rank-thread panic must exit 1");
+
+        let direct = harness_exit_code(|| panic!("harness assertion failed"));
+        assert_eq!(direct, 1, "direct panic must exit 1");
     }
 }

@@ -53,7 +53,7 @@ use std::path::{Path, PathBuf};
 /// File magic: every checkpoint file starts with these 8 bytes.
 pub const MAGIC: [u8; 8] = *b"MHMCKPT1";
 /// Format version; bumped on any incompatible layout change.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
 
 const TAG_META: u32 = u32::from_be_bytes(*b"META");
 const TAG_CTGM: u32 = u32::from_be_bytes(*b"CTGM");
@@ -272,6 +272,14 @@ pub struct Manifest {
     /// the replicated-reads baseline (whose reads are the caller's input
     /// and need no checkpointing).
     pub read_header: Option<ReadStoreHeader>,
+    /// Per-rank collective-conformance stamps `(ops, digest)` taken at the
+    /// top of [`commit`]: the number of collective operations the rank had
+    /// issued and the running digest over their descriptors. A conforming
+    /// SPMD run produces identical stamps on every rank, so the decoder
+    /// refuses a manifest whose stamps diverge — the writing run's
+    /// collective schedule had already split when it checkpointed, and
+    /// resuming from it would replay state of uncertain provenance.
+    pub conformance: Vec<(u64, u64)>,
 }
 
 fn encode_manifest(m: &Manifest) -> Vec<(u32, Vec<u8>)> {
@@ -281,6 +289,11 @@ fn encode_manifest(m: &Manifest) -> Vec<(u32, Vec<u8>)> {
     meta.u64(m.next_iter as u64);
     meta.u64(m.num_pairs as u64);
     meta.u64(m.barriers_at_commit);
+    meta.u64(m.conformance.len() as u64);
+    for &(ops, digest) in &m.conformance {
+        meta.u64(ops);
+        meta.u64(digest);
+    }
 
     let mut ctgm = Enc::new();
     ctgm.u64(m.contig_k as u64);
@@ -352,9 +365,26 @@ fn decode_manifest(body: &[u8]) -> Result<Manifest, String> {
     let next_iter = d.u64()? as usize;
     let num_pairs = d.u64()? as usize;
     let barriers_at_commit = d.u64()?;
+    let n_stamps = d.u64()? as usize;
+    let mut conformance = Vec::with_capacity(n_stamps.min(1 << 20));
+    for _ in 0..n_stamps {
+        let ops = d.u64()?;
+        let digest = d.u64()?;
+        conformance.push((ops, digest));
+    }
     d.done()?;
     if ranks == 0 {
         return Err("manifest declares zero writer ranks".to_string());
+    }
+    if let Some(&first) = conformance.first() {
+        if let Some((skew, &stamp)) = conformance.iter().enumerate().find(|&(_, &s)| s != first) {
+            return Err(format!(
+                "checkpoint's collective schedule diverged before commit: rank 0 stamped \
+                 (ops {}, digest {:#018x}) but rank {skew} stamped (ops {}, digest {:#018x}); \
+                 refusing to resume from a non-conforming run",
+                first.0, first.1, stamp.0, stamp.1
+            ));
+        }
     }
 
     let mut d = Dec::new(find(TAG_CTGM)?);
@@ -428,6 +458,7 @@ fn decode_manifest(body: &[u8]) -> Result<Manifest, String> {
         contig_meta,
         targets,
         read_header,
+        conformance,
     })
 }
 
@@ -642,6 +673,20 @@ pub fn commit(ctx: &Ctx, dir: &Path, mut manifest: Manifest, shard: &ShardData) 
     let stage = staging_dir(dir, manifest.next_iter);
     let target = checkpoint_dir(dir, manifest.next_iter);
     manifest.ranks = ctx.ranks();
+    // Gather every rank's conformance stamp *before* the staging collectives
+    // below perturb the op counts: each rank reads its own (ops, digest) at
+    // the same point in the schedule and ships it to rank 0. The gather
+    // itself is a collective, but it runs after the stamps were read, so the
+    // stamps describe the application's schedule up to this commit.
+    let (ops, digest) = ctx.team().conformance_stamp(ctx.rank());
+    let mut outgoing: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); ctx.ranks()];
+    outgoing[0].push((ctx.rank() as u64, ops, digest));
+    let gathered = ctx.exchange(outgoing);
+    if ctx.rank() == 0 {
+        let mut stamps: Vec<(u64, u64, u64)> = gathered;
+        stamps.sort_unstable_by_key(|&(rank, _, _)| rank);
+        manifest.conformance = stamps.into_iter().map(|(_, o, d)| (o, d)).collect();
+    }
     if ctx.rank() == 0 {
         if stage.exists() {
             fs::remove_dir_all(&stage)
@@ -666,8 +711,53 @@ pub fn commit(ctx: &Ctx, dir: &Path, mut manifest: Manifest, shard: &ShardData) 
                 .unwrap_or_else(|e| panic!("checkpoint: clear old checkpoint: {e}"));
         }
         fs::rename(&stage, &target).unwrap_or_else(|e| panic!("checkpoint: commit rename: {e}"));
+        expire_old_checkpoints(dir, keep_checkpoints());
     }
     ctx.barrier();
+}
+
+/// How many committed checkpoints [`commit`] retains, from `MHM_KEEP_CKPTS`
+/// (clamped to at least 1 — the checkpoint just committed is never its own
+/// sweep victim). Defaults to 3.
+pub fn keep_checkpoints() -> usize {
+    std::env::var("MHM_KEEP_CKPTS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(3)
+        .max(1)
+}
+
+/// Removes stale checkpoint state from `dir`: every leftover staging
+/// directory (a torn write from a killed run — its iteration's commit either
+/// never happened or happened through a later, complete staging pass) and
+/// all but the newest `keep` committed `ckpt_*` directories. Runs on rank 0
+/// only, strictly *after* the commit rename, so the newest checkpoint — the
+/// one [`find_latest`] would hand a concurrent resume — is never a victim:
+/// the sweep deletes only strictly older iterations. Removal errors are
+/// ignored (a half-removed old checkpoint fails its CRC pass and is skipped
+/// by discovery anyway).
+pub fn expire_old_checkpoints(dir: &Path, keep: usize) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut committed: Vec<usize> = Vec::new();
+    for entry in entries.flatten() {
+        let Ok(name) = entry.file_name().into_string() else {
+            continue;
+        };
+        if name.strip_prefix(".tmp_ckpt_").is_some() {
+            let _ = fs::remove_dir_all(entry.path());
+        } else if let Some(iter) = name.strip_prefix("ckpt_").and_then(|s| s.parse().ok()) {
+            committed.push(iter);
+        }
+    }
+    committed.sort_unstable();
+    let keep = keep.max(1);
+    if committed.len() > keep {
+        for &iter in &committed[..committed.len() - keep] {
+            let _ = fs::remove_dir_all(checkpoint_dir(dir, iter));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -702,6 +792,7 @@ mod tests {
                 block_reads: 4,
                 lens: vec![90, 90, 88, 90],
             }),
+            conformance: vec![(321, 0xFEED_FACE); 3],
         }
     }
 
@@ -734,6 +825,7 @@ mod tests {
                 targets: None,
                 read_header: None,
                 contig_meta: Vec::new(),
+                conformance: Vec::new(),
                 ..sample_manifest()
             },
         ] {
@@ -836,6 +928,87 @@ mod tests {
         assert_eq!(path, checkpoint_dir(&dir, 1));
         assert!(find_latest(&dir, 0xF00).is_none(), "no fingerprint match");
         assert!(find_latest(Path::new("/nonexistent/nowhere"), 1).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn divergent_conformance_stamps_are_refused() {
+        let mut manifest = sample_manifest();
+        manifest.conformance[2] = (320, 0x0BAD_CAFE);
+        let dir = tempdir("diverged");
+        let path = dir.join("ck");
+        fs::create_dir_all(&path).unwrap();
+        write_file_atomic(&path.join("manifest.bin"), &encode_manifest(&manifest)).unwrap();
+        let err = load_manifest(&path).unwrap_err();
+        assert!(
+            err.contains("collective schedule diverged") && err.contains("rank 2"),
+            "unexpected diagnostic: {err}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweeper_keeps_newest_checkpoints_and_clears_staging() {
+        let dir = tempdir("sweep");
+        let manifest = sample_manifest();
+        for iter in 0..5usize {
+            let path = checkpoint_dir(&dir, iter);
+            fs::create_dir_all(&path).unwrap();
+            let m = Manifest {
+                next_iter: iter,
+                ..manifest.clone()
+            };
+            write_file_atomic(&path.join("manifest.bin"), &encode_manifest(&m)).unwrap();
+        }
+        fs::create_dir_all(staging_dir(&dir, 5)).unwrap();
+
+        expire_old_checkpoints(&dir, 2);
+        assert!(!staging_dir(&dir, 5).exists(), "staging dir survived sweep");
+        for iter in 0..3usize {
+            assert!(!checkpoint_dir(&dir, iter).exists(), "ckpt_{iter} survived");
+        }
+        for iter in 3..5usize {
+            assert!(checkpoint_dir(&dir, iter).exists(), "ckpt_{iter} swept");
+        }
+        // The checkpoint discovery would hand a resume is intact afterwards.
+        let (found, _) = find_latest(&dir, manifest.fingerprint).expect("resume target intact");
+        assert_eq!(found.next_iter, 4);
+
+        // keep=0 is clamped: the newest checkpoint is never a sweep victim.
+        expire_old_checkpoints(&dir, 0);
+        assert!(checkpoint_dir(&dir, 4).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The commit-then-sweep order means a resume that called [`find_latest`]
+    /// between two commits still loads a live directory: the sweep after
+    /// commit `i+1` deletes only iterations older than the kept window, so
+    /// with `keep >= 2` the checkpoint a racing resume just discovered is
+    /// still on disk.
+    #[test]
+    fn resume_never_races_the_sweeper_within_the_kept_window() {
+        let dir = tempdir("race");
+        let manifest = sample_manifest();
+        let commit_iter = |iter: usize| {
+            let path = checkpoint_dir(&dir, iter);
+            fs::create_dir_all(&path).unwrap();
+            let m = Manifest {
+                next_iter: iter,
+                ..manifest.clone()
+            };
+            write_file_atomic(&path.join("manifest.bin"), &encode_manifest(&m)).unwrap();
+            expire_old_checkpoints(&dir, 2);
+        };
+        commit_iter(0);
+        commit_iter(1);
+        // A resume discovers ckpt_1 ...
+        let (found, path) = find_latest(&dir, manifest.fingerprint).unwrap();
+        assert_eq!(found.next_iter, 1);
+        // ... the writer commits iteration 2 (sweeping ckpt_0) ...
+        commit_iter(2);
+        // ... and the discovered checkpoint still loads.
+        assert_eq!(load_manifest(&path).unwrap().next_iter, 1);
+        assert!(!checkpoint_dir(&dir, 0).exists(), "oldest not swept");
         fs::remove_dir_all(&dir).unwrap();
     }
 

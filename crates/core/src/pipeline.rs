@@ -528,6 +528,7 @@ impl MetaHipMer {
             contig_meta,
             targets: (!distribution.targets.is_empty()).then(|| distribution.targets.clone()),
             read_header,
+            conformance: Vec::new(), // stamped by commit
         };
         let shard = checkpoint::ShardData {
             contigs: contig_entries,

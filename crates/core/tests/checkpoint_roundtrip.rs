@@ -211,6 +211,7 @@ fn committed_state_round_trips_across_any_rank_count() {
             contig_meta: Vec::new(),
             targets: None,
             read_header: None,
+            conformance: Vec::new(),
         };
         checkpoint::commit(
             ctx,

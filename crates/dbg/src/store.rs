@@ -34,7 +34,6 @@
 use crate::types::{Contig, ContigId, ContigSet};
 use dht::{DistMap, FxHashMap, SoftwareCache, TablePartitioner};
 use pgas::Ctx;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 // The packed representation is shared with the distributed read store, so it
@@ -363,10 +362,8 @@ impl ContigReader<'_> {
                 resolved.push(Err(i));
             }
         }
-        ctx.stats().cache_hits.fetch_add(hits, Ordering::Relaxed);
-        ctx.stats()
-            .cache_misses
-            .fetch_add(misses.len() as u64, Ordering::Relaxed);
+        ctx.record_cache_hits(hits);
+        ctx.record_cache_misses(misses.len() as u64);
         let fetched = if onesided {
             self.store.map.get_many_onesided(ctx, &misses)
         } else {
@@ -402,10 +399,10 @@ impl ContigReader<'_> {
     /// per-key baseline the aggregated paths are measured against.
     pub fn get(&mut self, ctx: &Ctx, id: ContigId) -> Option<PackedSeq> {
         if let Some(cached) = self.cache.peek(&id) {
-            ctx.stats().cache_hits.fetch_add(1, Ordering::Relaxed);
+            ctx.record_cache_hits(1);
             return cached.clone();
         }
-        ctx.stats().cache_misses.fetch_add(1, Ordering::Relaxed);
+        ctx.record_cache_misses(1);
         let fetched = self.store.map.get_cloned(ctx, &id);
         if self.store.map.owner_of(&id) != ctx.rank() {
             if let Some(p) = &fetched {

@@ -25,7 +25,6 @@ use crate::fxhash::FxHashMap;
 use pgas::Ctx;
 use std::collections::VecDeque;
 use std::hash::Hash;
-use std::sync::atomic::Ordering;
 
 /// The weight function of a weighted [`SoftwareCache`].
 type Weigher<V> = Box<dyn Fn(&V) -> usize + Send + Sync>;
@@ -134,6 +133,7 @@ where
     /// is enqueued (a duplicate would inflate `cache_evictions` and evict live
     /// keys early).
     pub fn insert(&mut self, ctx: &Ctx, key: K, value: Option<V>) {
+        mhm_sched::yield_point("dht::cache::insert");
         if self.capacity == 0 {
             return;
         }
@@ -167,7 +167,7 @@ where
                 Some(oldest) => {
                     if let Some(old) = self.entries.remove(&oldest) {
                         self.weight -= self.weight_of(&old);
-                        ctx.stats().cache_evictions.fetch_add(1, Ordering::Relaxed);
+                        ctx.record_cache_eviction();
                     }
                 }
                 None => break,
@@ -181,11 +181,12 @@ where
     /// only misses generate remote traffic). This is the fine-grained path;
     /// batched phases go through [`CachedView::get_many`].
     pub fn get(&mut self, ctx: &Ctx, map: &DistMap<K, V>, key: &K) -> Option<V> {
+        mhm_sched::yield_point("dht::cache::get");
         if let Some(cached) = self.peek(key) {
-            ctx.stats().cache_hits.fetch_add(1, Ordering::Relaxed);
+            ctx.record_cache_hits(1);
             return cached.clone();
         }
-        ctx.stats().cache_misses.fetch_add(1, Ordering::Relaxed);
+        ctx.record_cache_misses(1);
         let fetched = map.get_cloned(ctx, key);
         self.insert(ctx, key.clone(), fetched.clone());
         fetched
@@ -256,10 +257,8 @@ where
                 resolved.push(Err(i));
             }
         }
-        ctx.stats().cache_hits.fetch_add(hits, Ordering::Relaxed);
-        ctx.stats()
-            .cache_misses
-            .fetch_add(misses.len() as u64, Ordering::Relaxed);
+        ctx.record_cache_hits(hits);
+        ctx.record_cache_misses(misses.len() as u64);
         // One aggregated round trip for every miss (collective!).
         let fetched = self.map.get_many(ctx, &misses, self.batch);
         for (key, value) in misses.iter().zip(&fetched) {

@@ -209,14 +209,26 @@ where
     /// which needs no CPU involvement from the owner). Use it inside
     /// dynamically scheduled loops (work stealing) where ranks cannot reach a
     /// collective in lockstep; prefer [`DistMap::get_many`] everywhere else.
+    #[track_caller]
     pub fn get_many_onesided(&self, ctx: &Ctx, keys: &[K]) -> Vec<Option<V>>
     where
         V: Clone,
     {
         let mut per_owner = vec![0usize; self.shards.len()];
-        let mut out = Vec::with_capacity(keys.len());
         for key in keys {
             per_owner[self.owner_of(key)] += 1;
+        }
+        // Conformance: refuse to probe a shard whose owner is inside a
+        // `local_view` phase — the probe would both break the view's snapshot
+        // semantics and block on the sub-shard locks the view holds. Checked
+        // before any probe so the violation is reported, not deadlocked on.
+        for (owner, &count) in per_owner.iter().enumerate() {
+            if count > 0 {
+                ctx.check_one_sided_target(owner, self.phase_token());
+            }
+        }
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
             out.push(self.probe(key));
         }
         for (owner, &count) in per_owner.iter().enumerate() {
@@ -232,6 +244,13 @@ where
             ctx.record_rpc_round_trip();
         }
         out
+    }
+
+    /// Local-phase token for this map (see [`Ctx::begin_local_phase`]): the
+    /// shared allocation's address, identical on every rank because the map
+    /// is `Arc`-shared across the team.
+    fn phase_token(&self) -> usize {
+        self as *const Self as *const () as usize
     }
 
     /// Runs a closure with a mutable view of the entry (or `None` if absent)
@@ -308,14 +327,20 @@ where
     /// Only sound under the usual owner-local pattern: barrier, then every
     /// rank touches exclusively its own shard. While the view is alive, any
     /// other access to this rank's shard (from this rank or another)
-    /// deadlocks — drop the view before going back through `Ctx` paths.
+    /// deadlocks — drop the view before going back through `Ctx` paths. With
+    /// conformance checking enabled the view registers a *local phase*, so
+    /// one-sided probes against this shard fail with a diagnostic naming both
+    /// call sites instead of blocking on the held locks.
+    #[track_caller]
     pub fn local_view(&self, ctx: &Ctx) -> LocalShardView<'_, K, V> {
+        let phase = ctx.begin_local_phase(self.phase_token());
         LocalShardView {
             subs: self.shards[ctx.rank()]
                 .subs
                 .iter()
                 .map(|m| m.lock())
                 .collect(),
+            _phase: phase,
         }
     }
 
@@ -416,9 +441,11 @@ where
 }
 
 /// The view returned by [`DistMap::local_view`]: the calling rank's sub-shard
-/// maps, locked once for the lifetime of the view.
+/// maps, locked once for the lifetime of the view. Dropping the view releases
+/// the locks and ends the conformance local phase.
 pub struct LocalShardView<'a, K, V> {
     subs: Vec<parking_lot::MutexGuard<'a, FxHashMap<K, V>>>,
+    _phase: pgas::LocalPhaseGuard,
 }
 
 impl<K, V> LocalShardView<'_, K, V>
@@ -746,6 +773,53 @@ mod tests {
             if ctx.rank() == 0 {
                 assert!(map.is_empty());
             }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "local_view phase holds it")]
+    fn one_sided_get_during_local_view_is_caught() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let team = Team::single_node(2);
+        team.set_conformance_checking(true);
+        team.run(|ctx| {
+            let map: Arc<DistMap<u64, u64>> = DistMap::shared(ctx);
+            bulk_merge(ctx, &map, (0..64u64).map(|k| (k, k)), 8, |a, b| *a += b);
+            let held = ctx.share(|| AtomicBool::new(false));
+            if ctx.rank() == 0 {
+                let view = map.local_view(ctx);
+                held.store(true, Ordering::SeqCst);
+                // Wait for rank 1's probe to fire; its panic poisons the
+                // barrier, so this collateral abort is swallowed by try_run.
+                ctx.barrier();
+                drop(view);
+            } else {
+                while !held.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+                // Seeded violation: one-sided batched get while rank 0's
+                // local_view phase holds its shard.
+                let keys: Vec<u64> = (0..64).collect();
+                let _ = map.get_many_onesided(ctx, &keys);
+            }
+        });
+    }
+
+    #[test]
+    fn one_sided_get_is_legal_again_after_the_view_drops() {
+        let team = Team::single_node(2);
+        team.set_conformance_checking(true);
+        team.run(|ctx| {
+            let map: Arc<DistMap<u64, u64>> = DistMap::shared(ctx);
+            bulk_merge(ctx, &map, (0..64u64).map(|k| (k, k)), 8, |a, b| *a += b);
+            {
+                let view = map.local_view(ctx);
+                let _ = view.len();
+            }
+            ctx.barrier();
+            let keys: Vec<u64> = (0..64).collect();
+            let got = map.get_many_onesided(ctx, &keys);
+            assert!(got.iter().all(|v| v.is_some()));
         });
     }
 }

@@ -40,6 +40,7 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
+            // lint: allow(unwrap): chunks_exact(8) yields exactly 8-byte slices
             self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
         }
         let rem = chunks.remainder();

@@ -61,6 +61,7 @@ impl<K: Hash + Eq + Clone> SpaceSaving<K> {
             .iter()
             .min_by_key(|(_, &(c, _))| c)
             .map(|(k, &(c, _))| (k.clone(), c))
+            // lint: allow(unwrap): this branch only runs when len == capacity > 0
             .expect("sketch is non-empty at capacity");
         self.counters.remove(&min_key);
         self.counters.insert(key, (min_count + weight, min_count));

@@ -1,0 +1,375 @@
+//! Schedule-perturbing race harness for the PGAS runtime.
+//!
+//! Every scenario in this crate is a small SPMD program with a property that
+//! must hold under *any* thread interleaving: mailbox reuse stays
+//! linearizable, back-to-back aggregators never alias each other's leases,
+//! a killed rank's poison reaches every survivor (nobody deadlocks), and
+//! cached reads agree with the authoritative table. The harness runs each
+//! scenario with the [`mhm_sched`] shim enabled, which injects seeded
+//! yields and micro-sleeps at the runtime's `yield_point` call sites —
+//! barrier entry/exit, mailbox deposit/drain, cache probes — so
+//! interleavings that an unloaded test machine would effectively never
+//! produce are explored deliberately.
+//!
+//! Exploration is *seeded*: a seed picks a deterministic sequence of
+//! perturbation decisions, and the CLI sweeps a seed range. It is not
+//! *replayable* — the decisions are deterministic, but which thread reaches
+//! a yield point first still depends on the OS scheduler — so a failing
+//! seed is a strong hint, not a guaranteed reproduction. Every scenario
+//! runs under a watchdog ([`std::sync::mpsc::Receiver::recv_timeout`]); a
+//! watchdog expiry is itself a failure verdict, because the one acceptable
+//! outcome of a kill is an orderly [`pgas::RankFault`] on every survivor,
+//! never a hang.
+//!
+//! Scenarios are serialized behind a process-global lock: the scheduler
+//! shim is process-wide state, and two scenarios perturbing each other
+//! would destroy the seed's meaning.
+
+use pgas::{FaultPlan, RankFault, Team, Topology};
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One scenario's verdict for one seed.
+#[derive(Debug)]
+pub struct ScenarioResult {
+    /// Scenario name (stable identifier, used in CLI output).
+    pub name: &'static str,
+    /// The perturbation seed the scenario ran under.
+    pub seed: u64,
+    /// `Ok(())` or a failure description (assertion text, panic payload, or
+    /// a watchdog-expiry diagnosis).
+    pub outcome: Result<(), String>,
+}
+
+/// Exploration parameters for one scenario run.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Upper bound on injected perturbations (yields + sleeps) per run.
+    pub max_perturbations: u64,
+    /// Upper bound on a single injected sleep, in microseconds.
+    pub max_sleep_us: u64,
+    /// Watchdog timeout; expiry is reported as a suspected deadlock.
+    pub watchdog: Duration,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_perturbations: 2_000,
+            max_sleep_us: 50,
+            watchdog: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Serializes scenarios: the scheduler shim is process-global.
+static SCENARIO_LOCK: Mutex<()> = Mutex::new(());
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(f) = payload.downcast_ref::<RankFault>() {
+        format!("unhandled {f:?}")
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `body` with the scheduler shim enabled at `seed` under a watchdog.
+///
+/// The shim is enabled before the scenario thread starts and disabled
+/// before this function returns, in both the completed and the timed-out
+/// case. A timed-out scenario thread is leaked — it is by definition stuck
+/// inside the runtime, and there is no safe way to unwind someone else's
+/// deadlock — but with the shim already disabled it cannot perturb later
+/// scenarios.
+fn run_scenario(
+    name: &'static str,
+    seed: u64,
+    budget: Budget,
+    body: fn(u64) -> Result<(), String>,
+) -> ScenarioResult {
+    let _serial = SCENARIO_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    mhm_sched::enable(mhm_sched::Config {
+        seed,
+        max_perturbations: budget.max_perturbations,
+        max_sleep_us: budget.max_sleep_us,
+    });
+    let (tx, rx) = mpsc::channel();
+    let spawned = std::thread::Builder::new()
+        .name(format!("mhm_check::{name}"))
+        .spawn(move || {
+            let verdict = std::panic::catch_unwind(AssertUnwindSafe(|| body(seed)));
+            let _ = tx.send(verdict);
+        });
+    let outcome = match spawned {
+        Err(e) => Err(format!("failed to spawn scenario thread: {e}")),
+        Ok(handle) => match rx.recv_timeout(budget.watchdog) {
+            Ok(verdict) => {
+                let _ = handle.join();
+                match verdict {
+                    Ok(inner) => inner,
+                    Err(payload) => Err(format!("panicked: {}", panic_message(payload))),
+                }
+            }
+            Err(_) => Err(format!(
+                "watchdog expired after {:?}: a survivor rank is deadlocked (poison did not \
+                 propagate, or a collective lost a participant)",
+                budget.watchdog
+            )),
+        },
+    };
+    mhm_sched::disable();
+    ScenarioResult {
+        name,
+        seed,
+        outcome,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario bodies.
+// ---------------------------------------------------------------------------
+
+/// Mailbox-reuse linearizability: the same team exchanges phase-tagged
+/// payloads over many rounds, reusing the pooled mailbox slots every time.
+/// Each inbox must hold exactly one item per sender, all carrying the
+/// *current* phase tag — a stale deposit surviving a slot's reuse, or a
+/// deposit leaking between phases, shows up as a foreign tag or a bad count.
+fn mailbox_linearizability(_seed: u64) -> Result<(), String> {
+    const RANKS: usize = 4;
+    const PHASES: u64 = 8;
+    let team = Team::new(Topology::new(RANKS, 2));
+    let results = team.run(|ctx| {
+        for phase in 0..PHASES {
+            let src = ctx.rank() as u64;
+            let outgoing: Vec<Vec<u64>> = (0..ctx.ranks() as u64)
+                .map(|dst| vec![phase * 1_000_000 + src * 1_000 + dst])
+                .collect();
+            let mut inbox = ctx.exchange(outgoing);
+            inbox.sort_unstable();
+            let want: Vec<u64> = (0..ctx.ranks() as u64)
+                .map(|sender| phase * 1_000_000 + sender * 1_000 + src)
+                .collect();
+            if inbox != want {
+                return Err(format!(
+                    "rank {} phase {phase}: inbox {inbox:?} != expected {want:?}",
+                    ctx.rank()
+                ));
+            }
+        }
+        Ok(())
+    });
+    results.into_iter().collect::<Result<Vec<()>, _>>()?;
+    Ok(())
+}
+
+/// Back-to-back same-typed aggregators reusing one slot pool: every
+/// iteration runs two `Aggregator<u64>` rounds in disjoint value bands,
+/// each finishing before the next begins. A finish that fails to drain its
+/// lease, or a lease handed out before the previous round's trailing
+/// barrier completed, delivers a foreign-band item to the next round.
+fn aggregator_slot_reuse(_seed: u64) -> Result<(), String> {
+    const RANKS: usize = 4;
+    const ITEMS: u64 = 8;
+    let team = Team::new(Topology::single_node(RANKS));
+    let results = team.run(|ctx| {
+        for round in 0u64..4 {
+            for band in [1_000u64, 2_000_000] {
+                let mut agg = pgas::Aggregator::<u64>::new(ctx, 3);
+                for i in 0..ITEMS {
+                    let dst = (i as usize + ctx.rank()) % ctx.ranks();
+                    agg.push(dst, band + round * ITEMS + i);
+                }
+                let got = agg.finish();
+                if got.len() != ITEMS as usize {
+                    return Err(format!(
+                        "rank {} round {round} band {band}: received {} items, expected {ITEMS}",
+                        ctx.rank(),
+                        got.len()
+                    ));
+                }
+                let (lo, hi) = (band + round * ITEMS, band + round * ITEMS + ITEMS - 1);
+                if let Some(&stale) = got.iter().find(|&&v| v < lo || v > hi) {
+                    return Err(format!(
+                        "rank {} round {round} band {band}: item {stale} escapes [{lo}, {hi}] — \
+                         a deposit from another aggregation round leaked through slot reuse",
+                        ctx.rank()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    });
+    results.into_iter().collect::<Result<Vec<()>, _>>()?;
+    Ok(())
+}
+
+/// Poison propagation: a planned kill must end the whole team with an
+/// orderly `RankFault`; any survivor blocking forever trips the watchdog.
+fn poison_propagation(_seed: u64) -> Result<(), String> {
+    const RANKS: usize = 4;
+    let team = Team::new(Topology::new(RANKS, 2));
+    team.set_fault_plans(&[FaultPlan {
+        rank: 2,
+        after_barriers: 3,
+    }]);
+    let result = team.try_run(|ctx| {
+        for _ in 0..16 {
+            let outgoing: Vec<Vec<u64>> = vec![vec![ctx.rank() as u64]; ctx.ranks()];
+            let _ = ctx.exchange(outgoing);
+            ctx.barrier();
+        }
+    });
+    match result {
+        Err(RankFault { rank: 2, .. }) => Ok(()),
+        Err(other) => Err(format!("wrong fault surfaced: {other:?}")),
+        Ok(_) => Err("planned kill of rank 2 never fired".to_string()),
+    }
+}
+
+/// Multi-kill poison propagation: two ranks die at different barriers; the
+/// run must still end with a `RankFault` for one of them (the earlier kill
+/// normally wins, but perturbation may reorder the panics) and no survivor
+/// may hang.
+fn poison_propagation_multi_kill(_seed: u64) -> Result<(), String> {
+    const RANKS: usize = 4;
+    let team = Team::new(Topology::new(RANKS, 2));
+    team.set_fault_plans(&[
+        FaultPlan {
+            rank: 1,
+            after_barriers: 2,
+        },
+        FaultPlan {
+            rank: 3,
+            after_barriers: 5,
+        },
+    ]);
+    let result = team.try_run(|ctx| {
+        for _ in 0..16 {
+            ctx.barrier();
+        }
+    });
+    match result {
+        Err(RankFault { rank, .. }) if rank == 1 || rank == 3 => Ok(()),
+        Err(other) => Err(format!("wrong fault surfaced: {other:?}")),
+        Ok(_) => Err("neither planned kill fired".to_string()),
+    }
+}
+
+/// Cached reads agree with the authoritative table under perturbation: a
+/// `CachedView`'s miss path (aggregated remote fetch), its hit/evict path
+/// (the cache is far smaller than the key set) and the table's own bulk
+/// lookup must all return the same values.
+fn cached_view_consistency(_seed: u64) -> Result<(), String> {
+    const RANKS: usize = 4;
+    const KEYS: u64 = 192;
+    let team = Team::new(Topology::new(RANKS, 2));
+    let results = team.run(|ctx| {
+        let map = dht::DistMap::<u64, u64>::shared(ctx);
+        let mine: Vec<(u64, u64)> = (0..KEYS)
+            .filter(|k| k % ctx.ranks() as u64 == ctx.rank() as u64)
+            .map(|k| (k, k * 3 + 1))
+            .collect();
+        dht::bulk_merge(ctx, &map, mine, 16, |slot, v| *slot = v);
+        let keys: Vec<u64> = (0..KEYS).collect();
+        let want: Vec<Option<u64>> = keys.iter().map(|&k| Some(k * 3 + 1)).collect();
+        let mut view = dht::CachedView::new(&map, 64, 16);
+        let cold = view.get_many(ctx, &keys);
+        let warm = view.get_many(ctx, &keys);
+        ctx.barrier();
+        let direct = map.get_many(ctx, &keys, 16);
+        for (label, got) in [("cold", &cold), ("warm", &warm), ("direct", &direct)] {
+            if *got != want {
+                let bad = keys.iter().zip(got.iter()).find(|(k, v)| {
+                    let k = **k as usize;
+                    want[k] != **v
+                });
+                return Err(format!(
+                    "rank {}: {label} read diverges from the table at {bad:?}",
+                    ctx.rank()
+                ));
+            }
+        }
+        Ok(())
+    });
+    results.into_iter().collect::<Result<Vec<()>, _>>()?;
+    Ok(())
+}
+
+/// A scenario body: takes the perturbation seed, returns the verdict.
+pub type ScenarioFn = fn(u64) -> Result<(), String>;
+
+/// The scenario registry, in the order the CLI runs them.
+pub const SCENARIOS: &[(&str, ScenarioFn)] = &[
+    ("mailbox_linearizability", mailbox_linearizability),
+    ("aggregator_slot_reuse", aggregator_slot_reuse),
+    ("poison_propagation", poison_propagation),
+    (
+        "poison_propagation_multi_kill",
+        poison_propagation_multi_kill,
+    ),
+    ("cached_view_consistency", cached_view_consistency),
+];
+
+/// Runs every scenario once at `seed` and returns all verdicts.
+pub fn run_all(seed: u64, budget: Budget) -> Vec<ScenarioResult> {
+    SCENARIOS
+        .iter()
+        .map(|&(name, body)| run_scenario(name, seed, budget, body))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_budget() -> Budget {
+        Budget {
+            max_perturbations: 200,
+            max_sleep_us: 20,
+            watchdog: Duration::from_secs(120),
+        }
+    }
+
+    #[test]
+    fn every_scenario_passes_under_a_small_perturbation_budget() {
+        for seed in [1u64, 2] {
+            for result in run_all(seed, small_budget()) {
+                assert!(
+                    result.outcome.is_ok(),
+                    "{} failed at seed {}: {}",
+                    result.name,
+                    result.seed,
+                    result.outcome.as_ref().unwrap_err()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_reports_a_hang_instead_of_blocking_forever() {
+        fn hangs(_seed: u64) -> Result<(), String> {
+            std::thread::sleep(Duration::from_secs(3600));
+            Ok(())
+        }
+        let r = run_scenario(
+            "hang_probe",
+            1,
+            Budget {
+                watchdog: Duration::from_millis(100),
+                ..small_budget()
+            },
+            hangs,
+        );
+        let msg = r.outcome.unwrap_err();
+        assert!(msg.contains("watchdog expired"), "got: {msg}");
+        assert!(!mhm_sched::is_enabled(), "shim left enabled after timeout");
+    }
+}

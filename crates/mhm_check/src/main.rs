@@ -1,0 +1,50 @@
+//! CLI driver: sweeps a seed range over every registered scenario.
+//!
+//! ```text
+//! mhm_check [--seeds N] [--budget P] [--sleep-us U]
+//! ```
+//!
+//! Runs seeds `1..=N` (default 4) with a perturbation budget of `P`
+//! injected yields/sleeps per scenario run (default 2000), printing one
+//! line per verdict. Exits non-zero if any scenario fails under any seed.
+
+use mhm_check::{run_all, Budget};
+use std::time::Duration;
+
+fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seeds = parse_flag(&args, "--seeds").unwrap_or(4);
+    let mut budget = Budget::default();
+    if let Some(p) = parse_flag(&args, "--budget") {
+        budget.max_perturbations = p;
+    }
+    if let Some(u) = parse_flag(&args, "--sleep-us") {
+        budget.max_sleep_us = u;
+    }
+    budget.watchdog = Duration::from_secs(120);
+
+    let mut failures = 0usize;
+    for seed in 1..=seeds {
+        for result in run_all(seed, budget) {
+            match &result.outcome {
+                Ok(()) => println!("ok   seed={:<4} {}", result.seed, result.name),
+                Err(msg) => {
+                    failures += 1;
+                    println!("FAIL seed={:<4} {}: {msg}", result.seed, result.name);
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("mhm_check: {failures} scenario run(s) failed");
+        std::process::exit(1);
+    }
+    println!("mhm_check: all scenarios passed over {seeds} seed(s)");
+}

@@ -1,0 +1,400 @@
+//! Runtime collective-conformance checking (MUST-style collective matching).
+//!
+//! Everything in this runtime — and in the UPC programs it models — rests on
+//! one invariant: **every rank issues the same sequence of collectives with
+//! compatible payloads**. A single rank-skewed barrier or a mismatched
+//! exchange element type does not fail at the offending line; it deadlocks or
+//! corrupts data several stages later, where the symptom names no culprit.
+//!
+//! This module turns that class of bug into an immediate, located failure.
+//! Each collective entry point ([`crate::Ctx::barrier`], [`crate::Ctx::share`],
+//! the reductions, [`crate::Ctx::exchange`]/[`crate::Ctx::exchange_map`] and the three
+//! aggregator `finish` calls) records an [`OpRecord`] — op kind, user call
+//! site (captured through `#[track_caller]`, see the conformance-tag
+//! convention in the README), payload type name and element size — into a
+//! per-rank trace. The **last rank to arrive at each barrier** cross-checks
+//! all traces while the others are parked in the rendezvous: any divergence
+//! panics with the diverging rank, op index, both op descriptors and both
+//! call sites.
+//!
+//! Two companion checks ride on the same state:
+//!
+//! * **local-phase guarding** — while a rank holds a `local_view` over its
+//!   shard of a distributed map, one-sided probes from other ranks against
+//!   that shard are flagged ([`crate::Ctx::check_one_sided_target`]), since the
+//!   view's snapshot semantics (and lock order) forbid concurrent remote
+//!   traffic;
+//! * **schedule digests** — every rank folds each op descriptor into a
+//!   per-rank FNV-1a digest *unconditionally* (even with checking off, the
+//!   cost is a short hash per collective, invisible next to a barrier).
+//!   Checkpoint manifests stamp `(op count, digest)` for every writer rank,
+//!   so resume can refuse a checkpoint written by a run whose collective
+//!   schedule had already diverged.
+//!
+//! Checking defaults to **on under `cfg(debug_assertions)`** and off in
+//! release; `MHM_CONFORMANCE=1|0` overrides, and
+//! `Team::set_conformance_checking` toggles per team (outside SPMD regions).
+//!
+//! What is deliberately **not** recorded: mid-phase aggregator auto-flushes.
+//! Their timing is data-dependent (a rank flushes when *its* buffer fills),
+//! so they legitimately diverge across ranks; only the collective rendezvous
+//! points (`finish`, `exchange`, barriers) are schedule-relevant.
+
+use std::fmt;
+use std::panic::Location;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// FNV-1a offset basis; per-rank digests start here.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The kind of collective operation a rank entered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpKind {
+    /// `Ctx::barrier`.
+    Barrier,
+    /// `Ctx::share` / `Ctx::broadcast`.
+    Share,
+    /// A `u64` all-reduce (`allreduce_{sum,max,min}_u64`, `allreduce_any`).
+    ReduceU64,
+    /// An `f64` all-reduce (`allreduce_{sum,max}_f64`).
+    ReduceF64,
+    /// `Ctx::exchange` / `Ctx::exchange_map`'s transport phases.
+    Exchange,
+    /// `Aggregator::finish`.
+    AggFinish,
+    /// `BlobAggregator::finish`.
+    BlobFinish,
+    /// `RpcAggregator::finish` (including via `Ctx::exchange_map`).
+    RpcFinish,
+}
+
+impl OpKind {
+    /// Stable lowercase name, used in digests and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Barrier => "barrier",
+            OpKind::Share => "share",
+            OpKind::ReduceU64 => "reduce_u64",
+            OpKind::ReduceF64 => "reduce_f64",
+            OpKind::Exchange => "exchange",
+            OpKind::AggFinish => "agg_finish",
+            OpKind::BlobFinish => "blob_finish",
+            OpKind::RpcFinish => "rpc_finish",
+        }
+    }
+}
+
+/// One collective entry as observed by one rank.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OpRecord {
+    /// What kind of collective.
+    pub kind: OpKind,
+    /// The outermost user call site (via `#[track_caller]` chaining).
+    pub site: &'static Location<'static>,
+    /// `type_name` of the payload element (empty for pure barriers).
+    pub payload: &'static str,
+    /// `size_of` the payload element in bytes (0 for pure barriers).
+    pub elem_size: usize,
+}
+
+impl fmt::Display for OpRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.payload.is_empty() {
+            write!(f, "{} @ {}", self.kind.name(), self.site)
+        } else {
+            write!(
+                f,
+                "{}<{}> ({} B/elem) @ {}",
+                self.kind.name(),
+                self.payload,
+                self.elem_size,
+                self.site
+            )
+        }
+    }
+}
+
+/// Per-team conformance state: traces, digests and local-phase registries,
+/// one slot per rank.
+pub(crate) struct ConformanceState {
+    enabled: AtomicBool,
+    /// Ops since the last *verified* barrier, per rank. Cleared by the
+    /// cross-check on every successful rendezvous.
+    traces: Vec<Mutex<Vec<OpRecord>>>,
+    /// Lifetime count of collective ops per rank (never reset).
+    ops: Vec<AtomicU64>,
+    /// Running FNV-1a digest of each rank's op descriptors (never reset).
+    digests: Vec<AtomicU64>,
+    /// Active local phases per rank: `(token, site where the view was taken)`.
+    local_phases: Vec<Mutex<Vec<(usize, &'static Location<'static>)>>>,
+}
+
+impl ConformanceState {
+    pub(crate) fn new(ranks: usize) -> Self {
+        let enabled = match std::env::var("MHM_CONFORMANCE").ok().as_deref() {
+            Some("1") | Some("on") | Some("true") => true,
+            Some("0") | Some("off") | Some("false") => false,
+            _ => cfg!(debug_assertions),
+        };
+        ConformanceState {
+            enabled: AtomicBool::new(enabled),
+            traces: (0..ranks).map(|_| Mutex::new(Vec::new())).collect(),
+            ops: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
+            digests: (0..ranks).map(|_| AtomicU64::new(FNV_OFFSET)).collect(),
+            local_phases: (0..ranks).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::SeqCst);
+    }
+
+    /// `(lifetime op count, schedule digest)` for one rank. Folded on every
+    /// collective regardless of the enabled flag, so release-mode checkpoint
+    /// stamps are still meaningful.
+    pub(crate) fn stamp(&self, rank: usize) -> (u64, u64) {
+        (
+            self.ops[rank].load(Ordering::Relaxed),
+            self.digests[rank].load(Ordering::Relaxed),
+        )
+    }
+
+    /// Records one collective entry for `rank`. The digest always advances;
+    /// the trace is only kept while checking is enabled.
+    pub(crate) fn record(&self, rank: usize, rec: OpRecord) {
+        let mut d = self.digests[rank].load(Ordering::Relaxed);
+        d = fold(d, rec.kind.name().as_bytes());
+        d = fold(d, rec.site.file().as_bytes());
+        d = fold(d, &rec.site.line().to_le_bytes());
+        d = fold(d, &rec.site.column().to_le_bytes());
+        d = fold(d, rec.payload.as_bytes());
+        d = fold(d, &(rec.elem_size as u64).to_le_bytes());
+        // Only this rank's thread writes this slot; relaxed is enough (the
+        // barrier rendezvous orders cross-rank reads).
+        self.digests[rank].store(d, Ordering::Relaxed);
+        self.ops[rank].fetch_add(1, Ordering::Relaxed);
+        if self.enabled() {
+            self.traces[rank].lock().push(rec);
+        }
+    }
+
+    /// Cross-checks all ranks' traces. Runs on the **last arriver** at a
+    /// barrier, while every other rank is parked in the rendezvous (so no
+    /// trace lock is contended). On success all traces are cleared; on
+    /// mismatch returns a diagnostic naming rank, op index and both call
+    /// sites. `barriers` is the per-rank barrier-entry count, included when
+    /// skewed to show which rank ran ahead.
+    pub(crate) fn cross_check(&self, barriers: &[u64]) -> Result<(), String> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        // Fast path: the lifetime digests fold every op descriptor, so equal
+        // (ops, digest) pairs across all ranks mean the entire histories
+        // agree — no need to walk the traces. The expensive diff below only
+        // runs to *build the diagnostic* once a divergence is already known.
+        // (Every arrived rank stored its digest before entering the barrier
+        // lock the caller holds, so relaxed loads observe current values.)
+        let first = self.stamp(0);
+        if (1..self.traces.len()).all(|r| self.stamp(r) == first) {
+            for t in &self.traces {
+                t.lock().clear();
+            }
+            return Ok(());
+        }
+        let guards: Vec<_> = self.traces.iter().map(|t| t.lock()).collect();
+        let mut err = None;
+        'scan: for r in 1..guards.len() {
+            let (reference, trace) = (&*guards[0], &*guards[r]);
+            let common = reference.len().min(trace.len());
+            for i in 0..common {
+                if reference[i] != trace[i] {
+                    err = Some(mismatch_msg(
+                        r,
+                        i,
+                        Some(&reference[i]),
+                        Some(&trace[i]),
+                        barriers,
+                    ));
+                    break 'scan;
+                }
+            }
+            if reference.len() != trace.len() {
+                err = Some(mismatch_msg(
+                    r,
+                    common,
+                    reference.get(common),
+                    trace.get(common),
+                    barriers,
+                ));
+                break 'scan;
+            }
+        }
+        match err {
+            Some(msg) => Err(msg),
+            // The digests disagree but the kept traces do not explain it:
+            // the schedules must have diverged before checking was enabled
+            // (the traces only cover ops recorded since then).
+            None => Err(format!(
+                "collective conformance violation at barrier rendezvous:\n  \
+                 lifetime op counts/digests diverge between ranks ({:?}) but the \
+                 divergence predates the point where checking was enabled",
+                (0..guards.len()).map(|r| self.stamp(r)).collect::<Vec<_>>()
+            )),
+        }
+    }
+
+    /// Registers a local phase (e.g. a `DistMap::local_view`) held by `rank`.
+    /// `token` identifies the protected object (the map's address, identical
+    /// across ranks because the map is `Arc`-shared).
+    pub(crate) fn begin_local_phase(
+        &self,
+        rank: usize,
+        token: usize,
+        site: &'static Location<'static>,
+    ) {
+        self.local_phases[rank].lock().push((token, site));
+    }
+
+    /// Unregisters the most recent phase for `token` on `rank`.
+    pub(crate) fn end_local_phase(&self, rank: usize, token: usize) {
+        let mut phases = self.local_phases[rank].lock();
+        if let Some(pos) = phases.iter().rposition(|&(t, _)| t == token) {
+            phases.remove(pos);
+        }
+    }
+
+    /// If `rank` currently holds a local phase for `token`, returns the site
+    /// where the phase began.
+    pub(crate) fn local_phase_site(
+        &self,
+        rank: usize,
+        token: usize,
+    ) -> Option<&'static Location<'static>> {
+        self.local_phases[rank]
+            .lock()
+            .iter()
+            .rev()
+            .find(|&&(t, _)| t == token)
+            .map(|&(_, site)| site)
+    }
+}
+
+fn fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // Field separator so ("ab","c") and ("a","bc") digest differently.
+    h ^= 0xff;
+    h.wrapping_mul(FNV_PRIME)
+}
+
+fn mismatch_msg(
+    rank: usize,
+    index: usize,
+    expected: Option<&OpRecord>,
+    actual: Option<&OpRecord>,
+    barriers: &[u64],
+) -> String {
+    let describe = |op: Option<&OpRecord>| match op {
+        Some(op) => format!("{op}"),
+        None => "<no collective — rank went straight to the barrier>".to_string(),
+    };
+    let mut msg = format!(
+        "collective conformance violation at barrier rendezvous:\n  \
+         op {index} since the last verified barrier diverges between ranks:\n  \
+         rank 0    issued: {}\n  \
+         rank {rank:<4} issued: {}",
+        describe(expected),
+        describe(actual),
+    );
+    if barriers.windows(2).any(|w| w[0] != w[1]) {
+        msg.push_str(&format!(
+            "\n  barrier entries per rank are skewed: {barriers:?}"
+        ));
+    }
+    msg.push_str("\n  every rank must issue the same collective sequence with compatible payloads");
+    msg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: OpKind, payload: &'static str, elem_size: usize) -> OpRecord {
+        OpRecord {
+            kind,
+            site: Location::caller(),
+            payload,
+            elem_size,
+        }
+    }
+
+    #[test]
+    fn matching_traces_pass_and_clear() {
+        let st = ConformanceState::new(2);
+        st.set_enabled(true);
+        let r = rec(OpKind::Exchange, "u64", 8);
+        st.record(0, r);
+        st.record(1, r);
+        assert!(st.cross_check(&[1, 1]).is_ok());
+        st.record(0, r);
+        st.record(1, r);
+        assert!(
+            st.cross_check(&[2, 2]).is_ok(),
+            "traces must reset between barriers"
+        );
+    }
+
+    #[test]
+    fn payload_shape_mismatch_is_reported_with_both_descriptors() {
+        let st = ConformanceState::new(2);
+        st.set_enabled(true);
+        st.record(0, rec(OpKind::Exchange, "u64", 8));
+        st.record(1, rec(OpKind::Exchange, "u32", 4));
+        let msg = st.cross_check(&[1, 1]).unwrap_err();
+        assert!(msg.contains("exchange<u64> (8 B/elem)"), "{msg}");
+        assert!(msg.contains("exchange<u32> (4 B/elem)"), "{msg}");
+        assert!(msg.contains("rank 1"), "{msg}");
+    }
+
+    #[test]
+    fn missing_op_is_reported_with_skewed_barrier_counts() {
+        let st = ConformanceState::new(2);
+        st.set_enabled(true);
+        st.record(0, rec(OpKind::Share, "f64", 8));
+        let msg = st.cross_check(&[3, 2]).unwrap_err();
+        assert!(msg.contains("no collective"), "{msg}");
+        assert!(msg.contains("[3, 2]"), "{msg}");
+    }
+
+    #[test]
+    fn digests_advance_even_when_checking_is_disabled() {
+        let st = ConformanceState::new(1);
+        st.set_enabled(false);
+        let before = st.stamp(0);
+        st.record(0, rec(OpKind::Barrier, "", 0));
+        let after = st.stamp(0);
+        assert_eq!(after.0, before.0 + 1);
+        assert_ne!(after.1, before.1);
+    }
+
+    #[test]
+    fn local_phase_registry_tracks_nested_tokens() {
+        let st = ConformanceState::new(2);
+        let site = Location::caller();
+        st.begin_local_phase(1, 0xAB, site);
+        assert!(st.local_phase_site(1, 0xAB).is_some());
+        assert!(st.local_phase_site(0, 0xAB).is_none());
+        assert!(st.local_phase_site(1, 0xCD).is_none());
+        st.end_local_phase(1, 0xAB);
+        assert!(st.local_phase_site(1, 0xAB).is_none());
+    }
+}

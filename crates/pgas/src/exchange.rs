@@ -71,8 +71,10 @@
 //! drain is still separated from the next phase's deposits by a barrier all
 //! ranks participate in.
 
+use crate::conformance::OpKind;
 use crate::team::{Ctx, SlotLease};
 use parking_lot::Mutex;
+use std::panic::Location;
 
 /// Shared mailboxes for a typed all-to-all exchange.
 pub struct AllToAll<T: Send> {
@@ -94,12 +96,14 @@ impl<T: Send> AllToAll<T> {
             return;
         }
         ctx.record_message(dest, items.len() * std::mem::size_of::<T>());
+        mhm_sched::yield_point("pgas::mailbox::deposit");
         self.inboxes[dest].lock().append(&mut items);
     }
 
     /// Drains and returns the calling rank's inbox. Call only after a barrier
     /// that guarantees all senders have flushed.
     pub fn take_inbox(&self, ctx: &Ctx) -> Vec<T> {
+        mhm_sched::yield_point("pgas::mailbox::drain");
         std::mem::take(&mut *self.inboxes[ctx.rank()].lock())
     }
 
@@ -110,6 +114,7 @@ impl<T: Send> AllToAll<T> {
         if items.is_empty() {
             return;
         }
+        mhm_sched::yield_point("pgas::mailbox::deposit_raw");
         self.inboxes[dest].lock().append(&mut items);
     }
 }
@@ -173,6 +178,7 @@ impl<T: Send + Sync + 'static> NodeRouter<T> {
     /// must follow with its ordinary pre-drain barrier (which doubles as the
     /// publication point for the scattered items); no trailing barrier is
     /// needed here — see the module docs.
+    #[track_caller]
     fn deliver(self, ctx: &Ctx, direct: &AllToAll<T>) {
         let topo = ctx.topology();
         // Every rank's `send_remote` deposits are visible after this barrier.
@@ -229,6 +235,7 @@ impl<'t> Ctx<'t> {
     /// Collective all-to-all exchange: `outgoing[d]` is the batch destined for
     /// rank `d`; the return value is everything other ranks destined for this
     /// rank. Must be called by every rank.
+    #[track_caller]
     pub fn exchange<T>(&self, outgoing: Vec<Vec<T>>) -> Vec<T>
     where
         T: Send + Sync + 'static,
@@ -237,6 +244,12 @@ impl<'t> Ctx<'t> {
             outgoing.len(),
             self.ranks(),
             "exchange requires one outgoing batch per rank"
+        );
+        self.record_collective(
+            OpKind::Exchange,
+            Location::caller(),
+            std::any::type_name::<T>(),
+            std::mem::size_of::<T>(),
         );
         let a2a: SlotLease<AllToAll<T>> = self.mailboxes();
         let router = self.node_routing().then(|| NodeRouter::new(self));
@@ -267,6 +280,7 @@ impl<'t> Ctx<'t> {
     /// responses in request order. Convenience wrapper over
     /// [`RpcAggregator`]; must be called by every rank (an empty request list
     /// is fine).
+    #[track_caller]
     pub fn exchange_map<Req, Resp, F>(
         &self,
         requests: impl IntoIterator<Item = (usize, Req)>,
@@ -301,11 +315,14 @@ pub struct Aggregator<'c, 't, T: Send + Sync + 'static> {
     router: Option<NodeRouter<T>>,
     bufs: Vec<Vec<T>>,
     batch: usize,
+    created: &'static Location<'static>,
+    finished: bool,
 }
 
 impl<'c, 't, T: Send + Sync + 'static> Aggregator<'c, 't, T> {
     /// Creates an aggregator with the given per-destination batch size (the
     /// number of items accumulated before a flush).
+    #[track_caller]
     pub fn new(ctx: &'c Ctx<'t>, batch: usize) -> Self {
         assert!(batch > 0, "batch size must be positive");
         let a2a = ctx.mailboxes();
@@ -318,6 +335,8 @@ impl<'c, 't, T: Send + Sync + 'static> Aggregator<'c, 't, T> {
                 .map(|_| Vec::with_capacity(batch))
                 .collect(),
             batch,
+            created: Location::caller(),
+            finished: false,
         }
     }
 
@@ -353,7 +372,15 @@ impl<'c, 't, T: Send + Sync + 'static> Aggregator<'c, 't, T> {
 
     /// Flushes, synchronises all ranks, and returns the items destined for the
     /// calling rank. Collective.
+    #[track_caller]
     pub fn finish(mut self) -> Vec<T> {
+        self.finished = true;
+        self.ctx.record_collective(
+            OpKind::AggFinish,
+            Location::caller(),
+            std::any::type_name::<T>(),
+            std::mem::size_of::<T>(),
+        );
         self.flush();
         if let Some(router) = self.router.take() {
             router.deliver(self.ctx, &self.a2a);
@@ -363,6 +390,19 @@ impl<'c, 't, T: Send + Sync + 'static> Aggregator<'c, 't, T> {
         // Required for mailbox reuse; see the module docs.
         self.ctx.barrier();
         mine
+    }
+}
+
+impl<'c, 't, T: Send + Sync + 'static> Drop for Aggregator<'c, 't, T> {
+    fn drop(&mut self) {
+        if !self.finished && !std::thread::panicking() && self.ctx.team().conformance_checking() {
+            panic!(
+                "Aggregator created @ {} dropped without finish(): the mailbox lease \
+                 returns to the pool with deposits in flight, corrupting the next \
+                 phase that reuses it",
+                self.created
+            );
+        }
     }
 }
 
@@ -407,11 +447,14 @@ pub struct BlobAggregator<'c, 't> {
     router: Option<NodeRouter<Blob>>,
     bufs: Vec<Vec<u8>>,
     batch_bytes: usize,
+    created: &'static Location<'static>,
+    finished: bool,
 }
 
 impl<'c, 't> BlobAggregator<'c, 't> {
     /// Creates an aggregator flushing each destination's buffer once it holds
     /// at least `batch_bytes` bytes.
+    #[track_caller]
     pub fn new(ctx: &'c Ctx<'t>, batch_bytes: usize) -> Self {
         assert!(batch_bytes > 0, "batch size must be positive");
         let a2a = ctx.mailboxes();
@@ -422,6 +465,8 @@ impl<'c, 't> BlobAggregator<'c, 't> {
             router,
             bufs: (0..ctx.ranks()).map(|_| Vec::new()).collect(),
             batch_bytes,
+            created: Location::caller(),
+            finished: false,
         }
     }
 
@@ -462,7 +507,11 @@ impl<'c, 't> BlobAggregator<'c, 't> {
 
     /// Flushes the remaining buffers, synchronises, and returns the blobs
     /// destined for the calling rank. Collective.
+    #[track_caller]
     pub fn finish(mut self) -> Vec<Vec<u8>> {
+        self.finished = true;
+        self.ctx
+            .record_collective(OpKind::BlobFinish, Location::caller(), "bytes", 1);
         for dest in 0..self.bufs.len() {
             if !self.bufs[dest].is_empty() {
                 let full = std::mem::take(&mut self.bufs[dest]);
@@ -477,6 +526,19 @@ impl<'c, 't> BlobAggregator<'c, 't> {
         // Required for mailbox reuse; see the module docs.
         self.ctx.barrier();
         mine.into_iter().map(|Blob(b)| b).collect()
+    }
+}
+
+impl<'c, 't> Drop for BlobAggregator<'c, 't> {
+    fn drop(&mut self) {
+        if !self.finished && !std::thread::panicking() && self.ctx.team().conformance_checking() {
+            panic!(
+                "BlobAggregator created @ {} dropped without finish(): the mailbox \
+                 lease returns to the pool with deposits in flight, corrupting the \
+                 next phase that reuses it",
+                self.created
+            );
+        }
     }
 }
 
@@ -522,6 +584,8 @@ where
     bufs: Vec<Vec<RpcRequest<Req>>>,
     batch: usize,
     next_seq: u32,
+    created: &'static Location<'static>,
+    finished: bool,
 }
 
 impl<'c, 't, Req, Resp> RpcAggregator<'c, 't, Req, Resp>
@@ -531,6 +595,7 @@ where
 {
     /// Creates an aggregator with the given per-destination request batch
     /// size. Cheap and barrier-free; the mailboxes are reused team slots.
+    #[track_caller]
     pub fn new(ctx: &'c Ctx<'t>, batch: usize) -> Self {
         assert!(batch > 0, "batch size must be positive");
         let requests = ctx.mailboxes();
@@ -545,6 +610,8 @@ where
             bufs: (0..ctx.ranks()).map(|_| Vec::new()).collect(),
             batch,
             next_seq: 0,
+            created: Location::caller(),
+            finished: false,
         }
     }
 
@@ -581,6 +648,7 @@ where
         self.next_seq = self
             .next_seq
             .checked_add(1)
+            // lint: allow(unwrap): overflow here is a protocol-capacity bug, not recoverable
             .expect("more than u32::MAX requests in one RPC phase");
         self.bufs[dest].push(envelope);
         if self.bufs[dest].len() >= self.batch {
@@ -593,8 +661,16 @@ where
     /// synchronises, answers the requests this rank owns with `handler`,
     /// ships the answers back in per-requester aggregated messages, and
     /// returns this rank's responses **in request push order**. Collective.
+    #[track_caller]
     pub fn finish(mut self, mut handler: impl FnMut(Req) -> Resp) -> Vec<Resp> {
         let ctx = self.ctx;
+        self.finished = true;
+        ctx.record_collective(
+            OpKind::RpcFinish,
+            Location::caller(),
+            std::any::type_name::<(Req, Resp)>(),
+            std::mem::size_of::<Req>(),
+        );
         for dest in 0..self.bufs.len() {
             if !self.bufs[dest].is_empty() {
                 let full = std::mem::take(&mut self.bufs[dest]);
@@ -650,6 +726,23 @@ where
         // replies cannot land in an inbox that still has this phase's drain
         // pending.
         mine.into_iter().map(|r| r.resp).collect()
+    }
+}
+
+impl<'c, 't, Req, Resp> Drop for RpcAggregator<'c, 't, Req, Resp>
+where
+    Req: Send + Sync + 'static,
+    Resp: Send + Sync + 'static,
+{
+    fn drop(&mut self) {
+        if !self.finished && !std::thread::panicking() && self.ctx.team().conformance_checking() {
+            panic!(
+                "RpcAggregator created @ {} dropped without finish(): the mailbox \
+                 leases return to the pool with requests in flight, corrupting the \
+                 next phase that reuses them",
+                self.created
+            );
+        }
     }
 }
 
@@ -1111,6 +1204,49 @@ mod tests {
                 let got = ctx.exchange_map(reqs, 2, |r: u64| r + 7);
                 assert_eq!(got, expect, "phase {phase} mixed responses");
             }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "dropped without finish()")]
+    fn aggregator_dropped_without_finish_is_caught() {
+        let team = Team::single_node(2);
+        team.set_conformance_checking(true);
+        team.run(|ctx| {
+            let mut agg: Aggregator<u64> = Aggregator::new(ctx, 4);
+            agg.push((ctx.rank() + 1) % ctx.ranks(), 7);
+            // Seeded violation: the phase ends without finish(), so the
+            // mailbox lease would return to the pool with deposits in flight.
+            drop(agg);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "conformance violation")]
+    fn mismatched_exchange_payload_shape_is_caught() {
+        let team = Team::single_node(2);
+        team.set_conformance_checking(true);
+        team.run(|ctx| {
+            // Seeded violation: the ranks disagree on the exchanged element
+            // type, which (uncaught) would route through *different* pooled
+            // mailboxes and silently drop every item.
+            if ctx.rank() == 0 {
+                let _ = ctx.exchange::<u64>(vec![Vec::new(), Vec::new()]);
+            } else {
+                let _ = ctx.exchange::<u32>(vec![Vec::new(), Vec::new()]);
+            }
+        });
+    }
+
+    #[test]
+    fn finished_aggregators_pass_conformance_checking() {
+        let team = Team::single_node(2);
+        team.set_conformance_checking(true);
+        team.run(|ctx| {
+            let mut agg: Aggregator<u64> = Aggregator::new(ctx, 4);
+            agg.push((ctx.rank() + 1) % ctx.ranks(), ctx.rank() as u64);
+            let got = agg.finish();
+            assert_eq!(got.len(), 1);
         });
     }
 }

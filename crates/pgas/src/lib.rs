@@ -30,14 +30,19 @@
 //! written against UPC, so the parallel structure of the original is preserved
 //! even though ranks are threads rather than processes.
 
+pub mod conformance;
 pub mod exchange;
 pub mod stats;
 pub mod team;
 pub mod topology;
 pub mod work;
 
+pub use conformance::{OpKind, OpRecord};
 pub use exchange::{Aggregator, AllToAll, Blob, BlobAggregator, RpcAggregator};
 pub use stats::{CommStats, StatsSnapshot};
-pub use team::{Ctx, FaultPlan, RankFault, SlotLease, Team};
+pub use team::{
+    install_panic_accounting, unexpected_panics, Ctx, FaultPlan, LocalPhaseGuard, RankFault,
+    SlotLease, Team,
+};
 pub use topology::Topology;
 pub use work::DynamicBlocks;

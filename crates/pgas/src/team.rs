@@ -6,12 +6,14 @@
 //! SPMD execution of `main` across `THREADS` ranks. Inside the closure, the
 //! per-rank [`Ctx`] exposes the collectives and the accounting hooks.
 
+use crate::conformance::{ConformanceState, OpKind, OpRecord};
 use crate::stats::{CommStats, StatsSnapshot};
 use crate::topology::Topology;
 use parking_lot::Mutex;
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::panic::Location;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A kill instruction for fault-injection runs (see [`Team::set_fault_plan`]):
@@ -90,6 +92,20 @@ impl AbortableBarrier {
     }
 
     fn wait(&self) {
+        self.wait_with(|| Ok(()));
+    }
+
+    /// Like `wait`, but the **last arriver** runs `on_last` while holding the
+    /// barrier lock — every other rank is parked in the rendezvous, which is
+    /// exactly the quiescent point the conformance cross-check needs. If
+    /// `on_last` returns `Err`, the barrier is poisoned (so the parked ranks
+    /// abort with `BarrierPoisoned`) and the last arriver panics with the
+    /// message — a genuine panic that propagates through `try_run`.
+    fn wait_with<F>(&self, on_last: F)
+    where
+        F: FnOnce() -> Result<(), String>,
+    {
+        mhm_sched::yield_point("pgas::barrier::enter");
         let mut s = self.lock();
         if s.poisoned {
             drop(s);
@@ -98,6 +114,12 @@ impl AbortableBarrier {
         s.count += 1;
         if s.count == self.n {
             s.count = 0;
+            if let Err(msg) = on_last() {
+                s.poisoned = true;
+                self.cvar.notify_all();
+                drop(s);
+                panic!("{msg}");
+            }
             s.generation = s.generation.wrapping_add(1);
             self.cvar.notify_all();
             return;
@@ -111,9 +133,11 @@ impl AbortableBarrier {
         if aborted {
             std::panic::panic_any(BarrierPoisoned);
         }
+        mhm_sched::yield_point("pgas::barrier::exit");
     }
 
     fn poison(&self) {
+        mhm_sched::yield_point("pgas::barrier::poison");
         let mut s = self.lock();
         s.poisoned = true;
         self.cvar.notify_all();
@@ -135,13 +159,31 @@ fn install_fault_panic_hook() {
             {
                 return;
             }
+            UNEXPECTED_PANICS.fetch_add(1, Ordering::SeqCst);
             prev(info);
         }));
     });
 }
 
-/// Rank sentinel meaning "no fault planned".
-const NO_FAULT: usize = usize::MAX;
+/// Process-wide count of panics that were neither an injected [`RankFault`]
+/// nor its `BarrierPoisoned` shockwave — i.e. genuine bugs. Maintained by the
+/// delegating panic hook so harness binaries can detect worker-thread panics
+/// that a sloppy `let _ = handle.join()` would otherwise mask.
+static UNEXPECTED_PANICS: AtomicU64 = AtomicU64::new(0);
+
+/// Installs the fault-classifying panic hook (idempotent). Harness `main`s
+/// call this before doing any work so that [`unexpected_panics`] observes
+/// every thread's panics, including ones swallowed by join order.
+pub fn install_panic_accounting() {
+    install_fault_panic_hook();
+}
+
+/// Number of unexpected (non-fault-protocol) panics seen process-wide since
+/// startup. Compare snapshots around a harness body to detect masked worker
+/// panics; see `mhm_bench::harness_exit_code`.
+pub fn unexpected_panics() -> u64 {
+    UNEXPECTED_PANICS.load(Ordering::SeqCst)
+}
 
 /// Shared SPMD team state.
 pub struct Team {
@@ -150,11 +192,14 @@ pub struct Team {
     /// Per-rank count of barriers entered, driving [`FaultPlan`] placement
     /// and exposed via [`Ctx::barriers_entered`].
     barrier_counts: Vec<AtomicU64>,
-    /// Fault plan, split into atomics so the barrier hot path pays two
-    /// relaxed loads: the rank to kill ([`NO_FAULT`] when none) and the
-    /// barrier count after which it dies.
-    fault_rank: AtomicUsize,
-    fault_after: AtomicU64,
+    /// Whether any [`FaultPlan`] is armed; the barrier hot path pays one
+    /// relaxed load when not. The plans themselves live behind a lock since
+    /// they are only consulted once the flag is set.
+    fault_armed: AtomicBool,
+    fault_plans: Mutex<Vec<FaultPlan>>,
+    /// Collective-conformance traces, digests and local-phase registries
+    /// (see [`crate::conformance`]).
+    conformance: ConformanceState,
     stats: Vec<CommStats>,
     /// Slot used by `share`/`broadcast` collectives (rank 0 publishes a value,
     /// everyone clones it). Protected by the surrounding barrier protocol.
@@ -223,8 +268,9 @@ impl Team {
             topo,
             barrier: AbortableBarrier::new(n),
             barrier_counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
-            fault_rank: AtomicUsize::new(NO_FAULT),
-            fault_after: AtomicU64::new(0),
+            fault_armed: AtomicBool::new(false),
+            fault_plans: Mutex::new(Vec::new()),
+            conformance: ConformanceState::new(n),
             stats: (0..n).map(|_| CommStats::default()).collect(),
             share_slot: Mutex::new(None),
             reduce_u64: (0..n).map(|_| AtomicU64::new(0)).collect(),
@@ -287,6 +333,7 @@ impl Team {
             .or_insert_with(|| Arc::new(make()) as Arc<dyn Any + Send + Sync>);
         let value = Arc::clone(entry)
             .downcast::<T>()
+            // lint: allow(unwrap): the map key *is* the TypeId, so the downcast cannot fail
             .expect("reusable slot keyed by TypeId");
         SlotLease {
             value,
@@ -343,12 +390,41 @@ impl Team {
     /// team must be discarded, mirroring a real job whose process died.
     pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
         match plan {
-            Some(p) => {
-                self.fault_after.store(p.after_barriers, Ordering::Relaxed);
-                self.fault_rank.store(p.rank, Ordering::Relaxed);
-            }
-            None => self.fault_rank.store(NO_FAULT, Ordering::Relaxed),
+            Some(p) => self.set_fault_plans(&[p]),
+            None => self.set_fault_plans(&[]),
         }
+    }
+
+    /// Arms several [`FaultPlan`]s at once (multi-kill runs: e.g. two ranks
+    /// dying at different barriers, or two ranks at the same barrier). The
+    /// same caveats as [`Team::set_fault_plan`] apply; an empty slice
+    /// disarms. The first plan to fire poisons the barrier, so later plans
+    /// whose ranks never reach their barrier are moot.
+    pub fn set_fault_plans(&self, plans: &[FaultPlan]) {
+        *self.fault_plans.lock() = plans.to_vec();
+        self.fault_armed.store(!plans.is_empty(), Ordering::SeqCst);
+    }
+
+    /// Turns runtime collective-conformance checking on or off for this team
+    /// (see [`crate::conformance`]). Defaults to on under
+    /// `cfg(debug_assertions)` and off in release; `MHM_CONFORMANCE=1|0`
+    /// overrides the default at team creation. Must not be flipped from
+    /// inside an SPMD region: ranks mid-phase would disagree on whether their
+    /// traces are being kept.
+    pub fn set_conformance_checking(&self, on: bool) {
+        self.conformance.set_enabled(on);
+    }
+
+    /// Whether collective-conformance checking is currently enabled.
+    pub fn conformance_checking(&self) -> bool {
+        self.conformance.enabled()
+    }
+
+    /// `(lifetime collective-op count, schedule digest)` for `rank`. Digests
+    /// advance on every collective even with checking disabled, so release
+    /// runs still produce meaningful checkpoint stamps.
+    pub fn conformance_stamp(&self, rank: usize) -> (u64, u64) {
+        self.conformance.stamp(rank)
     }
 
     /// Barriers entered so far by `rank` (team-lifetime count).
@@ -425,7 +501,20 @@ impl Team {
         }
         match fault {
             Some(rf) => Err(rf),
-            None => Ok(ok),
+            None => {
+                // Every lost rank must be accounted for by a fault or a
+                // genuine panic. A short result vector here means a rank
+                // aborted on a poisoned barrier while the originating panic
+                // payload was lost — never silently return partial results.
+                assert!(
+                    ok.len() == n,
+                    "SPMD run lost {} rank result(s) without a recorded fault: \
+                     a rank aborted on a poisoned barrier but the originating \
+                     panic was swallowed",
+                    n - ok.len()
+                );
+                Ok(ok)
+            }
         }
     }
 }
@@ -435,6 +524,22 @@ impl std::fmt::Debug for Team {
         f.debug_struct("Team")
             .field("topology", &self.topo)
             .finish_non_exhaustive()
+    }
+}
+
+/// RAII registration of a *local phase* (see [`Ctx::begin_local_phase`]):
+/// while alive, one-sided traffic from other ranks against this rank's shard
+/// of the tokened object is flagged by [`Ctx::check_one_sided_target`].
+/// Dropping the guard ends the phase.
+pub struct LocalPhaseGuard {
+    team: Arc<Team>,
+    rank: usize,
+    token: usize,
+}
+
+impl Drop for LocalPhaseGuard {
+    fn drop(&mut self) {
+        self.team.conformance.end_local_phase(self.rank, self.token);
     }
 }
 
@@ -624,23 +729,125 @@ impl<'t> Ctx<'t> {
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Records `n` software-cache hits on this rank.
+    #[inline]
+    pub fn record_cache_hits(&self, n: u64) {
+        self.stats().cache_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` software-cache misses on this rank.
+    #[inline]
+    pub fn record_cache_misses(&self, n: u64) {
+        self.stats().cache_misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one software-cache eviction on this rank.
+    #[inline]
+    pub fn record_cache_eviction(&self) {
+        self.stats().cache_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one collective entry for this rank: folds the descriptor into
+    /// the rank's schedule digest (always) and appends it to the conformance
+    /// trace (when checking is enabled). Collective entry points call this
+    /// with their `#[track_caller]` caller location as the site.
+    #[inline]
+    pub(crate) fn record_collective(
+        &self,
+        kind: OpKind,
+        site: &'static Location<'static>,
+        payload: &'static str,
+        elem_size: usize,
+    ) {
+        self.team.conformance.record(
+            self.rank,
+            OpRecord {
+                kind,
+                site,
+                payload,
+                elem_size,
+            },
+        );
+    }
+
+    /// Registers the start of a *local phase* over the object identified by
+    /// `token` (conventionally the protected object's shared address):
+    /// until the returned guard drops, one-sided ops from other ranks that
+    /// target this rank's shard of that object are conformance violations.
+    /// The call site is captured for the diagnostic.
+    #[track_caller]
+    pub fn begin_local_phase(&self, token: usize) -> LocalPhaseGuard {
+        self.team
+            .conformance
+            .begin_local_phase(self.rank, token, Location::caller());
+        LocalPhaseGuard {
+            team: Arc::clone(self.team),
+            rank: self.rank,
+            token,
+        }
+    }
+
+    /// Conformance check for one-sided ops: panics (naming both call sites)
+    /// if `owner` currently holds a local phase for `token` — i.e. the target
+    /// shard is inside a `local_view`-style region and must not be probed
+    /// remotely. No-op when conformance checking is disabled.
+    #[track_caller]
+    pub fn check_one_sided_target(&self, owner: usize, token: usize) {
+        if !self.team.conformance.enabled() {
+            return;
+        }
+        if let Some(held) = self.team.conformance.local_phase_site(owner, token) {
+            panic!(
+                "one-sided op from rank {} @ {} targets rank {owner}'s shard while a \
+                 local_view phase holds it (phase began @ {held}); finish or drop the \
+                 local view before issuing remote traffic against that shard",
+                self.rank,
+                Location::caller(),
+            );
+        }
+    }
+
     /// Blocks until every rank has reached the barrier. If a [`FaultPlan`]
     /// names this rank and its barrier count is up, the rank dies here
     /// instead (poisoning the barrier so the other ranks abort rather than
     /// wait forever). Panics with the internal `BarrierPoisoned` payload if
     /// another rank has already died.
+    ///
+    /// When conformance checking is enabled, the last rank to arrive
+    /// cross-checks every rank's collective trace (see
+    /// [`crate::conformance`]) and fails the run on divergence.
+    #[track_caller]
     pub fn barrier(&self) {
+        self.record_collective(OpKind::Barrier, Location::caller(), "", 0);
         let entered = self.team.barrier_counts[self.rank].fetch_add(1, Ordering::Relaxed) + 1;
-        if self.team.fault_rank.load(Ordering::Relaxed) == self.rank
-            && entered > self.team.fault_after.load(Ordering::Relaxed)
-        {
-            self.team.barrier.poison();
-            std::panic::panic_any(RankFault {
-                rank: self.rank,
-                barriers_entered: entered - 1,
-            });
+        if self.team.fault_armed.load(Ordering::Relaxed) {
+            let fires = {
+                let plans = self.team.fault_plans.lock();
+                plans
+                    .iter()
+                    .any(|p| p.rank == self.rank && entered > p.after_barriers)
+            };
+            if fires {
+                self.team.barrier.poison();
+                std::panic::panic_any(RankFault {
+                    rank: self.rank,
+                    barriers_entered: entered - 1,
+                });
+            }
         }
-        self.team.barrier.wait();
+        let team = self.team;
+        if team.conformance.enabled() {
+            team.barrier.wait_with(|| {
+                let counts: Vec<u64> = team
+                    .barrier_counts
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .collect();
+                team.conformance.cross_check(&counts)
+            });
+        } else {
+            team.barrier.wait();
+        }
     }
 
     /// Barriers this rank has entered so far (team-lifetime count). All ranks
@@ -654,11 +861,18 @@ impl<'t> Ctx<'t> {
     /// Collective: rank 0 evaluates `make` once, every rank receives a clone
     /// of the resulting `Arc`. Must be called by all ranks (it contains
     /// barriers).
+    #[track_caller]
     pub fn share<T, F>(&self, make: F) -> Arc<T>
     where
         T: Send + Sync + 'static,
         F: FnOnce() -> T,
     {
+        self.record_collective(
+            OpKind::Share,
+            Location::caller(),
+            std::any::type_name::<T>(),
+            std::mem::size_of::<T>(),
+        );
         if self.rank == 0 {
             let value: Arc<T> = Arc::new(make());
             *self.team.share_slot.lock() = Some(value.clone() as Arc<dyn Any + Send + Sync>);
@@ -666,9 +880,11 @@ impl<'t> Ctx<'t> {
         self.barrier();
         let out = {
             let slot = self.team.share_slot.lock();
+            // lint: allow(unwrap): barrier above guarantees rank 0 published
             let any = slot.as_ref().expect("share slot populated by rank 0");
             Arc::clone(any)
                 .downcast::<T>()
+                // lint: allow(unwrap): conformance checker reports this divergence first
                 .expect("share type mismatch across ranks")
         };
         self.barrier();
@@ -679,6 +895,7 @@ impl<'t> Ctx<'t> {
     }
 
     /// Collective broadcast of a cloneable value from rank 0.
+    #[track_caller]
     pub fn broadcast<T, F>(&self, make: F) -> T
     where
         T: Clone + Send + Sync + 'static,
@@ -687,7 +904,9 @@ impl<'t> Ctx<'t> {
         (*self.share(make)).clone()
     }
 
+    #[track_caller]
     fn reduce_u64_with(&self, value: u64, combine: impl Fn(u64, u64) -> u64) -> u64 {
+        self.record_collective(OpKind::ReduceU64, Location::caller(), "u64", 8);
         self.team.reduce_u64[self.rank].store(value, Ordering::SeqCst);
         self.barrier();
         let mut acc = self.team.reduce_u64[0].load(Ordering::SeqCst);
@@ -699,16 +918,19 @@ impl<'t> Ctx<'t> {
     }
 
     /// All-reduce sum over u64 contributions. Collective.
+    #[track_caller]
     pub fn allreduce_sum_u64(&self, value: u64) -> u64 {
         self.reduce_u64_with(value, |a, b| a + b)
     }
 
     /// All-reduce max over u64 contributions. Collective.
+    #[track_caller]
     pub fn allreduce_max_u64(&self, value: u64) -> u64 {
         self.reduce_u64_with(value, u64::max)
     }
 
     /// All-reduce min over u64 contributions. Collective.
+    #[track_caller]
     pub fn allreduce_min_u64(&self, value: u64) -> u64 {
         self.reduce_u64_with(value, u64::min)
     }
@@ -716,11 +938,14 @@ impl<'t> Ctx<'t> {
     /// All-reduce logical OR over boolean contributions. Collective.
     /// This is the "was anything pruned this iteration" reduction of
     /// Algorithm 2.
+    #[track_caller]
     pub fn allreduce_any(&self, value: bool) -> bool {
         self.reduce_u64_with(u64::from(value), u64::max) != 0
     }
 
+    #[track_caller]
     fn reduce_f64_with(&self, value: f64, combine: impl Fn(f64, f64) -> f64) -> f64 {
+        self.record_collective(OpKind::ReduceF64, Location::caller(), "f64", 8);
         self.team.reduce_f64[self.rank].store(value.to_bits(), Ordering::SeqCst);
         self.barrier();
         let mut acc = f64::from_bits(self.team.reduce_f64[0].load(Ordering::SeqCst));
@@ -735,11 +960,13 @@ impl<'t> Ctx<'t> {
     }
 
     /// All-reduce sum over f64 contributions. Collective.
+    #[track_caller]
     pub fn allreduce_sum_f64(&self, value: f64) -> f64 {
         self.reduce_f64_with(value, |a, b| a + b)
     }
 
     /// All-reduce max over f64 contributions. Collective.
+    #[track_caller]
     pub fn allreduce_max_f64(&self, value: f64) -> f64 {
         self.reduce_f64_with(value, f64::max)
     }
@@ -1016,5 +1243,158 @@ mod tests {
         team.run(|ctx| assert!(ctx.hierarchical_exchange()));
         team.set_hierarchical_exchange(false);
         assert!(!team.hierarchical_exchange());
+    }
+
+    #[test]
+    fn fault_plans_kill_multiple_ranks_at_different_barriers() {
+        let team = Team::single_node(4);
+        team.set_fault_plans(&[
+            FaultPlan {
+                rank: 1,
+                after_barriers: 2,
+            },
+            FaultPlan {
+                rank: 3,
+                after_barriers: 5,
+            },
+        ]);
+        let out = team.try_run(|ctx| {
+            for _ in 0..10 {
+                ctx.barrier();
+            }
+        });
+        // Rank 1 dies first and poisons the barrier, so rank 3 never survives
+        // to its own kill point; the reported fault is deterministic.
+        assert_eq!(
+            out.unwrap_err(),
+            RankFault {
+                rank: 1,
+                barriers_entered: 2
+            }
+        );
+    }
+
+    #[test]
+    fn fault_plans_can_kill_two_ranks_at_the_same_barrier() {
+        let team = Team::single_node(4);
+        team.set_fault_plans(&[
+            FaultPlan {
+                rank: 0,
+                after_barriers: 1,
+            },
+            FaultPlan {
+                rank: 2,
+                after_barriers: 1,
+            },
+        ]);
+        let out = team.try_run(|ctx| {
+            for _ in 0..4 {
+                ctx.barrier();
+            }
+        });
+        let fault = out.unwrap_err();
+        assert!(fault.rank == 0 || fault.rank == 2, "unexpected {fault:?}");
+        assert_eq!(fault.barriers_entered, 1);
+    }
+
+    #[test]
+    fn kill_at_the_first_barrier_races_setup_cleanly() {
+        // The victim dies at its very first barrier, typically while some
+        // rank threads are still being spawned by `try_run`; late starters
+        // must abort on the poisoned barrier, never deadlock or lose the
+        // fault. Repeat to sample a few spawn schedules.
+        for _ in 0..8 {
+            let team = Team::single_node(8);
+            team.set_fault_plans(&[FaultPlan {
+                rank: 7,
+                after_barriers: 0,
+            }]);
+            let out = team.try_run(|ctx| {
+                ctx.barrier();
+                ctx.allreduce_sum_u64(1)
+            });
+            assert_eq!(
+                out.unwrap_err(),
+                RankFault {
+                    rank: 7,
+                    barriers_entered: 0
+                }
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "conformance violation")]
+    fn rank_skewed_extra_barrier_is_caught_at_the_rendezvous() {
+        let team = Team::single_node(2);
+        team.set_conformance_checking(true);
+        team.run(|ctx| {
+            if ctx.rank() == 1 {
+                ctx.barrier(); // seeded violation: rank 1 sneaks in an extra barrier
+            }
+            ctx.barrier();
+            ctx.barrier();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "conformance violation")]
+    fn mismatched_share_payload_shape_is_caught() {
+        let team = Team::single_node(2);
+        team.set_conformance_checking(true);
+        team.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.share(|| 1u64);
+            } else {
+                ctx.share(|| 1u32);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "local_view phase holds it")]
+    fn one_sided_op_into_a_held_local_phase_is_caught() {
+        let team = Team::single_node(2);
+        team.set_conformance_checking(true);
+        team.run(|ctx| {
+            let token = 0xFEED;
+            let guard = (ctx.rank() == 0).then(|| ctx.begin_local_phase(token));
+            ctx.barrier();
+            if ctx.rank() == 1 {
+                ctx.check_one_sided_target(0, token);
+            }
+            ctx.barrier();
+            drop(guard);
+        });
+    }
+
+    #[test]
+    fn dropping_the_local_phase_guard_ends_the_phase() {
+        let team = Team::single_node(2);
+        team.set_conformance_checking(true);
+        team.run(|ctx| {
+            let token = 0xBEEF;
+            let guard = (ctx.rank() == 0).then(|| ctx.begin_local_phase(token));
+            ctx.barrier();
+            drop(guard);
+            ctx.barrier();
+            // Phase over on every rank: remote traffic is legal again.
+            ctx.check_one_sided_target(0, token);
+        });
+    }
+
+    #[test]
+    fn conformance_stamps_are_rank_uniform_for_conforming_runs() {
+        let team = Team::single_node(3);
+        team.run(|ctx| {
+            ctx.barrier();
+            ctx.allreduce_sum_u64(ctx.rank() as u64);
+            ctx.share(|| 3u8);
+        });
+        let s0 = team.conformance_stamp(0);
+        assert!(s0.0 > 0, "collectives must advance the op count");
+        for r in 1..3 {
+            assert_eq!(team.conformance_stamp(r), s0, "rank {r} stamp diverged");
+        }
     }
 }

@@ -43,7 +43,6 @@ use dht::{DistMap, FxHashMap, SoftwareCache};
 use kmers::PackedSeq;
 use pgas::Ctx;
 use seqio::{FastqBlockIter, PairOrientation, Read, ReadId, ReadLibrary};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Identifier of a packed read block: `read_id / block_reads`.
@@ -674,10 +673,8 @@ impl ReadReader<'_> {
                 resolved.push(Err(i));
             }
         }
-        ctx.stats().cache_hits.fetch_add(hits, Ordering::Relaxed);
-        ctx.stats()
-            .cache_misses
-            .fetch_add(misses.len() as u64, Ordering::Relaxed);
+        ctx.record_cache_hits(hits);
+        ctx.record_cache_misses(misses.len() as u64);
         let fetched = if onesided {
             self.store.map.get_many_onesided(ctx, &misses)
         } else {
